@@ -1,0 +1,69 @@
+"""E5 (Section 4.1 claim): binomial tree -> square mesh, avg dilation <= 1.2.
+
+"In [LRG+89] we show ... an embedding that has average dilation bounded by
+1.2 for arbitrarily large binomial tree and mesh.  We conjecture that this
+mapping is optimal with respect to average dilation."
+
+Regenerates the dilation series for B_1 .. B_12 (up to 4096 tasks) and
+checks the bound at every order; B_1..B_4 are spanning subgraphs of their
+meshes (average dilation exactly 1).
+"""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper.canned.binomial_mesh import (
+    binomial_mesh_positions,
+    binomial_to_mesh,
+    mesh_dims,
+)
+
+ORDERS = list(range(1, 13))
+
+
+def dilation_stats(order):
+    tg = families.binomial_tree(order)
+    h, w = mesh_dims(order)
+    topo = networks.mesh(h, w)
+    assignment = binomial_to_mesh(tg, topo)
+    dils = [
+        topo.distance(assignment[e.src], assignment[e.dst])
+        for _, e in tg.all_edges()
+    ]
+    return sum(dils) / len(dils), max(dils)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_binomial_mesh_dilation_series(benchmark, order):
+    avg, worst = benchmark(lambda: dilation_stats(order))
+    benchmark.extra_info["avg_dilation"] = round(avg, 4)
+    benchmark.extra_info["max_dilation"] = worst
+    assert avg <= 1.2, f"B_{order}: average dilation {avg:.4f} > 1.2"
+    if order <= 4:
+        assert avg == 1.0
+
+
+def test_binomial_mesh_dilation_table(benchmark):
+    """Print the full series the way the tech report tabulates it."""
+
+    def build():
+        return {k: dilation_stats(k) for k in ORDERS}
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("binomial tree -> square mesh, average dilation (paper bound 1.2):")
+    print("  order  tasks  mesh      avg dil  max dil")
+    for k, (avg, worst) in table.items():
+        h, w = mesh_dims(k)
+        print(f"  B_{k:<4d} {2**k:<6d} {h}x{w:<6} {avg:<8.4f} {worst}")
+    assert all(avg <= 1.2 for avg, _ in table.values())
+    # The series approaches the bound from below as the trees grow.
+    assert table[12][0] > table[4][0]
+
+
+def test_embedding_is_bijection(benchmark):
+    positions = benchmark(lambda: binomial_mesh_positions(10))
+    h, w = mesh_dims(10)
+    assert len(positions) == 1024
+    assert len(set(positions.values())) == 1024
+    assert all(0 <= r < h and 0 <= c < w for r, c in positions.values())

@@ -1,0 +1,85 @@
+"""E10 (Section 1 goal): OREGAMI mappings outperform naive mappings.
+
+The paper's motivation: "Most commercial parallel processing systems today
+rely on manual task assignment by the programmer and message routing that
+does not utilize information about the communication patterns".  This
+bench simulates complete executions and compares the OREGAMI pipeline
+(structure-aware contraction + NN-Embed + MM-Route) against the naive
+combination (random assignment + oblivious routing) on the paper's
+workloads.  Expected shape: OREGAMI wins, and the gap grows with
+communication weight.
+"""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.mapper.contraction import random_contract
+from repro.mapper.embedding import assignment_from_clusters, random_embed
+from repro.mapper.mapping import Mapping
+from repro.mapper.routing import dimension_order_route
+from repro.sim import CostModel, simulate
+
+MODEL = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.05)
+
+
+def naive_mapping(tg, topo, seed=0):
+    """Random balanced assignment + deterministic oblivious routing."""
+    clusters = random_contract(tg, topo.n_processors, seed=seed)
+    placement = random_embed(clusters, topo, seed=seed)
+    assignment = assignment_from_clusters(clusters, placement)
+    mapping = Mapping(tg, topo, assignment, provenance="naive")
+    mapping.routes = dimension_order_route(tg, topo, assignment).routes
+    return mapping
+
+
+def naive_time(tg, topo, seeds=range(3)):
+    """Average naive completion time over a few random draws."""
+    times = [simulate(naive_mapping(tg, topo, s), MODEL).total_time for s in seeds]
+    return sum(times) / len(times)
+
+
+WORKLOADS = [
+    ("nbody63_q4", lambda: families.nbody(63, volume=4.0), lambda: networks.hypercube(4)),
+    ("jacobi8x8_mesh", lambda: stdlib.load("jacobi", rows=8, cols=8, msize=4), lambda: networks.mesh(4, 4)),
+    ("fft64_q4", lambda: stdlib.load("fft", m=6, msize=4), lambda: networks.hypercube(4)),
+    ("dnc64_mesh", lambda: stdlib.load("dnc", m=6, msize=4), lambda: networks.mesh(4, 4)),
+]
+
+
+@pytest.mark.parametrize("name,tg_fn,topo_fn", WORKLOADS)
+def test_oregami_vs_naive(benchmark, name, tg_fn, topo_fn):
+    tg, topo = tg_fn(), topo_fn()
+    mapping = map_computation(tg, topo)
+    t_oregami = benchmark(lambda: simulate(mapping, MODEL).total_time)
+    t_naive = naive_time(tg, topo)
+    speedup = t_naive / t_oregami
+    print(f"{name}: OREGAMI {t_oregami:.1f} vs naive {t_naive:.1f} "
+          f"(speedup {speedup:.2f}x, via {mapping.provenance})")
+    benchmark.extra_info["speedup_vs_naive"] = round(speedup, 3)
+    assert t_oregami <= t_naive, f"{name}: OREGAMI slower than naive"
+
+
+def test_gap_grows_with_communication(benchmark):
+    """Sweep message volume: heavier messages widen OREGAMI's win."""
+
+    def sweep():
+        out = []
+        for vol in (1.0, 4.0, 16.0):
+            tg = families.nbody(63, volume=vol)
+            topo = networks.hypercube(4)
+            mapping = map_computation(tg, topo)
+            t_o = simulate(mapping, MODEL).total_time
+            t_n = naive_time(tg, topo)
+            out.append((vol, t_n / t_o))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("volume sweep (speedup of OREGAMI over naive):")
+    for vol, speedup in rows:
+        print(f"  volume {vol:5.1f}: {speedup:.2f}x")
+    speedups = [s for _, s in rows]
+    assert speedups[-1] >= speedups[0] * 0.95  # non-decreasing (noise tol.)
+    assert speedups[-1] > 1.0

@@ -1,0 +1,149 @@
+"""Benches for the Section 6 extensions implemented beyond the core system.
+
+* E13 -- task synchrony sets: derived alignment vs naive label-order slots
+  (start-time skew within synchrony sets).
+* E14 -- dynamic spawning: online incremental placement vs offline
+  MWM-Contract on the fully unfolded tree (IPC ratio).
+* E15 -- aggregation topology selection: congestion-aware spanning tree vs
+  congestion-blind tree (usage of the hottest link).
+* E16 -- phase-shift migration: static single mapping vs per-segment
+  mappings with migration, swept over task state size.
+"""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.graph.dynamic import IncrementalMapper, binomial_spawner, full_binary_spawner
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.mapper.aggregate import _existing_link_load, select_aggregation_tree
+from repro.mapper.contraction.mwm import total_ipc
+from repro.mapper.migration import evaluate_migration
+from repro.mapper.embedding import assignment_from_clusters, nn_embed
+from repro.mapper.mapping import Mapping
+from repro.mapper.routing import mm_route
+from repro.sched import (
+    SynchronySets,
+    derive_synchrony_sets,
+    partner_misalignment,
+)
+
+
+def _label_order_sets(mapping):
+    slots = {}
+    for proc, tasks in mapping.clusters().items():
+        for i, t in enumerate(sorted(tasks, key=repr)):
+            slots[t] = i
+    return SynchronySets(slots)
+
+
+@pytest.mark.parametrize("n,dim", [(31, 3), (63, 4), (63, 3)])
+def test_e13_synchrony_alignment(benchmark, n, dim):
+    """Partner-aligned synchrony slots vs naive label-order slots.
+
+    The mapping comes from random contraction + NN-Embed (clusters whose
+    label order carries no information), the situation where coordinated
+    scheduling matters: derived sets must place communication partners in
+    the same local slot far more often.
+    """
+    from repro.mapper.contraction import random_contract
+
+    tg = families.nbody(n)
+    topo = networks.hypercube(dim)
+    clusters = random_contract(tg, topo.n_processors, seed=2)
+    placement = nn_embed(tg, clusters, topo)
+    mapping = Mapping(tg, topo, assignment_from_clusters(clusters, placement))
+    mapping.routes = mm_route(tg, topo, mapping.assignment).routes
+
+    derived = benchmark(lambda: derive_synchrony_sets(mapping))
+    derived_gap = partner_misalignment(mapping, derived)
+    naive_gap = partner_misalignment(mapping, _label_order_sets(mapping))
+    print(f"nbody{n} on Q{dim}: partner slot gap derived {derived_gap:.3f} "
+          f"vs label-order {naive_gap:.3f}")
+    benchmark.extra_info["derived"] = round(derived_gap, 3)
+    benchmark.extra_info["label_order"] = round(naive_gap, 3)
+    assert derived_gap <= naive_gap
+
+
+@pytest.mark.parametrize("order", [5, 6, 7])
+def test_e14_online_vs_offline_spawning(benchmark, order):
+    pattern = binomial_spawner(order)
+    tg = pattern.unfold()
+    topo = networks.hypercube(3)
+
+    online = benchmark(lambda: IncrementalMapper(topo).run(pattern))
+    offline = map_computation(tg, topo, strategy="mwm")
+
+    online_ipc = total_ipc(tg, list(online.clusters().values()))
+    offline_ipc = total_ipc(tg, list(offline.clusters().values()))
+    ratio = online_ipc / max(offline_ipc, 1.0)
+    print(f"B_{order}: IPC online {online_ipc:g} vs offline {offline_ipc:g} "
+          f"(ratio {ratio:.2f})")
+    benchmark.extra_info["ipc_ratio"] = round(ratio, 3)
+    # Online placement pays a bounded price for not knowing the future.
+    assert ratio <= 4.0
+    # And balances load perfectly when tasks divide processors evenly.
+    sizes = [len(ts) for ts in online.clusters().values()]
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_e14_binary_tree_spawning(benchmark):
+    pattern = full_binary_spawner(5)  # 63 tasks
+    online = benchmark(lambda: IncrementalMapper(networks.hypercube(3)).run(pattern))
+    online.validate(require_routes=True)
+    sizes = sorted(len(ts) for ts in online.clusters().values())
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_e15_aggregation_selection(benchmark):
+    mapping = map_computation(families.nbody(15), networks.hypercube(3))
+    load = _existing_link_load(mapping)
+    hot = max(load, key=load.get)
+
+    def hot_usage(paths):
+        return sum(
+            1
+            for path in paths.values()
+            for a, b in zip(path, path[1:])
+            if mapping.topology.link_id(a, b) == hot
+        )
+
+    aware = benchmark(lambda: select_aggregation_tree(mapping, 0, congestion_weight=10.0))
+    blind = select_aggregation_tree(mapping, 0, congestion_weight=0.0)
+    print(f"hot link {hot} usage: congestion-aware {hot_usage(aware)} "
+          f"vs blind {hot_usage(blind)}")
+    assert hot_usage(aware) <= hot_usage(blind)
+
+
+@pytest.mark.parametrize("state_volume", [0.1, 2.0, 50.0])
+def test_e16_migration_tradeoff(benchmark, state_volume):
+    tg = families.nbody(31, volume=8.0)
+    topo = networks.hypercube(4)
+    segments = [{"ring", "compute1"}, {"chordal", "compute2"}]
+    plan = benchmark.pedantic(
+        lambda: evaluate_migration(tg, topo, segments, state_volume=state_volume),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"state={state_volume}: static {plan.static_time:.1f}, "
+          f"migratory {plan.migratory_time:.1f} "
+          f"(migration cost {plan.migration_cost:.1f}) -> "
+          f"{'migrate' if plan.worthwhile else 'stay static'}")
+    benchmark.extra_info["worthwhile"] = plan.worthwhile
+    assert plan.migration_cost >= 0
+
+
+def test_e16_cost_monotone_in_state(benchmark):
+    tg = families.nbody(15)
+    topo = networks.hypercube(3)
+    segments = [{"ring", "compute1"}, {"chordal", "compute2"}]
+
+    def sweep():
+        return [
+            evaluate_migration(tg, topo, segments, state_volume=v).migration_cost
+            for v in (0.1, 1.0, 10.0, 100.0)
+        ]
+
+    costs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert costs == sorted(costs)

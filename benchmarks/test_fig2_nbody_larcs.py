@@ -1,0 +1,61 @@
+"""E1 (Fig 2): the n-body task graph and its LaRCS description.
+
+Regenerates the paper's running example at several problem sizes: the
+chordal-ring task graph, the two communication phases, and the phase
+expression ``((ring; compute1)^((n+1)/2); chordal; compute2)^s``, checking
+the structural facts the figure shows (ring successor, half-way chordal
+partner, phase-expression step count).  The benchmark times the LaRCS
+compile, which the paper claims is cheap because the description is
+compact and parametric.
+"""
+
+import pytest
+
+from repro.graph import families
+from repro.larcs import compile_larcs, stdlib
+
+SIZES = [7, 15, 63, 255]
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_nbody_larcs_elaboration(benchmark, n):
+    result = benchmark(lambda: compile_larcs(stdlib.NBODY, n=n))
+    tg = result.task_graph
+
+    # Fig 2a structure: each task has one ring and one chordal out-edge.
+    assert tg.n_tasks == n
+    assert len(tg.comm_phase("ring")) == n
+    assert len(tg.comm_phase("chordal")) == n
+    ring = tg.comm_function("ring")
+    chordal = tg.comm_function("chordal")
+    half = (n + 1) // 2
+    for i in range(n):
+        assert ring[i] == (i + 1) % n
+        assert chordal[i] == (i + half) % n
+
+    # Fig 2b phase expression: (n+1)/2 ring steps, then chordal; 2 execs.
+    steps = tg.phase_expr.linearize()
+    assert len(steps) == 2 * half + 2
+    assert steps[0] == frozenset({"ring"})
+    assert steps[2 * half] == frozenset({"chordal"})
+
+    # The LaRCS route and the direct constructor agree edge-for-edge.
+    fam = families.nbody(n)
+    for phase in ("ring", "chordal"):
+        assert set(tg.comm_phase(phase).pairs()) == set(
+            fam.comm_phase(phase).pairs()
+        )
+    benchmark.extra_info["tasks"] = n
+    benchmark.extra_info["edges"] = tg.n_edges
+
+
+def test_nbody_fig2_printout(benchmark):
+    """Print the Fig 2 reproduction for the 15-body instance."""
+    tg = benchmark(lambda: stdlib.load("nbody", n=15))
+    rows = ["n-body (n=15)  --  Fig 2 reproduction"]
+    rows.append(f"  tasks: {tg.n_tasks}   phases: {list(tg.comm_phases)}")
+    rows.append(f"  ring:    i -> (i+1) mod 15    e.g. 0->{tg.comm_function('ring')[0]}")
+    rows.append(f"  chordal: i -> (i+8) mod 15    e.g. 0->{tg.comm_function('chordal')[0]}")
+    rows.append(f"  phase expr: {tg.phase_expr}")
+    print("\n".join(rows))
+    assert tg.comm_function("chordal")[0] == 8

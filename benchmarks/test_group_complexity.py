@@ -1,0 +1,74 @@
+"""E7 (Section 4.2.2 claim): the group machinery is O(|X|^2) with early halt.
+
+"This is the dominant part of the computation, and hence the time
+complexity of the algorithm is O(|X|^2)" and "we can halt the computation
+as soon as the number of elements in any cycle exceeds |X|".
+
+Measured: (a) the closure + regularity check on Cayley inputs (voting
+rings) at growing |X| stays near-quadratic -- the work per size-doubling
+grows by roughly 4x, not more; (b) non-Cayley inputs are rejected without
+exploring more than |X| group elements.
+"""
+
+import time
+
+import pytest
+
+from repro.graph.properties import cayley_group_of
+from repro.groups import Permutation, PermutationGroup, ClosureLimitExceeded
+from repro.larcs import stdlib
+
+SIZES = [3, 4, 5, 6, 7, 8]  # m: |X| = 2^m, 8 .. 256
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_cayley_detection_scaling(benchmark, m):
+    tg = stdlib.load("voting", m=m)
+    group = benchmark(lambda: cayley_group_of(tg))
+    assert group is not None
+    assert group.order == 1 << m
+    benchmark.extra_info["n_tasks"] = 1 << m
+
+
+def test_quadratic_shape(benchmark):
+    """Directly compare timing across doublings: ~4x per doubling."""
+
+    def measure():
+        times = {}
+        for m in (5, 6, 7, 8):
+            tg = stdlib.load("voting", m=m)
+            t0 = time.perf_counter()
+            for _ in range(3):
+                assert cayley_group_of(tg) is not None
+            times[1 << m] = (time.perf_counter() - t0) / 3
+        return times
+
+    times = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("Cayley detection time vs |X| (expect ~4x per doubling):")
+    sizes = sorted(times)
+    for a, b in zip(sizes, sizes[1:]):
+        print(f"  |X| {a:>4} -> {b:>4}: {times[a]*1e3:8.3f} ms -> "
+              f"{times[b]*1e3:8.3f} ms  (x{times[b]/times[a]:.1f})")
+    # Loose shape check: growth per doubling stays well under cubic (8x),
+    # allowing generous noise on small inputs.
+    for a, b in zip(sizes[1:], sizes[2:]):
+        assert times[b] / times[a] < 8.0
+
+
+def test_early_halt_on_non_cayley(benchmark):
+    """S_n generators explode to n! elements; the |X| cap halts at |X|+1."""
+    n = 8
+    gens = [
+        Permutation.from_cycles([(0, 1)], n),
+        Permutation([(i + 1) % n for i in range(n)]),
+    ]
+
+    def attempt():
+        try:
+            PermutationGroup.generate(gens, limit=n)
+            return None
+        except ClosureLimitExceeded as e:
+            return e
+
+    err = benchmark(attempt)
+    assert err is not None  # S_8 (40320 elements) rejected after 9

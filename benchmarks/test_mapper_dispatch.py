@@ -1,0 +1,65 @@
+"""E8 (Fig 3): MAPPER's three-way dispatch and the cost of each path.
+
+"contraction and embedding can often be accomplished in constant time by
+hashing on the name of the task graph and the name of the network
+topology" -- the canned path should be far cheaper than the group-theoretic
+path, which in turn beats the general heuristics, while all three produce
+valid mappings of the same computation.
+"""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper import map_computation
+
+
+def fft_like(n):
+    """The FFT pattern without its family tag (forces non-canned paths)."""
+    tg = families.fft_butterfly(n)
+    tg.family = None
+    return tg
+
+
+@pytest.mark.parametrize("strategy", ["canned", "group", "mwm"])
+def test_dispatch_path_cost(benchmark, strategy):
+    """Same computation (the FFT pattern, 64 tasks -> Q3) through each path."""
+    tg = families.fft_butterfly(64) if strategy == "canned" else fft_like(64)
+    topo = networks.hypercube(3)
+    mapping = benchmark(
+        lambda: map_computation(tg, topo, strategy=strategy, route=False)
+    )
+    mapping.validate()
+    assert len(mapping.used_procs()) == 8
+    sizes = sorted(len(ts) for ts in mapping.clusters().values())
+    benchmark.extra_info["cluster_sizes"] = sizes
+    if strategy in ("canned", "group"):
+        assert sizes == [8] * 8  # perfectly balanced
+
+
+def test_auto_dispatch_order(benchmark):
+    """Auto mode classifies the three canonical inputs correctly."""
+
+    def classify_all():
+        canned = map_computation(
+            families.ring(16), networks.hypercube(3), route=False
+        )
+        group = map_computation(fft_like(16), networks.hypercube(3), route=False)
+        tree = families.full_binary_tree(3)
+        tree.family = None
+        arbitrary = map_computation(tree, networks.hypercube(3), route=False)
+        return canned.provenance, group.provenance, arbitrary.provenance
+
+    provs = benchmark(classify_all)
+    print(f"dispatch: nameable->{provs[0]}, cayley->{provs[1]}, tree->{provs[2]}")
+    assert provs == ("canned", "group", "mwm")
+
+
+def test_canned_lookup_is_cheap(benchmark):
+    """The registry hit itself: a dict lookup plus the embedding function."""
+    from repro.mapper.canned.registry import canned_assignment
+
+    tg = families.ring(256)
+    topo = networks.hypercube(4)
+    assignment = benchmark(lambda: canned_assignment(tg, topo))
+    assert len(assignment) == 256

@@ -1,0 +1,90 @@
+"""A2: the Kernighan-Lin refinement post-passes.
+
+"As our research continues, we plan to replace and augment the algorithms
+in the MAPPER library" (§4).  Measured: how much IPC the task-move/swap
+pass recovers on top of MWM-Contract, and how much distance-weighted
+communication the placement 2-opt recovers on top of NN-Embed, across
+random and structured workloads -- plus the cost of the passes themselves.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import networks
+from repro.graph.taskgraph import TaskGraph
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.mapper.contraction import mwm_contract, total_ipc
+from repro.mapper.embedding import nn_embed
+from repro.mapper.embedding.nn_embed import cluster_weights
+from repro.mapper.refine import refine_contraction, refine_embedding
+
+
+def random_graph(n, density, seed):
+    rng = random.Random(seed)
+    tg = TaskGraph(f"r{n}")
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("c")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                ph.add(u, v, float(rng.randint(1, 9)))
+    return tg
+
+
+@pytest.mark.parametrize("n,p", [(32, 4), (64, 8)])
+def test_contraction_refinement_gain(benchmark, n, p):
+    graphs = [random_graph(n, 0.15, s) for s in range(5)]
+    bound = -(-n // p)
+
+    def run():
+        gains = []
+        for tg in graphs:
+            base = mwm_contract(tg, p)
+            before = total_ipc(tg, base)
+            after = total_ipc(tg, refine_contraction(tg, base, load_bound=bound))
+            gains.append((before, after))
+        return gains
+
+    gains = benchmark.pedantic(run, rounds=1, iterations=1)
+    avg_before = sum(b for b, _ in gains) / len(gains)
+    avg_after = sum(a for _, a in gains) / len(gains)
+    print(f"n={n} p={p}: avg IPC {avg_before:.1f} -> {avg_after:.1f} "
+          f"({(1 - avg_after / avg_before):.1%} recovered)")
+    benchmark.extra_info["recovered"] = round(1 - avg_after / avg_before, 4)
+    assert all(a <= b for b, a in gains)
+
+
+def test_embedding_refinement_gain(benchmark):
+    tg = stdlib.load("jacobi", rows=8, cols=8)
+    topo = networks.mesh(4, 4)
+    clusters = mwm_contract(tg, 16)
+    placement = nn_embed(tg, clusters, topo)
+
+    def cost(p):
+        w = cluster_weights(tg, clusters)
+        return sum(v * topo.distance(p[i], p[j]) for (i, j), v in w.items())
+
+    refined = benchmark(
+        lambda: refine_embedding(tg, clusters, placement, topo)
+    )
+    before, after = cost(placement), cost(refined)
+    print(f"jacobi 8x8 -> 4x4 mesh: weighted distance {before:g} -> {after:g}")
+    assert after <= before
+
+
+def test_end_to_end_refine_flag(benchmark):
+    tg = random_graph(48, 0.12, 11)
+    topo = networks.hypercube(3)
+
+    refined = benchmark(
+        lambda: map_computation(tg, topo, strategy="mwm", refine=True)
+    )
+    plain = map_computation(tg, topo, strategy="mwm")
+
+    def ipc(m):
+        return total_ipc(tg, [sorted(ts) for ts in m.clusters().values()])
+
+    print(f"end-to-end: IPC plain {ipc(plain):g}, refined {ipc(refined):g}")
+    assert ipc(refined) <= ipc(plain)

@@ -1,0 +1,66 @@
+"""A3: end-to-end toolchain scalability.
+
+The paper positions OREGAMI as a practical tool ("efficient polynomial
+time heuristics", "constant time" canned lookups).  This bench measures
+the complete pipeline -- LaRCS compile, dispatch, contraction, embedding,
+MM-Route -- as the problem grows, for each MAPPER path, to confirm the
+implementation stays polynomial and laptop-friendly at thousands of tasks.
+"""
+
+import pytest
+
+from repro.arch import networks
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+
+
+@pytest.mark.parametrize("n,dim", [(127, 4), (255, 5), (511, 6), (1023, 6)])
+def test_canned_path_scaling(benchmark, n, dim):
+    """n-body through LaRCS + canned Gray embedding + MM-Route."""
+
+    def pipeline():
+        tg = stdlib.load("nbody", n=n)
+        return map_computation(tg, networks.hypercube(dim))
+
+    mapping = benchmark(pipeline)
+    assert len(mapping.assignment) == n
+    benchmark.extra_info["tasks"] = n
+
+
+@pytest.mark.parametrize("rows", [8, 12, 16])
+def test_mwm_path_scaling(benchmark, rows):
+    """Jacobi through MWM-Contract + NN-Embed + MM-Route."""
+
+    def pipeline():
+        tg = stdlib.load("jacobi", rows=rows, cols=rows)
+        return map_computation(tg, networks.mesh(4, 4), strategy="mwm")
+
+    mapping = benchmark(pipeline)
+    assert len(mapping.assignment) == rows * rows
+    benchmark.extra_info["tasks"] = rows * rows
+
+
+@pytest.mark.parametrize("m", [5, 6, 7])
+def test_group_path_scaling(benchmark, m):
+    """Voting through group-theoretic contraction."""
+
+    def pipeline():
+        tg = stdlib.load("voting", m=m)
+        return map_computation(tg, networks.hypercube(3), strategy="group")
+
+    mapping = benchmark(pipeline)
+    assert len(mapping.used_procs()) == 8
+    benchmark.extra_info["tasks"] = 1 << m
+
+
+def test_largest_end_to_end(benchmark):
+    """4096-task FFT on a 64-processor hypercube, full pipeline + routes."""
+
+    def pipeline():
+        tg = stdlib.load("fft", m=12)
+        return map_computation(tg, networks.hypercube(6))
+
+    mapping = benchmark.pedantic(pipeline, rounds=1, iterations=1)
+    assert len(mapping.assignment) == 4096
+    sizes = {len(ts) for ts in mapping.clusters().values()}
+    assert sizes == {64}

@@ -1,0 +1,81 @@
+"""E17: store-and-forward (NCUBE) vs cut-through (iPSC/2) switching.
+
+The paper names both machines as OREGAMI targets; their routers differ in
+exactly the way the simulator's two switching modes model.  Expected
+shapes: on *long, uncontended* paths cut-through wins (it pays the volume
+cost once, not per hop); under *contention* cut-through suffers because a
+blocked message holds its entire path -- which is also why low-dilation,
+low-contention mappings matter even more on an iPSC/2-class router.
+"""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper import map_computation
+from repro.mapper.mapping import Mapping
+from repro.mapper.routing import mm_route
+from repro.sim import CostModel, simulate
+
+
+@pytest.mark.parametrize("volume", [2.0, 16.0, 64.0])
+def test_cut_through_wins_on_long_paths(benchmark, volume):
+    """A pipeline stretched over a chain: multi-hop, little sharing."""
+    tg = families.ring(8, volume=volume)
+    topo = networks.linear(8)  # wrap edge travels 7 hops
+    mapping = map_computation(tg, topo, strategy="mwm")
+    saf = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.001)
+    ct = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.001,
+                   switching="cut_through")
+    t_saf = benchmark(lambda: simulate(mapping, saf).total_time)
+    t_ct = simulate(mapping, ct).total_time
+    print(f"long paths, volume {volume:5.1f}: store-and-forward {t_saf:.1f}, "
+          f"cut-through {t_ct:.1f}")
+    benchmark.extra_info["saf_over_ct"] = round(t_saf / t_ct, 3)
+    assert t_ct <= t_saf
+
+
+@pytest.mark.parametrize("volume", [1.0, 8.0, 64.0])
+def test_contention_favours_store_and_forward(benchmark, volume):
+    """The chordal-heavy n-body phase: shared links punish path holding."""
+    tg = families.nbody(31, volume=volume)
+    topo = networks.hypercube(3)
+    mapping = map_computation(tg, topo)
+    saf = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.001)
+    ct = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.001,
+                   switching="cut_through")
+    t_saf = benchmark(lambda: simulate(mapping, saf).total_time)
+    t_ct = simulate(mapping, ct).total_time
+    print(f"contended, volume {volume:5.1f}: store-and-forward {t_saf:.1f}, "
+          f"cut-through {t_ct:.1f} (saf/ct {t_saf / t_ct:.2f})")
+    benchmark.extra_info["saf_over_ct"] = round(t_saf / t_ct, 3)
+    assert t_saf <= t_ct  # path holding costs under contention
+
+
+def test_dilation_penalty_under_each_mode(benchmark):
+    """A scattered mapping hurts more (relatively) under cut-through."""
+    tg = families.ring(16, volume=16.0)
+    topo = networks.hypercube(4)
+    good = map_computation(tg, topo)
+    scattered = {i: (i * 5) % 16 for i in range(16)}
+    bad = Mapping(tg, topo, scattered)
+    bad.routes = mm_route(tg, topo, scattered).routes
+
+    def run():
+        out = {}
+        for name, model in [
+            ("saf", CostModel(exec_time=0.001)),
+            ("ct", CostModel(exec_time=0.001, switching="cut_through")),
+        ]:
+            out[name] = (
+                simulate(good, model).total_time,
+                simulate(bad, model).total_time,
+            )
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    saf_penalty = out["saf"][1] / out["saf"][0]
+    ct_penalty = out["ct"][1] / out["ct"][0]
+    print(f"scattered/gray completion ratio: store-and-forward "
+          f"{saf_penalty:.2f}x, cut-through {ct_penalty:.2f}x")
+    assert saf_penalty > 1.0 and ct_penalty > 1.0

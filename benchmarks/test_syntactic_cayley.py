@@ -1,0 +1,73 @@
+"""E18: syntactic Cayley characterisation vs cycle-notation enumeration.
+
+§4.2.2's closing direction: "syntactic characterizations ... will enable us
+to avoid computation of the cycle notation, and improve the efficiency
+significantly."  Measured: recognising a circulant/xor LaRCS program from
+its AST is O(program), flat in |X|; the generic path's group enumeration is
+O(|X|^2).  Both must agree on the generators.
+
+Also E19: 'almost node symmetric' graphs (a Cayley core plus residual
+non-bijective phases) still take the group path and internalise residual
+traffic when a compatible subgroup exists.
+"""
+
+import pytest
+
+from repro.graph import families
+from repro.graph.properties import cayley_group_of, comm_functions
+from repro.larcs import parse_larcs, stdlib
+from repro.larcs.compiler import compile_larcs
+from repro.mapper.contraction import group_contract
+from repro.mapper.contraction.syntactic import syntactic_cayley
+
+SIZES = [6, 8, 10]  # m: |X| = 64 .. 1024
+
+
+@pytest.mark.parametrize("m", SIZES)
+def test_syntactic_detection_flat_in_size(benchmark, m):
+    program = parse_larcs(stdlib.BROADCAST_VOTING)
+    result = benchmark(lambda: syntactic_cayley(program, {"m": m}))
+    assert result.kind == "circulant"
+    assert len(result.constants) == m
+    benchmark.extra_info["n_tasks"] = 1 << m
+
+
+@pytest.mark.parametrize("m", [6, 7, 8])
+def test_generic_detection_quadratic(benchmark, m):
+    """The baseline the syntactic path avoids: elaborate + enumerate."""
+
+    def generic():
+        tg = compile_larcs(stdlib.BROADCAST_VOTING, m=m).task_graph
+        return cayley_group_of(tg)
+
+    group = benchmark(generic)
+    assert group is not None and group.order == 1 << m
+    benchmark.extra_info["n_tasks"] = 1 << m
+
+
+def test_syntactic_agrees_with_generic(benchmark):
+    def both():
+        program = parse_larcs(stdlib.NBODY)
+        syn = syntactic_cayley(program, {"n": 31})
+        tg = compile_larcs(stdlib.NBODY, n=31).task_graph
+        return syn.generators(), comm_functions(tg)
+
+    syn_gens, generic_gens = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert syn_gens == generic_gens
+
+
+def test_e19_residual_contraction(benchmark):
+    """Cayley core + broadcast residual: group path with residual scoring."""
+    tg = families.ring(16, volume=0.001)
+    heavy = tg.add_comm_phase("heavy")
+    for i in range(8):
+        heavy.add(i, i + 8, 50.0)
+    tg.phase_expr = None
+    tg.family = None
+
+    gc = benchmark(lambda: group_contract(tg, 8, allow_residual=True))
+    assert gc.residual_phases == ["heavy"]
+    # The subgroup <+8> internalises the whole heavy phase.
+    assert gc.residual_internal_volume == 400.0
+    print(f"residual contraction: clusters {sorted(map(sorted, gc.clusters))[:3]}.. "
+          f"internalised residual volume {gc.residual_internal_volume:g}")

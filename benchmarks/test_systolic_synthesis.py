@@ -1,0 +1,69 @@
+"""E9 (Section 4.2.1): affine recurrences onto systolic arrays.
+
+The mapping methods "are efficient precisely because they treat the data
+dependency of the algorithm as a function on the nodes of the graph" --
+the syntactic detection never builds the task graph, so its cost is
+independent of the problem size; the synthesis produces the classic
+arrays (the n x n matmul array with the (1,1,1) schedule, linear
+convolution arrays) with verified conflict-free space-time maps.
+"""
+
+import pytest
+
+from repro.larcs import parse_larcs, stdlib
+from repro.mapper.systolic import (
+    convolution,
+    detect_recurrence,
+    matmul,
+    synthesize,
+)
+
+CONV_LARCS = """
+algorithm conv(n, k);
+nodetype pt[0 .. n-1, 0 .. k-1];
+comphase pipe pt(i, j) -> pt(i + 1, j);
+comphase accum pt(i, j) -> pt(i, j + 1);
+"""
+
+
+@pytest.mark.parametrize("n", [50, 500, 5000])
+def test_detection_cost_independent_of_size(benchmark, n):
+    """Check 1-3 are syntactic: detection time must not grow with n."""
+    program = parse_larcs(CONV_LARCS)
+    rec = benchmark(lambda: detect_recurrence(program, {"n": n, "k": 4}))
+    assert sorted(rec.dependencies) == [(0, 1), (1, 0)]
+    benchmark.extra_info["n"] = n
+
+
+@pytest.mark.parametrize("n", [3, 4, 6])
+def test_matmul_synthesis(benchmark, n):
+    arr = benchmark(lambda: synthesize(matmul(n)))
+    assert arr.schedule == (1, 1, 1)
+    assert arr.makespan == 3 * (n - 1) + 1
+    assert arr.n_processors == n * n
+    arr.verify()
+    benchmark.extra_info["processors"] = arr.n_processors
+    benchmark.extra_info["makespan"] = arr.makespan
+
+
+def test_convolution_synthesis(benchmark):
+    arr = benchmark(lambda: synthesize(convolution(16, 4)))
+    arr.verify()
+    topo = arr.as_topology()
+    print(f"convolution array: {arr.n_processors} processors, "
+          f"schedule {arr.schedule}, projection {arr.projection}, "
+          f"makespan {arr.makespan}, utilisation {arr.utilization():.1%}")
+    assert arr.n_processors <= 16  # a linear array, not the full 64 points
+
+
+def test_jacobi_detected_but_unschedulable(benchmark):
+    """Jacobi is uniform (detection succeeds) but has opposing dependences,
+    so no linear schedule exists -- the correct systolic verdict for an
+    iterative stencil written as a single recurrence."""
+    from repro.mapper.systolic import NoScheduleError, find_schedule
+
+    program = parse_larcs(stdlib.JACOBI)
+    rec = benchmark(lambda: detect_recurrence(program, {"rows": 6, "cols": 6}))
+    assert len(rec.dependencies) == 4
+    with pytest.raises(NoScheduleError):
+        find_schedule(rec)

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Writing your own LaRCS program for a custom computation.
+
+Describes a pipelined stencil application -- a 2-D wavefront sweep with a
+periodic column-wise reduction -- from scratch in LaRCS, then maps it onto
+a torus and onto a cube-connected-cycles network to compare architectures.
+
+Run:  python examples/custom_larcs_program.py
+"""
+
+from repro import CostModel, compile_larcs, map_computation, simulate, torus
+from repro.arch import cube_connected_cycles
+from repro.metrics import analyze
+
+WAVEFRONT = """
+algorithm wavefront(rows, cols, sweeps = 2);
+import cellsize = 2;
+
+nodetype cell[0 .. rows-1, 0 .. cols-1];
+
+-- the wavefront: data flows down and right
+comphase flow {
+    cell(i, j) -> cell(i + 1, j) where i < rows - 1 volume cellsize;
+    cell(i, j) -> cell(i, j + 1) where j < cols - 1 volume cellsize;
+}
+
+-- periodic reduction along each column to row 0
+comphase reduce
+    cell(i, j) -> cell(i - 1, j) where i > 0 volume 1;
+
+execphase smooth for cell(i, j) cost 2 + (i + j) mod 3;
+execphase collect cost 1;
+
+phases ((flow; smooth)^2; reduce; collect)^sweeps;
+"""
+
+def main() -> None:
+    tg = compile_larcs(WAVEFRONT, rows=8, cols=8).task_graph
+    print(f"compiled {tg!r}")
+    print(f"phase expression: {tg.phase_expr}\n")
+
+    model = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.2)
+    for topo in (torus(4, 4), cube_connected_cycles(4)):
+        mapping = map_computation(tg, topo)
+        metrics = analyze(mapping, model)
+        sim = simulate(mapping, model)
+        print(f"target {topo.name:8s} ({topo.n_processors} procs, "
+              f"{topo.n_links} links) via {mapping.provenance}:")
+        print(f"  total IPC            {metrics.total_ipc:g}")
+        print(f"  average dilation     {metrics.average_dilation:.3f}")
+        print(f"  max link contention  {metrics.max_contention}")
+        print(f"  load imbalance       {metrics.load_imbalance:.3f}")
+        print(f"  completion time      {sim.total_time:.1f}\n")
+
+    print("The same LaRCS source maps to both machines -- the portability "
+          "goal of the\npaper: re-target by changing one argument, not the "
+          "program.")
+
+if __name__ == "__main__":
+    main()

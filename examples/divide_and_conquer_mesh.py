@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Divide-and-conquer on a mesh via the binomial-tree embedding.
+
+Section 4.1's contribution: the binomial tree is the natural task graph of
+parallel divide-and-conquer, and it embeds into a square mesh with average
+dilation bounded by 1.2.  This example maps a D&C computation of 256 tasks
+onto a 16x16 mesh and shows the dilation profile, then contrasts it with
+what the arbitrary-graph heuristics produce on the same input.
+
+Run:  python examples/divide_and_conquer_mesh.py
+"""
+
+from repro import map_computation, mesh
+from repro.larcs import stdlib
+from repro.metrics import analyze
+
+def dilation_histogram(metrics) -> dict[int, int]:
+    hist: dict[int, int] = {}
+    for pm in metrics.phase_links.values():
+        for d in pm.dilations:
+            hist[d] = hist.get(d, 0) + 1
+    return dict(sorted(hist.items()))
+
+def main() -> None:
+    order = 8  # B_8: 256 tasks
+    tg = stdlib.load("dnc", m=order)
+    # Tag the LaRCS-compiled graph with its family so the canned path fires
+    # (the stdlib program *is* the binomial tree; graph families built via
+    # repro.graph.families carry the tag automatically).
+    tg.family = ("binomial_tree", (order,))
+    topo = mesh(16, 16)
+
+    mapping = map_computation(tg, topo)
+    metrics = analyze(mapping)
+    print(f"canned binomial-tree embedding ({mapping.provenance}):")
+    print(f"  average dilation: {metrics.average_dilation:.4f}  (paper bound: 1.2)")
+    print(f"  dilation histogram (hops -> edges): {dilation_histogram(metrics)}")
+
+    # The same computation through the general-purpose path, for contrast.
+    tg2 = stdlib.load("dnc", m=order)
+    mapping2 = map_computation(tg2, topo, strategy="mwm")
+    metrics2 = analyze(mapping2)
+    print(f"\ngeneral MWM-Contract + NN-Embed path:")
+    print(f"  average dilation: {metrics2.average_dilation:.4f}")
+    print(f"  total IPC:        {metrics2.total_ipc:g} "
+          f"(canned: {metrics.total_ipc:g})")
+    print("\nThe specialised embedding keeps almost every tree edge on a "
+          "physical link;\nthe generic heuristics are serviceable but "
+          "noticeably worse -- the reason\nOREGAMI dispatches nameable "
+          "graphs to the canned library first.")
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Sorting networks across architectures: odd-even vs bitonic.
+
+Compares the two classic parallel sorts from the LaRCS stdlib on the same
+machine and the same sort across machines, using METRICS' side-by-side
+comparison view -- the inspect-alternatives-keep-the-best workflow the
+interactive tool supported.
+
+Run:  python examples/sorting_networks.py
+"""
+
+from repro import CostModel, map_computation, simulate
+from repro.arch import networks
+from repro.larcs import stdlib
+from repro.metrics import analyze
+from repro.metrics.report import compare_mappings
+
+def main() -> None:
+    n = 16  # keys
+
+    # -- one machine, two algorithms ------------------------------------
+    topo = networks.hypercube(3)
+    oddeven = map_computation(stdlib.load("oddeven", n=n), topo)
+    bitonic = map_computation(stdlib.load("bitonic", m=4), topo)
+    print(f"odd-even vs bitonic sort of {n} keys on {topo.name}:\n")
+    print(compare_mappings({"odd-even": oddeven, "bitonic": bitonic}))
+
+    model = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.2)
+    t_oe = simulate(oddeven, model).total_time
+    t_bi = simulate(bitonic, model).total_time
+    print(f"\nsimulated sort time: odd-even {t_oe:.1f}, bitonic {t_bi:.1f}")
+    print("(odd-even does Theta(n) rounds of neighbour traffic; bitonic "
+          "does Theta(log^2 n)\nrounds of long-range exchanges -- the "
+          "hypercube absorbs the latter at dilation <= 1.)")
+
+    # -- one algorithm, three machines ----------------------------------
+    print("\nbitonic sort across machines:\n")
+    comparisons = {}
+    for topo in (networks.hypercube(4), networks.mesh(4, 4), networks.ring(16)):
+        tg = stdlib.load("bitonic", m=4)
+        comparisons[topo.name] = map_computation(tg, topo)
+    print(compare_mappings(comparisons))
+    print("\nThe xor exchange pattern is the hypercube's native traffic; "
+          "meshes and rings\npay growing dilation for the high stages -- "
+          "the portability-with-performance\ntrade the paper's "
+          "introduction motivates.")
+
+if __name__ == "__main__":
+    main()

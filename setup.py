@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The reproduction environment is offline and has no ``wheel`` package, so
+PEP 660 editable installs cannot build; this shim lets ``pip install -e .``
+fall back to ``setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

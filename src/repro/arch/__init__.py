@@ -1,0 +1,43 @@
+"""Parallel architecture substrate: regular interconnection topologies.
+
+The paper assumes "homogeneous processors connected by some regular network
+topology" (iPSC/2, NCUBE, INMOS Transputer are the named candidates).  A
+:class:`repro.arch.Topology` wraps the processor graph with the routing
+infrastructure MAPPER needs: all-pairs distances, the shortest-path next-hop
+sets MM-Route draws candidate links from, and the paper's Fig-6-style link
+numbering.
+"""
+
+from repro.arch.topology import Topology
+from repro.arch import networks
+from repro.arch.networks import (
+    butterfly,
+    complete,
+    cube_connected_cycles,
+    full_binary_tree,
+    hypercube,
+    linear,
+    mesh,
+    ring,
+    star,
+    torus,
+)
+from repro.arch.cayley_networks import cayley_topology, pancake, transposition_star
+
+__all__ = [
+    "Topology",
+    "networks",
+    "ring",
+    "linear",
+    "mesh",
+    "torus",
+    "hypercube",
+    "complete",
+    "star",
+    "full_binary_tree",
+    "cube_connected_cycles",
+    "butterfly",
+    "cayley_topology",
+    "pancake",
+    "transposition_star",
+]

@@ -1,0 +1,88 @@
+"""Interconnection networks that are themselves Cayley graphs.
+
+Section 4.2.2 notes that "many interesting interconnection networks are
+themselves based on Cayley graphs that have an underlying group structure
+[AK89] and we expect this to be useful in the embedding and routing steps".
+This module builds such networks from a group and a symmetric generator set:
+the generic :func:`cayley_topology` plus the two families Akers &
+Krishnamurthy made famous, the (transposition) star graph and the pancake
+graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from itertools import permutations as iter_permutations
+
+from repro.arch.topology import Topology
+from repro.groups.permgroup import PermutationGroup
+from repro.groups.permutation import Permutation
+
+__all__ = ["cayley_topology", "transposition_star", "pancake"]
+
+
+def cayley_topology(
+    group: PermutationGroup,
+    generators: Sequence[Permutation] | None = None,
+    *,
+    name: str = "cayley",
+) -> Topology:
+    """The Cayley graph of *group* w.r.t. *generators*, as a Topology.
+
+    The generator set must be closed under inverses (each generator's
+    inverse also a generator, or the generator an involution), so the
+    resulting network is a well-defined undirected graph.  Processors are
+    numbered by the group's sorted element order.
+    """
+    gens = list(generators) if generators is not None else list(group.generators)
+    gen_set = set(gens)
+    for g in gens:
+        if g.is_identity():
+            raise ValueError("the identity is not a valid network generator")
+        if g.inverse() not in gen_set:
+            raise ValueError(
+                f"generator set not closed under inverses (missing inverse of {g})"
+            )
+    index = {g: i for i, g in enumerate(group.elements)}
+    edges = set()
+    for a in group.elements:
+        for c in gens:
+            b = a * c
+            e = (min(index[a], index[b]), max(index[a], index[b]))
+            edges.add(e)
+    return Topology(
+        name, sorted(edges), nodes=range(group.order), family=("cayley", (name,))
+    )
+
+
+def _symmetric_group(n: int) -> PermutationGroup:
+    """S_n as an explicit element list (n <= 6 keeps this affordable)."""
+    if n > 6:
+        raise ValueError("symmetric groups larger than S_6 are impractical here")
+    elems = [Permutation(p) for p in iter_permutations(range(n))]
+    return PermutationGroup(elems)
+
+
+def transposition_star(n: int) -> Topology:
+    """The star graph ST_n of [AK89]: S_n with generators ``(0 i)``.
+
+    ``n!`` processors of uniform degree ``n - 1``; diameter
+    ``floor(3(n-1)/2)``.
+    """
+    if n < 2:
+        raise ValueError(f"star graph needs n >= 2, got {n}")
+    group = _symmetric_group(n)
+    gens = [Permutation.from_cycles([(0, i)], n) for i in range(1, n)]
+    return cayley_topology(group, gens, name=f"stargraph{n}")
+
+
+def pancake(n: int) -> Topology:
+    """The pancake graph P_n: S_n with prefix-reversal generators."""
+    if n < 2:
+        raise ValueError(f"pancake graph needs n >= 2, got {n}")
+    group = _symmetric_group(n)
+    gens = []
+    for k in range(2, n + 1):
+        images = list(reversed(range(k))) + list(range(k, n))
+        gens.append(Permutation(images))
+    return cayley_topology(group, gens, name=f"pancake{n}")

@@ -1,0 +1,233 @@
+"""Constructors for the regular interconnection networks OREGAMI targets.
+
+Integer processor labels throughout: hypercubes use the bit-string labels
+(processor ``i`` adjacent to ``i XOR 2^k``), meshes/tori use row-major
+labels, cube-connected cycles and butterflies flatten their ``(level, row)``
+coordinates.  The ``family`` tag feeds the canned-mapping registry.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.util.validation import check_positive_int
+
+__all__ = [
+    "ring",
+    "linear",
+    "mesh",
+    "torus",
+    "hypercube",
+    "complete",
+    "star",
+    "full_binary_tree",
+    "cube_connected_cycles",
+    "butterfly",
+    "de_bruijn",
+    "shuffle_exchange",
+]
+
+
+def ring(n: int) -> Topology:
+    """A ring of *n* processors."""
+    check_positive_int(n, "n")
+    if n == 1:
+        return Topology("ring1", [], nodes=[0], family=("ring", (1,)))
+    if n == 2:
+        return Topology("ring2", [(0, 1)], family=("ring", (2,)))
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Topology(f"ring{n}", edges, family=("ring", (n,)))
+
+
+def linear(n: int) -> Topology:
+    """A linear array (open chain) of *n* processors."""
+    check_positive_int(n, "n")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Topology(f"linear{n}", edges, nodes=range(n), family=("linear", (n,)))
+
+
+def mesh(rows: int, cols: int) -> Topology:
+    """A *rows* x *cols* mesh, row-major labels."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if c + 1 < cols:
+                edges.append((i, i + 1))
+            if r + 1 < rows:
+                edges.append((i, i + cols))
+    return Topology(
+        f"mesh{rows}x{cols}",
+        edges,
+        nodes=range(rows * cols),
+        family=("mesh", (rows, cols)),
+    )
+
+
+def torus(rows: int, cols: int) -> Topology:
+    """A *rows* x *cols* torus (wraparound mesh)."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            for rr, cc in (((r + 1) % rows, c), (r, (c + 1) % cols)):
+                j = rr * cols + cc
+                if i != j:
+                    edges.add((min(i, j), max(i, j)))
+    return Topology(
+        f"torus{rows}x{cols}",
+        sorted(edges),
+        nodes=range(rows * cols),
+        family=("torus", (rows, cols)),
+    )
+
+
+def hypercube(dim: int) -> Topology:
+    """A *dim*-dimensional hypercube of ``2**dim`` processors.
+
+    Link numbering matches insertion order: dimension 0 links first,
+    within a dimension in increasing lower-endpoint order.
+    """
+    if dim < 0:
+        raise ValueError(f"dim must be >= 0, got {dim}")
+    n = 1 << dim
+    edges = []
+    for k in range(dim):
+        for i in range(n):
+            j = i ^ (1 << k)
+            if i < j:
+                edges.append((i, j))
+    return Topology(
+        f"hypercube{dim}", edges, nodes=range(n), family=("hypercube", (dim,))
+    )
+
+
+def complete(n: int) -> Topology:
+    """A completely connected network of *n* processors."""
+    check_positive_int(n, "n")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Topology(f"complete{n}", edges, nodes=range(n), family=("complete", (n,)))
+
+
+def star(n: int) -> Topology:
+    """A star: processor 0 linked to each of ``1..n-1``."""
+    check_positive_int(n, "n")
+    edges = [(0, i) for i in range(1, n)]
+    return Topology(f"star{n}", edges, nodes=range(n), family=("star", (n,)))
+
+
+def full_binary_tree(depth: int) -> Topology:
+    """A full binary tree of processors, heap labels."""
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    n = (1 << (depth + 1)) - 1
+    edges = []
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                edges.append((i, child))
+    return Topology(
+        f"fbt{depth}", edges, nodes=range(n), family=("full_binary_tree", (depth,))
+    )
+
+
+def cube_connected_cycles(dim: int) -> Topology:
+    """The cube-connected cycles CCC(dim): ``dim * 2**dim`` processors.
+
+    Processor ``(i, k)`` (cube position *i*, cycle position *k*) is flattened
+    to label ``i * dim + k``.  Cycle links join consecutive cycle positions;
+    the cube link at position *k* joins ``(i, k)`` to ``(i XOR 2^k, k)``.
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    n = 1 << dim
+
+    def label(i: int, k: int) -> int:
+        return i * dim + k
+
+    edges = set()
+    for i in range(n):
+        for k in range(dim):
+            if dim > 1:
+                a, b = label(i, k), label(i, (k + 1) % dim)
+                edges.add((min(a, b), max(a, b)))
+            a, b = label(i, k), label(i ^ (1 << k), k)
+            edges.add((min(a, b), max(a, b)))
+    return Topology(
+        f"ccc{dim}",
+        sorted(edges),
+        nodes=range(n * dim),
+        family=("cube_connected_cycles", (dim,)),
+    )
+
+
+def de_bruijn(dim: int) -> Topology:
+    """The binary de Bruijn network DB(dim): ``2**dim`` processors.
+
+    Processor *x* links to its shift successors ``(2x) mod n`` and
+    ``(2x+1) mod n`` (undirected).  Diameter ``dim`` with only constant
+    degree -- the classic low-diameter alternative to the hypercube.
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    n = 1 << dim
+    edges = set()
+    for x in range(n):
+        for succ in ((2 * x) % n, (2 * x + 1) % n):
+            if x != succ:
+                edges.add((min(x, succ), max(x, succ)))
+    return Topology(
+        f"debruijn{dim}", sorted(edges), nodes=range(n), family=("de_bruijn", (dim,))
+    )
+
+
+def shuffle_exchange(dim: int) -> Topology:
+    """The shuffle-exchange network SE(dim): ``2**dim`` processors.
+
+    *Exchange* links flip the low bit (``x`` to ``x XOR 1``); *shuffle*
+    links rotate the bit string left (``x`` to ``2x mod (n-1)``, with
+    ``n-1`` fixed).
+    """
+    if dim < 1:
+        raise ValueError(f"dim must be >= 1, got {dim}")
+    n = 1 << dim
+    edges = set()
+    for x in range(n):
+        ex = x ^ 1
+        if x != ex:
+            edges.add((min(x, ex), max(x, ex)))
+        shuffled = ((x << 1) | (x >> (dim - 1))) & (n - 1)
+        if x != shuffled:
+            edges.add((min(x, shuffled), max(x, shuffled)))
+    return Topology(
+        f"shuffleexchange{dim}",
+        sorted(edges),
+        nodes=range(n),
+        family=("shuffle_exchange", (dim,)),
+    )
+
+
+def butterfly(k: int) -> Topology:
+    """The *k*-dimensional butterfly: ``(k+1) * 2**k`` processors.
+
+    Processor ``(level, row)`` flattens to ``level * 2**k + row``; level
+    ``l`` connects to level ``l+1`` by straight and cross (bit *l*) links.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n = 1 << k
+
+    def label(level: int, row: int) -> int:
+        return level * n + row
+
+    edges = []
+    for level in range(k):
+        for row in range(n):
+            edges.append((label(level, row), label(level + 1, row)))
+            edges.append((label(level, row), label(level + 1, row ^ (1 << level))))
+    return Topology(
+        f"butterfly{k}", edges, nodes=range((k + 1) * n), family=("butterfly", (k,))
+    )

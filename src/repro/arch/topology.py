@@ -1,0 +1,205 @@
+"""The :class:`Topology` class: a processor network with routing structure.
+
+A topology is an undirected, connected graph of homogeneous processors.  On
+top of the raw graph it precomputes what the mapping algorithms consume:
+
+* all-pairs hop distances (BFS -- links are homogeneous),
+* the shortest-path next-hop sets, i.e. for each ``(here, dest)`` the set of
+  neighbours that lie on *some* shortest path -- MM-Route's candidate first
+  hops,
+* a link numbering (the paper numbers the 12 links of the 8-node hypercube
+  1..12 in Fig 6) used by the routing and METRICS displays.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable
+
+import networkx as nx
+
+__all__ = ["Topology"]
+
+Proc = Hashable
+Link = frozenset  # frozenset({u, v})
+
+
+class Topology:
+    """An interconnection network of homogeneous processors.
+
+    Parameters
+    ----------
+    name:
+        Display name (e.g. ``"hypercube3"``).
+    edges:
+        Undirected processor links.
+    family:
+        Optional ``(family_name, params)`` tag used by the canned-mapping
+        registry, mirroring :class:`repro.graph.TaskGraph.family`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        edges: Iterable[tuple[Proc, Proc]],
+        *,
+        nodes: Iterable[Proc] = (),
+        family: tuple[str, tuple] | None = None,
+    ):
+        self.name = name
+        self.family = family
+        g = nx.Graph()
+        g.add_nodes_from(nodes)
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-link on processor {u!r}")
+            g.add_edge(u, v)
+        if g.number_of_nodes() == 0:
+            raise ValueError("a topology needs at least one processor")
+        if not nx.is_connected(g):
+            raise ValueError(f"topology {name!r} is not connected")
+        self._graph = g
+        self._procs: list[Proc] = list(g.nodes)
+        # Stable 1-based link numbering in insertion order (Fig 6 style).
+        self._links: list[Link] = [frozenset(e) for e in g.edges]
+        self._link_id: dict[Link, int] = {
+            link: i + 1 for i, link in enumerate(self._links)
+        }
+        self._dist: dict[Proc, dict[Proc, int]] = {
+            src: dict(lengths)
+            for src, lengths in nx.all_pairs_shortest_path_length(g)
+        }
+
+    # ------------------------------------------------------------------
+    # basic structure
+    # ------------------------------------------------------------------
+    @property
+    def processors(self) -> list[Proc]:
+        """All processors, in insertion order."""
+        return list(self._procs)
+
+    @property
+    def n_processors(self) -> int:
+        """Number of processors."""
+        return len(self._procs)
+
+    @property
+    def links(self) -> list[Link]:
+        """All undirected links, in numbering order."""
+        return list(self._links)
+
+    @property
+    def n_links(self) -> int:
+        """Number of links."""
+        return len(self._links)
+
+    def link_id(self, u: Proc, v: Proc) -> int:
+        """The 1-based number of the link between adjacent processors."""
+        try:
+            return self._link_id[frozenset((u, v))]
+        except KeyError:
+            raise KeyError(f"no link between {u!r} and {v!r}") from None
+
+    def link_by_id(self, lid: int) -> Link:
+        """The link with 1-based number *lid*."""
+        return self._links[lid - 1]
+
+    def neighbors(self, p: Proc) -> list[Proc]:
+        """Processors directly linked to *p*."""
+        return list(self._graph.neighbors(p))
+
+    def degree(self, p: Proc) -> int:
+        """Number of links incident to *p*."""
+        return self._graph.degree(p)
+
+    def has_link(self, u: Proc, v: Proc) -> bool:
+        """True when *u* and *v* are directly connected."""
+        return self._graph.has_edge(u, v)
+
+    @property
+    def graph(self) -> nx.Graph:
+        """A copy of the underlying processor graph."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # distances and shortest routes
+    # ------------------------------------------------------------------
+    def distance(self, u: Proc, v: Proc) -> int:
+        """Hop distance between two processors."""
+        return self._dist[u][v]
+
+    @property
+    def diameter(self) -> int:
+        """Maximum hop distance over all processor pairs."""
+        return max(max(row.values()) for row in self._dist.values())
+
+    def next_hops(self, here: Proc, dest: Proc) -> list[Proc]:
+        """Neighbours of *here* lying on some shortest path to *dest*.
+
+        This is the choice set MM-Route builds its bipartite graphs from:
+        each candidate neighbour corresponds to a candidate first-hop link.
+        """
+        if here == dest:
+            return []
+        d = self._dist[here][dest]
+        return [
+            nb for nb in self._graph.neighbors(here) if self._dist[nb][dest] == d - 1
+        ]
+
+    def shortest_routes(
+        self, src: Proc, dst: Proc, *, limit: int = 64
+    ) -> list[list[Proc]]:
+        """All shortest processor paths from *src* to *dst* (up to *limit*).
+
+        Each route includes both endpoints; ``src == dst`` yields the single
+        trivial route ``[src]``.  The enumeration walks the shortest-path
+        DAG breadth-first, so the result is exactly the paper's "table of
+        possible choices for the shortest routes".
+        """
+        routes: list[list[Proc]] = []
+        queue: deque[list[Proc]] = deque([[src]])
+        while queue and len(routes) < limit:
+            path = queue.popleft()
+            here = path[-1]
+            if here == dst:
+                routes.append(path)
+                continue
+            for nb in self.next_hops(here, dst):
+                queue.append(path + [nb])
+        return routes
+
+    def routing_table(self, *, limit: int = 8) -> dict[tuple[Proc, Proc], list[list[int]]]:
+        """The full "table of routing information" (Fig 6b of the paper).
+
+        For every ordered processor pair, the link-number sequences of its
+        shortest routes (up to *limit* alternatives per pair).  MM-Route
+        consults :meth:`next_hops` incrementally instead of materialising
+        this table, but the table is what the paper describes the router
+        reading, and METRICS displays it.
+        """
+        table: dict[tuple[Proc, Proc], list[list[int]]] = {}
+        for src in self._procs:
+            for dst in self._procs:
+                if src == dst:
+                    continue
+                table[(src, dst)] = [
+                    self.route_links(r)
+                    for r in self.shortest_routes(src, dst, limit=limit)
+                ]
+        return table
+
+    def route_links(self, route: list[Proc]) -> list[int]:
+        """The 1-based link numbers along a processor route."""
+        return [self.link_id(a, b) for a, b in zip(route, route[1:])]
+
+    def is_valid_route(self, route: list[Proc]) -> bool:
+        """True when *route* is a walk along existing links."""
+        if not route:
+            return False
+        return all(self._graph.has_edge(a, b) for a, b in zip(route, route[1:]))
+
+    def __repr__(self) -> str:
+        return (
+            f"<Topology {self.name!r}: {self.n_processors} processors, "
+            f"{self.n_links} links>"
+        )

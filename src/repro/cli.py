@@ -1,0 +1,271 @@
+"""Command-line interface: the OREGAMI toolchain as a shell tool.
+
+Usage examples::
+
+    python -m repro stdlib
+    python -m repro compile nbody --bind n=15
+    python -m repro map nbody --bind n=15 --topology hypercube:3 --report
+    python -m repro map path/to/prog.larcs --bind n=64 --topology mesh:8x8 \\
+        --strategy mwm --ascii --simulate
+
+The first positional argument of ``compile``/``map`` is either a stdlib
+program name or a path to a ``.larcs`` source file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.arch import networks
+from repro.arch.topology import Topology
+from repro.larcs import compile_larcs, stdlib
+from repro.mapper import map_computation
+from repro.metrics import analyze, render_report
+from repro.metrics.display import (
+    render_link_traffic,
+    render_mapping_ascii,
+    render_timeline,
+)
+from repro.sim import CostModel, simulate
+
+__all__ = ["main", "parse_topology", "parse_bindings"]
+
+_TOPOLOGY_BUILDERS = {
+    "ring": lambda args: networks.ring(int(args[0])),
+    "linear": lambda args: networks.linear(int(args[0])),
+    "mesh": lambda args: networks.mesh(int(args[0]), int(args[1])),
+    "torus": lambda args: networks.torus(int(args[0]), int(args[1])),
+    "hypercube": lambda args: networks.hypercube(int(args[0])),
+    "complete": lambda args: networks.complete(int(args[0])),
+    "star": lambda args: networks.star(int(args[0])),
+    "tree": lambda args: networks.full_binary_tree(int(args[0])),
+    "ccc": lambda args: networks.cube_connected_cycles(int(args[0])),
+    "butterfly": lambda args: networks.butterfly(int(args[0])),
+}
+
+
+def parse_topology(spec: str) -> Topology:
+    """Parse a topology spec like ``hypercube:3`` or ``mesh:4x4``."""
+    name, _, params = spec.partition(":")
+    name = name.strip().lower()
+    if name not in _TOPOLOGY_BUILDERS:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from "
+            f"{', '.join(sorted(_TOPOLOGY_BUILDERS))}"
+        )
+    args = [p for p in params.replace("x", ",").split(",") if p] if params else []
+    try:
+        return _TOPOLOGY_BUILDERS[name](args)
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"bad topology spec {spec!r}: {exc}") from exc
+
+
+def parse_bindings(pairs: list[str]) -> dict[str, int]:
+    """Parse ``--bind n=15 msize=4`` pairs."""
+    bindings: dict[str, int] = {}
+    for pair in pairs:
+        name, sep, value = pair.partition("=")
+        if not sep or not name:
+            raise ValueError(f"binding {pair!r} is not of the form name=value")
+        try:
+            bindings[name.strip()] = int(value)
+        except ValueError:
+            raise ValueError(f"binding {pair!r}: value must be an integer") from None
+    return bindings
+
+
+def _load_source(program: str) -> str:
+    if program in stdlib.PROGRAMS:
+        return stdlib.PROGRAMS[program]
+    path = Path(program)
+    if path.exists():
+        return path.read_text()
+    raise ValueError(
+        f"{program!r} is neither a stdlib program "
+        f"({', '.join(sorted(stdlib.PROGRAMS))}) nor a readable file"
+    )
+
+
+def _cmd_stdlib(_args) -> int:
+    print("LaRCS standard library programs:")
+    for name in sorted(stdlib.PROGRAMS):
+        first_line = next(
+            line
+            for line in stdlib.PROGRAMS[name].strip().splitlines()
+            if line.startswith("algorithm")
+        )
+        print(f"  {name:<12} {first_line}")
+    return 0
+
+
+def _cmd_topologies(_args) -> int:
+    print("topology specs for --topology (PARAMS joined by ':' / 'x'):")
+    samples = {
+        "ring": "ring:8",
+        "linear": "linear:5",
+        "mesh": "mesh:4x4",
+        "torus": "torus:3x4",
+        "hypercube": "hypercube:3",
+        "complete": "complete:6",
+        "star": "star:5",
+        "tree": "tree:3  (full binary tree of that depth)",
+        "ccc": "ccc:3  (cube-connected cycles)",
+        "butterfly": "butterfly:3",
+    }
+    for name in sorted(_TOPOLOGY_BUILDERS):
+        print(f"  {name:<10} e.g. {samples.get(name, name + ':N')}")
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    source = _load_source(args.program)
+    result = compile_larcs(source, parse_bindings(args.bind))
+    tg = result.task_graph
+    print(f"compiled {tg!r}")
+    print(f"phases: {', '.join(tg.phase_names)}")
+    if tg.phase_expr is not None:
+        print(f"phase expression: {tg.phase_expr}")
+        print(f"synchronous steps: {len(tg.phase_expr.linearize())}")
+    for warning in result.warnings:
+        print(f"warning: {warning}", file=sys.stderr)
+    if args.edges:
+        for name, edge in tg.all_edges():
+            print(f"  {name}: {edge.src} -> {edge.dst} (volume {edge.volume:g})")
+    return 0
+
+
+def _cmd_map(args) -> int:
+    source = _load_source(args.program)
+    result = compile_larcs(source, parse_bindings(args.bind))
+    tg = result.task_graph
+    if args.program in stdlib.PROGRAMS:
+        # Nameable stdlib computations get their family tag so the canned
+        # lookup fires, same as stdlib.load().
+        tg.family = stdlib.family_tag(args.program, tg)
+    topology = parse_topology(args.topology)
+    mapping = map_computation(
+        tg,
+        topology,
+        strategy=args.strategy,
+        load_bound=args.load_bound,
+        refine=args.refine,
+    )
+    print(f"mapped {tg.name} -> {topology.name} via the {mapping.provenance!r} path")
+    metrics = analyze(mapping)
+    if args.report:
+        print()
+        print(render_report(mapping, metrics))
+    if args.ascii:
+        print()
+        print(render_mapping_ascii(mapping))
+        print()
+        print(render_link_traffic(mapping, metrics))
+    if args.simulate or args.timeline:
+        model = CostModel(
+            hop_latency=args.hop_latency,
+            byte_time=args.byte_time,
+            exec_time=args.exec_time,
+            switching=args.switching,
+        )
+        sim = simulate(mapping, model)
+        print()
+        print(f"simulated completion time: {sim.total_time:g}")
+        print(f"messages delivered:        {sim.messages}")
+        print(f"busiest link utilisation:  {sim.max_link_utilization():.1%}")
+        if args.timeline:
+            print()
+            print(render_timeline(mapping, sim))
+    if not (args.report or args.ascii or args.simulate or args.timeline):
+        print(f"total IPC {metrics.total_ipc:g}, "
+              f"avg dilation {metrics.average_dilation:.3f}, "
+              f"max contention {metrics.max_contention}, "
+              f"est. completion {metrics.estimated_completion_time:g}")
+    if args.save:
+        from repro.io import save_mapping
+
+        save_mapping(mapping, args.save)
+        print(f"saved mapping to {args.save}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.io import load_mapping
+
+    mapping = load_mapping(args.mapping)
+    print(f"loaded {mapping!r}")
+    metrics = analyze(mapping)
+    print()
+    print(render_report(mapping, metrics))
+    if args.ascii:
+        print()
+        print(render_mapping_ascii(mapping))
+        print()
+        print(render_link_traffic(mapping, metrics))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OREGAMI: map parallel computations to parallel architectures",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("stdlib", help="list the LaRCS standard library")
+    sub.add_parser("topologies", help="list the --topology specs")
+
+    p_compile = sub.add_parser("compile", help="compile a LaRCS program")
+    p_compile.add_argument("program", help="stdlib name or .larcs file path")
+    p_compile.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
+    p_compile.add_argument("--edges", action="store_true", help="dump all edges")
+
+    p_map = sub.add_parser("map", help="compile, map, analyse")
+    p_map.add_argument("program", help="stdlib name or .larcs file path")
+    p_map.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
+    p_map.add_argument("--topology", required=True, metavar="SPEC",
+                       help="e.g. hypercube:3, mesh:4x4, ring:8")
+    p_map.add_argument("--strategy", default="auto",
+                       choices=["auto", "canned", "group", "mwm"])
+    p_map.add_argument("--load-bound", type=int, default=None)
+    p_map.add_argument("--refine", action="store_true",
+                       help="run the KL-style refinement post-passes")
+    p_map.add_argument("--report", action="store_true")
+    p_map.add_argument("--ascii", action="store_true")
+    p_map.add_argument("--simulate", action="store_true")
+    p_map.add_argument("--timeline", action="store_true",
+                       help="draw the simulated step timeline")
+    p_map.add_argument("--hop-latency", type=float, default=1.0)
+    p_map.add_argument("--byte-time", type=float, default=1.0)
+    p_map.add_argument("--exec-time", type=float, default=1.0)
+    p_map.add_argument("--switching", default="store_and_forward",
+                       choices=["store_and_forward", "cut_through"])
+    p_map.add_argument("--save", metavar="FILE", default=None,
+                       help="write the mapping to a JSON file")
+
+    p_analyze = sub.add_parser("analyze", help="analyse a saved mapping")
+    p_analyze.add_argument("mapping", help="JSON file from 'map --save'")
+    p_analyze.add_argument("--ascii", action="store_true")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "stdlib": _cmd_stdlib,
+        "topologies": _cmd_topologies,
+        "compile": _cmd_compile,
+        "map": _cmd_map,
+        "analyze": _cmd_analyze,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        return 0  # output piped into a pager/head that closed early
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,46 @@
+"""The OREGAMI task-graph model (Section 2 of the paper).
+
+A parallel computation is modelled as a weighted, colored directed graph
+``G = (V, E_1, .., E_c)``: one node per task, one edge set (a *communication
+phase*, conceptually a color) per synchronous message-passing step, node
+weights approximating execution time, edge weights giving message volume.
+Dynamic behaviour over time is captured by a *phase expression* over the
+communication and execution phases.
+"""
+
+from repro.graph.taskgraph import CommEdge, CommPhase, ExecPhase, TaskGraph
+from repro.graph.phase_expr import (
+    EPSILON,
+    Epsilon,
+    Par,
+    PhaseExpr,
+    PhaseRef,
+    Rep,
+    Seq,
+    parse_phase_expr,
+)
+from repro.graph import families
+from repro.graph.properties import (
+    comm_functions,
+    is_node_symmetric,
+    regularity_report,
+)
+
+__all__ = [
+    "CommEdge",
+    "CommPhase",
+    "ExecPhase",
+    "TaskGraph",
+    "PhaseExpr",
+    "Epsilon",
+    "EPSILON",
+    "PhaseRef",
+    "Seq",
+    "Rep",
+    "Par",
+    "parse_phase_expr",
+    "families",
+    "comm_functions",
+    "is_node_symmetric",
+    "regularity_report",
+]

@@ -1,0 +1,277 @@
+"""Generators for the well-known ("nameable") task-graph families.
+
+MAPPER's first-class path handles computations whose structure "can be
+described as belonging to a well-known graph family such as ring, mesh,
+hypercube, full binary tree, etc." (Section 4.1).  These constructors build
+such task graphs directly and tag them with a ``(family, params)`` pair so
+the dispatcher can hash into the canned-mapping registry.
+
+All families label tasks with ints ``0..n-1`` (multi-dimensional structures
+use row-major order) so the same graphs also exercise the group-theoretic
+path when they happen to be Cayley graphs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.phase_expr import PhaseRef, Rep, Seq, parse_phase_expr
+from repro.graph.taskgraph import TaskGraph
+from repro.util.validation import check_positive_int, check_power_of_two
+
+__all__ = [
+    "ring",
+    "nbody",
+    "linear",
+    "mesh",
+    "torus",
+    "hypercube",
+    "full_binary_tree",
+    "binomial_tree",
+    "fft_butterfly",
+    "complete",
+    "star",
+]
+
+
+def ring(n: int, *, volume: float = 1.0) -> TaskGraph:
+    """A directed ring of *n* tasks: ``i -> (i+1) mod n``."""
+    check_positive_int(n, "n")
+    tg = TaskGraph(f"ring{n}", family=("ring", (n,)), node_symmetric_hint=True)
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("ring")
+    for i in range(n):
+        ph.add(i, (i + 1) % n, volume)
+    tg.phase_expr = Rep(Seq((PhaseRef("ring"), PhaseRef("compute"))), n)
+    tg.add_exec_phase("compute")
+    return tg
+
+
+def nbody(n: int, *, volume: float = 1.0, sweeps: int = 1) -> TaskGraph:
+    """The n-body chordal ring of Fig 2: ring plus half-way chords.
+
+    Requires odd *n* (each task's chordal partner is ``(i + (n+1)/2) mod n``,
+    well-defined only for odd *n* -- Seitz's algorithm halves the force
+    computations using Newton's third law).  The phase expression is the
+    paper's ``((ring; compute1)^((n+1)/2); chordal; compute2)^s``.
+    """
+    check_positive_int(n, "n")
+    if n % 2 == 0:
+        raise ValueError(f"the n-body chordal ring requires odd n, got {n}")
+    check_positive_int(sweeps, "sweeps")
+    tg = TaskGraph(f"nbody{n}", family=("nbody", (n,)), node_symmetric_hint=True)
+    tg.add_nodes(range(n))
+    ringp = tg.add_comm_phase("ring")
+    chord = tg.add_comm_phase("chordal")
+    half = (n + 1) // 2
+    for i in range(n):
+        ringp.add(i, (i + 1) % n, volume)
+        chord.add(i, (i + half) % n, volume)
+    tg.add_exec_phase("compute1")
+    tg.add_exec_phase("compute2")
+    tg.phase_expr = Rep(
+        Seq(
+            (
+                Rep(Seq((PhaseRef("ring"), PhaseRef("compute1"))), half),
+                PhaseRef("chordal"),
+                PhaseRef("compute2"),
+            )
+        ),
+        sweeps,
+    )
+    return tg
+
+
+def linear(n: int, *, volume: float = 1.0) -> TaskGraph:
+    """A bidirectional linear array (open chain) of *n* tasks."""
+    check_positive_int(n, "n")
+    tg = TaskGraph(f"linear{n}", family=("linear", (n,)))
+    tg.add_nodes(range(n))
+    right = tg.add_comm_phase("right")
+    left = tg.add_comm_phase("left")
+    for i in range(n - 1):
+        right.add(i, i + 1, volume)
+        left.add(i + 1, i, volume)
+    tg.phase_expr = parse_phase_expr("(right; left)^1")
+    return tg
+
+
+def mesh(rows: int, cols: int, *, volume: float = 1.0) -> TaskGraph:
+    """A *rows* x *cols* mesh; row-major integer labels; 4 directional phases.
+
+    The phase structure mirrors the Jacobi-style stencil computations the
+    paper lists among its LaRCS examples.
+    """
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    tg = TaskGraph(f"mesh{rows}x{cols}", family=("mesh", (rows, cols)))
+    n = rows * cols
+    tg.add_nodes(range(n))
+    phases = {d: tg.add_comm_phase(d) for d in ("north", "south", "east", "west")}
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            if r > 0:
+                phases["north"].add(i, i - cols, volume)
+            if r < rows - 1:
+                phases["south"].add(i, i + cols, volume)
+            if c < cols - 1:
+                phases["east"].add(i, i + 1, volume)
+            if c > 0:
+                phases["west"].add(i, i - 1, volume)
+    tg.add_exec_phase("relax")
+    tg.phase_expr = parse_phase_expr("(north; south; east; west; relax)^1")
+    return tg
+
+
+def torus(rows: int, cols: int, *, volume: float = 1.0) -> TaskGraph:
+    """A *rows* x *cols* torus (wraparound mesh); node symmetric."""
+    check_positive_int(rows, "rows")
+    check_positive_int(cols, "cols")
+    tg = TaskGraph(
+        f"torus{rows}x{cols}",
+        family=("torus", (rows, cols)),
+        node_symmetric_hint=True,
+    )
+    n = rows * cols
+    tg.add_nodes(range(n))
+    phases = {d: tg.add_comm_phase(d) for d in ("north", "south", "east", "west")}
+    for r in range(rows):
+        for c in range(cols):
+            i = r * cols + c
+            phases["north"].add(i, ((r - 1) % rows) * cols + c, volume)
+            phases["south"].add(i, ((r + 1) % rows) * cols + c, volume)
+            phases["east"].add(i, r * cols + (c + 1) % cols, volume)
+            phases["west"].add(i, r * cols + (c - 1) % cols, volume)
+    tg.add_exec_phase("relax")
+    tg.phase_expr = parse_phase_expr("(north; south; east; west; relax)^1")
+    return tg
+
+
+def hypercube(dim: int, *, volume: float = 1.0) -> TaskGraph:
+    """A *dim*-dimensional hypercube of ``2**dim`` tasks, one phase per dimension.
+
+    Phase ``dim{k}`` exchanges along bit *k*: ``i -> i XOR 2^k``.  Each such
+    phase is a bijection (an involution), so hypercube task graphs are
+    Cayley graphs -- the canonical input to group-theoretic contraction.
+    """
+    if dim < 0:
+        raise ValueError(f"dim must be >= 0, got {dim}")
+    n = 1 << dim
+    tg = TaskGraph(
+        f"hypercube{dim}", family=("hypercube", (dim,)), node_symmetric_hint=True
+    )
+    tg.add_nodes(range(n))
+    for k in range(dim):
+        ph = tg.add_comm_phase(f"dim{k}")
+        for i in range(n):
+            ph.add(i, i ^ (1 << k), volume)
+    tg.add_exec_phase("compute")
+    if dim:
+        tg.phase_expr = Seq(
+            tuple(
+                Seq((PhaseRef(f"dim{k}"), PhaseRef("compute"))) for k in range(dim)
+            )
+        )
+    return tg
+
+
+def full_binary_tree(depth: int, *, volume: float = 1.0) -> TaskGraph:
+    """A full binary tree of the given depth (``2**(depth+1) - 1`` tasks).
+
+    Heap labeling: node *i* has children ``2i+1`` and ``2i+2``.  Two phases:
+    ``down`` (parent to children) and ``up`` (children to parent) -- the
+    divide / combine traffic of tree-structured algorithms.
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be >= 0, got {depth}")
+    n = (1 << (depth + 1)) - 1
+    tg = TaskGraph(f"fbt{depth}", family=("full_binary_tree", (depth,)))
+    tg.add_nodes(range(n))
+    down = tg.add_comm_phase("down")
+    up = tg.add_comm_phase("up")
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                down.add(i, child, volume)
+                up.add(child, i, volume)
+    tg.add_exec_phase("work")
+    tg.phase_expr = parse_phase_expr("down; work; up")
+    return tg
+
+
+def binomial_tree(order: int, *, volume: float = 1.0) -> TaskGraph:
+    """The binomial tree ``B_order`` on ``2**order`` tasks.
+
+    ``B_0`` is a single node; ``B_k`` joins two copies of ``B_{k-1}`` by an
+    edge between their roots.  With the standard binary labeling (root 0;
+    the children of node *x* are ``x | 2^j`` for all *j* below the lowest
+    set bit of *x*, or all *j* for the root), the tree edges connect labels
+    differing in exactly one bit.  [LRG+89] shows this is the natural task
+    graph of parallel divide-and-conquer.
+    """
+    if order < 0:
+        raise ValueError(f"order must be >= 0, got {order}")
+    n = 1 << order
+    tg = TaskGraph(f"binomial{order}", family=("binomial_tree", (order,)))
+    tg.add_nodes(range(n))
+    divide = tg.add_comm_phase("divide")
+    combine = tg.add_comm_phase("combine")
+    for x in range(n):
+        low = order if x == 0 else (x & -x).bit_length() - 1
+        for j in range(low):
+            child = x | (1 << j)
+            divide.add(x, child, volume)
+            combine.add(child, x, volume)
+    tg.add_exec_phase("solve")
+    tg.phase_expr = parse_phase_expr("divide; solve; combine")
+    return tg
+
+
+def fft_butterfly(n: int, *, volume: float = 1.0) -> TaskGraph:
+    """The FFT communication pattern on *n* tasks (*n* a power of two).
+
+    ``log2 n`` phases; phase *s* exchanges ``i <-> i XOR 2^s``.  Structurally
+    the same edges as :func:`hypercube` but with the FFT's stage-ordered
+    phase expression ``(fly0; compute); (fly1; compute); ..``.
+    """
+    check_power_of_two(n, "n")
+    stages = n.bit_length() - 1
+    tg = TaskGraph(f"fft{n}", family=("fft_butterfly", (n,)), node_symmetric_hint=True)
+    tg.add_nodes(range(n))
+    for s in range(stages):
+        ph = tg.add_comm_phase(f"fly{s}")
+        for i in range(n):
+            ph.add(i, i ^ (1 << s), volume)
+    tg.add_exec_phase("compute")
+    if stages:
+        tg.phase_expr = Seq(
+            tuple(Seq((PhaseRef(f"fly{s}"), PhaseRef("compute"))) for s in range(stages))
+        )
+    return tg
+
+
+def complete(n: int, *, volume: float = 1.0) -> TaskGraph:
+    """The complete graph: every task messages every other (all-to-all)."""
+    check_positive_int(n, "n")
+    tg = TaskGraph(f"complete{n}", family=("complete", (n,)), node_symmetric_hint=True)
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("all")
+    for i in range(n):
+        for j in range(n):
+            if i != j:
+                ph.add(i, j, volume)
+    return tg
+
+
+def star(n: int, *, volume: float = 1.0) -> TaskGraph:
+    """A star: task 0 broadcasts to and gathers from tasks ``1..n-1``."""
+    check_positive_int(n, "n")
+    tg = TaskGraph(f"star{n}", family=("star", (n,)))
+    tg.add_nodes(range(n))
+    bcast = tg.add_comm_phase("broadcast")
+    gather = tg.add_comm_phase("gather")
+    for i in range(1, n):
+        bcast.add(0, i, volume)
+        gather.add(i, 0, volume)
+    tg.add_exec_phase("work")
+    tg.phase_expr = parse_phase_expr("broadcast; work; gather")
+    return tg

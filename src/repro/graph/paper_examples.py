@@ -1,0 +1,71 @@
+"""Reconstructions of the paper's worked examples (Figs 2, 4, 5, 6).
+
+Fig 5's 12-node task graph is drawn in the paper but not tabulated; the
+graph built here is consistent with every stated fact:
+
+* 12 tasks contracted onto 3 processors under load bound B = 4;
+* the greedy stage caps clusters at B/2 = 2 tasks, and an edge of weight 15
+  is examined while both its endpoint clusters already hold 2 tasks, so its
+  merge is rejected ("the edge with weight 15 does not result in merging
+  because the combined cluster would have 4 tasks");
+* the final contraction has total IPC = 6, which is optimal for the graph.
+
+The intended optimum is three 4-task clusters ``{0..3}, {4..7}, {8..11}``
+with three unit-weight-2 edges crossing between them.
+"""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = [
+    "fig5_task_graph",
+    "FIG5_PROCESSORS",
+    "FIG5_LOAD_BOUND",
+    "FIG5_OPTIMAL_IPC",
+    "fig4_generators_cycle_notation",
+]
+
+#: Fig 5 parameters as stated in the paper.
+FIG5_PROCESSORS = 3
+FIG5_LOAD_BOUND = 4
+FIG5_OPTIMAL_IPC = 6.0
+
+#: The Fig 4 communication functions in the paper's own cycle notation.
+fig4_generators_cycle_notation = (
+    "(01234567)",
+    "(0246)(1357)",
+    "(04)(15)(26)(37)",
+)
+
+_FIG5_EDGES = [
+    # intra-cluster A = {0, 1, 2, 3}
+    (0, 1, 20.0),
+    (2, 3, 18.0),
+    (1, 2, 15.0),  # the rejected-merge edge of Fig 5b
+    (0, 3, 3.0),
+    # intra-cluster B = {4, 5, 6, 7}
+    (4, 5, 19.0),
+    (6, 7, 17.0),
+    (5, 6, 14.0),
+    (4, 7, 2.0),
+    # intra-cluster C = {8, 9, 10, 11}
+    (8, 9, 16.0),
+    (10, 11, 13.0),
+    (9, 10, 12.0),
+    (8, 11, 1.0),
+    # the 6 units of inter-cluster communication (the optimal IPC)
+    (3, 4, 2.0),
+    (7, 8, 2.0),
+    (11, 0, 2.0),
+]
+
+
+def fig5_task_graph() -> TaskGraph:
+    """The 12-task weighted graph of the Fig 5 contraction example."""
+    tg = TaskGraph("fig5", family=None)
+    tg.add_nodes(range(12))
+    phase = tg.add_comm_phase("comm")
+    for u, v, w in _FIG5_EDGES:
+        phase.add(u, v, w)
+    return tg

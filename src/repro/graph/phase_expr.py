@@ -1,0 +1,307 @@
+"""Phase expressions: the dynamic-behaviour notation of Section 3.6.
+
+A phase expression is built from communication/execution phase names with
+
+* ``epsilon`` -- the idle task,
+* sequence ``r ; s``,
+* repetition ``r ^ k``,
+* parallelism ``r || s``.
+
+The n-body example of the paper is
+``((ring; compute1)^((n+1)/2); chordal; compute2)^s``.
+
+Expressions here are fully elaborated (repetition counts are concrete ints);
+the LaRCS compiler evaluates parameterised counts like ``(n+1)/2`` before
+building these nodes.  :meth:`PhaseExpr.linearize` flattens an expression to
+the synchronous step sequence the METRICS completion-time model and the
+simulator execute.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from itertools import zip_longest
+
+__all__ = [
+    "PhaseExpr",
+    "Epsilon",
+    "EPSILON",
+    "PhaseRef",
+    "Seq",
+    "Rep",
+    "Par",
+    "parse_phase_expr",
+    "PhaseExprError",
+]
+
+
+class PhaseExprError(ValueError):
+    """Raised on malformed phase expressions."""
+
+
+class PhaseExpr:
+    """Base class for phase-expression AST nodes."""
+
+    def phase_names(self) -> set[str]:
+        """All phase names referenced anywhere in the expression."""
+        raise NotImplementedError
+
+    def linearize(self, *, max_steps: int = 1_000_000) -> list[frozenset[str]]:
+        """Flatten to a sequence of synchronous steps.
+
+        Each step is the set of phases active at that step (parallel branches
+        merge their steps positionally: the computation is synchronous, so
+        step *i* of ``r`` coincides with step *i* of ``s`` in ``r || s``).
+        Raises :class:`PhaseExprError` if the expansion would exceed
+        *max_steps* steps.
+        """
+        steps = self._steps(max_steps)
+        return [s for s in steps if s]  # drop pure-idle steps
+
+    def _steps(self, budget: int) -> list[frozenset[str]]:
+        raise NotImplementedError
+
+    def count_occurrences(self) -> dict[str, int]:
+        """How many times each phase executes across the whole expression."""
+        counts: dict[str, int] = {}
+        for step in self.linearize():
+            for name in step:
+                counts[name] = counts.get(name, 0) + 1
+        return counts
+
+    # -- operator sugar -------------------------------------------------
+    def then(self, other: "PhaseExpr") -> "PhaseExpr":
+        """Sequence: ``self ; other``."""
+        return Seq((self, other))
+
+    def repeat(self, count: int) -> "PhaseExpr":
+        """Repetition: ``self ^ count``."""
+        return Rep(self, count)
+
+    def alongside(self, other: "PhaseExpr") -> "PhaseExpr":
+        """Parallelism: ``self || other``."""
+        return Par((self, other))
+
+
+@dataclass(frozen=True)
+class Epsilon(PhaseExpr):
+    """The idle task (the ``epsilon`` of the paper)."""
+
+    def phase_names(self) -> set[str]:
+        return set()
+
+    def _steps(self, budget: int) -> list[frozenset[str]]:
+        return []
+
+    def __str__(self) -> str:
+        return "eps"
+
+
+EPSILON = Epsilon()
+
+
+@dataclass(frozen=True)
+class PhaseRef(PhaseExpr):
+    """A single communication or execution phase."""
+
+    name: str
+
+    def phase_names(self) -> set[str]:
+        return {self.name}
+
+    def _steps(self, budget: int) -> list[frozenset[str]]:
+        return [frozenset({self.name})]
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Seq(PhaseExpr):
+    """Sequential composition ``r1 ; r2 ; .. ; rk``."""
+
+    parts: tuple[PhaseExpr, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 1:
+            raise PhaseExprError("Seq requires at least one part")
+
+    def phase_names(self) -> set[str]:
+        return set().union(*(p.phase_names() for p in self.parts))
+
+    def _steps(self, budget: int) -> list[frozenset[str]]:
+        out: list[frozenset[str]] = []
+        for p in self.parts:
+            out.extend(p._steps(budget - len(out)))
+            if len(out) > budget:
+                raise PhaseExprError(f"phase expression exceeds {budget} steps")
+        return out
+
+    def __str__(self) -> str:
+        return "; ".join(
+            f"({p})" if isinstance(p, Par) else str(p) for p in self.parts
+        )
+
+
+@dataclass(frozen=True)
+class Rep(PhaseExpr):
+    """Repetition ``r ^ count`` (count already evaluated to an int)."""
+
+    body: PhaseExpr
+    count: int
+
+    def __post_init__(self):
+        if not isinstance(self.count, int) or self.count < 0:
+            raise PhaseExprError(
+                f"repetition count must be a non-negative int, got {self.count!r}"
+            )
+
+    def phase_names(self) -> set[str]:
+        return self.body.phase_names() if self.count > 0 else set()
+
+    def _steps(self, budget: int) -> list[frozenset[str]]:
+        if self.count == 0:
+            return []
+        body = self.body._steps(budget)
+        if len(body) * self.count > budget:
+            raise PhaseExprError(f"phase expression exceeds {budget} steps")
+        return body * self.count
+
+    def __str__(self) -> str:
+        inner = (
+            str(self.body)
+            if isinstance(self.body, (PhaseRef, Epsilon))
+            else f"({self.body})"
+        )
+        return f"{inner}^{self.count}"
+
+
+@dataclass(frozen=True)
+class Par(PhaseExpr):
+    """Parallel composition ``r1 || r2 || .. || rk``."""
+
+    parts: tuple[PhaseExpr, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 1:
+            raise PhaseExprError("Par requires at least one part")
+
+    def phase_names(self) -> set[str]:
+        return set().union(*(p.phase_names() for p in self.parts))
+
+    def _steps(self, budget: int) -> list[frozenset[str]]:
+        streams = [p._steps(budget) for p in self.parts]
+        merged: list[frozenset[str]] = []
+        for layers in zip_longest(*streams, fillvalue=frozenset()):
+            merged.append(frozenset().union(*layers))
+            if len(merged) > budget:
+                raise PhaseExprError(f"phase expression exceeds {budget} steps")
+        return merged
+
+    def __str__(self) -> str:
+        return " || ".join(
+            f"({p})" if isinstance(p, Seq) else str(p) for p in self.parts
+        )
+
+
+# ----------------------------------------------------------------------
+# a small standalone parser (integer repetition counts only; LaRCS's own
+# parser handles parameterised counts and indexed seq/par families)
+# ----------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<lpar>\()|(?P<rpar>\))|(?P<seq>;)|(?P<par>\|\|)|(?P<rep>\^)"
+    r"|(?P<int>\d+)|(?P<name>[A-Za-z_][A-Za-z0-9_]*(?:\[\d+\])?))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            if text[pos:].strip() == "":
+                break
+            raise PhaseExprError(f"bad character in phase expression at: {text[pos:]!r}")
+        pos = m.end()
+        kind = m.lastgroup
+        tokens.append((kind, m.group(kind)))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser.  Grammar (loosest binding first)::
+
+        expr := par
+        par  := seq ('||' seq)*
+        seq  := rep (';' rep)*
+        rep  := atom ('^' INT)*
+        atom := NAME | 'eps' | '(' expr ')'
+    """
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.i]
+
+    def take(self, kind: str) -> str:
+        k, v = self.tokens[self.i]
+        if k != kind:
+            raise PhaseExprError(f"expected {kind}, found {v!r}")
+        self.i += 1
+        return v
+
+    def parse(self) -> PhaseExpr:
+        e = self.par()
+        if self.peek()[0] != "eof":
+            raise PhaseExprError(f"trailing input: {self.peek()[1]!r}")
+        return e
+
+    def par(self) -> PhaseExpr:
+        parts = [self.seq()]
+        while self.peek()[0] == "par":
+            self.take("par")
+            parts.append(self.seq())
+        return parts[0] if len(parts) == 1 else Par(tuple(parts))
+
+    def seq(self) -> PhaseExpr:
+        parts = [self.rep()]
+        while self.peek()[0] == "seq":
+            self.take("seq")
+            parts.append(self.rep())
+        return parts[0] if len(parts) == 1 else Seq(tuple(parts))
+
+    def rep(self) -> PhaseExpr:
+        e = self.atom()
+        while self.peek()[0] == "rep":
+            self.take("rep")
+            e = Rep(e, int(self.take("int")))
+        return e
+
+    def atom(self) -> PhaseExpr:
+        kind, value = self.peek()
+        if kind == "lpar":
+            self.take("lpar")
+            e = self.par()
+            self.take("rpar")
+            return e
+        if kind == "name":
+            self.take("name")
+            if value in ("eps", "epsilon"):
+                return EPSILON
+            return PhaseRef(value)
+        raise PhaseExprError(f"unexpected token {value!r}")
+
+
+def parse_phase_expr(text: str) -> PhaseExpr:
+    """Parse a concrete phase expression like ``"((ring; c1)^7; chordal; c2)^3"``.
+
+    Repetition counts must be literal integers here; the LaRCS compiler
+    evaluates parameterised counts before reaching this representation.
+    """
+    return _Parser(_tokenize(text)).parse()

@@ -1,0 +1,283 @@
+"""The colored, weighted task-graph model ``G = (V, E_1, .., E_c)``.
+
+Nodes are task labels: plain ints for one-dimensional labelings (the n-body
+ring) or tuples of ints for multi-dimensional ones (a Jacobi grid).  Each
+:class:`CommPhase` is one edge set / color; each :class:`ExecPhase` carries
+per-task execution cost estimates.  The optional phase expression records the
+computation's dynamic behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Hashable, Iterable, Mapping
+
+import networkx as nx
+
+from repro.graph.phase_expr import PhaseExpr
+
+__all__ = ["CommEdge", "CommPhase", "ExecPhase", "TaskGraph"]
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class CommEdge:
+    """One directed message: *src* sends *volume* units to *dst* in a phase."""
+
+    src: Node
+    dst: Node
+    volume: float = 1.0
+
+    def reversed(self) -> "CommEdge":
+        """The same message flowing the other way."""
+        return CommEdge(self.dst, self.src, self.volume)
+
+
+@dataclass
+class CommPhase:
+    """A communication phase: one synchronous, colored edge set ``E_k``."""
+
+    name: str
+    edges: list[CommEdge] = field(default_factory=list)
+
+    def add(self, src: Node, dst: Node, volume: float = 1.0) -> None:
+        """Append a directed message edge to this phase."""
+        self.edges.append(CommEdge(src, dst, volume))
+
+    @property
+    def total_volume(self) -> float:
+        """Sum of message volumes in this phase."""
+        return sum(e.volume for e in self.edges)
+
+    def pairs(self) -> list[tuple[Node, Node]]:
+        """The (src, dst) pairs without volumes."""
+        return [(e.src, e.dst) for e in self.edges]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+@dataclass
+class ExecPhase:
+    """An execution phase: code bracketed by two communication phases.
+
+    *cost* is the default per-task execution cost estimate; *costs* holds
+    per-task overrides (the paper allows costs estimated by the user, the
+    compiler, or runtime monitoring).
+    """
+
+    name: str
+    cost: float = 1.0
+    costs: dict[Node, float] = field(default_factory=dict)
+
+    def cost_of(self, node: Node) -> float:
+        """Execution cost of one task in this phase."""
+        return self.costs.get(node, self.cost)
+
+
+class TaskGraph:
+    """A parallel computation: tasks, phased communication, phase expression.
+
+    Parameters
+    ----------
+    name:
+        Algorithm name (e.g. ``"nbody"``).
+    family:
+        Optional ``(family_name, params)`` tag set by the graph-family
+        generators; MAPPER's dispatcher uses it for the canned-mapping
+        lookup of nameable task graphs.
+    """
+
+    def __init__(
+        self,
+        name: str = "taskgraph",
+        *,
+        family: tuple[str, tuple] | None = None,
+        node_symmetric_hint: bool = False,
+    ):
+        self.name = name
+        self.family = family
+        self.node_symmetric_hint = node_symmetric_hint
+        self._nodes: dict[Node, float] = {}  # node -> weight
+        self._comm_phases: dict[str, CommPhase] = {}
+        self._exec_phases: dict[str, ExecPhase] = {}
+        self.phase_expr: PhaseExpr | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, weight: float = 1.0) -> None:
+        """Add a task with an execution-time weight (idempotent on the node)."""
+        self._nodes[node] = weight
+
+    def add_nodes(self, nodes: Iterable[Node], weight: float = 1.0) -> None:
+        """Add several tasks with a common weight."""
+        for n in nodes:
+            self.add_node(n, weight)
+
+    def add_comm_phase(self, name: str) -> CommPhase:
+        """Declare a new (empty) communication phase and return it."""
+        if name in self._comm_phases or name in self._exec_phases:
+            raise ValueError(f"phase name {name!r} already declared")
+        phase = CommPhase(name)
+        self._comm_phases[name] = phase
+        return phase
+
+    def add_edge(self, phase: str, src: Node, dst: Node, volume: float = 1.0) -> None:
+        """Add one message edge to an existing phase; endpoints must be tasks."""
+        if src not in self._nodes or dst not in self._nodes:
+            raise KeyError(f"edge ({src!r}, {dst!r}) references undeclared task")
+        self._comm_phases[phase].add(src, dst, volume)
+
+    def add_exec_phase(
+        self,
+        name: str,
+        cost: float = 1.0,
+        costs: Mapping[Node, float] | None = None,
+    ) -> ExecPhase:
+        """Declare an execution phase with default and per-task costs."""
+        if name in self._comm_phases or name in self._exec_phases:
+            raise ValueError(f"phase name {name!r} already declared")
+        phase = ExecPhase(name, cost, dict(costs or {}))
+        self._exec_phases[name] = phase
+        return phase
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        """All task labels, in insertion order."""
+        return list(self._nodes)
+
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks ``|V|``."""
+        return len(self._nodes)
+
+    def node_weight(self, node: Node) -> float:
+        """The execution-time weight of a task."""
+        return self._nodes[node]
+
+    @property
+    def comm_phases(self) -> dict[str, CommPhase]:
+        """Mapping of communication-phase name to phase (insertion order)."""
+        return dict(self._comm_phases)
+
+    @property
+    def exec_phases(self) -> dict[str, ExecPhase]:
+        """Mapping of execution-phase name to phase."""
+        return dict(self._exec_phases)
+
+    def comm_phase(self, name: str) -> CommPhase:
+        """Look up one communication phase by name."""
+        return self._comm_phases[name]
+
+    def exec_phase(self, name: str) -> ExecPhase:
+        """Look up one execution phase by name."""
+        return self._exec_phases[name]
+
+    @property
+    def phase_names(self) -> list[str]:
+        """All declared phase names, communication phases first."""
+        return list(self._comm_phases) + list(self._exec_phases)
+
+    def all_edges(self) -> list[tuple[str, CommEdge]]:
+        """Every message edge across all phases, tagged with its phase name."""
+        return [
+            (name, e) for name, ph in self._comm_phases.items() for e in ph.edges
+        ]
+
+    @property
+    def n_edges(self) -> int:
+        """Total directed message edges across all phases."""
+        return sum(len(ph) for ph in self._comm_phases.values())
+
+    def total_volume(self) -> float:
+        """Total message volume across all phases."""
+        return sum(ph.total_volume for ph in self._comm_phases.values())
+
+    # ------------------------------------------------------------------
+    # derived graphs
+    # ------------------------------------------------------------------
+    def static_graph(self) -> nx.Graph:
+        """Undirected aggregate graph: edge weight = total volume both ways.
+
+        This is the *static task graph* view used by contraction (Stone /
+        Bokhari style): phase colors are forgotten and volumes of parallel
+        and antiparallel messages accumulate on a single undirected edge.
+        """
+        g = nx.Graph()
+        for node, w in self._nodes.items():
+            g.add_node(node, weight=w)
+        for ph in self._comm_phases.values():
+            for e in ph.edges:
+                if e.src == e.dst:
+                    continue
+                if g.has_edge(e.src, e.dst):
+                    g[e.src][e.dst]["weight"] += e.volume
+                else:
+                    g.add_edge(e.src, e.dst, weight=e.volume)
+        return g
+
+    def phase_digraph(self, phase: str) -> nx.DiGraph:
+        """Directed graph of a single communication phase."""
+        g = nx.DiGraph()
+        g.add_nodes_from(self._nodes)
+        for e in self._comm_phases[phase].edges:
+            g.add_edge(e.src, e.dst, volume=e.volume)
+        return g
+
+    # ------------------------------------------------------------------
+    # regular-structure hooks
+    # ------------------------------------------------------------------
+    def comm_function(self, phase: str) -> dict[Node, Node] | None:
+        """The phase's edges as a function ``src -> dst``, if it is one.
+
+        Returns ``None`` when some task sends to more than one destination
+        in the phase (then the phase is a relation, not a function).  The
+        group-theoretic contraction additionally requires the function to be
+        a bijection on the node set.
+        """
+        mapping: dict[Node, Node] = {}
+        for e in self._comm_phases[phase].edges:
+            if e.src in mapping and mapping[e.src] != e.dst:
+                return None
+            mapping[e.src] = e.dst
+        return mapping
+
+    def integer_nodes(self) -> list[int] | None:
+        """The node labels as ints ``0..n-1``, or ``None`` if not so labeled."""
+        if all(isinstance(n, int) for n in self._nodes):
+            labels = sorted(self._nodes)
+            if labels == list(range(len(labels))):
+                return labels
+        return None
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on structurally inconsistent graphs."""
+        for name, ph in self._comm_phases.items():
+            for e in ph.edges:
+                if e.src not in self._nodes or e.dst not in self._nodes:
+                    raise ValueError(
+                        f"phase {name!r} references undeclared task in {e}"
+                    )
+                if e.volume < 0:
+                    raise ValueError(f"negative volume in phase {name!r}: {e}")
+        if self.phase_expr is not None:
+            declared = set(self.phase_names)
+            for ref in self.phase_expr.phase_names():
+                if ref not in declared:
+                    raise ValueError(
+                        f"phase expression references undeclared phase {ref!r}"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"<TaskGraph {self.name!r}: {self.n_tasks} tasks, "
+            f"{len(self._comm_phases)} comm phases, {self.n_edges} edges>"
+        )

@@ -1,0 +1,36 @@
+"""Permutation-group substrate for the group-theoretic contraction algorithm.
+
+Section 4.2.2 of the paper maps node-symmetric task graphs by viewing the
+LaRCS communication functions as generators of a permutation group ``G``
+acting on the task labels ``X``.  When the action is *regular* (``|G| = |X|``
+and transitive), the Cayley graph of ``G`` is isomorphic to the task graph,
+and every subgroup ``H <= G`` yields a perfectly balanced contraction whose
+clusters are the right cosets of ``H``.
+
+This subpackage provides the machinery that algorithm needs:
+
+* :class:`repro.groups.Permutation` -- permutations with the paper's
+  left-to-right composition convention and cycle-notation I/O.
+* :class:`repro.groups.PermutationGroup` -- closure from generators (with the
+  early-halt bound the paper describes), subgroup / coset / quotient and
+  normality machinery.
+* :mod:`repro.groups.cayley` -- Cayley-graph construction and the
+  regular-action test.
+"""
+
+from repro.groups.permutation import Permutation
+from repro.groups.permgroup import ClosureLimitExceeded, PermutationGroup
+from repro.groups.cayley import (
+    cayley_edges,
+    regular_action_group,
+    cayley_isomorphic_to_edges,
+)
+
+__all__ = [
+    "Permutation",
+    "PermutationGroup",
+    "ClosureLimitExceeded",
+    "cayley_edges",
+    "regular_action_group",
+    "cayley_isomorphic_to_edges",
+]

@@ -1,0 +1,78 @@
+"""Cayley graphs and the regular-action test.
+
+Given generators ``c_1..c_k`` (the LaRCS communication functions viewed as
+permutations of the task labels), the Cayley graph ``CG`` has the group
+elements as nodes and an edge ``a -> a*c`` for every element ``a`` and
+generator ``c``.  Section 4.2.2: ``CG`` is isomorphic to the task graph
+exactly when the action of the generated group on the labels is regular,
+via the correspondence ``g <-> g(x0)`` for a fixed base point ``x0``
+(conventionally the smallest label).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.groups.permutation import Permutation
+from repro.groups.permgroup import ClosureLimitExceeded, PermutationGroup
+
+__all__ = ["cayley_edges", "regular_action_group", "cayley_isomorphic_to_edges"]
+
+
+def cayley_edges(
+    group: PermutationGroup,
+    generators: Sequence[Permutation] | None = None,
+) -> list[list[tuple[Permutation, Permutation]]]:
+    """Edge sets of the Cayley graph, one list per generator.
+
+    Each edge is the ordered pair ``(a, a*c)``.
+    """
+    gens = list(generators) if generators is not None else list(group.generators)
+    out: list[list[tuple[Permutation, Permutation]]] = []
+    for c in gens:
+        out.append([(a, a * c) for a in group.elements])
+    return out
+
+
+def regular_action_group(
+    generators: Sequence[Permutation],
+    n_points: int,
+) -> PermutationGroup | None:
+    """Generate the group and test for a regular action on ``n_points``.
+
+    Returns the group when the action is regular (so the Cayley graph is
+    isomorphic to the task graph), else ``None``.  The closure is capped at
+    ``n_points`` elements, giving the paper's ``O(|X|^2)`` early halt for
+    non-Cayley inputs.
+    """
+    if any(g.degree != n_points for g in generators):
+        raise ValueError("generators must act on exactly the task label set")
+    try:
+        group = PermutationGroup.generate(list(generators), limit=n_points)
+    except ClosureLimitExceeded:
+        return None
+    if group.is_regular_action():
+        return group
+    return None
+
+
+def cayley_isomorphic_to_edges(
+    group: PermutationGroup,
+    phase_edges: Sequence[Sequence[tuple[int, int]]],
+    base_point: int = 0,
+) -> bool:
+    """Verify ``g <-> g(base_point)`` maps Cayley edges onto the task edges.
+
+    *phase_edges* gives, per generator (in the same order as
+    ``group.generators``), the directed task edges of that communication
+    phase.  Used both as a correctness check in the mapper and as a test
+    oracle.
+    """
+    gens = group.generators
+    if len(gens) != len(phase_edges):
+        raise ValueError("one edge set per generator is required")
+    for c, edges in zip(gens, phase_edges):
+        expected = {(a(base_point), (a * c)(base_point)) for a in group.elements}
+        if expected != {(u, v) for u, v in edges}:
+            return False
+    return True

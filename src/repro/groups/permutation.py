@@ -1,0 +1,216 @@
+"""Permutations on ``{0, .., n-1}`` with cycle-notation support.
+
+Composition follows the paper's convention (Section 4.2.2, footnote 4):
+*left-to-right*, so ``(p * q)(x) == q(p(x))`` -- apply ``p`` first, then
+``q``.  Under this convention ``(123)`` composed with ``(13)(2)`` gives
+``(12)(3)``, matching the paper's worked example.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from collections.abc import Callable, Iterable, Sequence
+
+__all__ = ["Permutation"]
+
+
+class Permutation:
+    """An immutable permutation of ``{0, .., n-1}``.
+
+    Stored as the tuple of images: ``images[x]`` is the value the permutation
+    sends ``x`` to.
+    """
+
+    __slots__ = ("_images", "_hash")
+
+    def __init__(self, images: Sequence[int]):
+        imgs = tuple(images)
+        n = len(imgs)
+        seen = [False] * n
+        for v in imgs:
+            if not isinstance(v, int) or not (0 <= v < n) or seen[v]:
+                raise ValueError(f"not a permutation of 0..{n - 1}: {imgs!r}")
+            seen[v] = True
+        self._images = imgs
+        self._hash = hash(imgs)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation on ``n`` points."""
+        return cls(range(n))
+
+    @classmethod
+    def from_function(cls, f: Callable[[int], int], n: int) -> "Permutation":
+        """Build a permutation from a function on ``0..n-1``.
+
+        Raises :class:`ValueError` when ``f`` is not a bijection -- this is
+        exactly the check MAPPER performs before attempting group-theoretic
+        contraction ("the first requirement is that each communication
+        function is a bijection on the set of nodes").
+        """
+        return cls([f(x) for x in range(n)])
+
+    @classmethod
+    def from_cycles(cls, cycles: Iterable[Sequence[int]], n: int) -> "Permutation":
+        """Build a permutation on ``n`` points from disjoint cycles.
+
+        Points absent from every cycle are fixed.
+        """
+        images = list(range(n))
+        touched: set[int] = set()
+        for cycle in cycles:
+            for x in cycle:
+                if not (0 <= x < n):
+                    raise ValueError(f"cycle entry {x} outside 0..{n - 1}")
+                if x in touched:
+                    raise ValueError(f"point {x} appears in more than one cycle")
+                touched.add(x)
+            for i, x in enumerate(cycle):
+                images[x] = cycle[(i + 1) % len(cycle)]
+        return cls(images)
+
+    @classmethod
+    def parse(cls, text: str, n: int) -> "Permutation":
+        """Parse cycle notation like ``"(0 1 2 3)(4 5)"`` or ``"(01234567)"``.
+
+        Single-character entries may be written without separators (the
+        compact form the paper uses for ``n <= 10``); otherwise entries are
+        separated by spaces or commas.
+        """
+        text = text.strip()
+        if text in ("", "()", "e", "id"):
+            return cls.identity(n)
+        cycles: list[list[int]] = []
+        for body in re.findall(r"\(([^()]*)\)", text):
+            body = body.strip()
+            if not body:
+                continue
+            if re.fullmatch(r"\d+", body) and n <= 10:
+                entries = [int(ch) for ch in body]
+            else:
+                entries = [int(tok) for tok in re.split(r"[,\s]+", body) if tok]
+            cycles.append(entries)
+        if not cycles:
+            raise ValueError(f"unparsable cycle notation: {text!r}")
+        return cls.from_cycles(cycles, n)
+
+    # ------------------------------------------------------------------
+    # the group operation (left-to-right composition)
+    # ------------------------------------------------------------------
+    def __call__(self, x: int) -> int:
+        return self._images[x]
+
+    def __mul__(self, other: "Permutation") -> "Permutation":
+        """Left-to-right composition: ``(p * q)(x) == q(p(x))``."""
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        if len(other._images) != len(self._images):
+            raise ValueError("cannot compose permutations of different degree")
+        oi = other._images
+        return Permutation([oi[v] for v in self._images])
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation."""
+        images = [0] * len(self._images)
+        for x, v in enumerate(self._images):
+            images[v] = x
+        return Permutation(images)
+
+    def __pow__(self, k: int) -> "Permutation":
+        """Repeated composition; negative powers use the inverse."""
+        n = len(self._images)
+        if k < 0:
+            return self.inverse() ** (-k)
+        result = Permutation.identity(n)
+        base = self
+        while k:
+            if k & 1:
+                result = result * base
+            base = base * base
+            k >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Number of points acted on."""
+        return len(self._images)
+
+    def is_identity(self) -> bool:
+        """True when every point is fixed."""
+        return all(v == x for x, v in enumerate(self._images))
+
+    def cycles(self, *, include_fixed: bool = True) -> list[tuple[int, ...]]:
+        """Disjoint-cycle decomposition, each cycle starting at its minimum.
+
+        Cycles are ordered by their minimum element, matching how the paper
+        writes e.g. ``E4 = (04)(15)(26)(37)``.
+        """
+        n = len(self._images)
+        seen = [False] * n
+        out: list[tuple[int, ...]] = []
+        for start in range(n):
+            if seen[start]:
+                continue
+            cycle = [start]
+            seen[start] = True
+            x = self._images[start]
+            while x != start:
+                cycle.append(x)
+                seen[x] = True
+                x = self._images[x]
+            if len(cycle) > 1 or include_fixed:
+                out.append(tuple(cycle))
+        return out
+
+    def cycle_lengths(self) -> list[int]:
+        """Lengths of all cycles, fixed points included."""
+        return [len(c) for c in self.cycles(include_fixed=True)]
+
+    def has_uniform_cycles(self) -> bool:
+        """True when every cycle (fixed points included) has the same length.
+
+        This is the per-element condition the contraction algorithm checks:
+        the Cayley graph of ``G`` is isomorphic to the task graph iff
+        ``|G| == |X|`` and all elements have equal-length cycles.
+        """
+        lengths = self.cycle_lengths()
+        return len(set(lengths)) <= 1
+
+    def order(self) -> int:
+        """Order of the permutation (lcm of its cycle lengths)."""
+        return math.lcm(*self.cycle_lengths())
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    @property
+    def images(self) -> tuple[int, ...]:
+        """The image tuple (``images[x]`` is where ``x`` goes)."""
+        return self._images
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Permutation) and self._images == other._images
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Permutation") -> bool:
+        return self._images < other._images
+
+    def __repr__(self) -> str:
+        return f"Permutation({list(self._images)!r})"
+
+    def __str__(self) -> str:
+        """Cycle notation, compact when all points are single digits."""
+        cycles = self.cycles(include_fixed=True)
+        if self.is_identity():
+            return "".join(f"({c[0]})" for c in cycles) or "()"
+        sep = "" if self.degree <= 10 else " "
+        return "".join("(" + sep.join(str(x) for x in c) + ")" for c in cycles)

@@ -1,0 +1,177 @@
+"""Serialisation of task graphs and mappings (JSON).
+
+A practical mapping tool must hand its results to the runtime that loads
+tasks onto the machine -- the original OREGAMI fed its host programming
+environments.  This module defines a stable JSON interchange format for
+task graphs and complete mappings, round-trippable and human-inspectable,
+used by the CLI's ``--save``/``--load``.
+
+Node labels are ints, strings, or (nested) lists of them; tuples round-trip
+as JSON arrays and are restored as tuples.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.arch.topology import Topology
+from repro.graph.phase_expr import parse_phase_expr
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import Mapping
+
+__all__ = [
+    "taskgraph_to_dict",
+    "taskgraph_from_dict",
+    "mapping_to_dict",
+    "mapping_from_dict",
+    "save_mapping",
+    "load_mapping",
+]
+
+
+def _encode_label(label) -> Any:
+    if isinstance(label, tuple):
+        return list(_encode_label(x) for x in label)
+    return label
+
+
+def _decode_label(obj) -> Any:
+    if isinstance(obj, list):
+        return tuple(_decode_label(x) for x in obj)
+    return obj
+
+
+def taskgraph_to_dict(tg: TaskGraph) -> dict:
+    """Serialise a task graph to a JSON-compatible dict."""
+    return {
+        "name": tg.name,
+        "family": [tg.family[0], list(tg.family[1])] if tg.family else None,
+        "node_symmetric_hint": tg.node_symmetric_hint,
+        "nodes": [
+            {"label": _encode_label(n), "weight": tg.node_weight(n)}
+            for n in tg.nodes
+        ],
+        "comm_phases": [
+            {
+                "name": name,
+                "edges": [
+                    [_encode_label(e.src), _encode_label(e.dst), e.volume]
+                    for e in phase.edges
+                ],
+            }
+            for name, phase in tg.comm_phases.items()
+        ],
+        "exec_phases": [
+            {
+                "name": name,
+                "cost": phase.cost,
+                "costs": [
+                    [_encode_label(t), c] for t, c in sorted(
+                        phase.costs.items(), key=lambda tc: repr(tc[0])
+                    )
+                ],
+            }
+            for name, phase in tg.exec_phases.items()
+        ],
+        "phase_expr": str(tg.phase_expr) if tg.phase_expr is not None else None,
+    }
+
+
+def taskgraph_from_dict(data: dict) -> TaskGraph:
+    """Rebuild a task graph from :func:`taskgraph_to_dict` output."""
+    family = None
+    if data.get("family"):
+        name, params = data["family"]
+        family = (name, tuple(params))
+    tg = TaskGraph(
+        data["name"],
+        family=family,
+        node_symmetric_hint=data.get("node_symmetric_hint", False),
+    )
+    for node in data["nodes"]:
+        tg.add_node(_decode_label(node["label"]), node["weight"])
+    for phase in data["comm_phases"]:
+        p = tg.add_comm_phase(phase["name"])
+        for src, dst, volume in phase["edges"]:
+            p.add(_decode_label(src), _decode_label(dst), volume)
+    for phase in data["exec_phases"]:
+        costs = {_decode_label(t): c for t, c in phase.get("costs", [])}
+        tg.add_exec_phase(phase["name"], phase["cost"], costs)
+    if data.get("phase_expr"):
+        tg.phase_expr = parse_phase_expr(data["phase_expr"])
+    tg.validate()
+    return tg
+
+
+def mapping_to_dict(mapping: Mapping) -> dict:
+    """Serialise a complete mapping (graph + topology shape + routes)."""
+    topo = mapping.topology
+    return {
+        "format": "oregami-mapping-v1",
+        "task_graph": taskgraph_to_dict(mapping.task_graph),
+        "topology": {
+            "name": topo.name,
+            "family": [topo.family[0], list(topo.family[1])] if topo.family else None,
+            "processors": [_encode_label(p) for p in topo.processors],
+            "links": [
+                sorted((_encode_label(u), _encode_label(v)), key=repr)
+                for u, v in (tuple(l) for l in topo.links)
+            ],
+        },
+        "provenance": mapping.provenance,
+        "assignment": [
+            [_encode_label(t), _encode_label(p)]
+            for t, p in sorted(mapping.assignment.items(), key=lambda kv: repr(kv[0]))
+        ],
+        "routes": [
+            {
+                "phase": phase,
+                "edge": idx,
+                "path": [_encode_label(p) for p in path],
+            }
+            for (phase, idx), path in sorted(mapping.routes.items())
+        ],
+    }
+
+
+def mapping_from_dict(data: dict) -> Mapping:
+    """Rebuild a mapping (and its topology) from serialised form."""
+    if data.get("format") != "oregami-mapping-v1":
+        raise ValueError(f"unknown mapping format {data.get('format')!r}")
+    tg = taskgraph_from_dict(data["task_graph"])
+    tdata = data["topology"]
+    family = None
+    if tdata.get("family"):
+        name, params = tdata["family"]
+        family = (name, tuple(params))
+    topo = Topology(
+        tdata["name"],
+        [( _decode_label(u), _decode_label(v)) for u, v in tdata["links"]],
+        nodes=[_decode_label(p) for p in tdata["processors"]],
+        family=family,
+    )
+    assignment = {
+        _decode_label(t): _decode_label(p) for t, p in data["assignment"]
+    }
+    routes = {
+        (r["phase"], r["edge"]): [_decode_label(p) for p in r["path"]]
+        for r in data["routes"]
+    }
+    mapping = Mapping(
+        tg, topo, assignment, routes, provenance=data.get("provenance", "loaded")
+    )
+    mapping.validate()
+    return mapping
+
+
+def save_mapping(mapping: Mapping, path: str) -> None:
+    """Write a mapping to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(mapping_to_dict(mapping), fh, indent=1)
+
+
+def load_mapping(path: str) -> Mapping:
+    """Read a mapping from a JSON file written by :func:`save_mapping`."""
+    with open(path) as fh:
+        return mapping_from_dict(json.load(fh))

@@ -1,0 +1,44 @@
+"""LaRCS: the Language for Regular Communication Structures (Section 3).
+
+LaRCS lets the programmer describe the static communication topology and the
+dynamic phase behaviour of a parallel computation in a compact, parametric
+notation.  A LaRCS program is independent of both the problem size (bind the
+parameters at compile time) and the host programming language.
+
+The concrete syntax implemented here covers every construct the paper shows
+(the full language report [LRG+] was "in preparation"); the n-body program of
+Fig 2b reads::
+
+    algorithm nbody(n);
+    import msize;
+    constant half = (n + 1) / 2;
+
+    nodetype body[0 .. n-1] nodesymmetric;
+
+    comphase ring    { body(i) -> body((i + 1) mod n) volume msize; }
+    comphase chordal { body(i) -> body((i + half) mod n) volume msize; }
+
+    execphase compute1 cost n;
+    execphase compute2 cost n;
+
+    phases ((ring; compute1)^half; chordal; compute2)^1;
+
+Compile with :func:`repro.larcs.compile_larcs`, which elaborates the program
+into a :class:`repro.graph.TaskGraph` for given parameter bindings.
+"""
+
+from repro.larcs.errors import LarcsError, LarcsSyntaxError, LarcsSemanticError
+from repro.larcs.lexer import tokenize
+from repro.larcs.parser import parse_larcs
+from repro.larcs.compiler import compile_larcs
+from repro.larcs import stdlib
+
+__all__ = [
+    "LarcsError",
+    "LarcsSyntaxError",
+    "LarcsSemanticError",
+    "tokenize",
+    "parse_larcs",
+    "compile_larcs",
+    "stdlib",
+]

@@ -1,0 +1,51 @@
+"""The LaRCS compiler front door: source text -> task graph."""
+
+from __future__ import annotations
+
+from repro.graph.taskgraph import TaskGraph
+from repro.larcs.evaluator import elaborate
+from repro.larcs.parser import parse_larcs
+
+__all__ = ["compile_larcs", "CompileResult"]
+
+
+class CompileResult:
+    """The result of compiling a LaRCS program for concrete bindings.
+
+    Attributes
+    ----------
+    task_graph:
+        The elaborated :class:`repro.graph.TaskGraph`.
+    program:
+        The parsed AST (reusable: elaborate again under other bindings).
+    bindings:
+        The parameter bindings used.
+    warnings:
+        Elaboration warnings (dropped out-of-space edges).
+    """
+
+    def __init__(self, task_graph: TaskGraph, program, bindings, warnings):
+        self.task_graph = task_graph
+        self.program = program
+        self.bindings = dict(bindings)
+        self.warnings = list(warnings)
+
+
+def compile_larcs(
+    source: str,
+    bindings: dict[str, int] | None = None,
+    **kw_bindings: int,
+) -> CompileResult:
+    """Compile LaRCS source for given parameter bindings.
+
+    Bindings may be passed as a dict, as keyword arguments, or both
+    (keywords win).  Example::
+
+        result = compile_larcs(NBODY_SOURCE, n=15)
+        tg = result.task_graph
+    """
+    merged = dict(bindings or {})
+    merged.update(kw_bindings)
+    program = parse_larcs(source)
+    tg, warnings = elaborate(program, merged)
+    return CompileResult(tg, program, merged, warnings)

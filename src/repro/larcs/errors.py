@@ -1,0 +1,25 @@
+"""LaRCS error types, all carrying source positions where available."""
+
+from __future__ import annotations
+
+__all__ = ["LarcsError", "LarcsSyntaxError", "LarcsSemanticError"]
+
+
+class LarcsError(Exception):
+    """Base class for all LaRCS compilation errors."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        if line is not None:
+            message = f"line {line}" + (f", col {col}" if col is not None else "") + f": {message}"
+        super().__init__(message)
+        self.line = line
+        self.col = col
+
+
+class LarcsSyntaxError(LarcsError):
+    """Lexical or grammatical error in LaRCS source."""
+
+
+class LarcsSemanticError(LarcsError):
+    """Well-formed source that cannot be elaborated (bad ranges, unbound
+    names, non-integer counts, edges to undeclared nodes, ...)."""

@@ -1,0 +1,70 @@
+"""The LaRCS lexer.
+
+Hand-rolled scanner with maximal-munch symbol matching.  Comments run from
+``--`` or ``#`` to end of line.  Keywords are folded into the token *kind*
+(so the parser can match on kind alone); identifiers and integers keep kinds
+``"ident"`` / ``"int"``.
+"""
+
+from __future__ import annotations
+
+from repro.larcs.errors import LarcsSyntaxError
+from repro.larcs.tokens import KEYWORDS, SYMBOLS, Token
+
+__all__ = ["tokenize"]
+
+
+def tokenize(source: str) -> list[Token]:
+    """Scan LaRCS source into a token list ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # -- whitespace ------------------------------------------------
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # -- comments ---------------------------------------------------
+        if ch == "#" or source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        # -- integers ---------------------------------------------------
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("int", text, line, col))
+            col += len(text)
+            continue
+        # -- identifiers / keywords --------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, col))
+            col += len(text)
+            continue
+        # -- symbols (maximal munch) --------------------------------------
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token(sym, sym, line, col))
+                i += len(sym)
+                col += len(sym)
+                break
+        else:
+            raise LarcsSyntaxError(f"unexpected character {ch!r}", line, col)
+    tokens.append(Token("eof", "", line, col))
+    return tokens

@@ -1,0 +1,384 @@
+"""Recursive-descent parser for LaRCS.
+
+Grammar sketch (see module docs of :mod:`repro.larcs` for a full example)::
+
+    program    := 'algorithm' IDENT '(' params? ')' ';' decl*
+    decl       := import | constant | nodetype | comphase | execphase | phases
+    import     := 'import' binding (',' binding)* ';'
+    binding    := IDENT ('=' expr)?
+    constant   := 'constant' IDENT '=' expr ';'
+    nodetype   := 'nodetype' IDENT '[' range (',' range)* ']' 'nodesymmetric'? ';'
+    range      := expr '..' expr
+    comphase   := 'comphase' IDENT ('[' IDENT ':' range ']')? (rule ';' | '{' (rule ';')+ '}')
+    rule       := ('forall' IDENT 'in' range ':')* noderef '->' noderef
+                  ('where' expr)? ('volume' expr)?
+    noderef    := IDENT '(' expr (',' expr)* ')'
+    execphase  := 'execphase' IDENT ('for' noderef)? ('cost' expr)? ';'
+    phases     := 'phases' pexpr ';'
+
+Phase expressions bind ``^`` tighter than ``;`` tighter than ``||``;
+repetition counts are parsed at multiplicative precedence so the paper's
+``^(n+1)/2`` needs no extra parentheses.
+"""
+
+from __future__ import annotations
+
+from repro.larcs import ast
+from repro.larcs.errors import LarcsSyntaxError
+from repro.larcs.lexer import tokenize
+from repro.larcs.tokens import Token
+
+__all__ = ["parse_larcs"]
+
+_BUILTIN_FUNCS = frozenset({"min", "max", "abs", "log2"})
+_PEXPR_START = frozenset({"ident", "eps", "epsilon", "(", "seq", "par"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.i + offset, len(self.tokens) - 1)]
+
+    def at(self, kind: str) -> bool:
+        return self.peek().kind == kind
+
+    def accept(self, kind: str) -> Token | None:
+        if self.at(kind):
+            tok = self.peek()
+            self.i += 1
+            return tok
+        return None
+
+    def expect(self, kind: str) -> Token:
+        tok = self.peek()
+        if tok.kind != kind:
+            raise LarcsSyntaxError(
+                f"expected {kind!r}, found {tok.value or 'end of input'!r}",
+                tok.line,
+                tok.col,
+            )
+        self.i += 1
+        return tok
+
+    def error(self, message: str) -> LarcsSyntaxError:
+        tok = self.peek()
+        return LarcsSyntaxError(message, tok.line, tok.col)
+
+    # -- program --------------------------------------------------------
+    def program(self) -> ast.Program:
+        self.expect("algorithm")
+        name = self.expect("ident").value
+        self.expect("(")
+        params: list[tuple[str, ast.Expr | None]] = []
+        if not self.at(")"):
+            params.append(self.binding())
+            while self.accept(","):
+                params.append(self.binding())
+        self.expect(")")
+        self.expect(";")
+
+        imports: list[tuple[str, ast.Expr | None]] = []
+        constants: list[ast.ConstDecl] = []
+        nodetypes: list[ast.NodeTypeDecl] = []
+        comphases: list[ast.CommPhaseDecl] = []
+        execphases: list[ast.ExecPhaseDecl] = []
+        phase_expr: ast.PExpr | None = None
+
+        while not self.at("eof"):
+            tok = self.peek()
+            if self.accept("import"):
+                imports.append(self.binding())
+                while self.accept(","):
+                    imports.append(self.binding())
+                self.expect(";")
+            elif self.accept("constant"):
+                cname = self.expect("ident").value
+                self.expect("=")
+                constants.append(ast.ConstDecl(cname, self.expr(), tok.line))
+                self.expect(";")
+            elif self.at("nodetype"):
+                nodetypes.append(self.nodetype())
+            elif self.at("comphase"):
+                comphases.append(self.comphase())
+            elif self.at("execphase"):
+                execphases.append(self.execphase())
+            elif self.accept("phases"):
+                if phase_expr is not None:
+                    raise self.error("duplicate 'phases' declaration")
+                phase_expr = self.pexpr()
+                self.expect(";")
+            else:
+                raise self.error(f"unexpected {tok.value!r} at top level")
+
+        return ast.Program(
+            name=name,
+            params=params,
+            imports=imports,
+            constants=constants,
+            nodetypes=nodetypes,
+            comphases=comphases,
+            execphases=execphases,
+            phase_expr=phase_expr,
+        )
+
+    def binding(self) -> tuple[str, ast.Expr | None]:
+        name = self.expect("ident").value
+        default = self.expr() if self.accept("=") else None
+        return (name, default)
+
+    # -- declarations ----------------------------------------------------
+    def nodetype(self) -> ast.NodeTypeDecl:
+        tok = self.expect("nodetype")
+        name = self.expect("ident").value
+        self.expect("[")
+        ranges = [self.range_decl()]
+        while self.accept(","):
+            ranges.append(self.range_decl())
+        self.expect("]")
+        attrs = []
+        while self.at("nodesymmetric"):
+            attrs.append(self.expect("nodesymmetric").value)
+        self.expect(";")
+        return ast.NodeTypeDecl(name, ranges, attrs, tok.line)
+
+    def range_decl(self) -> ast.RangeDecl:
+        lo = self.expr()
+        self.expect("..")
+        return ast.RangeDecl(lo, self.expr())
+
+    def comphase(self) -> ast.CommPhaseDecl:
+        tok = self.expect("comphase")
+        name = self.expect("ident").value
+        index: tuple[str, ast.Expr, ast.Expr] | None = None
+        if self.accept("["):
+            var = self.expect("ident").value
+            self.expect(":")
+            r = self.range_decl()
+            self.expect("]")
+            index = (var, r.lo, r.hi)
+        rules: list[ast.CommRule] = []
+        if self.accept("{"):
+            while not self.accept("}"):
+                rules.append(self.comm_rule())
+                self.expect(";")
+        else:
+            rules.append(self.comm_rule())
+            self.expect(";")
+        return ast.CommPhaseDecl(name, rules, index, tok.line)
+
+    def comm_rule(self) -> ast.CommRule:
+        tok = self.peek()
+        foralls: list[tuple[str, ast.Expr, ast.Expr]] = []
+        while self.accept("forall"):
+            var = self.expect("ident").value
+            self.expect("in")
+            r = self.range_decl()
+            self.expect(":")
+            foralls.append((var, r.lo, r.hi))
+        src = self.noderef()
+        self.expect("->")
+        dst = self.noderef()
+        where = None
+        volume = None
+        while True:
+            if self.accept("where"):
+                if where is not None:
+                    raise self.error("duplicate 'where' clause")
+                where = self.expr()
+            elif self.accept("volume"):
+                if volume is not None:
+                    raise self.error("duplicate 'volume' clause")
+                volume = self.expr()
+            else:
+                break
+        return ast.CommRule(foralls, src, dst, where, volume, tok.line)
+
+    def noderef(self) -> ast.NodeRef:
+        tok = self.expect("ident")
+        self.expect("(")
+        args = [self.expr()]
+        while self.accept(","):
+            args.append(self.expr())
+        self.expect(")")
+        return ast.NodeRef(tok.value, args, tok.line)
+
+    def execphase(self) -> ast.ExecPhaseDecl:
+        tok = self.expect("execphase")
+        name = self.expect("ident").value
+        binding = None
+        if self.accept("for"):
+            binding = self.noderef()
+        cost = None
+        if self.accept("cost"):
+            cost = self.expr()
+        self.expect(";")
+        return ast.ExecPhaseDecl(name, binding, cost, tok.line)
+
+    # -- arithmetic / boolean expressions ---------------------------------
+    def expr(self) -> ast.Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expr:
+        left = self.and_expr()
+        while self.at("or"):
+            tok = self.expect("or")
+            left = ast.BinOp("or", left, self.and_expr(), tok.line)
+        return left
+
+    def and_expr(self) -> ast.Expr:
+        left = self.not_expr()
+        while self.at("and"):
+            tok = self.expect("and")
+            left = ast.BinOp("and", left, self.not_expr(), tok.line)
+        return left
+
+    def not_expr(self) -> ast.Expr:
+        if self.at("not"):
+            tok = self.expect("not")
+            return ast.UnOp("not", self.not_expr(), tok.line)
+        return self.cmp_expr()
+
+    def cmp_expr(self) -> ast.Expr:
+        left = self.xor_expr()
+        for op in ("==", "!=", "<=", ">=", "<", ">"):
+            if self.at(op):
+                tok = self.expect(op)
+                return ast.BinOp(op, left, self.xor_expr(), tok.line)
+        return left
+
+    def xor_expr(self) -> ast.Expr:
+        left = self.shift_expr()
+        while self.at("xor"):
+            tok = self.expect("xor")
+            left = ast.BinOp("xor", left, self.shift_expr(), tok.line)
+        return left
+
+    def shift_expr(self) -> ast.Expr:
+        left = self.add_expr()
+        while self.at("shl") or self.at("shr"):
+            tok = self.peek()
+            self.i += 1
+            left = ast.BinOp(tok.kind, left, self.add_expr(), tok.line)
+        return left
+
+    def add_expr(self) -> ast.Expr:
+        left = self.mul_expr()
+        while self.at("+") or self.at("-"):
+            tok = self.peek()
+            self.i += 1
+            left = ast.BinOp(tok.kind, left, self.mul_expr(), tok.line)
+        return left
+
+    def mul_expr(self) -> ast.Expr:
+        left = self.unary()
+        while self.at("*") or self.at("/") or self.at("mod") or self.at("div"):
+            tok = self.peek()
+            self.i += 1
+            left = ast.BinOp(tok.kind, left, self.unary(), tok.line)
+        return left
+
+    def unary(self) -> ast.Expr:
+        if self.at("-"):
+            tok = self.expect("-")
+            return ast.UnOp("-", self.unary(), tok.line)
+        return self.power()
+
+    def power(self) -> ast.Expr:
+        base = self.primary()
+        if self.at("**"):
+            tok = self.expect("**")
+            return ast.BinOp("**", base, self.unary(), tok.line)  # right-assoc
+        return base
+
+    def primary(self) -> ast.Expr:
+        tok = self.peek()
+        if self.accept("int"):
+            return ast.Num(int(tok.value), tok.line)
+        if self.accept("true"):
+            return ast.Bool(True, tok.line)
+        if self.accept("false"):
+            return ast.Bool(False, tok.line)
+        if self.accept("("):
+            e = self.expr()
+            self.expect(")")
+            return e
+        if self.at("ident"):
+            self.i += 1
+            if self.at("("):
+                if tok.value not in _BUILTIN_FUNCS:
+                    raise LarcsSyntaxError(
+                        f"unknown function {tok.value!r} "
+                        f"(builtins: {', '.join(sorted(_BUILTIN_FUNCS))})",
+                        tok.line,
+                        tok.col,
+                    )
+                self.expect("(")
+                args = [self.expr()]
+                while self.accept(","):
+                    args.append(self.expr())
+                self.expect(")")
+                return ast.Call(tok.value, args, tok.line)
+            return ast.Name(tok.value, tok.line)
+        raise self.error(f"expected an expression, found {tok.value!r}")
+
+    # -- phase expressions -------------------------------------------------
+    def pexpr(self) -> ast.PExpr:
+        return self.ppar()
+
+    def ppar(self) -> ast.PExpr:
+        parts = [self.pseq()]
+        while self.accept("||"):
+            parts.append(self.pseq())
+        return parts[0] if len(parts) == 1 else ast.PXPar(parts)
+
+    def pseq(self) -> ast.PExpr:
+        parts = [self.prep()]
+        # ';' both separates sequence elements and terminates the 'phases'
+        # declaration: treat it as a separator only when a phase atom follows.
+        while self.at(";") and self.peek(1).kind in _PEXPR_START:
+            self.expect(";")
+            parts.append(self.prep())
+        return parts[0] if len(parts) == 1 else ast.PXSeq(parts)
+
+    def prep(self) -> ast.PExpr:
+        e = self.patom()
+        while self.at("^"):
+            tok = self.expect("^")
+            e = ast.PXRep(e, self.mul_expr(), tok.line)
+        return e
+
+    def patom(self) -> ast.PExpr:
+        tok = self.peek()
+        if self.accept("eps") or self.accept("epsilon"):
+            return ast.PXEps(tok.line)
+        if self.accept("("):
+            e = self.pexpr()
+            self.expect(")")
+            return e
+        if self.at("seq") or self.at("par"):
+            kind = self.peek().kind
+            self.i += 1
+            var = self.expect("ident").value
+            self.expect("in")
+            r = self.range_decl()
+            self.expect(":")
+            body = self.prep()
+            return ast.PXIndexed(kind, var, r.lo, r.hi, body, tok.line)
+        if self.at("ident"):
+            name = self.expect("ident").value
+            index = None
+            if self.accept("["):
+                index = self.expr()
+                self.expect("]")
+            return ast.PXRef(name, index, tok.line)
+        raise self.error(f"expected a phase expression, found {tok.value!r}")
+
+
+def parse_larcs(source: str) -> ast.Program:
+    """Parse LaRCS source text into a :class:`repro.larcs.ast.Program`."""
+    parser = _Parser(tokenize(source))
+    return parser.program()

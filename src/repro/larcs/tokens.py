@@ -1,0 +1,85 @@
+"""Token kinds and the token record for the LaRCS lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "KEYWORDS", "SYMBOLS"]
+
+
+#: Reserved words.  Operators spelled as words (``mod``, ``xor``, ...) are
+#: keywords too so they cannot collide with user identifiers.
+KEYWORDS = frozenset(
+    {
+        "algorithm",
+        "import",
+        "constant",
+        "nodetype",
+        "comphase",
+        "execphase",
+        "phases",
+        "volume",
+        "where",
+        "forall",
+        "in",
+        "cost",
+        "for",
+        "mod",
+        "div",
+        "xor",
+        "shl",
+        "shr",
+        "and",
+        "or",
+        "not",
+        "nodesymmetric",
+        "seq",
+        "par",
+        "eps",
+        "epsilon",
+        "true",
+        "false",
+    }
+)
+
+#: Multi-character symbols first so the lexer applies maximal munch.
+SYMBOLS = [
+    "**",
+    "->",
+    "..",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ";",
+    ":",
+    "^",
+    "+",
+    "-",
+    "*",
+    "/",
+    "<",
+    ">",
+    "=",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexeme: *kind* is ``"int"``, ``"ident"``, a keyword, a symbol, or ``"eof"``."""
+
+    kind: str
+    value: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind!r}, {self.value!r}, {self.line}:{self.col})"

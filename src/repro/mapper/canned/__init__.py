@@ -1,0 +1,16 @@
+"""Canned mappings for nameable task graphs (Section 4.1).
+
+"Contraction and embedding can often be accomplished in constant time by
+hashing on the name of the task graph and the name of the network topology
+to lookup a precomputed mapping."  The registry in
+:mod:`repro.mapper.canned.registry` is that hash table; the entries draw on
+the classic constructions (Gray-code embeddings of rings and meshes into
+hypercubes [FF82], inorder tree embeddings, subcube contraction) plus the
+paper's own contribution, the binomial-tree-to-mesh embedding with average
+dilation bounded by 1.2 ([LRG+89]).
+"""
+
+from repro.mapper.canned.registry import canned_assignment, lookup, register
+from repro.mapper.canned.binomial_mesh import binomial_mesh_positions
+
+__all__ = ["canned_assignment", "lookup", "register", "binomial_mesh_positions"]

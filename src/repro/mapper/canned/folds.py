@@ -1,0 +1,124 @@
+"""Snake, fold and tile embeddings between linear/ring/mesh/torus shapes.
+
+The remaining classic entries of the canned library ([FF82]-style quotient
+constructions):
+
+* **snake**: a mesh onto a linear array in boustrophedon order -- row
+  neighbours stay adjacent, column neighbours dilate by the row length;
+* **fold**: a ring onto a linear array by interleaving the two halves
+  (``pos(k) = 2k`` going out, ``2(n-k)-1`` coming back), dilation 2
+  including the wrap edge;
+* **tile**: a large mesh/torus onto a small mesh by rectangular blocks --
+  dilation 1 and perfect balance whenever the dimensions divide;
+* **torus fold**: a torus onto a mesh by folding both axes, dilation 2.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+
+__all__ = [
+    "mesh_to_linear_snake",
+    "ring_to_linear_fold",
+    "mesh_to_mesh_tile",
+    "torus_to_mesh_fold",
+]
+
+
+def _fold_positions(n: int) -> dict[int, int]:
+    """Linear position of each ring label under the dilation-2 fold.
+
+    ``pos(k) = 2k`` on the outward sweep, ``2(n-k) - 1`` on the return
+    sweep; ring-adjacent labels land within 2 positions of each other,
+    wrap edge included.
+    """
+    return {k: (2 * k if 2 * k < n else 2 * (n - k) - 1) for k in range(n)}
+
+
+def ring_to_linear_fold(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """A ring of tasks onto a linear array, dilation <= 2 (wrap included)."""
+    if topology.family is None or topology.family[0] != "linear":
+        raise NotApplicableError("target topology is not a linear array")
+    if tg.integer_nodes() is None:
+        raise NotApplicableError("ring embedding expects integer task labels")
+    n = tg.n_tasks
+    p = topology.n_processors
+    pos = _fold_positions(n)
+    if n <= p:
+        return dict(pos)
+    # Contract contiguous folded segments onto the p positions.
+    return {task: pos[task] * p // n for task in range(n)}
+
+
+def mesh_to_linear_snake(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """A mesh of tasks onto a linear array in boustrophedon order."""
+    if topology.family is None or topology.family[0] != "linear":
+        raise NotApplicableError("target topology is not a linear array")
+    if tg.family is None or tg.family[0] != "mesh":
+        raise NotApplicableError("task graph is not a mesh")
+    rows, cols = tg.family[1]
+    p = topology.n_processors
+    n = rows * cols
+    assignment: dict[int, int] = {}
+    pos = 0
+    for r in range(rows):
+        cs = range(cols) if r % 2 == 0 else range(cols - 1, -1, -1)
+        for c in cs:
+            task = r * cols + c
+            # Contract contiguous snake segments when tasks outnumber
+            # processors; otherwise occupy a prefix of the array.
+            assignment[task] = pos * p // n if n > p else pos
+            pos += 1
+    return assignment
+
+
+def mesh_to_mesh_tile(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """A large mesh/torus of tasks onto a small mesh by rectangular tiles.
+
+    Requires the processor mesh dimensions to divide the task mesh
+    dimensions; each processor then gets one ``(R/r) x (C/c)`` block --
+    dilation 1 for mesh task edges and perfect balance.
+    """
+    if topology.family is None or topology.family[0] != "mesh":
+        raise NotApplicableError("target topology is not a mesh")
+    if tg.family is None or tg.family[0] not in ("mesh", "torus"):
+        raise NotApplicableError("task graph is not a mesh or torus")
+    big_r, big_c = tg.family[1]
+    small_r, small_c = topology.family[1]
+    if (big_r, big_c) == (small_r, small_c):
+        return {i: i for i in range(big_r * big_c)}
+    if big_r % small_r or big_c % small_c:
+        raise NotApplicableError(
+            f"{big_r}x{big_c} tasks do not tile a {small_r}x{small_c} mesh"
+        )
+    tile_r = big_r // small_r
+    tile_c = big_c // small_c
+    assignment: dict[int, int] = {}
+    for r in range(big_r):
+        for c in range(big_c):
+            assignment[r * big_c + c] = (r // tile_r) * small_c + (c // tile_c)
+    return assignment
+
+
+def torus_to_mesh_fold(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """A torus of tasks onto an equal-size mesh by folding both axes.
+
+    Folding interleaves each ring (row and column) so wraparound edges land
+    within distance 2; every torus edge has dilation at most 2 on the mesh.
+    """
+    if topology.family is None or topology.family[0] != "mesh":
+        raise NotApplicableError("target topology is not a mesh")
+    if tg.family is None or tg.family[0] != "torus":
+        raise NotApplicableError("task graph is not a torus")
+    rows, cols = tg.family[1]
+    if topology.family[1] != (rows, cols):
+        raise NotApplicableError("torus folding needs an equal-size mesh")
+    row_pos = _fold_positions(rows)
+    col_pos = _fold_positions(cols)
+    assignment: dict[int, int] = {}
+    for r in range(rows):
+        for c in range(cols):
+            assignment[r * cols + c] = row_pos[r] * cols + col_pos[c]
+    return assignment

@@ -1,0 +1,94 @@
+"""Gray-code embeddings of rings and meshes into hypercubes [FF82].
+
+The binary-reflected Gray code is a Hamiltonian cycle of the hypercube, so
+
+* a ring of ``2^d`` tasks embeds in the ``d``-cube with dilation 1;
+* a ``2^a x 2^b`` mesh or torus embeds in the ``(a+b)``-cube with dilation 1
+  (rows and columns Gray-coded independently);
+* a larger ring contracts onto the cube by cutting it into ``2^d``
+  contiguous segments, one segment per Gray-code position, which keeps ring
+  dilation 1 and balances segment sizes within one task.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+from repro.util.gray import gray_code
+
+__all__ = [
+    "ring_to_hypercube",
+    "mesh_to_hypercube",
+    "hypercube_to_hypercube",
+]
+
+
+def _cube_dim(topology: Topology) -> int:
+    if topology.family is None or topology.family[0] != "hypercube":
+        raise NotApplicableError("target topology is not a hypercube")
+    return topology.family[1][0]
+
+
+def ring_to_hypercube(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """Ring-structured tasks (ring, n-body chordal ring) onto a hypercube.
+
+    Tasks are cut into ``2^d`` contiguous ring segments (sizes differing by
+    at most one); segment *j* lands on Gray-code word *j*, so every ring
+    edge has dilation at most 1.
+    """
+    d = _cube_dim(topology)
+    n = tg.n_tasks
+    p = 1 << d
+    if tg.integer_nodes() is None:
+        raise NotApplicableError("ring embedding expects integer task labels")
+    assignment: dict[int, int] = {}
+    if n <= p:
+        for i in range(n):
+            assignment[i] = gray_code(i)
+        return assignment
+    # Contiguous segments: segment j holds tasks [j*n//p, (j+1)*n//p).
+    for j in range(p):
+        for i in range(j * n // p, (j + 1) * n // p):
+            assignment[i] = gray_code(j)
+    return assignment
+
+
+def mesh_to_hypercube(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """A ``2^a x 2^b`` mesh/torus of tasks onto the ``(a+b)``-cube, dilation 1."""
+    d = _cube_dim(topology)
+    if tg.family is None or tg.family[0] not in ("mesh", "torus"):
+        raise NotApplicableError("task graph is not a mesh or torus")
+    rows, cols = tg.family[1]
+    if rows & (rows - 1) or cols & (cols - 1):
+        raise NotApplicableError("mesh dimensions must be powers of two")
+    a = rows.bit_length() - 1
+    b = cols.bit_length() - 1
+    if a + b != d:
+        raise NotApplicableError(
+            f"{rows}x{cols} mesh needs a {a + b}-cube, target is a {d}-cube"
+        )
+    assignment: dict[int, int] = {}
+    for r in range(rows):
+        for c in range(cols):
+            assignment[r * cols + c] = (gray_code(r) << b) | gray_code(c)
+    return assignment
+
+
+def hypercube_to_hypercube(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """Hypercube-patterned tasks (hypercube, FFT butterfly) onto a hypercube.
+
+    With ``2^a`` tasks on a ``2^b``-processor cube (``a >= b``), masking to
+    the low ``b`` bits contracts along the high dimensions: low-dimension
+    exchanges stay dilation 1 and high-dimension exchanges become
+    intra-processor, with exactly ``2^(a-b)`` tasks per processor.
+    """
+    d = _cube_dim(topology)
+    n = tg.n_tasks
+    if n & (n - 1) or tg.integer_nodes() is None:
+        raise NotApplicableError("task count must be a power of two")
+    a = n.bit_length() - 1
+    if a <= d:
+        return {i: i for i in range(n)}  # identity into a subcube
+    mask = (1 << d) - 1
+    return {i: i & mask for i in range(n)}

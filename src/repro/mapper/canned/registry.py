@@ -1,0 +1,83 @@
+"""The canned-mapping registry: (task family, topology family) -> embedding.
+
+The constant-time lookup of Section 4.1.  Entries may still raise
+:class:`repro.mapper.NotApplicableError` after the hash hit when the
+instance parameters do not fit (e.g. a 3x5 mesh has no Gray-code embedding);
+the dispatcher then falls through to the general heuristics.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+from repro.mapper.canned import folds, gray_embed, trees
+from repro.mapper.canned.binomial_mesh import binomial_to_mesh
+
+__all__ = ["register", "lookup", "canned_assignment"]
+
+Task = Hashable
+Proc = Hashable
+CannedFn = Callable[[TaskGraph, Topology], dict[Task, Proc]]
+
+_REGISTRY: dict[tuple[str, str], CannedFn] = {}
+
+
+def register(task_family: str, topo_family: str, fn: CannedFn) -> None:
+    """Add (or replace) a canned mapping for a family pair."""
+    _REGISTRY[(task_family, topo_family)] = fn
+
+
+def lookup(task_family: str, topo_family: str) -> CannedFn | None:
+    """The canned mapping registered for a family pair, if any."""
+    return _REGISTRY.get((task_family, topo_family))
+
+
+def canned_assignment(tg: TaskGraph, topology: Topology) -> dict[Task, Proc]:
+    """Constant-time canned lookup; raises NotApplicableError on a miss."""
+    if tg.family is None or topology.family is None:
+        raise NotApplicableError("task graph or topology has no family name")
+    fn = lookup(tg.family[0], topology.family[0])
+    if fn is None:
+        raise NotApplicableError(
+            f"no canned mapping for {tg.family[0]!r} -> {topology.family[0]!r}"
+        )
+    return fn(tg, topology)
+
+
+def _identity_family(tg: TaskGraph, topology: Topology) -> dict[Task, Proc]:
+    """Same family, same size: the identity assignment."""
+    if tg.n_tasks != topology.n_processors:
+        raise NotApplicableError("task and processor counts differ")
+    return {t: p for t, p in zip(tg.nodes, topology.processors)}
+
+
+# ----------------------------------------------------------------------
+# default registry contents
+# ----------------------------------------------------------------------
+register("ring", "hypercube", gray_embed.ring_to_hypercube)
+register("nbody", "hypercube", gray_embed.ring_to_hypercube)
+register("mesh", "hypercube", gray_embed.mesh_to_hypercube)
+register("torus", "hypercube", gray_embed.mesh_to_hypercube)
+register("hypercube", "hypercube", gray_embed.hypercube_to_hypercube)
+register("fft_butterfly", "hypercube", gray_embed.hypercube_to_hypercube)
+register("full_binary_tree", "hypercube", trees.binary_tree_to_hypercube)
+register("binomial_tree", "hypercube", trees.binomial_to_hypercube)
+register("binomial_tree", "mesh", binomial_to_mesh)
+register("ring", "linear", folds.ring_to_linear_fold)
+register("nbody", "linear", folds.ring_to_linear_fold)
+register("mesh", "linear", folds.mesh_to_linear_snake)
+register("mesh", "mesh", folds.mesh_to_mesh_tile)
+def _torus_to_mesh(tg: TaskGraph, topology: Topology) -> dict[Task, Proc]:
+    """Equal sizes fold (dilation 2); divisible sizes tile."""
+    try:
+        return folds.torus_to_mesh_fold(tg, topology)
+    except NotApplicableError:
+        return folds.mesh_to_mesh_tile(tg, topology)
+
+
+register("torus", "mesh", _torus_to_mesh)
+for _fam in ("ring", "torus", "linear", "complete", "star", "full_binary_tree"):
+    register(_fam, _fam, _identity_family)

@@ -1,0 +1,72 @@
+"""Canned tree embeddings into hypercubes.
+
+* Full binary trees use the inorder labeling: a node's inorder rank differs
+  from its left child's in one bit and from its right child's in at most
+  two, giving the classic dilation-2 embedding; masking the high bits
+  contracts larger trees onto smaller cubes with near-perfect balance.
+* Binomial trees embed by identity: with the standard binary labeling every
+  tree edge flips exactly one bit, so ``B_d`` is a *spanning tree* of the
+  ``d``-cube (dilation 1), and masking contracts ``B_a`` onto a smaller
+  ``2^b``-cube with exactly ``2^(a-b)`` tasks per processor.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+
+__all__ = ["binary_tree_to_hypercube", "binomial_to_hypercube"]
+
+
+def _cube_dim(topology: Topology) -> int:
+    if topology.family is None or topology.family[0] != "hypercube":
+        raise NotApplicableError("target topology is not a hypercube")
+    return topology.family[1][0]
+
+
+def _inorder_ranks(n: int) -> dict[int, int]:
+    """Inorder rank of each heap-labelled node of a full binary tree."""
+    ranks: dict[int, int] = {}
+    counter = 0
+
+    # Iterative inorder to spare recursion depth on deep trees.
+    stack: list[tuple[int, bool]] = [(0, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if node >= n:
+            continue
+        if expanded:
+            ranks[node] = counter
+            counter += 1
+        else:
+            stack.append((2 * node + 2, False))
+            stack.append((node, True))
+            stack.append((2 * node + 1, False))
+    return ranks
+
+
+def binary_tree_to_hypercube(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """Full binary tree (heap labels) onto a hypercube via inorder ranks."""
+    d = _cube_dim(topology)
+    if tg.family is None or tg.family[0] != "full_binary_tree":
+        raise NotApplicableError("task graph is not a full binary tree")
+    n = tg.n_tasks
+    if n > 2 ** (n.bit_length()):  # pragma: no cover - shape guard
+        raise NotApplicableError("malformed tree size")
+    mask = (1 << d) - 1
+    ranks = _inorder_ranks(n)
+    return {node: rank & mask for node, rank in ranks.items()}
+
+
+def binomial_to_hypercube(tg: TaskGraph, topology: Topology) -> dict[int, int]:
+    """Binomial tree ``B_a`` onto a ``2^b``-cube by identity-and-mask."""
+    d = _cube_dim(topology)
+    if tg.family is None or tg.family[0] != "binomial_tree":
+        raise NotApplicableError("task graph is not a binomial tree")
+    n = tg.n_tasks
+    a = n.bit_length() - 1
+    if a <= d:
+        return {i: i for i in range(n)}
+    mask = (1 << d) - 1
+    return {i: i & mask for i in range(n)}

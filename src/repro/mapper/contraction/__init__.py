@@ -1,0 +1,22 @@
+"""Contraction algorithms: partition tasks into at most P clusters.
+
+* :func:`repro.mapper.contraction.mwm.mwm_contract` -- Algorithm
+  MWM-Contract for arbitrary task graphs (Section 4.3).
+* :func:`repro.mapper.contraction.group.group_contract` -- group-theoretic
+  contraction of Cayley task graphs (Section 4.2.2).
+* :mod:`repro.mapper.contraction.baselines` -- random and BFS-block
+  contraction used as comparison baselines in the benchmarks.
+"""
+
+from repro.mapper.contraction.mwm import mwm_contract, total_ipc
+from repro.mapper.contraction.group import GroupContraction, group_contract
+from repro.mapper.contraction.baselines import bfs_contract, random_contract
+
+__all__ = [
+    "mwm_contract",
+    "total_ipc",
+    "group_contract",
+    "GroupContraction",
+    "random_contract",
+    "bfs_contract",
+]

@@ -1,0 +1,227 @@
+"""Algorithm MWM-Contract: symmetric contraction of arbitrary task graphs.
+
+Section 4.3 / [Lo88].  Contract the tasks of a weighted task graph into at
+most ``P`` clusters so that total interprocessor communication (IPC) is
+minimised subject to the load-balancing constraint that no cluster holds
+more than ``B`` tasks.
+
+Two-stage structure, exactly as the paper describes:
+
+1. **Greedy pre-merge.**  While there are more than ``2P`` clusters, scan
+   inter-cluster edges in non-increasing weight order and merge the two
+   endpoint clusters whenever the merged cluster would hold at most ``B/2``
+   tasks (Fig 5b's weight-15 edge is rejected by exactly this size test).
+   Merged edges accumulate their weights.
+
+2. **Maximum-weight matching.**  On the resulting cluster graph (now at
+   most ``2P`` nodes, each of size at most ``B/2``), find a maximum weight
+   matching and merge every matched pair.  The matched weight is
+   internalised, so the matching that maximises internal weight minimises
+   the remaining IPC.  When the cluster count still exceeds ``P``, the
+   matching is constrained to maximum cardinality (zero-weight pairs
+   allowed), which brings the count to ``ceil(c/2) <= P``.
+
+When the task count is at most ``2P`` stage 1 is skipped and the result is
+an *optimal* symmetric contraction ([Lo88]'s theorem); beyond that the
+result is heuristic (Fig 5's example happens to reach the optimum IPC 6).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable
+
+import networkx as nx
+
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["mwm_contract", "total_ipc"]
+
+Task = Hashable
+Cluster = frozenset
+
+
+def total_ipc(tg: TaskGraph, clusters: list[list[Task]]) -> float:
+    """Total inter-cluster communication volume under a contraction."""
+    owner: dict[Task, int] = {}
+    for ci, cluster in enumerate(clusters):
+        for t in cluster:
+            owner[t] = ci
+    ipc = 0.0
+    for _, edge in tg.all_edges():
+        if edge.src != edge.dst and owner[edge.src] != owner[edge.dst]:
+            ipc += edge.volume
+    return ipc
+
+
+def _cluster_graph(
+    static: nx.Graph, clusters: list[set[Task]]
+) -> dict[tuple[int, int], float]:
+    """Aggregate inter-cluster weights: ``(i, j) -> total volume``, i < j."""
+    owner: dict[Task, int] = {}
+    for ci, cluster in enumerate(clusters):
+        for t in cluster:
+            owner[t] = ci
+    weights: dict[tuple[int, int], float] = {}
+    for u, v, data in static.edges(data=True):
+        cu, cv = owner[u], owner[v]
+        if cu == cv:
+            continue
+        key = (min(cu, cv), max(cu, cv))
+        weights[key] = weights.get(key, 0.0) + data["weight"]
+    return weights
+
+
+def _greedy_premerge(
+    static: nx.Graph,
+    clusters: list[set[Task]],
+    target: int,
+    size_cap: float,
+) -> list[set[Task]]:
+    """Stage 1: merge along heavy edges until at most *target* clusters.
+
+    Runs repeated passes (after each pass the cluster graph is rebuilt with
+    accumulated weights) until the target is met or no merge is possible
+    under the size cap; a final fallback merges the smallest clusters
+    pairwise regardless of adjacency, still respecting the cap -- needed for
+    disconnected task graphs.
+    """
+    while len(clusters) > target:
+        weights = _cluster_graph(static, clusters)
+        order = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+        merged_into: dict[int, int] = {}  # old index -> surviving index
+
+        def find(i: int) -> int:
+            while i in merged_into:
+                i = merged_into[i]
+            return i
+
+        n_clusters = len(clusters)
+        merged_any = False
+        for (i, j), _w in order:
+            if n_clusters <= target:
+                break
+            ri, rj = find(i), find(j)
+            if ri == rj:
+                continue
+            if len(clusters[ri]) + len(clusters[rj]) <= size_cap:
+                clusters[ri] |= clusters[rj]
+                clusters[rj] = set()
+                merged_into[rj] = ri
+                n_clusters -= 1
+                merged_any = True
+        clusters = [c for c in clusters if c]
+        if not merged_any:
+            break
+
+    # Disconnected graphs: force zero-weight merges, smallest pair first.
+    # (If even the two smallest clusters exceed the cap together, no pair
+    # fits and we stop; the caller's matching stage may still succeed.)
+    while len(clusters) > target:
+        clusters.sort(key=len)
+        if len(clusters[0]) + len(clusters[1]) > size_cap:
+            break
+        clusters[0] |= clusters[1]
+        del clusters[1]
+    return clusters
+
+
+def mwm_contract(
+    tg: TaskGraph,
+    n_procs: int,
+    *,
+    load_bound: int | None = None,
+) -> list[list[Task]]:
+    """Contract *tg* into at most *n_procs* clusters of at most *load_bound* tasks.
+
+    Parameters
+    ----------
+    tg:
+        The task graph (volumes aggregate over all phases).
+    n_procs:
+        Number of processors ``P``.
+    load_bound:
+        The balance constraint ``B``; defaults to ``ceil(n / P)`` (perfect
+        balance).  Must satisfy ``B * P >= n``.
+
+    Returns
+    -------
+    List of clusters (each a sorted list of task labels), at most *n_procs*
+    of them, none exceeding *load_bound* tasks.
+    """
+    if n_procs < 1:
+        raise ValueError(f"n_procs must be >= 1, got {n_procs}")
+    tasks = tg.nodes
+    n = len(tasks)
+    if n == 0:
+        return []
+    bound = load_bound if load_bound is not None else math.ceil(n / n_procs)
+    if bound < 1 or bound * n_procs < n:
+        raise ValueError(
+            f"load bound B={bound} cannot hold {n} tasks on {n_procs} processors"
+        )
+
+    static = tg.static_graph()
+    clusters: list[set[Task]] = [{t} for t in tasks]
+
+    # Stage 1: greedy pre-merge down to 2P clusters of size <= B/2.
+    if len(clusters) > 2 * n_procs:
+        clusters = _greedy_premerge(static, clusters, 2 * n_procs, bound / 2)
+
+    # Stage 2: maximum weight matching pairs clusters, internalising the
+    # matched communication.  One matching round at most halves the cluster
+    # count, so the round repeats until the processor count is reached (a
+    # single round suffices for the paper's n <= 2P setting).
+    from repro.util.matching import max_weight_matching
+
+    while True:
+        need_cardinality = len(clusters) > n_procs
+        weights = _cluster_graph(static, clusters)
+        candidate: dict[tuple[int, int], float] = {}
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                if len(clusters[i]) + len(clusters[j]) > bound:
+                    continue
+                candidate[(i, j)] = weights.get((i, j), 0.0)
+        if not candidate:
+            break
+        mate = max_weight_matching(candidate, maxcardinality=need_cardinality)
+        if not need_cardinality:
+            # Only merge pairs that actually internalise communication.
+            mate = {e for e in mate if candidate[e] > 0.0}
+        if not mate:
+            break
+        for i, j in mate:
+            clusters[i] |= clusters[j]
+            clusters[j] = set()
+        clusters = [c for c in clusters if c]
+        if len(clusters) <= n_procs:
+            break
+
+    # Rebalancing fallback for shapes pairwise merging cannot reach (e.g.
+    # three size-2 clusters under B=3): disperse the smallest cluster's
+    # tasks into clusters with spare capacity, maximising attachment.
+    # Feasible whenever B * P >= n, which was checked above.
+    while len(clusters) > n_procs:
+        clusters.sort(key=len)
+        smallest = clusters.pop(0)
+        merged = False
+        weights = _cluster_graph(static, [smallest] + clusters)
+        attach = {j: weights.get((0, j + 1), weights.get((j + 1, 0), 0.0))
+                  for j in range(len(clusters))}
+        order = sorted(range(len(clusters)), key=lambda j: -attach[j])
+        for j in order:
+            if len(clusters[j]) + len(smallest) <= bound:
+                clusters[j] |= smallest
+                merged = True
+                break
+        if not merged:
+            for t in sorted(smallest, key=repr):
+                target = max(
+                    (j for j in range(len(clusters)) if len(clusters[j]) < bound),
+                    key=lambda j: sum(
+                        static[t][u]["weight"] for u in clusters[j] if static.has_edge(t, u)
+                    ),
+                )
+                clusters[target].add(t)
+    return [sorted(c, key=repr) for c in clusters]

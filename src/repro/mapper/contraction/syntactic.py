@@ -1,0 +1,209 @@
+"""Syntactic Cayley-graph characterisation of LaRCS programs.
+
+Section 4.2.2 closes: "We would like to obtain syntactic characterizations
+that enable us to detect whether the communication functions yield a Cayley
+graph.  This will enable us to avoid computation of the cycle notation, and
+improve the efficiency significantly."
+
+Two syntactic families cover the bulk of regular computations:
+
+* **circulant** programs -- every communication function has the form
+  ``i -> (i + c) mod n`` with ``c`` index-free.  The functions are then
+  rotations of the cyclic group ``Z_n``; the action is regular iff the
+  shifts and ``n`` are coprime as a set (``gcd(n, c_1, .., c_k) == 1``).
+  Rings, chordal rings (n-body), and the perfect-broadcast voting pattern
+  all match.
+* **xor** programs -- every function is ``i -> i xor c``.  These are
+  translations of the elementary abelian group ``(Z_2)^m`` (``n = 2^m``);
+  the action is regular iff the constants span all ``m`` bits (their
+  closure under xor, together with 0, has size ``n``).  Hypercube
+  exchanges and FFT butterflies match.
+
+:func:`syntactic_cayley` inspects the *AST only* -- O(program size), never
+O(|X|^2) -- and returns the same :class:`GroupContraction` inputs the
+generic path derives from cycle notation: the group and its generator
+permutations, built directly from the recognised structure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.groups.permgroup import PermutationGroup
+from repro.groups.permutation import Permutation
+from repro.larcs import ast
+from repro.larcs.evaluator import eval_expr
+from repro.mapper.mapping import NotApplicableError
+
+__all__ = ["SyntacticCayley", "syntactic_cayley"]
+
+
+@dataclass
+class SyntacticCayley:
+    """Outcome of the syntactic characterisation.
+
+    Attributes
+    ----------
+    kind: ``"circulant"`` or ``"xor"``.
+    n: number of tasks.
+    constants: per phase name, the shift / xor constant.
+    """
+
+    kind: str
+    n: int
+    constants: dict[str, int]
+
+    def generators(self) -> dict[str, Permutation]:
+        """The communication functions as permutations, built directly."""
+        out: dict[str, Permutation] = {}
+        for name, c in self.constants.items():
+            if self.kind == "circulant":
+                out[name] = Permutation([(i + c) % self.n for i in range(self.n)])
+            else:
+                out[name] = Permutation([i ^ c for i in range(self.n)])
+        return out
+
+    def group(self) -> PermutationGroup:
+        """The (already known regular) group, without cycle enumeration."""
+        return PermutationGroup.generate(
+            list(self.generators().values()), limit=self.n
+        )
+
+
+def _single_nodetype(program: ast.Program) -> ast.NodeTypeDecl:
+    if len(program.nodetypes) != 1 or len(program.nodetypes[0].ranges) != 1:
+        raise NotApplicableError(
+            "syntactic characterisation handles one 1-D nodetype"
+        )
+    return program.nodetypes[0]
+
+
+def _match_shift(dst: ast.Expr, var: str, n: int, env) -> int | None:
+    """Match ``(var + c) mod n`` (or plain ``var``); return the shift c."""
+    if isinstance(dst, ast.Name) and dst.ident == var:
+        return 0
+    if not (isinstance(dst, ast.BinOp) and dst.op == "mod"):
+        return None
+    modulus = eval_expr(dst.right, env)
+    if modulus != n:
+        return None
+    inner = dst.left
+    if not (isinstance(inner, ast.BinOp) and inner.op in ("+", "-")):
+        return None
+    # One side must be the variable, the other index-free.
+    for side, other in ((inner.left, inner.right), (inner.right, inner.left)):
+        if isinstance(side, ast.Name) and side.ident == var:
+            if inner.op == "-" and side is inner.right:
+                return None  # c - i is a reflection, not a rotation
+            try:
+                c = eval_expr(other, env)
+            except Exception:
+                return None
+            if not isinstance(c, int) or isinstance(c, bool):
+                return None
+            return (c if inner.op == "+" else -c) % n
+    return None
+
+
+def _match_xor(dst: ast.Expr, var: str, env) -> int | None:
+    """Match ``var xor c``; return the constant c."""
+    if not (isinstance(dst, ast.BinOp) and dst.op == "xor"):
+        return None
+    for side, other in ((dst.left, dst.right), (dst.right, dst.left)):
+        if isinstance(side, ast.Name) and side.ident == var:
+            try:
+                c = eval_expr(other, env)
+            except Exception:
+                return None
+            if isinstance(c, int) and not isinstance(c, bool):
+                return c
+    return None
+
+
+def syntactic_cayley(
+    program: ast.Program,
+    bindings: dict[str, int] | None = None,
+) -> SyntacticCayley:
+    """Characterise a LaRCS program as a Cayley computation syntactically.
+
+    Raises :class:`NotApplicableError` when the program does not match the
+    circulant or xor patterns, when a rule carries guards/quantifiers (the
+    functions would be partial), or when the recognised action is not
+    regular (non-coprime shifts; xor constants spanning a proper subspace).
+    On success the caller can skip the ``O(|X|^2)`` cycle-notation
+    computation entirely.
+    """
+    from repro.larcs.evaluator import _Elaborator
+
+    decl = _single_nodetype(program)
+    elab = _Elaborator(program, dict(bindings or {}))
+    env = elab.env
+    lo = eval_expr(decl.ranges[0].lo, env)
+    hi = eval_expr(decl.ranges[0].hi, env)
+    if lo != 0 or hi < lo:
+        raise NotApplicableError("labels must be 0..n-1")
+    n = hi + 1
+
+    shifts: dict[str, int] = {}
+    xors: dict[str, int] = {}
+    for phase in program.comphases:
+        if phase.index is not None:
+            # Indexed families: each instance must match; expand indices.
+            var, lo_e, hi_e = phase.index
+            ilo = eval_expr(lo_e, env)
+            ihi = eval_expr(hi_e, env)
+            instances = [(f"{phase.name}[{k}]", {**env, var: k}) for k in range(ilo, ihi + 1)]
+        else:
+            instances = [(phase.name, env)]
+        for inst_name, inst_env in instances:
+            for rule in phase.rules:
+                if rule.foralls or rule.where is not None:
+                    raise NotApplicableError(
+                        f"comphase {phase.name!r} has guards/quantifiers; "
+                        f"its function may be partial"
+                    )
+                if len(rule.src.args) != 1 or not isinstance(rule.src.args[0], ast.Name):
+                    raise NotApplicableError("malformed source pattern")
+                var = rule.src.args[0].ident
+                dst = rule.dst.args[0]
+                c = _match_shift(dst, var, n, inst_env)
+                if c is not None:
+                    shifts[inst_name] = c
+                    continue
+                c = _match_xor(dst, var, inst_env)
+                if c is not None:
+                    if n & (n - 1):
+                        raise NotApplicableError(
+                            "xor pattern needs a power-of-two label space"
+                        )
+                    if not (0 <= c < n):
+                        raise NotApplicableError("xor constant out of range")
+                    xors[inst_name] = c
+                    continue
+                raise NotApplicableError(
+                    f"comphase {phase.name!r} matches neither the circulant "
+                    f"nor the xor pattern"
+                )
+
+    if shifts and xors:
+        raise NotApplicableError("mixed circulant and xor phases")
+    if shifts:
+        g = math.gcd(n, *shifts.values())
+        if g != 1:
+            raise NotApplicableError(
+                f"shifts {sorted(shifts.values())} generate a proper subgroup "
+                f"of Z_{n} (gcd {g}): the action is not transitive"
+            )
+        return SyntacticCayley("circulant", n, shifts)
+    if xors:
+        # Span check over GF(2): closure of the constants must be all of n.
+        span = {0}
+        for c in xors.values():
+            span |= {s ^ c for s in span}
+        if len(span) != n:
+            raise NotApplicableError(
+                f"xor constants span only {len(span)} of {n} labels"
+            )
+        return SyntacticCayley("xor", n, xors)
+    raise NotApplicableError("program has no communication phases")

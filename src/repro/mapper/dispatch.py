@@ -1,0 +1,157 @@
+"""MAPPER's three-way dispatch (Fig 3) and the one-call mapping entry point.
+
+:func:`map_computation` runs the full pipeline: pick a contraction+embedding
+strategy by the task graph's regularity, then route with Algorithm MM-Route.
+
+Strategy selection (``strategy="auto"``):
+
+1. **canned** -- the task graph and topology both carry family names and the
+   registry has an entry that fits: constant-time lookup.
+2. **group** -- the communication functions generate a regular group action:
+   group-theoretic contraction to perfectly balanced cosets, then NN-Embed
+   places the quotient graph.
+3. **mwm** -- everything else: Algorithm MWM-Contract + Algorithm NN-Embed.
+
+Each strategy can also be forced by name (``"canned"``, ``"group"``,
+``"mwm"``), in which case a non-fitting input raises
+:class:`repro.mapper.NotApplicableError` instead of falling through.
+"""
+
+from __future__ import annotations
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.canned.registry import canned_assignment
+from repro.mapper.contraction.group import group_contract
+from repro.mapper.contraction.mwm import mwm_contract
+from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
+from repro.mapper.mapping import Mapping, NotApplicableError
+from repro.mapper.routing.mm_route import mm_route
+
+__all__ = ["map_computation"]
+
+_STRATEGIES = ("auto", "canned", "group", "mwm")
+
+
+def _canned(tg: TaskGraph, topology: Topology) -> Mapping:
+    assignment = canned_assignment(tg, topology)
+    return Mapping(tg, topology, assignment, provenance="canned")
+
+
+def _group(tg: TaskGraph, topology: Topology, load_bound: int | None) -> Mapping:
+    # allow_residual: "almost node symmetric" graphs (a few non-bijective
+    # phases, e.g. a synthesised aggregation) still take the group path,
+    # with the residual traffic folded into the subgroup choice.
+    contraction = group_contract(
+        tg, topology.n_processors, allow_residual=True
+    )
+    if load_bound is not None and any(
+        len(c) > load_bound for c in contraction.clusters
+    ):
+        raise NotApplicableError(
+            "group contraction's coset size exceeds the requested load bound"
+        )
+    placement = nn_embed(tg, contraction.clusters, topology)
+    assignment = assignment_from_clusters(contraction.clusters, placement)
+    mapping = Mapping(tg, topology, assignment, provenance="group")
+    mapping.group_contraction = contraction  # diagnostics for METRICS
+    return mapping
+
+
+def _mwm(tg: TaskGraph, topology: Topology, load_bound: int | None) -> Mapping:
+    clusters = mwm_contract(tg, topology.n_processors, load_bound=load_bound)
+    placement = nn_embed(tg, clusters, topology)
+    assignment = assignment_from_clusters(clusters, placement)
+    return Mapping(tg, topology, assignment, provenance="mwm")
+
+
+def _refine(tg: TaskGraph, topology: Topology, mapping: Mapping, load_bound) -> Mapping:
+    """KL-style post-pass: refine the contraction, re-embed, 2-opt."""
+    import math
+
+    from repro.mapper.embedding.nn_embed import nn_embed
+    from repro.mapper.refine import refine_contraction, refine_embedding
+
+    bound = load_bound if load_bound is not None else math.ceil(
+        max(tg.n_tasks, 1) / topology.n_processors
+    )
+    clusters = [sorted(ts, key=repr) for ts in mapping.clusters().values()]
+    clusters = refine_contraction(tg, clusters, load_bound=bound)
+    placement = nn_embed(tg, clusters, topology)
+    placement = refine_embedding(tg, clusters, placement, topology)
+    assignment = assignment_from_clusters(clusters, placement)
+    refined = Mapping(
+        tg, topology, assignment, provenance=mapping.provenance + "+refined"
+    )
+    return refined
+
+
+def map_computation(
+    tg: TaskGraph,
+    topology: Topology,
+    *,
+    strategy: str = "auto",
+    load_bound: int | None = None,
+    route: bool = True,
+    refine: bool = False,
+) -> Mapping:
+    """Map a task graph onto a topology: contraction, embedding, routing.
+
+    Parameters
+    ----------
+    tg:
+        The task graph (e.g. from :func:`repro.larcs.compile_larcs` or
+        :mod:`repro.graph.families`).
+    topology:
+        The target architecture.
+    strategy:
+        ``"auto"`` (default) tries canned, then group-theoretic, then
+        MWM-Contract; or force one of ``"canned"`` / ``"group"`` / ``"mwm"``.
+    load_bound:
+        Optional balance constraint ``B`` (max tasks per processor);
+        defaults to ``ceil(n_tasks / n_processors)``.
+    route:
+        When true (default), run Algorithm MM-Route and attach routes.
+    refine:
+        When true, run the Kernighan-Lin-style post-passes
+        (:mod:`repro.mapper.refine`) on heuristic mappings -- task moves
+        between clusters, then placement 2-opt.  Canned mappings are left
+        untouched (their structure is the point).
+
+    Returns
+    -------
+    A validated :class:`repro.mapper.Mapping`.
+    """
+    if strategy not in _STRATEGIES:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+    tg.validate()
+
+    if strategy == "canned":
+        mapping = _canned(tg, topology)
+    elif strategy == "group":
+        mapping = _group(tg, topology, load_bound)
+    elif strategy == "mwm":
+        mapping = _mwm(tg, topology, load_bound)
+    else:
+        mapping = None
+        for attempt in (
+            lambda: _canned(tg, topology),
+            lambda: _group(tg, topology, load_bound),
+        ):
+            try:
+                mapping = attempt()
+                break
+            except NotApplicableError:
+                continue
+        if mapping is None:
+            mapping = _mwm(tg, topology, load_bound)
+
+    if refine and mapping.provenance != "canned" and tg.n_tasks > 0:
+        mapping = _refine(tg, topology, mapping, load_bound)
+
+    if route:
+        routing = mm_route(tg, topology, mapping.assignment)
+        mapping.routes = routing.routes
+        mapping.routing_rounds = routing.rounds
+    mapping.validate(require_routes=route)
+    return mapping

@@ -1,0 +1,11 @@
+"""Embedding algorithms: assign clusters to processors, one per processor."""
+
+from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
+from repro.mapper.embedding.baselines import identity_embed, random_embed
+
+__all__ = [
+    "nn_embed",
+    "assignment_from_clusters",
+    "identity_embed",
+    "random_embed",
+]

@@ -1,0 +1,38 @@
+"""Baseline embeddings for the comparison benchmarks."""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+
+from repro.arch.topology import Topology
+from repro.mapper.mapping import NotApplicableError
+
+__all__ = ["identity_embed", "random_embed"]
+
+Proc = Hashable
+
+
+def _check(n_clusters: int, topology: Topology) -> None:
+    if n_clusters > topology.n_processors:
+        raise NotApplicableError(
+            f"{n_clusters} clusters cannot embed into "
+            f"{topology.n_processors} processors"
+        )
+
+
+def identity_embed(clusters: Sequence, topology: Topology) -> dict[int, Proc]:
+    """Cluster *i* on the *i*-th processor, in processor order."""
+    _check(len(clusters), topology)
+    procs = topology.processors
+    return {i: procs[i] for i in range(len(clusters))}
+
+
+def random_embed(
+    clusters: Sequence, topology: Topology, *, seed: int = 0
+) -> dict[int, Proc]:
+    """Clusters on uniformly random distinct processors."""
+    _check(len(clusters), topology)
+    rng = random.Random(seed)
+    procs = rng.sample(topology.processors, len(clusters))
+    return {i: procs[i] for i in range(len(clusters))}

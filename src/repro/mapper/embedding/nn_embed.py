@@ -1,0 +1,116 @@
+"""Algorithm NN-Embed: greedy nearest-neighbour embedding (Section 4.3).
+
+"After contraction, embedding is achieved by Algorithm NN-Embed which uses
+a greedy approach to place highly communicating clusters on adjacent
+neighbors in the network graph."
+
+Concretely: seed with the most communication-heavy cluster on a
+highest-degree processor, then repeatedly take the unplaced cluster with
+the most communication to already-placed clusters and put it on the free
+processor minimising distance-weighted communication to its placed
+neighbours.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+
+__all__ = ["nn_embed", "assignment_from_clusters", "cluster_weights"]
+
+Task = Hashable
+Proc = Hashable
+
+
+def cluster_weights(
+    tg: TaskGraph, clusters: Sequence[Sequence[Task]]
+) -> dict[tuple[int, int], float]:
+    """Aggregate communication volume between cluster pairs (undirected)."""
+    owner: dict[Task, int] = {}
+    for ci, cluster in enumerate(clusters):
+        for t in cluster:
+            owner[t] = ci
+    weights: dict[tuple[int, int], float] = {}
+    for _, edge in tg.all_edges():
+        cu, cv = owner[edge.src], owner[edge.dst]
+        if cu == cv:
+            continue
+        key = (min(cu, cv), max(cu, cv))
+        weights[key] = weights.get(key, 0.0) + edge.volume
+    return weights
+
+
+def nn_embed(
+    tg: TaskGraph,
+    clusters: Sequence[Sequence[Task]],
+    topology: Topology,
+) -> dict[int, Proc]:
+    """Place each cluster on a distinct processor, greedily by communication.
+
+    Returns cluster-index -> processor.  Deterministic: ties break on
+    processor order.
+    """
+    n_clusters = len(clusters)
+    if n_clusters > topology.n_processors:
+        raise NotApplicableError(
+            f"{n_clusters} clusters cannot embed into "
+            f"{topology.n_processors} processors"
+        )
+    if n_clusters == 0:
+        return {}
+
+    weights = cluster_weights(tg, clusters)
+    total: list[float] = [0.0] * n_clusters
+    for (i, j), w in weights.items():
+        total[i] += w
+        total[j] += w
+
+    procs = topology.processors
+    proc_order = {p: k for k, p in enumerate(procs)}
+    free: set[Proc] = set(procs)
+    placement: dict[int, Proc] = {}
+
+    # Seed: heaviest cluster on a max-degree processor.
+    seed_cluster = max(range(n_clusters), key=lambda c: (total[c], -c))
+    seed_proc = max(procs, key=lambda p: (topology.degree(p), -proc_order[p]))
+    placement[seed_cluster] = seed_proc
+    free.discard(seed_proc)
+
+    def weight(a: int, b: int) -> float:
+        return weights.get((min(a, b), max(a, b)), 0.0)
+
+    unplaced = set(range(n_clusters)) - {seed_cluster}
+    while unplaced:
+        # Pick the unplaced cluster most attached to the placed set.
+        cluster = max(
+            unplaced,
+            key=lambda c: (sum(weight(c, q) for q in placement), total[c], -c),
+        )
+        # Put it on the free processor minimising distance-weighted traffic.
+        def cost(p: Proc) -> tuple[float, int]:
+            s = sum(
+                weight(cluster, q) * topology.distance(p, placement[q])
+                for q in placement
+            )
+            return (s, proc_order[p])
+
+        best = min(free, key=cost)
+        placement[cluster] = best
+        free.discard(best)
+        unplaced.discard(cluster)
+    return placement
+
+
+def assignment_from_clusters(
+    clusters: Sequence[Sequence[Task]],
+    placement: dict[int, Proc],
+) -> dict[Task, Proc]:
+    """Flatten a (clusters, placement) pair into a task -> processor map."""
+    out: dict[Task, Proc] = {}
+    for ci, cluster in enumerate(clusters):
+        for t in cluster:
+            out[t] = placement[ci]
+    return out

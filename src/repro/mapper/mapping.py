@@ -1,0 +1,132 @@
+"""The :class:`Mapping` result type shared by all MAPPER algorithms.
+
+A mapping records the outcome of all three steps:
+
+* **assignment** -- task label -> processor (contraction + embedding
+  combined: the cluster structure is recoverable as the fibres of the
+  assignment);
+* **routes** -- for each directed message edge ``(phase, edge_index)``, the
+  processor path its messages take (length-1 path for intra-processor
+  messages);
+* **provenance** -- which MAPPER path produced it (``"canned"``,
+  ``"group"``, ``"mwm"``, ...), for METRICS displays and the dispatch
+  benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping as AbcMapping
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["Mapping", "NotApplicableError"]
+
+Task = Hashable
+Proc = Hashable
+RouteKey = tuple[str, int]  # (phase name, edge index within phase)
+
+
+class NotApplicableError(Exception):
+    """A specialised MAPPER algorithm does not apply to this input.
+
+    The dispatcher catches this and falls through to the next, more general
+    strategy (e.g. a non-Cayley graph falls from the group-theoretic path to
+    MWM-Contract).
+    """
+
+
+class Mapping:
+    """A complete mapping of a task graph onto a topology."""
+
+    def __init__(
+        self,
+        task_graph: TaskGraph,
+        topology: Topology,
+        assignment: AbcMapping[Task, Proc],
+        routes: dict[RouteKey, list[Proc]] | None = None,
+        *,
+        provenance: str = "manual",
+    ):
+        self.task_graph = task_graph
+        self.topology = topology
+        self.assignment: dict[Task, Proc] = dict(assignment)
+        self.routes: dict[RouteKey, list[Proc]] = dict(routes or {})
+        self.provenance = provenance
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def proc_of(self, task: Task) -> Proc:
+        """The processor a task is assigned to."""
+        return self.assignment[task]
+
+    def tasks_on(self, proc: Proc) -> list[Task]:
+        """All tasks assigned to a processor (the cluster)."""
+        return [t for t, p in self.assignment.items() if p == proc]
+
+    def clusters(self) -> dict[Proc, list[Task]]:
+        """The contraction as a processor -> task-list mapping."""
+        out: dict[Proc, list[Task]] = {}
+        for t, p in self.assignment.items():
+            out.setdefault(p, []).append(t)
+        return out
+
+    def route_for(self, phase: str, edge_index: int) -> list[Proc]:
+        """The processor path of one message edge."""
+        return self.routes[(phase, edge_index)]
+
+    def used_procs(self) -> set[Proc]:
+        """Processors with at least one task."""
+        return set(self.assignment.values())
+
+    def dilation(self, phase: str, edge_index: int) -> int:
+        """Hops of one message edge's route (0 for intra-processor)."""
+        return len(self.routes[(phase, edge_index)]) - 1
+
+    # ------------------------------------------------------------------
+    # validation
+    # ------------------------------------------------------------------
+    def validate(self, *, require_routes: bool = False) -> None:
+        """Raise :class:`ValueError` when structurally inconsistent.
+
+        Checks: every task assigned to an existing processor; every route
+        connects the assigned endpoints of its edge along existing links;
+        with *require_routes*, every inter-processor edge has a route.
+        """
+        procs = set(self.topology.processors)
+        tasks = set(self.task_graph.nodes)
+        for task in tasks:
+            if task not in self.assignment:
+                raise ValueError(f"task {task!r} is unassigned")
+            if self.assignment[task] not in procs:
+                raise ValueError(
+                    f"task {task!r} assigned to unknown processor "
+                    f"{self.assignment[task]!r}"
+                )
+        for (phase, idx), route in self.routes.items():
+            edges = self.task_graph.comm_phase(phase).edges
+            if not (0 <= idx < len(edges)):
+                raise ValueError(f"route key ({phase!r}, {idx}) matches no edge")
+            edge = edges[idx]
+            if not self.topology.is_valid_route(route):
+                raise ValueError(f"route for ({phase!r}, {idx}) is not a network path")
+            if route[0] != self.assignment[edge.src] or route[-1] != self.assignment[edge.dst]:
+                raise ValueError(
+                    f"route for ({phase!r}, {idx}) does not connect the "
+                    f"assigned processors of {edge}"
+                )
+        if require_routes:
+            for phase_name, phase in self.task_graph.comm_phases.items():
+                for idx, edge in enumerate(phase.edges):
+                    if (phase_name, idx) not in self.routes:
+                        raise ValueError(
+                            f"missing route for edge {idx} of phase {phase_name!r}"
+                        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<Mapping {self.task_graph.name!r} -> {self.topology.name!r} "
+            f"({self.provenance}): {len(self.assignment)} tasks on "
+            f"{len(self.used_procs())} processors, {len(self.routes)} routes>"
+        )

@@ -1,0 +1,188 @@
+"""Local refinement passes for contraction and embedding.
+
+Section 4's closing note -- "we plan to replace and augment the algorithms
+in the MAPPER library" -- invites improvement passes on top of the
+polynomial heuristics.  Two classic Kernighan-Lin-style refinements:
+
+* :func:`refine_contraction` -- move single tasks between clusters when
+  the move reduces total IPC and respects the load bound (a simplified
+  Fiduccia-Mattheyses pass, repeated until a sweep makes no improvement).
+* :func:`refine_embedding` -- swap the processors of cluster pairs when
+  the swap reduces total distance-weighted communication (2-opt on the
+  placement).
+
+Both are optional post-passes: ``map_computation(.., refine=True)`` runs
+them after the standard pipeline and re-routes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["refine_contraction", "refine_embedding"]
+
+Task = Hashable
+Proc = Hashable
+
+
+def refine_contraction(
+    tg: TaskGraph,
+    clusters: Sequence[Sequence[Task]],
+    *,
+    load_bound: int,
+    max_passes: int = 8,
+) -> list[list[Task]]:
+    """Greedy single-task moves reducing total IPC under the load bound.
+
+    Each pass scans every task; a task moves to the cluster it communicates
+    with most (counting both directions) when the move strictly reduces the
+    cut weight and the target has spare capacity.  Passes repeat until a
+    full sweep makes no move or *max_passes* is reached.  The result never
+    has higher IPC than the input.
+    """
+    owner: dict[Task, int] = {}
+    sets: list[set[Task]] = [set(c) for c in clusters]
+    for ci, cluster in enumerate(sets):
+        for t in cluster:
+            owner[t] = ci
+
+    # Adjacency with volumes, both directions folded.
+    adj: dict[Task, dict[Task, float]] = {t: {} for t in tg.nodes}
+    for _, e in tg.all_edges():
+        if e.src == e.dst:
+            continue
+        adj[e.src][e.dst] = adj[e.src].get(e.dst, 0.0) + e.volume
+        adj[e.dst][e.src] = adj[e.dst].get(e.src, 0.0) + e.volume
+
+    def attachments(t: Task) -> dict[int, float]:
+        attach: dict[int, float] = {}
+        for nb, w in adj[t].items():
+            attach[owner[nb]] = attach.get(owner[nb], 0.0) + w
+        return attach
+
+    for _ in range(max_passes):
+        moved = False
+        # Phase 1: single-task moves into clusters with spare capacity.
+        for t in tg.nodes:
+            home = owner[t]
+            if len(sets[home]) <= 1:
+                continue  # emptying a cluster would change the count
+            attach = attachments(t)
+            home_attach = attach.get(home, 0.0)
+            best_gain = 0.0
+            best_target = None
+            for target, w in attach.items():
+                if target == home or len(sets[target]) >= load_bound:
+                    continue
+                gain = w - home_attach
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_target = target
+            if best_target is not None:
+                sets[home].discard(t)
+                sets[best_target].add(t)
+                owner[t] = best_target
+                moved = True
+        # Phase 2: KL pair swaps (work even when every cluster is full).
+        # gain(t <-> u) = D_t + D_u - 2 w(t,u), D_x the external-minus-
+        # internal attachment toward the partner's cluster.
+        for t in tg.nodes:
+            home = owner[t]
+            attach = attachments(t)
+            targets = sorted(
+                (c for c in attach if c != home),
+                key=lambda c: -attach[c],
+            )[:2]
+            for target in targets:
+                d_t = attach[target] - attach.get(home, 0.0)
+                best = None
+                for u in sorted(sets[target], key=repr):
+                    au = attachments(u)
+                    d_u = au.get(home, 0.0) - au.get(target, 0.0)
+                    gain = d_t + d_u - 2.0 * adj[t].get(u, 0.0)
+                    if gain > 1e-12 and (best is None or gain > best[0]):
+                        best = (gain, u)
+                if best is not None:
+                    _, u = best
+                    sets[home].discard(t)
+                    sets[target].discard(u)
+                    sets[home].add(u)
+                    sets[target].add(t)
+                    owner[t], owner[u] = target, home
+                    moved = True
+                    break
+        if not moved:
+            break
+    return [sorted(c, key=repr) for c in sets if c]
+
+
+def refine_embedding(
+    tg: TaskGraph,
+    clusters: Sequence[Sequence[Task]],
+    placement: dict[int, Proc],
+    topology: Topology,
+    *,
+    max_passes: int = 8,
+) -> dict[int, Proc]:
+    """2-opt swaps of cluster placements reducing weighted distance.
+
+    Considers every pair of clusters (and every cluster with every free
+    processor) and applies the best-improvement swap per pass until no
+    swap helps.  Never increases total distance-weighted communication.
+    """
+    from repro.mapper.embedding.nn_embed import cluster_weights
+
+    weights = cluster_weights(tg, clusters)
+    placement = dict(placement)
+    n = len(clusters)
+    neighbours: dict[int, list[tuple[int, float]]] = {i: [] for i in range(n)}
+    for (i, j), w in weights.items():
+        neighbours[i].append((j, w))
+        neighbours[j].append((i, w))
+
+    def cost_of(c: int, proc: Proc) -> float:
+        return sum(
+            w * topology.distance(proc, placement[o])
+            for o, w in neighbours[c]
+            if o != c
+        )
+
+    free = [p for p in topology.processors if p not in set(placement.values())]
+
+    for _ in range(max_passes):
+        best_delta = 0.0
+        best_action = None
+        for a in range(n):
+            pa = placement[a]
+            # Move to a free processor.
+            for p in free:
+                delta = cost_of(a, p) - cost_of(a, pa)
+                if delta < best_delta - 1e-12:
+                    best_delta = delta
+                    best_action = ("move", a, p)
+            # Swap with another cluster.
+            for b in range(a + 1, n):
+                pb = placement[b]
+                before = cost_of(a, pa) + cost_of(b, pb)
+                placement[a], placement[b] = pb, pa
+                after = cost_of(a, pb) + cost_of(b, pa)
+                placement[a], placement[b] = pa, pb
+                # Shared edge counted twice on both sides: deltas cancel.
+                delta = after - before
+                if delta < best_delta - 1e-12:
+                    best_delta = delta
+                    best_action = ("swap", a, b)
+        if best_action is None:
+            break
+        if best_action[0] == "move":
+            _, a, p = best_action
+            free.remove(p)
+            free.append(placement[a])
+            placement[a] = p
+        else:
+            _, a, b = best_action
+            placement[a], placement[b] = placement[b], placement[a]
+    return placement

@@ -1,0 +1,6 @@
+"""Routing algorithms: assign task-graph edges to network paths."""
+
+from repro.mapper.routing.mm_route import RoutingResult, mm_route
+from repro.mapper.routing.baselines import dimension_order_route, random_route
+
+__all__ = ["mm_route", "RoutingResult", "random_route", "dimension_order_route"]

@@ -1,0 +1,65 @@
+"""Baseline routing algorithms for the contention benchmarks.
+
+Both produce shortest-path routes but ignore phase information -- exactly
+the "message routing that does not utilize information about the
+communication patterns of the computation" the paper's introduction says
+commercial systems relied on.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Mapping
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.routing.mm_route import RoutingResult
+
+__all__ = ["random_route", "dimension_order_route"]
+
+Task = Hashable
+Proc = Hashable
+
+
+def random_route(
+    tg: TaskGraph,
+    topology: Topology,
+    assignment: Mapping[Task, Proc],
+    *,
+    seed: int = 0,
+) -> RoutingResult:
+    """Each message independently takes a uniformly random shortest path."""
+    rng = random.Random(seed)
+    result = RoutingResult()
+    for phase_name, phase in tg.comm_phases.items():
+        for idx, e in enumerate(phase.edges):
+            here, dst = assignment[e.src], assignment[e.dst]
+            path = [here]
+            while here != dst:
+                here = rng.choice(sorted(topology.next_hops(here, dst), key=repr))
+                path.append(here)
+            result.routes[(phase_name, idx)] = path
+    return result
+
+
+def dimension_order_route(
+    tg: TaskGraph,
+    topology: Topology,
+    assignment: Mapping[Task, Proc],
+) -> RoutingResult:
+    """Deterministic oblivious routing (e-cube style).
+
+    Always takes the smallest-labelled next hop on a shortest path, so each
+    source/destination pair uses one fixed route regardless of what else is
+    in flight -- the deterministic single-path discipline of e-cube routers.
+    """
+    result = RoutingResult()
+    for phase_name, phase in tg.comm_phases.items():
+        for idx, e in enumerate(phase.edges):
+            here, dst = assignment[e.src], assignment[e.dst]
+            path = [here]
+            while here != dst:
+                here = min(topology.next_hops(here, dst), key=repr)
+                path.append(here)
+            result.routes[(phase_name, idx)] = path
+    return result

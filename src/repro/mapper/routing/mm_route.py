@@ -1,0 +1,148 @@
+"""Algorithm MM-Route: contention-minimising routing via maximal matching.
+
+Section 4.4.  Each communication phase is a set of synchronous messages;
+MM-Route distributes each phase's messages over the network links so that
+few messages share a link.  Per phase, hop by hop:
+
+1. Every message that has not yet reached its destination processor has a
+   set of *candidate links* -- the first links of its remaining shortest
+   routes (the ``next_hops`` sets of the topology).
+2. Build the bipartite graph ``G = (X, Y, E)``: ``X`` = messages, ``Y`` =
+   links, ``E`` = candidacy (Fig 6c).
+3. Find a maximal matching; matched messages advance over their matched
+   link.  Since a matching uses each link at most once, all messages moved
+   in one matching round proceed without contention.
+4. If some messages remain unmatched (``M != |X|``), remove the matched
+   messages and repeat the matching on the rest -- each extra round adds
+   one unit of contention on the links it reuses.
+5. When every message has advanced one hop, recompute candidates and
+   continue until all messages arrive.
+
+The matching is the greedy maximal matching, processing most-constrained
+messages (fewest candidate links) first; the whole loop is the paper's
+``O(|X|^2 |Y|)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Hashable, Mapping
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+
+__all__ = ["mm_route", "RoutingResult"]
+
+Task = Hashable
+Proc = Hashable
+RouteKey = tuple[str, int]
+
+
+@dataclass
+class RoutingResult:
+    """Routes plus the per-phase matching statistics MM-Route produces.
+
+    Attributes
+    ----------
+    routes:
+        ``(phase, edge_index) -> processor path`` (single-element path for
+        intra-processor messages).
+    rounds:
+        ``phase -> list of matching-round counts``, one entry per hop step.
+        A hop step needing ``r`` rounds means the most contended link in
+        that step carries ``r`` messages.
+    """
+
+    routes: dict[RouteKey, list[Proc]] = field(default_factory=dict)
+    rounds: dict[str, list[int]] = field(default_factory=dict)
+
+    def max_rounds(self, phase: str) -> int:
+        """Worst matching-round count over the phase's hop steps (>= 1)."""
+        rs = self.rounds.get(phase, [])
+        return max(rs, default=1)
+
+
+def _route_phase(
+    topology: Topology,
+    messages: list[tuple[int, Proc, Proc]],
+) -> tuple[dict[int, list[Proc]], list[int]]:
+    """Route one phase's messages; returns (paths by message id, rounds per hop)."""
+    paths: dict[int, list[Proc]] = {idx: [src] for idx, src, _ in messages}
+    position: dict[int, Proc] = {idx: src for idx, src, _ in messages}
+    dest: dict[int, Proc] = {idx: dst for idx, _, dst in messages}
+    pending = sorted(idx for idx, src, dst in messages if src != dst)
+    rounds_per_hop: list[int] = []
+    phase_load: dict[frozenset, int] = {}  # cumulative per-link use this phase
+
+    while pending:
+        # Candidate first-hop links for every pending message.
+        candidates: dict[int, list[frozenset]] = {}
+        for m in pending:
+            here, there = position[m], dest[m]
+            candidates[m] = [
+                frozenset((here, nb)) for nb in topology.next_hops(here, there)
+            ]
+        # Matching rounds until every pending message is assigned a link.
+        unassigned = list(pending)
+        assigned: dict[int, frozenset] = {}
+        rounds = 0
+        while unassigned:
+            rounds += 1
+            used_links: set[frozenset] = set()
+            still: list[int] = []
+            # Most-constrained messages first makes the greedy matching
+            # cover more messages per round; among a message's free
+            # candidate links, the one least loaded so far in this phase
+            # keeps the cumulative per-link contention flat.
+            for m in sorted(unassigned, key=lambda m: (len(candidates[m]), m)):
+                free = [l for l in candidates[m] if l not in used_links]
+                if not free:
+                    still.append(m)
+                else:
+                    link = min(
+                        free, key=lambda l: (phase_load.get(l, 0), sorted(map(repr, l)))
+                    )
+                    used_links.add(link)
+                    assigned[m] = link
+                    phase_load[link] = phase_load.get(link, 0) + 1
+            if len(still) == len(unassigned):
+                # Should be impossible (every message has >= 1 candidate on
+                # a connected topology), but guard against livelock.
+                raise RuntimeError("MM-Route matching failed to progress")
+            unassigned = still
+        rounds_per_hop.append(rounds)
+        # Advance every message one hop along its assigned link.
+        next_pending: list[int] = []
+        for m in pending:
+            here = position[m]
+            (nxt,) = assigned[m] - {here}
+            position[m] = nxt
+            paths[m].append(nxt)
+            if nxt != dest[m]:
+                next_pending.append(m)
+        pending = next_pending
+    return paths, rounds_per_hop
+
+
+def mm_route(
+    tg: TaskGraph,
+    topology: Topology,
+    assignment: Mapping[Task, Proc],
+) -> RoutingResult:
+    """Route every communication phase of *tg* under *assignment*.
+
+    Every produced route is a shortest path (each hop strictly decreases
+    the distance to the destination), so the dilation of each edge equals
+    the processor distance of its endpoints.
+    """
+    result = RoutingResult()
+    for phase_name, phase in tg.comm_phases.items():
+        messages = [
+            (idx, assignment[e.src], assignment[e.dst])
+            for idx, e in enumerate(phase.edges)
+        ]
+        paths, rounds = _route_phase(topology, messages)
+        for idx, path in paths.items():
+            result.routes[(phase_name, idx)] = path
+        result.rounds[phase_name] = rounds
+    return result

@@ -1,0 +1,31 @@
+"""Systolic synthesis: mapping affine recurrences to systolic arrays (§4.2.1).
+
+Computations whose LaRCS description passes four *syntactic* checks --
+integer-tuple node labels, a convex-polytope label space, affine
+communication functions, and a systolic/mesh target -- are mapped with the
+space-time transformation machinery of systolic array synthesis [RF88,
+CS84]: a linear *schedule* ``t(x) = lambda . x`` orders the computation
+points in time, and a *projection* ``u`` (with ``lambda . u != 0``)
+allocates them to processors, yielding a nearest-neighbour array through
+which data pulses in lock-step.
+"""
+
+from repro.mapper.systolic.polytope import Polytope
+from repro.mapper.systolic.recurrence import UniformRecurrence, matmul, convolution
+from repro.mapper.systolic.schedule import NoScheduleError, find_schedule
+from repro.mapper.systolic.allocation import find_allocation
+from repro.mapper.systolic.synthesis import SystolicArray, synthesize
+from repro.mapper.systolic.detect import detect_recurrence
+
+__all__ = [
+    "Polytope",
+    "UniformRecurrence",
+    "matmul",
+    "convolution",
+    "find_schedule",
+    "NoScheduleError",
+    "find_allocation",
+    "SystolicArray",
+    "synthesize",
+    "detect_recurrence",
+]

@@ -1,0 +1,102 @@
+"""Processor allocation by projection.
+
+Given a schedule ``lambda``, a *projection vector* ``u`` with
+``lambda . u != 0`` maps each computation point to a processor by
+collapsing the iteration space along ``u``: points on the same ``u``-line
+share a processor but (because ``lambda . u != 0``) never share a time
+step.  The allocation is realised by an integer ``(dim-1) x dim`` matrix
+``A`` with ``A u = 0`` and full row rank; processor coordinates are
+``A x``.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.mapper.systolic.polytope import Polytope
+from repro.mapper.systolic.recurrence import UniformRecurrence
+
+__all__ = ["allocation_matrix", "find_allocation", "project"]
+
+Vector = tuple[int, ...]
+
+
+def allocation_matrix(u: Vector) -> np.ndarray:
+    """An integer full-rank ``(dim-1) x dim`` matrix whose kernel is ``u``.
+
+    With ``i`` the first nonzero coordinate of ``u``, the rows are
+    ``u_i * e_j - u_j * e_i`` for every ``j != i``.
+    """
+    dim = len(u)
+    nz = next((i for i, v in enumerate(u) if v != 0), None)
+    if nz is None:
+        raise ValueError("projection vector must be nonzero")
+    rows = []
+    for j in range(dim):
+        if j == nz:
+            continue
+        row = [0] * dim
+        row[j] = u[nz]
+        row[nz] = -u[j]
+        rows.append(row)
+    a = np.array(rows, dtype=int)
+    assert (a @ np.array(u, dtype=int) == 0).all()
+    return a
+
+
+def project(a: np.ndarray, point: Vector) -> Vector:
+    """Processor coordinates of one computation point."""
+    return tuple(int(v) for v in a @ np.array(point, dtype=int))
+
+
+def _is_conflict_free(
+    a: np.ndarray, lam: Vector, domain: Polytope
+) -> bool:
+    """No two domain points share both processor and time step."""
+    seen: set[tuple[Vector, int]] = set()
+    for p in domain.points():
+        key = (project(a, p), sum(l * x for l, x in zip(lam, p)))
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def find_allocation(
+    rec: UniformRecurrence,
+    lam: Vector,
+    *,
+    candidates: list[Vector] | None = None,
+) -> tuple[Vector, np.ndarray]:
+    """Choose a projection vector and build its allocation matrix.
+
+    Candidates default to all vectors in ``{-1, 0, 1}^dim``; those with
+    ``lambda . u == 0`` are invalid (points on a ``u``-line would collide
+    in time).  Among valid candidates the one giving the *fewest
+    processors* wins (ties: smaller ``|u|_1``, then lexicographic).  The
+    chosen allocation is verified conflict-free over the whole domain.
+    """
+    dim = rec.dim
+    if candidates is None:
+        candidates = [
+            u
+            for u in product((-1, 0, 1), repeat=dim)
+            if any(v != 0 for v in u)
+        ]
+    best: tuple[int, int, Vector, np.ndarray] | None = None
+    for u in candidates:
+        if sum(l * v for l, v in zip(lam, u)) == 0:
+            continue
+        a = allocation_matrix(u)
+        procs = {project(a, p) for p in rec.domain.points()}
+        if not _is_conflict_free(a, lam, rec.domain):
+            continue
+        key = (len(procs), sum(abs(v) for v in u), u)
+        if best is None or key < (best[0], best[1], best[2]):
+            best = (*key, a)
+    if best is None:
+        raise ValueError(f"no valid projection found for schedule {lam}")
+    _, _, u, a = best
+    return u, a

@@ -1,0 +1,220 @@
+"""Syntactic detection of systolic-mappable LaRCS programs (§4.2.1).
+
+"Since each of these tests are constant time compiler tests of the LaRCS
+program, the resulting mappings are very efficient."  The four checks:
+
+1. node labels are tuples of integers -- true of every LaRCS nodetype;
+2. the label set is a convex polytope: range bounds are *affine* in the
+   program parameters;
+3. every communication function is affine in the node indices; a *uniform*
+   recurrence additionally has the identity as its linear part, so each
+   rule contributes one constant dependence vector;
+4. the target is a systolic array or MIMD mesh -- checked by the caller.
+
+Checks 1-3 are purely syntactic walks of the expression ASTs (no task
+graph is ever built); :func:`detect_recurrence` then assembles the
+:class:`UniformRecurrence` for the given parameter bindings.
+"""
+
+from __future__ import annotations
+
+from repro.larcs import ast
+from repro.larcs.errors import LarcsSemanticError
+from repro.larcs.evaluator import eval_expr
+from repro.mapper.mapping import NotApplicableError
+from repro.mapper.systolic.polytope import Polytope
+from repro.mapper.systolic.recurrence import UniformRecurrence
+
+__all__ = ["affine_form", "is_affine_in", "detect_recurrence"]
+
+
+def affine_form(
+    expr: ast.Expr,
+    index_vars: list[str],
+    env: dict[str, int],
+) -> tuple[dict[str, int], int] | None:
+    """Decompose *expr* as ``sum coeff_v * v + const`` over *index_vars*.
+
+    Returns ``(coefficients, constant)`` or ``None`` when the expression is
+    not affine in the index variables (products of two index-dependent
+    parts, ``mod``/``div``/``xor``/shifts applied to index-dependent
+    operands, comparisons, ...).  Parameters bound in *env* fold into the
+    constants.
+    """
+    zero = {v: 0 for v in index_vars}
+
+    def walk(e: ast.Expr) -> tuple[dict[str, int], int] | None:
+        if isinstance(e, ast.Num):
+            return dict(zero), e.value
+        if isinstance(e, ast.Name):
+            if e.ident in index_vars:
+                coeffs = dict(zero)
+                coeffs[e.ident] = 1
+                return coeffs, 0
+            if e.ident in env:
+                value = env[e.ident]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    return None
+                return dict(zero), value
+            return None
+        if isinstance(e, ast.UnOp) and e.op == "-":
+            inner = walk(e.operand)
+            if inner is None:
+                return None
+            coeffs, const = inner
+            return {v: -c for v, c in coeffs.items()}, -const
+        if isinstance(e, ast.BinOp):
+            if e.op in ("+", "-"):
+                left = walk(e.left)
+                right = walk(e.right)
+                if left is None or right is None:
+                    return None
+                sign = 1 if e.op == "+" else -1
+                coeffs = {
+                    v: left[0][v] + sign * right[0][v] for v in index_vars
+                }
+                return coeffs, left[1] + sign * right[1]
+            if e.op == "*":
+                left = walk(e.left)
+                right = walk(e.right)
+                if left is None or right is None:
+                    return None
+                lconst = all(c == 0 for c in left[0].values())
+                rconst = all(c == 0 for c in right[0].values())
+                if lconst:
+                    k = left[1]
+                    return {v: k * c for v, c in right[0].items()}, k * right[1]
+                if rconst:
+                    k = right[1]
+                    return {v: k * c for v, c in left[0].items()}, k * left[1]
+                return None
+            # mod, div, xor, shifts, comparisons, booleans: affine only if
+            # entirely index-free -- then fold to a constant.
+            try:
+                value = eval_expr(e, env)
+            except LarcsSemanticError:
+                return None
+            if isinstance(value, bool) or not isinstance(value, int):
+                return None
+            return dict(zero), value
+        if isinstance(e, ast.Call):
+            try:
+                value = eval_expr(e, env)
+            except LarcsSemanticError:
+                return None
+            if isinstance(value, bool) or not isinstance(value, int):
+                return None
+            return dict(zero), value
+        return None
+
+    return walk(expr)
+
+
+def is_affine_in(expr: ast.Expr, names: list[str]) -> bool:
+    """Purely syntactic check that *expr* is affine in *names*.
+
+    Used for check 2 (range bounds affine in the program parameters):
+    treats every name in *names* as a formal variable and every other name
+    as an unknown constant, so no bindings are needed.
+    """
+    # Reuse affine_form with symbolic placeholders: any free name outside
+    # *names* breaks affine_form, so substitute an arbitrary int env for
+    # them by collecting identifiers first.
+    free: set[str] = set()
+
+    def collect(e: ast.Expr) -> None:
+        if isinstance(e, ast.Name) and e.ident not in names:
+            free.add(e.ident)
+        elif isinstance(e, ast.UnOp):
+            collect(e.operand)
+        elif isinstance(e, ast.BinOp):
+            collect(e.left)
+            collect(e.right)
+        elif isinstance(e, ast.Call):
+            for a in e.args:
+                collect(a)
+
+    collect(expr)
+    env = {name: 1 for name in free}
+    return affine_form(expr, list(names), env) is not None
+
+
+def detect_recurrence(
+    program: ast.Program,
+    bindings: dict[str, int] | None = None,
+) -> UniformRecurrence:
+    """Checks 1-3 on a LaRCS program; build the uniform recurrence.
+
+    Raises :class:`repro.mapper.NotApplicableError` when any check fails
+    (multiple nodetypes, non-affine ranges, indexed phase families, affine
+    but non-uniform communication -- localisation is outside scope).
+    """
+    if len(program.nodetypes) != 1:
+        raise NotApplicableError(
+            "systolic synthesis expects exactly one nodetype"
+        )
+    decl = program.nodetypes[0]
+    params = [name for name, _ in program.params] + [
+        name for name, _ in program.imports
+    ] + [c.name for c in program.constants]
+
+    # Check 2: range bounds affine in the parameters (syntactic).
+    for r in decl.ranges:
+        if not (is_affine_in(r.lo, params) and is_affine_in(r.hi, params)):
+            raise NotApplicableError(
+                f"nodetype {decl.name!r} range bounds are not affine in the "
+                f"program parameters"
+            )
+
+    # Evaluate the concrete domain for the given bindings.
+    from repro.larcs.evaluator import _Elaborator  # reuse binding logic
+
+    elab = _Elaborator(program, dict(bindings or {}))
+    env = elab.env
+    bounds = []
+    for r in decl.ranges:
+        lo = eval_expr(r.lo, env)
+        hi = eval_expr(r.hi, env)
+        if not isinstance(lo, int) or not isinstance(hi, int) or hi < lo:
+            raise NotApplicableError(f"empty or non-integer range {lo}..{hi}")
+        bounds.append((lo, hi))
+    domain = Polytope(bounds)
+
+    # Check 3: every comm rule affine; uniform => identity linear part.
+    dependencies: list[tuple[int, ...]] = []
+    for phase in program.comphases:
+        if phase.index is not None:
+            raise NotApplicableError(
+                f"comphase {phase.name!r} is an indexed family; its "
+                f"dependence is not a single constant vector"
+            )
+        for rule in phase.rules:
+            if rule.src.typename != decl.name or rule.dst.typename != decl.name:
+                raise NotApplicableError("rule crosses nodetypes")
+            pattern = [a.ident for a in rule.src.args if isinstance(a, ast.Name)]
+            if len(pattern) != len(rule.src.args) or len(pattern) != domain.dim:
+                raise NotApplicableError("malformed source pattern")
+            vector = []
+            for k, dst_arg in enumerate(rule.dst.args):
+                form = affine_form(dst_arg, pattern, env)
+                if form is None:
+                    raise NotApplicableError(
+                        f"comphase {phase.name!r}: destination coordinate "
+                        f"{k} is not affine in the node indices"
+                    )
+                coeffs, const = form
+                expected = {v: (1 if i == k else 0) for i, v in enumerate(pattern)}
+                if coeffs != expected:
+                    raise NotApplicableError(
+                        f"comphase {phase.name!r} is affine but not uniform "
+                        f"(linear part differs from identity); localisation "
+                        f"is not supported"
+                    )
+                vector.append(const)
+            if all(v == 0 for v in vector):
+                continue  # self-messages carry no dependence
+            dependencies.append(tuple(vector))
+
+    if not dependencies:
+        raise NotApplicableError("program has no inter-node dependencies")
+    return UniformRecurrence(program.name, domain, dependencies)

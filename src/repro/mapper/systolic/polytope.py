@@ -1,0 +1,85 @@
+"""Integer polytopes: the index domains of affine recurrences.
+
+A domain is an integer bounding box optionally cut by affine inequalities
+``a . x <= b``.  LaRCS nodetype ranges supply the box; ``where`` guards
+supply the extra inequalities (e.g. the triangular domains of back-
+substitution).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from itertools import product
+
+__all__ = ["Polytope"]
+
+Point = tuple[int, ...]
+
+
+class Polytope:
+    """An integer polytope: box bounds plus affine constraints.
+
+    Parameters
+    ----------
+    bounds:
+        Per-dimension inclusive ranges ``(lo, hi)``.
+    constraints:
+        Affine inequalities, each ``(coefficients, rhs)`` meaning
+        ``coefficients . x <= rhs``.
+    """
+
+    def __init__(
+        self,
+        bounds: Sequence[tuple[int, int]],
+        constraints: Sequence[tuple[Sequence[int], int]] = (),
+    ):
+        self.bounds = [(int(lo), int(hi)) for lo, hi in bounds]
+        for lo, hi in self.bounds:
+            if hi < lo:
+                raise ValueError(f"empty range {lo}..{hi}")
+        self.constraints = [
+            (tuple(int(c) for c in coeffs), int(rhs)) for coeffs, rhs in constraints
+        ]
+        for coeffs, _ in self.constraints:
+            if len(coeffs) != len(self.bounds):
+                raise ValueError("constraint dimension mismatch")
+
+    @property
+    def dim(self) -> int:
+        """Number of index dimensions."""
+        return len(self.bounds)
+
+    def contains(self, point: Sequence[int]) -> bool:
+        """True when *point* satisfies the box and every constraint."""
+        if len(point) != self.dim:
+            return False
+        for (lo, hi), x in zip(self.bounds, point):
+            if not (lo <= x <= hi):
+                return False
+        return all(
+            sum(c * x for c, x in zip(coeffs, point)) <= rhs
+            for coeffs, rhs in self.constraints
+        )
+
+    def points(self) -> Iterator[Point]:
+        """All integer points, lexicographic order."""
+        for p in product(*(range(lo, hi + 1) for lo, hi in self.bounds)):
+            if all(
+                sum(c * x for c, x in zip(coeffs, p)) <= rhs
+                for coeffs, rhs in self.constraints
+            ):
+                yield p
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.points())
+
+    def is_empty(self) -> bool:
+        """True when no integer point satisfies the constraints."""
+        return next(self.points(), None) is None
+
+    def box_corners(self) -> list[Point]:
+        """The corners of the bounding box (schedule-extremum candidates)."""
+        return list(product(*((lo, hi) for lo, hi in self.bounds)))
+
+    def __repr__(self) -> str:
+        return f"<Polytope dim={self.dim} bounds={self.bounds} +{len(self.constraints)} constraints>"

@@ -1,0 +1,88 @@
+"""Uniform recurrence equations: the systolic source programs.
+
+A uniform recurrence computes a value at every point of an integer polytope
+domain; the value at ``x`` is consumed at ``x + d`` for each *dependence
+vector* ``d`` (equivalently, ``x + d`` depends on ``x``).  The classic
+systolic kernels -- matrix product, convolution -- are provided as
+constructors and double as the benchmark workloads for experiment E9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapper.systolic.polytope import Polytope
+
+__all__ = ["UniformRecurrence", "matmul", "convolution", "triangular_solver"]
+
+Vector = tuple[int, ...]
+
+
+@dataclass
+class UniformRecurrence:
+    """A system of uniform recurrence equations over one polytope domain."""
+
+    name: str
+    domain: Polytope
+    dependencies: list[Vector] = field(default_factory=list)
+
+    def __post_init__(self):
+        for d in self.dependencies:
+            if len(d) != self.domain.dim:
+                raise ValueError(f"dependence {d} has wrong dimension")
+            if all(c == 0 for c in d):
+                raise ValueError("zero dependence vector (self-dependence)")
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the iteration space."""
+        return self.domain.dim
+
+    def edges(self) -> list[tuple[Vector, Vector]]:
+        """All (producer, consumer) point pairs inside the domain."""
+        out = []
+        for p in self.domain.points():
+            for d in self.dependencies:
+                q = tuple(a + b for a, b in zip(p, d))
+                if self.domain.contains(q):
+                    out.append((p, q))
+        return out
+
+
+def matmul(n: int) -> UniformRecurrence:
+    """Matrix product ``C = A x B`` as the canonical 3-D uniform recurrence.
+
+    ``c[i,j,k] = c[i,j,k-1] + a[i,j-1,k] * b[i-1,j,k]`` over the cube
+    ``[0,n)^3``: A-values pipe along ``j``, B-values along ``i``, partial
+    sums along ``k``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    domain = Polytope([(0, n - 1)] * 3)
+    return UniformRecurrence(
+        f"matmul{n}", domain, [(1, 0, 0), (0, 1, 0), (0, 0, 1)]
+    )
+
+
+def convolution(n: int, k: int) -> UniformRecurrence:
+    """FIR convolution ``y[i] = sum_j w[j] * x[i-j]`` as a 2-D recurrence.
+
+    Domain ``0 <= i < n, 0 <= j < k``; partial results accumulate along
+    ``j`` while inputs pipe along ``i``.
+    """
+    if n < 1 or k < 1:
+        raise ValueError("n and k must be >= 1")
+    domain = Polytope([(0, n - 1), (0, k - 1)])
+    return UniformRecurrence(f"conv{n}x{k}", domain, [(1, 0), (0, 1)])
+
+
+def triangular_solver(n: int) -> UniformRecurrence:
+    """Back-substitution on a triangular domain ``0 <= j <= i < n``.
+
+    Exercises the non-box (constraint-carrying) polytope path.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    # j <= i  <=>  -i + j <= 0
+    domain = Polytope([(0, n - 1), (0, n - 1)], [((-1, 1), 0)])
+    return UniformRecurrence(f"trisolve{n}", domain, [(1, 0), (1, 1)])

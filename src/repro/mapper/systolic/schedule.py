@@ -1,0 +1,76 @@
+"""Linear scheduling of uniform recurrences.
+
+A *linear schedule* is an integer vector ``lambda`` assigning computation
+point ``x`` the time step ``lambda . x``; it is valid when every dependence
+is respected with at least unit delay, ``lambda . d >= 1`` for all
+dependence vectors ``d``.  Among valid schedules we pick one minimising the
+makespan ``max lambda.x - min lambda.x + 1`` over the domain -- the classic
+optimality criterion of [CS84]/[RF88].
+
+The search enumerates integer vectors in a small box, which is exact for
+the kernels systolic arrays are built for (the optimal ``lambda`` entries
+are tiny: ``(1,1,1)`` for matrix product, ``(1,1)`` or ``(2,1)`` for
+convolution-like kernels).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.mapper.systolic.polytope import Polytope
+from repro.mapper.systolic.recurrence import UniformRecurrence
+
+__all__ = ["find_schedule", "makespan", "NoScheduleError"]
+
+Vector = tuple[int, ...]
+
+
+class NoScheduleError(Exception):
+    """No valid linear schedule exists in the searched box (e.g. a
+    dependence cycle with conflicting directions)."""
+
+
+def makespan(lam: Vector, domain: Polytope) -> int:
+    """Number of time steps ``lambda`` spreads the domain over.
+
+    Linear functions on a box are extremised at box corners; constraints
+    can only shrink the range, so the corner bound is exact for pure boxes
+    and a safe upper bound otherwise -- for constrained domains we scan the
+    actual points.
+    """
+    if domain.constraints:
+        values = [sum(l * x for l, x in zip(lam, p)) for p in domain.points()]
+    else:
+        values = [
+            sum(l * x for l, x in zip(lam, p)) for p in domain.box_corners()
+        ]
+    return max(values) - min(values) + 1
+
+
+def find_schedule(
+    rec: UniformRecurrence,
+    *,
+    search_radius: int = 3,
+) -> tuple[Vector, int]:
+    """Find a makespan-minimal valid linear schedule.
+
+    Returns ``(lambda, makespan)``.  Ties prefer smaller ``|lambda|_1``,
+    then lexicographic order, so results are deterministic.
+    """
+    best: tuple[int, int, Vector] | None = None
+    dim = rec.dim
+    for lam in product(range(-search_radius, search_radius + 1), repeat=dim):
+        if all(v == 0 for v in lam):
+            continue
+        if any(sum(l * d for l, d in zip(lam, dep)) < 1 for dep in rec.dependencies):
+            continue
+        span = makespan(lam, rec.domain)
+        key = (span, sum(abs(v) for v in lam), lam)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise NoScheduleError(
+            f"no valid schedule for {rec.name} within radius {search_radius}"
+        )
+    span, _, lam = best
+    return lam, span

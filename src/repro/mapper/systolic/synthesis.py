@@ -1,0 +1,135 @@
+"""End-to-end systolic synthesis: recurrence -> systolic array + space-time map.
+
+Combines a linear schedule (:mod:`repro.mapper.systolic.schedule`) and a
+projection allocation (:mod:`repro.mapper.systolic.allocation`) into the
+complete result: the processor array (a :class:`repro.arch.Topology` whose
+links are the projected dependence vectors -- nearest-neighbour by
+construction for the classic kernels), the space-time map of every
+computation point, and the pipelining period along each dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.topology import Topology
+from repro.mapper.systolic.allocation import find_allocation, project
+from repro.mapper.systolic.recurrence import UniformRecurrence
+from repro.mapper.systolic.schedule import find_schedule
+
+__all__ = ["SystolicArray", "synthesize"]
+
+Vector = tuple[int, ...]
+
+
+@dataclass
+class SystolicArray:
+    """A synthesised systolic implementation of a uniform recurrence.
+
+    Attributes
+    ----------
+    recurrence: the source recurrence.
+    schedule: the timing vector ``lambda``.
+    projection: the allocation direction ``u``.
+    allocation: the integer allocation matrix ``A`` (``A u = 0``).
+    makespan: total time steps.
+    processors: the processor coordinate set (projected domain).
+    link_directions: projected dependence vectors ``A d`` (one per
+        dependence; zero vectors mean the value stays on-processor).
+    space_time: ``point -> (processor, time)`` for every domain point.
+    """
+
+    recurrence: UniformRecurrence
+    schedule: Vector
+    projection: Vector
+    allocation: np.ndarray
+    makespan: int
+    processors: list[Vector] = field(default_factory=list)
+    link_directions: list[Vector] = field(default_factory=list)
+    space_time: dict[Vector, tuple[Vector, int]] = field(default_factory=dict)
+
+    @property
+    def n_processors(self) -> int:
+        return len(self.processors)
+
+    def as_topology(self) -> Topology:
+        """The array as a :class:`Topology` (links = projected dependences).
+
+        Isolated projected dependences of zero length contribute no links;
+        a single-processor array degenerates to one node.
+        """
+        procs = set(self.processors)
+        edges = set()
+        for d in self.link_directions:
+            if all(v == 0 for v in d):
+                continue
+            for p in procs:
+                q = tuple(a + b for a, b in zip(p, d))
+                if q in procs and p != q:
+                    edges.add((min(p, q), max(p, q)))
+        return Topology(
+            f"systolic-{self.recurrence.name}",
+            sorted(edges),
+            nodes=sorted(procs),
+            family=("systolic", (self.recurrence.name,)),
+        )
+
+    def utilization(self) -> float:
+        """Fraction of processor-time slots doing useful work."""
+        return len(self.space_time) / (self.n_processors * self.makespan)
+
+    def verify(self) -> None:
+        """Check the space-time map is a correct systolic execution.
+
+        * injective on (processor, time) -- no resource conflict;
+        * every dependence takes at least one time step;
+        * every dependence's data travels to a neighbouring processor (or
+          stays put).
+        """
+        seen = set()
+        for point, (proc, time) in self.space_time.items():
+            if (proc, time) in seen:
+                raise ValueError(f"space-time conflict at {(proc, time)}")
+            seen.add((proc, time))
+        for p, q in self.recurrence.edges():
+            (pp, tp) = self.space_time[p]
+            (pq, tq) = self.space_time[q]
+            if tq <= tp:
+                raise ValueError(f"dependence {p} -> {q} not delayed")
+            step = tuple(b - a for a, b in zip(pp, pq))
+            if step not in self.link_directions and any(v != 0 for v in step):
+                raise ValueError(f"dependence {p} -> {q} jumps {step}")
+
+
+def synthesize(rec: UniformRecurrence, *, search_radius: int = 3) -> SystolicArray:
+    """Synthesise a systolic array for a uniform recurrence.
+
+    Raises :class:`repro.mapper.systolic.NoScheduleError` when no linear
+    schedule exists in the search box.
+    """
+    lam, span = find_schedule(rec, search_radius=search_radius)
+    u, a = find_allocation(rec, lam)
+    space_time: dict[Vector, tuple[Vector, int]] = {}
+    times = []
+    for p in rec.domain.points():
+        t = sum(l * x for l, x in zip(lam, p))
+        times.append(t)
+        space_time[p] = (project(a, p), t)
+    t0 = min(times)
+    space_time = {p: (proc, t - t0) for p, (proc, t) in space_time.items()}
+    processors = sorted({proc for proc, _ in space_time.values()})
+    links = [tuple(int(v) for v in a @ np.array(d, dtype=int)) for d in rec.dependencies]
+    arr = SystolicArray(
+        recurrence=rec,
+        schedule=lam,
+        projection=u,
+        allocation=a,
+        makespan=span,
+        processors=processors,
+        link_directions=links,
+        space_time=space_time,
+    )
+    arr.verify()
+    return arr

@@ -1,0 +1,148 @@
+"""Computation of the METRICS performance-metric suite.
+
+"The performance metrics currently computed by METRICS include: load
+balancing metrics (tasks per processor, total execution time per
+processor); link metrics (dilation, volume of communication, communication
+contention with respect to the phases); and metrics for the overall mapping
+(completion time of the computation, total interprocessor communication)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapper.mapping import Mapping
+from repro.sim.model import CostModel
+
+__all__ = ["MappingMetrics", "PhaseLinkMetrics", "analyze"]
+
+
+@dataclass
+class PhaseLinkMetrics:
+    """Link metrics for one communication phase.
+
+    Attributes
+    ----------
+    volume_per_link:
+        Total message volume crossing each link (by 1-based link id).
+    messages_per_link:
+        Message count per link -- the *contention* of the phase: a value of
+        ``k`` means ``k`` synchronous messages share the link.
+    dilations:
+        Route length (hops) per edge index; 0 = intra-processor.
+    """
+
+    volume_per_link: dict[int, float] = field(default_factory=dict)
+    messages_per_link: dict[int, int] = field(default_factory=dict)
+    dilations: list[int] = field(default_factory=list)
+
+    @property
+    def max_contention(self) -> int:
+        """Most messages sharing any one link in this phase."""
+        return max(self.messages_per_link.values(), default=0)
+
+    @property
+    def average_dilation(self) -> float:
+        """Mean hops per message edge (intra-processor edges count 0)."""
+        return sum(self.dilations) / len(self.dilations) if self.dilations else 0.0
+
+    @property
+    def max_dilation(self) -> int:
+        """Longest route in the phase."""
+        return max(self.dilations, default=0)
+
+
+@dataclass
+class MappingMetrics:
+    """The full METRICS suite for one mapping."""
+
+    # -- load balancing ---------------------------------------------------
+    tasks_per_processor: dict[object, int] = field(default_factory=dict)
+    exec_time_per_processor: dict[object, float] = field(default_factory=dict)
+    # -- links -------------------------------------------------------------
+    phase_links: dict[str, PhaseLinkMetrics] = field(default_factory=dict)
+    # -- overall -----------------------------------------------------------
+    total_ipc: float = 0.0
+    estimated_completion_time: float = 0.0
+    #: Simulated critical-path time attributed to each phase.
+    phase_critical_time: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def max_tasks(self) -> int:
+        return max(self.tasks_per_processor.values(), default=0)
+
+    @property
+    def min_tasks(self) -> int:
+        return min(self.tasks_per_processor.values(), default=0)
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max over mean execution time across processors (1.0 = perfect)."""
+        times = list(self.exec_time_per_processor.values())
+        if not times or sum(times) == 0:
+            return 1.0
+        return max(times) / (sum(times) / len(times))
+
+    @property
+    def average_dilation(self) -> float:
+        """Mean dilation over all message edges, all phases."""
+        dil = [d for m in self.phase_links.values() for d in m.dilations]
+        return sum(dil) / len(dil) if dil else 0.0
+
+    @property
+    def max_contention(self) -> int:
+        """Worst per-phase link contention across the mapping."""
+        return max(
+            (m.max_contention for m in self.phase_links.values()), default=0
+        )
+
+
+def analyze(mapping: Mapping, model: CostModel | None = None) -> MappingMetrics:
+    """Compute the METRICS suite for a routed mapping.
+
+    The completion time comes from the discrete-event simulator (the
+    contention-aware semantics of the substituted execution substrate);
+    when the task graph has no phase expression it is the one-shot
+    all-phases time.
+    """
+    model = model or CostModel()
+    tg = mapping.task_graph
+    topo = mapping.topology
+    metrics = MappingMetrics()
+
+    # Load balancing.
+    for proc in topo.processors:
+        metrics.tasks_per_processor[proc] = 0
+        metrics.exec_time_per_processor[proc] = 0.0
+    for task, proc in mapping.assignment.items():
+        metrics.tasks_per_processor[proc] += 1
+        for phase in tg.exec_phases.values():
+            metrics.exec_time_per_processor[proc] += (
+                phase.cost_of(task) * model.exec_time
+            )
+
+    # Link metrics per phase + total IPC.
+    for phase_name, phase in tg.comm_phases.items():
+        pm = PhaseLinkMetrics()
+        for idx, edge in enumerate(phase.edges):
+            route = mapping.routes[(phase_name, idx)]
+            pm.dilations.append(len(route) - 1)
+            if len(route) > 1:
+                metrics.total_ipc += edge.volume
+                for a, b in zip(route, route[1:]):
+                    lid = topo.link_id(a, b)
+                    pm.volume_per_link[lid] = (
+                        pm.volume_per_link.get(lid, 0.0) + edge.volume
+                    )
+                    pm.messages_per_link[lid] = (
+                        pm.messages_per_link.get(lid, 0) + 1
+                    )
+        metrics.phase_links[phase_name] = pm
+
+    # Overall completion time via the simulator.
+    from repro.sim.engine import simulate
+
+    sim = simulate(mapping, model)
+    metrics.estimated_completion_time = sim.total_time
+    metrics.phase_critical_time = dict(sim.phase_time)
+    return metrics

@@ -1,0 +1,151 @@
+"""ASCII rendering of mappings on their topologies.
+
+The original METRICS "displays the mapping produced automatically by
+MAPPER" on color screens; this is the terminal equivalent.  Meshes and tori
+draw as grids with each processor's task list in its cell; rings and linear
+arrays draw as chains; hypercubes and everything else fall back to an
+adjacency listing.  Per-link annotations show the phase traffic, the
+textual stand-in for METRICS' colored edges.
+"""
+
+from __future__ import annotations
+
+from repro.mapper.mapping import Mapping
+from repro.metrics.analysis import MappingMetrics, analyze
+
+__all__ = ["render_mapping_ascii", "render_link_traffic", "render_timeline"]
+
+
+def _cell_text(mapping: Mapping, proc) -> str:
+    tasks = sorted(mapping.tasks_on(proc), key=repr)
+    inner = ",".join(str(t) for t in tasks) if tasks else "-"
+    return f"{proc}:{inner}"
+
+
+def _render_grid(mapping: Mapping, rows: int, cols: int) -> str:
+    cells = [
+        [_cell_text(mapping, r * cols + c) for c in range(cols)]
+        for r in range(rows)
+    ]
+    width = max(len(text) for row in cells for text in row)
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append(" -- ".join(text.center(width) for text in row))
+        if r + 1 < rows:
+            lines.append("   ".join("|".center(width) for _ in row))
+    return "\n".join(lines)
+
+
+def _render_chain(mapping: Mapping, n: int, *, closed: bool) -> str:
+    cells = [_cell_text(mapping, p) for p in range(n)]
+    chain = " -- ".join(cells)
+    if closed and n > 2:
+        return f"{chain} -- (wraps to {cells[0].split(':')[0]})"
+    return chain
+
+
+def _render_adjacency(mapping: Mapping) -> str:
+    topo = mapping.topology
+    lines = []
+    for proc in topo.processors:
+        neighbours = " ".join(str(nb) for nb in sorted(topo.neighbors(proc), key=repr))
+        lines.append(f"{_cell_text(mapping, proc):<20} -> {neighbours}")
+    return "\n".join(lines)
+
+
+def render_mapping_ascii(mapping: Mapping) -> str:
+    """Draw the mapping on its topology as ASCII art.
+
+    Each cell shows ``processor:task,task,..``; grid-shaped topologies
+    render as grids, chains as chains, anything else as an adjacency list.
+    """
+    topo = mapping.topology
+    header = f"{mapping.task_graph.name} on {topo.name} ({mapping.provenance})"
+    family = topo.family[0] if topo.family else None
+    if family in ("mesh", "torus"):
+        rows, cols = topo.family[1]
+        body = _render_grid(mapping, rows, cols)
+        if family == "torus":
+            body += "\n(torus: rows and columns wrap around)"
+    elif family == "ring":
+        body = _render_chain(mapping, topo.n_processors, closed=True)
+    elif family == "linear":
+        body = _render_chain(mapping, topo.n_processors, closed=False)
+    else:
+        body = _render_adjacency(mapping)
+    return f"{header}\n{body}"
+
+
+def render_timeline(
+    mapping: Mapping,
+    sim_result,
+    *,
+    width: int = 50,
+    max_rows: int = 40,
+) -> str:
+    """A textual timeline of the simulated phase-expression steps.
+
+    One row per synchronous step, bar length proportional to the step's
+    duration, labelled with the phases active in that step.  Long phase
+    expressions are folded: identical consecutive (phases, duration) rows
+    collapse into one row with a repeat count.
+    """
+    tg = mapping.task_graph
+    steps = (
+        tg.phase_expr.linearize() if tg.phase_expr is not None
+        else [frozenset(tg.phase_names)]
+    )
+    times = sim_result.step_times
+    if len(steps) != len(times):
+        raise ValueError("simulation result does not match the phase expression")
+    if not times:
+        return "empty timeline"
+    scale = max(times) or 1.0
+
+    # Fold identical consecutive rows.
+    rows: list[tuple[str, float, int]] = []
+    for step, t in zip(steps, times):
+        label = "+".join(sorted(step))
+        if rows and rows[-1][0] == label and abs(rows[-1][1] - t) < 1e-12:
+            rows[-1] = (label, t, rows[-1][2] + 1)
+        else:
+            rows.append((label, t, 1))
+
+    label_w = max(len(label) for label, _, _ in rows)
+    lines = [f"timeline of {tg.name} ({sim_result.total_time:g} total):"]
+    for label, t, count in rows[:max_rows]:
+        bar = "=" * max(1, round(t / scale * width)) if t > 0 else "."
+        rep = f" x{count}" if count > 1 else ""
+        lines.append(f"  {label:<{label_w}} |{bar:<{width}}| {t:g}{rep}")
+    if len(rows) > max_rows:
+        lines.append(f"  ... {len(rows) - max_rows} more step groups")
+    return "\n".join(lines)
+
+
+def render_link_traffic(
+    mapping: Mapping,
+    metrics: MappingMetrics | None = None,
+    *,
+    top: int = 10,
+) -> str:
+    """The busiest links with a volume bar per phase (textual edge colors)."""
+    metrics = metrics if metrics is not None else analyze(mapping)
+    topo = mapping.topology
+    totals: dict[int, float] = {}
+    for pm in metrics.phase_links.values():
+        for lid, vol in pm.volume_per_link.items():
+            totals[lid] = totals.get(lid, 0.0) + vol
+    if not totals:
+        return "no inter-processor traffic"
+    scale = max(totals.values())
+    lines = ["busiest links (volume across all phases):"]
+    for lid in sorted(totals, key=lambda l: -totals[l])[:top]:
+        u, v = tuple(topo.link_by_id(lid))
+        bar = "#" * max(1, round(totals[lid] / scale * 30))
+        per_phase = " ".join(
+            f"{name}={pm.volume_per_link.get(lid, 0.0):g}"
+            for name, pm in metrics.phase_links.items()
+            if pm.volume_per_link.get(lid)
+        )
+        lines.append(f"  link {lid:>3} ({u}--{v}): {totals[lid]:>7g} {bar}  [{per_phase}]")
+    return "\n".join(lines)

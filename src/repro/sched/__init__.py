@@ -1,0 +1,33 @@
+"""Scheduling extension: task synchrony sets and local scheduling directives.
+
+Section 6 ("Scheduling"): "it is advantageous to be able to coordinate the
+scheduling of tasks across processors after they have been assigned by
+MAPPER. ... A task synchrony set is a set of tasks, one on each processor,
+that should be executing at the same time.  Identification of these
+synchrony sets can be used ... to produce local scheduling directives for
+each processor that ensure synchronous execution of the tasks in each set.
+The scheduling directives can be expressed in a notation similar to path
+expressions [CH74]."
+
+This subpackage implements that design: synchrony sets aligned across
+processors (:mod:`repro.sched.synchrony`), per-processor path-expression
+directives (:mod:`repro.sched.directives`), and the skew metric showing
+what the coordination buys (:func:`repro.sched.synchrony.schedule_skew`).
+"""
+
+from repro.sched.synchrony import (
+    SynchronySets,
+    derive_synchrony_sets,
+    partner_misalignment,
+    schedule_skew,
+)
+from repro.sched.directives import LocalSchedule, build_directives
+
+__all__ = [
+    "SynchronySets",
+    "derive_synchrony_sets",
+    "partner_misalignment",
+    "schedule_skew",
+    "LocalSchedule",
+    "build_directives",
+]

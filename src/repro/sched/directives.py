@@ -1,0 +1,91 @@
+"""Local scheduling directives in path-expression notation.
+
+"The scheduling directives can be expressed in a notation similar to path
+expressions [CH74] that specify the allowable ways to multiplex the tasks
+assigned to a given processor."
+
+A :class:`LocalSchedule` holds, per processor, the slot-ordered action
+sequence for each synchronous step of the phase expression, and renders it
+as a Campbell/Habermann-style path expression::
+
+    path (t3.compute1 ; t7.compute1) end
+
+meaning: within this step, run task 3's compute1, then task 7's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapper.mapping import Mapping
+from repro.sched.synchrony import SynchronySets, derive_synchrony_sets
+
+__all__ = ["LocalSchedule", "build_directives"]
+
+
+@dataclass
+class LocalSchedule:
+    """Per-processor schedule: for each step, the ordered (task, phase) list."""
+
+    proc: object
+    steps: list[list[tuple[object, str]]] = field(default_factory=list)
+
+    def path_expression(self, step: int) -> str:
+        """The CH74-style path expression for one step."""
+        actions = self.steps[step]
+        if not actions:
+            return "path end"
+        body = " ; ".join(f"t{task}.{phase}" for task, phase in actions)
+        return f"path ({body}) end"
+
+    def render(self) -> str:
+        """All steps, one path expression per line."""
+        lines = [f"processor {self.proc}:"]
+        for i in range(len(self.steps)):
+            lines.append(f"  step {i}: {self.path_expression(i)}")
+        return "\n".join(lines)
+
+
+def build_directives(
+    mapping: Mapping,
+    sets: SynchronySets | None = None,
+    *,
+    max_steps: int = 10_000,
+) -> dict[object, LocalSchedule]:
+    """Local scheduling directives for every processor.
+
+    Walks the phase expression's synchronous steps; in each step, each
+    processor runs its tasks' active execution phases in synchrony-slot
+    order (so slot *k* fires at the same local position everywhere --
+    synchronous execution of each synchrony set).  Communication phases
+    need no local ordering (the router owns them) and are omitted.
+    """
+    tg = mapping.task_graph
+    if sets is None:
+        sets = derive_synchrony_sets(mapping)
+    steps = (
+        tg.phase_expr.linearize(max_steps=max_steps)
+        if tg.phase_expr is not None
+        else [frozenset(tg.exec_phases)]
+    )
+    exec_names = set(tg.exec_phases)
+
+    by_proc: dict[object, list] = {p: [] for p in mapping.topology.processors}
+    for task, slot in sets.slots.items():
+        by_proc[mapping.proc_of(task)].append((slot, task))
+    for entries in by_proc.values():
+        entries.sort(key=lambda st: (st[0], repr(st[1])))
+
+    schedules = {
+        proc: LocalSchedule(proc, [[] for _ in steps]) for proc in by_proc
+    }
+    for i, step in enumerate(steps):
+        active = sorted(step & exec_names)
+        if not active:
+            continue
+        for proc, entries in by_proc.items():
+            actions = schedules[proc].steps[i]
+            for _, task in entries:
+                for phase in active:
+                    actions.append((task, phase))
+    return schedules

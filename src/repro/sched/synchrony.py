@@ -1,0 +1,210 @@
+"""Task synchrony sets: aligning multiplexed tasks across processors.
+
+After contraction, each processor multiplexes several tasks.  In a
+synchronous computation the *k*-th task served on processor A should run at
+the same time as the tasks it exchanges messages with on processors B, C,
+... -- otherwise a message's consumer is not scheduled when the message
+arrives and the whole phase skews.
+
+A :class:`SynchronySets` object is a list of sets, each holding at most one
+task per processor; set *k* contains the tasks that should execute in the
+*k*-th local slot.  :func:`derive_synchrony_sets` builds them by aligning
+communication partners greedily: starting from an arbitrary anchor
+processor's task order, each neighbouring task is pulled into the slot of
+the partner it exchanges the most volume with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapper.mapping import Mapping
+
+__all__ = [
+    "SynchronySets",
+    "derive_synchrony_sets",
+    "schedule_skew",
+    "partner_misalignment",
+]
+
+
+@dataclass
+class SynchronySets:
+    """Slot assignment of tasks: one slot per task, aligned across processors.
+
+    Attributes
+    ----------
+    slots:
+        ``task -> slot index`` (0-based local execution order).
+    sets:
+        ``slot -> set of tasks`` sharing it (at most one per processor).
+    """
+
+    slots: dict[object, int] = field(default_factory=dict)
+
+    @property
+    def sets(self) -> list[set]:
+        n = max(self.slots.values(), default=-1) + 1
+        out: list[set] = [set() for _ in range(n)]
+        for task, slot in self.slots.items():
+            out[slot].add(task)
+        return out
+
+    def validate(self, mapping: Mapping) -> None:
+        """At most one task per processor per slot; every task slotted."""
+        seen: set[tuple[object, int]] = set()
+        for task in mapping.task_graph.nodes:
+            if task not in self.slots:
+                raise ValueError(f"task {task!r} has no synchrony slot")
+            key = (mapping.proc_of(task), self.slots[task])
+            if key in seen:
+                raise ValueError(
+                    f"two tasks share slot {self.slots[task]} on "
+                    f"processor {key[0]!r}"
+                )
+            seen.add(key)
+
+
+def _partner_volumes(mapping: Mapping) -> dict[object, dict[object, float]]:
+    """Per task, total exchanged volume with each other task (symmetric)."""
+    volumes: dict[object, dict[object, float]] = {
+        t: {} for t in mapping.task_graph.nodes
+    }
+    for _, edge in mapping.task_graph.all_edges():
+        if edge.src == edge.dst:
+            continue
+        volumes[edge.src][edge.dst] = volumes[edge.src].get(edge.dst, 0.0) + edge.volume
+        volumes[edge.dst][edge.src] = volumes[edge.dst].get(edge.src, 0.0) + edge.volume
+    return volumes
+
+
+def derive_synchrony_sets(mapping: Mapping) -> SynchronySets:
+    """Align each processor's tasks into cross-processor synchrony slots.
+
+    Greedy partner alignment: process tasks in breadth-first order over the
+    communication structure from the most-communicating task; each task
+    takes the slot of its heaviest already-slotted partner if that slot is
+    free on its processor, else the nearest free slot on its processor.
+    """
+    tg = mapping.task_graph
+    volumes = _partner_volumes(mapping)
+    # Occupied slots per processor.
+    taken: dict[object, set[int]] = {p: set() for p in mapping.topology.processors}
+    result = SynchronySets()
+
+    def place(task, want: int) -> None:
+        proc = mapping.proc_of(task)
+        slot = want
+        while slot in taken[proc]:
+            slot += 1
+        # Also try below the wanted slot (nearest free wins).
+        down = want - 1
+        while down >= 0 and down in taken[proc]:
+            down -= 1
+        if down >= 0 and (want - down) < (slot - want + 1):
+            slot = down
+        taken[proc].add(slot)
+        result.slots[task] = slot
+
+    # BFS from the heaviest communicator, deterministic order.
+    order: list = []
+    seen: set = set()
+    tasks_by_weight = sorted(
+        tg.nodes, key=lambda t: (-sum(volumes[t].values()), repr(t))
+    )
+    for root in tasks_by_weight:
+        if root in seen:
+            continue
+        queue = [root]
+        seen.add(root)
+        while queue:
+            t = queue.pop(0)
+            order.append(t)
+            for nb in sorted(volumes[t], key=lambda x: (-volumes[t][x], repr(x))):
+                if nb not in seen:
+                    seen.add(nb)
+                    queue.append(nb)
+
+    for task in order:
+        slotted_partners = [
+            (volumes[task][p], result.slots[p])
+            for p in volumes[task]
+            if p in result.slots and mapping.proc_of(p) != mapping.proc_of(task)
+        ]
+        if slotted_partners:
+            # Heaviest partner's slot, ties to the smaller slot.
+            _, want = max(slotted_partners, key=lambda vp: (vp[0], -vp[1]))
+        else:
+            want = 0
+        place(task, want)
+    result.validate(mapping)
+    return result
+
+
+def partner_misalignment(
+    mapping: Mapping,
+    sets: SynchronySets,
+) -> float:
+    """Volume-weighted average slot distance between communication partners.
+
+    This is the quantity synchrony sets exist to minimise: a message whose
+    sender runs in local slot 2 while its receiver runs in slot 0 forces
+    the receiver's processor to sit on the message for two whole slots (or
+    buffer it).  Zero means every inter-processor message connects tasks in
+    the same slot -- perfectly synchronous execution of each set.
+    """
+    total_volume = 0.0
+    weighted = 0.0
+    for _, edge in mapping.task_graph.all_edges():
+        if edge.src == edge.dst:
+            continue
+        if mapping.proc_of(edge.src) == mapping.proc_of(edge.dst):
+            continue
+        gap = abs(sets.slots[edge.src] - sets.slots[edge.dst])
+        weighted += gap * edge.volume
+        total_volume += edge.volume
+    return weighted / total_volume if total_volume else 0.0
+
+
+def schedule_skew(
+    mapping: Mapping,
+    sets: SynchronySets,
+    exec_phase: str | None = None,
+) -> float:
+    """Average start-time spread within each synchrony set.
+
+    Tasks on one processor run in slot order; a task's start offset is the
+    summed cost of the earlier slots on its processor.  The skew of a set
+    is ``max - min`` of its members' offsets.  Non-zero skew arises from
+    slot gaps and uneven per-task costs -- the *drift* that accumulates even
+    when partners share slots; :func:`partner_misalignment` measures the
+    alignment objective itself.
+    """
+    tg = mapping.task_graph
+    phases = (
+        [tg.exec_phase(exec_phase)] if exec_phase else list(tg.exec_phases.values())
+    )
+    if not phases:
+        return 0.0
+
+    def cost(task) -> float:
+        return sum(ph.cost_of(task) for ph in phases)
+
+    # Start offset per task: total cost of earlier-slot tasks on its proc.
+    by_proc: dict[object, list] = {}
+    for task, slot in sets.slots.items():
+        by_proc.setdefault(mapping.proc_of(task), []).append((slot, task))
+    offset: dict[object, float] = {}
+    for proc, entries in by_proc.items():
+        entries.sort()
+        acc = 0.0
+        for _, task in entries:
+            offset[task] = acc
+            acc += cost(task)
+
+    skews = []
+    for group in sets.sets:
+        if len(group) >= 2:
+            offs = [offset[t] for t in group]
+            skews.append(max(offs) - min(offs))
+    return sum(skews) / len(skews) if skews else 0.0

@@ -1,0 +1,14 @@
+"""Execution substrate: a discrete-event simulator for mapped computations.
+
+The original OREGAMI targeted real multicomputers (iPSC/2, NCUBE, INMOS
+Transputer); this reproduction substitutes a store-and-forward simulator so
+that the completion-time metric and the end-to-end benchmarks have a
+concrete, contention-aware semantics: links are FIFO resources serving one
+message at a time, processors execute their tasks' phase costs, and the
+phase expression drives the synchronous step structure.
+"""
+
+from repro.sim.model import CostModel
+from repro.sim.engine import SimulationResult, simulate
+
+__all__ = ["CostModel", "simulate", "SimulationResult"]

@@ -1,0 +1,54 @@
+"""The cost model of the simulated multicomputer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CostModel"]
+
+_SWITCHING_MODES = ("store_and_forward", "cut_through")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine parameters for simulation and completion-time estimation.
+
+    Attributes
+    ----------
+    hop_latency:
+        Fixed startup cost of moving one message across one link.
+    byte_time:
+        Transfer time per unit of message volume per link.
+    exec_time:
+        Time per unit of task execution cost.
+    switching:
+        ``"store_and_forward"`` (NCUBE-style: each hop receives the whole
+        message before forwarding, so an L-hop message takes
+        ``L * (latency + volume * byte_time)`` uncontended) or
+        ``"cut_through"`` (iPSC/2-style: the header cuts through and the
+        body pipelines behind it, ``L * latency + volume * byte_time``
+        uncontended, but the message holds *all* its links while flowing,
+        so contention blocks whole paths).
+    """
+
+    hop_latency: float = 1.0
+    byte_time: float = 1.0
+    exec_time: float = 1.0
+    switching: str = "store_and_forward"
+
+    def transfer_time(self, volume: float) -> float:
+        """Time one message of the given volume occupies one link
+        (store-and-forward per-hop cost)."""
+        return self.hop_latency + self.byte_time * volume
+
+    def cut_through_time(self, volume: float, hops: int) -> float:
+        """Uncontended end-to-end time of a cut-through message."""
+        return self.hop_latency * hops + self.byte_time * volume
+
+    def __post_init__(self):
+        if self.hop_latency < 0 or self.byte_time < 0 or self.exec_time < 0:
+            raise ValueError("cost-model parameters must be non-negative")
+        if self.switching not in _SWITCHING_MODES:
+            raise ValueError(
+                f"switching must be one of {_SWITCHING_MODES}, got {self.switching!r}"
+            )

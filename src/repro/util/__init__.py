@@ -1,0 +1,32 @@
+"""Shared combinatorial utilities used throughout the OREGAMI toolchain.
+
+This subpackage holds the small, dependency-free substrates that several
+MAPPER algorithms are built on:
+
+* :mod:`repro.util.gray` -- binary-reflected Gray codes, used by the canned
+  ring-to-hypercube and mesh-to-hypercube embeddings.
+* :mod:`repro.util.matching` -- greedy *maximal* matching (Algorithm MM-Route)
+  and *maximum-weight* matching (Algorithm MWM-Contract).
+* :mod:`repro.util.validation` -- argument-checking helpers shared by the
+  public API.
+"""
+
+from repro.util.gray import gray_code, gray_rank, gray_sequence
+from repro.util.matching import (
+    greedy_maximal_matching,
+    max_weight_matching,
+    is_matching,
+    is_maximal_matching,
+    matching_weight,
+)
+
+__all__ = [
+    "gray_code",
+    "gray_rank",
+    "gray_sequence",
+    "greedy_maximal_matching",
+    "max_weight_matching",
+    "is_matching",
+    "is_maximal_matching",
+    "matching_weight",
+]

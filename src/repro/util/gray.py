@@ -1,0 +1,51 @@
+"""Binary-reflected Gray codes.
+
+The canned embeddings of rings and meshes into hypercubes (Section 4.1 of the
+paper, following Fishburn & Finkel's quotient-network constructions) rely on
+the classic property of the binary-reflected Gray code: consecutive code words
+differ in exactly one bit, so consecutive ring positions land on adjacent
+hypercube nodes (dilation 1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["gray_code", "gray_rank", "gray_sequence", "hamming"]
+
+
+def gray_code(i: int) -> int:
+    """Return the *i*-th binary-reflected Gray code word.
+
+    >>> [gray_code(i) for i in range(4)]
+    [0, 1, 3, 2]
+    """
+    if i < 0:
+        raise ValueError(f"gray_code requires i >= 0, got {i}")
+    return i ^ (i >> 1)
+
+def gray_rank(g: int) -> int:
+    """Inverse of :func:`gray_code`: the rank of code word *g*.
+
+    >>> all(gray_rank(gray_code(i)) == i for i in range(64))
+    True
+    """
+    if g < 0:
+        raise ValueError(f"gray_rank requires g >= 0, got {g}")
+    i = 0
+    while g:
+        i ^= g
+        g >>= 1
+    return i
+
+def gray_sequence(nbits: int) -> list[int]:
+    """All ``2**nbits`` Gray code words in ring order.
+
+    Consecutive entries (cyclically) differ in exactly one bit, i.e. they are
+    adjacent hypercube node labels.
+    """
+    if nbits < 0:
+        raise ValueError(f"gray_sequence requires nbits >= 0, got {nbits}")
+    return [gray_code(i) for i in range(1 << nbits)]
+
+def hamming(a: int, b: int) -> int:
+    """Hamming distance between two node labels viewed as bit strings."""
+    return (a ^ b).bit_count()

@@ -1,0 +1,26 @@
+"""Argument-validation helpers shared across the public API."""
+
+from __future__ import annotations
+
+__all__ = ["require", "check_positive_int", "check_power_of_two"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive_int(value: int, name: str) -> int:
+    """Validate that *value* is a positive int and return it."""
+    if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def check_power_of_two(value: int, name: str) -> int:
+    """Validate that *value* is a positive power of two and return it."""
+    check_positive_int(value, name)
+    if value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value}")
+    return value

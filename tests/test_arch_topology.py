@@ -1,0 +1,146 @@
+"""Tests for repro.arch.topology."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import networks
+from repro.arch.topology import Topology
+
+
+class TestConstruction:
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("bad", [(0, 1), (2, 3)])
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("bad", [(0, 0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Topology("bad", [])
+
+    def test_single_node(self):
+        t = Topology("solo", [], nodes=[0])
+        assert t.n_processors == 1 and t.n_links == 0
+
+    def test_counts(self):
+        t = networks.hypercube(3)
+        assert t.n_processors == 8
+        assert t.n_links == 12
+
+
+class TestLinks:
+    def test_link_ids_one_based_and_unique(self):
+        t = networks.hypercube(3)
+        ids = {t.link_id(u, v) for u, v in (tuple(l) for l in t.links)}
+        assert ids == set(range(1, 13))
+
+    def test_link_id_orientation_free(self):
+        t = networks.ring(5)
+        assert t.link_id(0, 1) == t.link_id(1, 0)
+
+    def test_link_by_id_roundtrip(self):
+        t = networks.mesh(2, 3)
+        for link in t.links:
+            u, v = tuple(link)
+            assert t.link_by_id(t.link_id(u, v)) == link
+
+    def test_missing_link(self):
+        t = networks.ring(6)
+        with pytest.raises(KeyError):
+            t.link_id(0, 3)
+
+    def test_has_link(self):
+        t = networks.ring(4)
+        assert t.has_link(0, 1) and not t.has_link(0, 2)
+
+
+class TestDistances:
+    def test_hypercube_distance_is_hamming(self):
+        t = networks.hypercube(4)
+        for u in range(16):
+            for v in range(16):
+                assert t.distance(u, v) == bin(u ^ v).count("1")
+
+    def test_ring_diameter(self):
+        assert networks.ring(8).diameter == 4
+        assert networks.ring(7).diameter == 3
+
+    def test_mesh_diameter(self):
+        assert networks.mesh(3, 4).diameter == 5
+
+    def test_complete_diameter(self):
+        assert networks.complete(5).diameter == 1
+
+
+class TestNextHopsAndRoutes:
+    def test_next_hops_empty_at_destination(self):
+        t = networks.hypercube(3)
+        assert t.next_hops(5, 5) == []
+
+    def test_next_hops_hypercube(self):
+        t = networks.hypercube(3)
+        # From 0 to 3 (bits 0 and 1 differ): hops via 1 or 2.
+        assert sorted(t.next_hops(0, 3)) == [1, 2]
+
+    def test_shortest_routes_count_hypercube(self):
+        t = networks.hypercube(3)
+        # Distance-2 pairs have exactly 2 shortest routes; distance-3 have 6.
+        assert len(t.shortest_routes(0, 3)) == 2
+        assert len(t.shortest_routes(0, 7)) == 6
+
+    def test_shortest_routes_all_valid_and_shortest(self):
+        t = networks.mesh(3, 3)
+        for dst in range(9):
+            for route in t.shortest_routes(0, dst):
+                assert t.is_valid_route(route)
+                assert len(route) - 1 == t.distance(0, dst)
+                assert route[0] == 0 and route[-1] == dst
+
+    def test_shortest_routes_trivial(self):
+        t = networks.ring(4)
+        assert t.shortest_routes(2, 2) == [[2]]
+
+    def test_shortest_routes_limit(self):
+        t = networks.hypercube(4)
+        assert len(t.shortest_routes(0, 15, limit=5)) == 5
+
+    def test_route_links(self):
+        t = networks.ring(4)
+        route = [0, 1, 2]
+        lids = t.route_links(route)
+        assert lids == [t.link_id(0, 1), t.link_id(1, 2)]
+
+    def test_is_valid_route_rejects_jumps(self):
+        t = networks.ring(6)
+        assert not t.is_valid_route([0, 2])
+        assert not t.is_valid_route([])
+
+    def test_routing_table_fig6_shape(self):
+        # The 8-processor hypercube's table: every ordered pair present,
+        # each entry the link sequences of shortest routes.
+        t = networks.hypercube(3)
+        table = t.routing_table()
+        assert len(table) == 8 * 7
+        assert len(table[(0, 3)]) == 2  # distance 2: two choices
+        assert len(table[(0, 7)]) == 6  # distance 3: six choices
+        for (src, dst), choices in table.items():
+            for links in choices:
+                assert len(links) == t.distance(src, dst)
+
+    def test_routing_table_limit(self):
+        t = networks.hypercube(4)
+        table = t.routing_table(limit=3)
+        assert all(len(choices) <= 3 for choices in table.values())
+
+    @given(st.integers(min_value=2, max_value=5))
+    def test_next_hops_reduce_distance(self, dim):
+        t = networks.hypercube(dim)
+        n = 1 << dim
+        for u in range(0, n, max(1, n // 4)):
+            for v in range(0, n, max(1, n // 4)):
+                if u == v:
+                    continue
+                for nb in t.next_hops(u, v):
+                    assert t.distance(nb, v) == t.distance(u, v) - 1

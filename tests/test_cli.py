@@ -1,0 +1,178 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import main, parse_bindings, parse_topology
+
+
+class TestParseTopology:
+    def test_hypercube(self):
+        t = parse_topology("hypercube:3")
+        assert t.n_processors == 8
+
+    def test_mesh_x_form(self):
+        t = parse_topology("mesh:3x4")
+        assert t.n_processors == 12
+
+    def test_mesh_comma_form(self):
+        t = parse_topology("torus:2,5")
+        assert t.n_processors == 10
+
+    def test_all_builders(self):
+        for spec, n in [
+            ("ring:6", 6),
+            ("linear:5", 5),
+            ("complete:4", 4),
+            ("star:7", 7),
+            ("tree:2", 7),
+            ("ccc:2", 8),
+            ("butterfly:2", 12),
+        ]:
+            assert parse_topology(spec).n_processors == n
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            parse_topology("dragonfly:8")
+
+    def test_missing_params(self):
+        with pytest.raises(ValueError, match="bad topology spec"):
+            parse_topology("mesh:4")
+
+
+class TestParseBindings:
+    def test_pairs(self):
+        assert parse_bindings(["n=15", "msize=4"]) == {"n": 15, "msize": 4}
+
+    def test_empty(self):
+        assert parse_bindings([]) == {}
+
+    def test_malformed(self):
+        with pytest.raises(ValueError):
+            parse_bindings(["n15"])
+
+    def test_non_integer(self):
+        with pytest.raises(ValueError):
+            parse_bindings(["n=abc"])
+
+
+class TestCommands:
+    def test_stdlib_lists_programs(self, capsys):
+        assert main(["stdlib"]) == 0
+        out = capsys.readouterr().out
+        assert "nbody" in out and "jacobi" in out
+
+    def test_topologies_lists_specs(self, capsys):
+        assert main(["topologies"]) == 0
+        out = capsys.readouterr().out
+        assert "hypercube" in out and "mesh:4x4" in out
+
+    def test_compile_stdlib(self, capsys):
+        assert main(["compile", "nbody", "--bind", "n=15"]) == 0
+        out = capsys.readouterr().out
+        assert "15 tasks" in out
+        assert "phase expression" in out
+
+    def test_compile_edges_flag(self, capsys):
+        assert main(["compile", "pipeline", "--bind", "n=3", "--edges"]) == 0
+        out = capsys.readouterr().out
+        assert "forward: 0 -> 1" in out
+
+    def test_compile_file(self, tmp_path, capsys):
+        src = tmp_path / "prog.larcs"
+        src.write_text(
+            "algorithm tiny(n);\nnodetype t[0..n-1];\n"
+            "comphase step t(i) -> t((i+1) mod n);\n"
+        )
+        assert main(["compile", str(src), "--bind", "n=4"]) == 0
+        assert "4 tasks" in capsys.readouterr().out
+
+    def test_compile_unknown_program(self, capsys):
+        assert main(["compile", "nosuch_prog"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_map_summary(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "hypercube:3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "via the 'canned' path" in out
+        assert "total IPC" in out
+
+    def test_map_report(self, capsys):
+        assert main(
+            ["map", "voting", "--bind", "m=3", "--topology", "hypercube:2",
+             "--report"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "OREGAMI mapping" in out
+        assert "'group' path" in out
+
+    def test_map_ascii_and_simulate(self, capsys):
+        assert main(
+            ["map", "jacobi", "--bind", "rows=4", "cols=4",
+             "--topology", "mesh:2x2", "--ascii", "--simulate"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "busiest links" in out
+        assert "simulated completion time" in out
+
+    def test_map_forced_strategy(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "hypercube:3",
+             "--strategy", "mwm"]
+        ) == 0
+        assert "'mwm' path" in capsys.readouterr().out
+
+    def test_map_bad_topology(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "blob:3"]
+        ) == 2
+
+    def test_map_load_bound(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "hypercube:3",
+             "--load-bound", "2"]
+        ) == 0
+
+    def test_map_timeline(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "hypercube:3",
+             "--timeline"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "timeline of nbody" in out
+        assert "simulated completion time" in out
+
+    def test_map_save_and_analyze(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "hypercube:3",
+             "--save", str(out)]
+        ) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["analyze", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "OREGAMI mapping" in text
+
+    def test_analyze_with_ascii(self, tmp_path, capsys):
+        out = tmp_path / "m.json"
+        main(["map", "jacobi", "--bind", "rows=4", "cols=4",
+              "--topology", "mesh:2x2", "--save", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--ascii"]) == 0
+        assert "busiest links" in capsys.readouterr().out
+
+    def test_map_refine_flag(self, capsys):
+        assert main(
+            ["map", "voting", "--bind", "m=4", "--topology", "hypercube:2",
+             "--refine"]
+        ) == 0
+        assert "refined" in capsys.readouterr().out
+
+    def test_map_cut_through(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--topology", "hypercube:3",
+             "--simulate", "--switching", "cut_through"]
+        ) == 0
+        assert "simulated completion" in capsys.readouterr().out

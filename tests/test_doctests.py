@@ -1,0 +1,17 @@
+"""Run the library's doctests as part of the suite."""
+
+import doctest
+
+import pytest
+
+import repro.larcs.stdlib
+import repro.util.gray
+
+MODULES = [repro.util.gray, repro.larcs.stdlib]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.attempted > 0, f"{module.__name__} has no doctests to run"
+    assert result.failed == 0

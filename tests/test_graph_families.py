@@ -1,0 +1,180 @@
+"""Tests for the graph-family generators (repro.graph.families)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+import networkx as nx
+
+from repro.graph import families
+
+
+class TestRing:
+    def test_edges(self):
+        tg = families.ring(5)
+        assert tg.comm_phase("ring").pairs() == [(i, (i + 1) % 5) for i in range(5)]
+
+    def test_family_tag(self):
+        assert families.ring(5).family == ("ring", (5,))
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_every_node_degree_one_out(self, n):
+        tg = families.ring(n)
+        fn = tg.comm_function("ring")
+        assert fn is not None and len(fn) == n
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            families.ring(0)
+
+
+class TestNbody:
+    def test_paper_15_body(self):
+        tg = families.nbody(15)
+        chord = dict(tg.comm_phase("chordal").pairs())
+        # Fig 6: task 0 sends to task 8, task 1 to task 9, ...
+        assert chord[0] == 8
+        assert chord[1] == 9
+        assert chord[14] == 7
+
+    def test_even_n_rejected(self):
+        with pytest.raises(ValueError):
+            families.nbody(8)
+
+    def test_phase_expression_structure(self):
+        tg = families.nbody(7, sweeps=2)
+        steps = tg.phase_expr.linearize()
+        # (ring;compute1)^4 then chordal;compute2, twice.
+        assert len(steps) == 2 * (2 * 4 + 2)
+        tg.validate()
+
+    def test_volumes(self):
+        tg = families.nbody(7, volume=3.0)
+        assert tg.comm_phase("ring").total_volume == 21.0
+
+
+class TestMeshTorus:
+    def test_mesh_interior_degree(self):
+        tg = families.mesh(3, 3)
+        g = tg.static_graph()
+        assert g.degree(4) == 4  # centre cell
+        assert g.degree(0) == 2  # corner
+
+    def test_mesh_edge_count(self):
+        tg = families.mesh(4, 5)
+        g = tg.static_graph()
+        assert g.number_of_edges() == 4 * 4 + 3 * 5
+
+    def test_torus_uniform_degree(self):
+        tg = families.torus(3, 4)
+        g = tg.static_graph()
+        assert all(d == 4 for _, d in g.degree())
+
+    def test_torus_phases_are_bijections(self):
+        tg = families.torus(3, 3)
+        for name in tg.comm_phases:
+            fn = tg.comm_function(name)
+            assert fn is not None
+            assert sorted(fn.values()) == list(range(9))
+
+    def test_mesh_validates(self):
+        families.mesh(2, 2).validate()
+
+
+class TestHypercube:
+    def test_counts(self):
+        tg = families.hypercube(3)
+        assert tg.n_tasks == 8
+        assert len(tg.comm_phases) == 3
+        assert tg.n_edges == 24
+
+    def test_static_is_hypercube(self):
+        tg = families.hypercube(3)
+        assert nx.is_isomorphic(tg.static_graph(), nx.hypercube_graph(3))
+
+    def test_dim_zero(self):
+        tg = families.hypercube(0)
+        assert tg.n_tasks == 1 and tg.n_edges == 0
+
+    def test_phases_are_involutions(self):
+        tg = families.hypercube(4)
+        for name in tg.comm_phases:
+            fn = tg.comm_function(name)
+            assert all(fn[fn[i]] == i for i in fn)
+
+
+class TestTrees:
+    def test_full_binary_tree_sizes(self):
+        for depth in range(5):
+            tg = families.full_binary_tree(depth)
+            assert tg.n_tasks == 2 ** (depth + 1) - 1
+            g = tg.static_graph()
+            assert nx.is_tree(g)
+
+    def test_binomial_tree_is_tree(self):
+        for k in range(7):
+            tg = families.binomial_tree(k)
+            assert tg.n_tasks == 2**k
+            g = tg.static_graph()
+            assert nx.is_tree(g)
+
+    def test_binomial_root_degree(self):
+        # The root of B_k has k children.
+        tg = families.binomial_tree(5)
+        divide = tg.phase_digraph("divide")
+        assert divide.out_degree(0) == 5
+
+    def test_binomial_edges_flip_one_bit(self):
+        tg = families.binomial_tree(6)
+        for u, v in tg.comm_phase("divide").pairs():
+            assert bin(u ^ v).count("1") == 1
+
+    def test_binomial_children_rule(self):
+        # Children of x are x | 2^j for j below x's lowest set bit.
+        tg = families.binomial_tree(4)
+        divide = tg.phase_digraph("divide")
+        assert sorted(divide.successors(4)) == [5, 6]
+        assert sorted(divide.successors(8)) == [9, 10, 12]
+        assert list(divide.successors(1)) == []
+
+
+class TestOthers:
+    def test_fft_butterfly_stage_count(self):
+        tg = families.fft_butterfly(16)
+        assert len(tg.comm_phases) == 4
+        tg.validate()
+
+    def test_fft_butterfly_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            families.fft_butterfly(12)
+
+    def test_complete_edge_count(self):
+        tg = families.complete(6)
+        assert tg.n_edges == 30
+
+    def test_star_structure(self):
+        tg = families.star(5)
+        assert tg.comm_phase("broadcast").pairs() == [(0, i) for i in range(1, 5)]
+        assert tg.comm_phase("gather").pairs() == [(i, 0) for i in range(1, 5)]
+
+    def test_linear_chain(self):
+        tg = families.linear(4)
+        g = tg.static_graph()
+        assert nx.is_tree(g) and g.degree(0) == 1 and g.degree(1) == 2
+
+    def test_all_families_validate(self):
+        graphs = [
+            families.ring(6),
+            families.nbody(7),
+            families.linear(5),
+            families.mesh(3, 4),
+            families.torus(3, 3),
+            families.hypercube(3),
+            families.full_binary_tree(3),
+            families.binomial_tree(4),
+            families.fft_butterfly(8),
+            families.complete(4),
+            families.star(5),
+        ]
+        for tg in graphs:
+            tg.validate()
+            assert tg.family is not None

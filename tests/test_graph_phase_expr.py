@@ -1,0 +1,154 @@
+"""Tests for phase expressions (repro.graph.phase_expr)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.phase_expr import (
+    EPSILON,
+    Par,
+    PhaseExprError,
+    PhaseRef,
+    Rep,
+    Seq,
+    parse_phase_expr,
+)
+
+
+def exprs(max_depth=3):
+    """Hypothesis strategy for random phase expressions."""
+    names = st.sampled_from(["a", "b", "c", "d"])
+    leaf = st.one_of(names.map(PhaseRef), st.just(EPSILON))
+
+    def extend(children):
+        return st.one_of(
+            st.lists(children, min_size=1, max_size=3).map(lambda ps: Seq(tuple(ps))),
+            st.lists(children, min_size=1, max_size=3).map(lambda ps: Par(tuple(ps))),
+            st.tuples(children, st.integers(min_value=0, max_value=4)).map(
+                lambda t: Rep(*t)
+            ),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+class TestConstruction:
+    def test_rep_negative_rejected(self):
+        with pytest.raises(PhaseExprError):
+            Rep(PhaseRef("a"), -1)
+
+    def test_rep_non_int_rejected(self):
+        with pytest.raises(PhaseExprError):
+            Rep(PhaseRef("a"), 1.5)
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(PhaseExprError):
+            Seq(())
+
+    def test_empty_par_rejected(self):
+        with pytest.raises(PhaseExprError):
+            Par(())
+
+    def test_sugar(self):
+        e = PhaseRef("a").then(PhaseRef("b")).repeat(2)
+        assert e.linearize() == [frozenset({"a"}), frozenset({"b"})] * 2
+        p = PhaseRef("a").alongside(PhaseRef("b"))
+        assert p.linearize() == [frozenset({"a", "b"})]
+
+
+class TestLinearize:
+    def test_paper_nbody_shape(self):
+        # ((ring; compute1)^4; chordal; compute2)^2 with n=7 -> half=4.
+        e = parse_phase_expr("((ring; compute1)^4; chordal; compute2)^2")
+        steps = e.linearize()
+        assert len(steps) == 2 * (2 * 4 + 2)
+        assert steps[0] == frozenset({"ring"})
+        assert steps[8] == frozenset({"chordal"})
+
+    def test_epsilon_is_empty(self):
+        assert EPSILON.linearize() == []
+
+    def test_rep_zero(self):
+        assert Rep(PhaseRef("a"), 0).linearize() == []
+        assert Rep(PhaseRef("a"), 0).phase_names() == set()
+
+    def test_par_zips_streams(self):
+        e = Par((Seq((PhaseRef("a"), PhaseRef("b"))), PhaseRef("c")))
+        assert e.linearize() == [frozenset({"a", "c"}), frozenset({"b"})]
+
+    def test_par_with_epsilon(self):
+        e = Par((PhaseRef("a"), EPSILON))
+        assert e.linearize() == [frozenset({"a"})]
+
+    def test_max_steps_guard(self):
+        e = Rep(Rep(PhaseRef("a"), 1000), 1000)
+        with pytest.raises(PhaseExprError):
+            e.linearize(max_steps=10_000)
+
+    def test_count_occurrences(self):
+        e = parse_phase_expr("(a; b)^3; a")
+        assert e.count_occurrences() == {"a": 4, "b": 3}
+
+    @given(exprs())
+    def test_linearize_names_match_phase_names(self, e):
+        steps = e.linearize(max_steps=100_000)
+        seen = set().union(*steps) if steps else set()
+        assert seen <= e.phase_names()
+
+    @given(exprs(), st.integers(min_value=0, max_value=3))
+    def test_rep_multiplies_length(self, e, k):
+        base = e.linearize(max_steps=100_000)
+        assert Rep(e, k).linearize(max_steps=1_000_000) == base * k
+
+
+class TestParser:
+    def test_single_name(self):
+        assert parse_phase_expr("ring") == PhaseRef("ring")
+
+    def test_precedence_rep_tightest(self):
+        e = parse_phase_expr("a; b^2")
+        assert e == Seq((PhaseRef("a"), Rep(PhaseRef("b"), 2)))
+
+    def test_par_binds_loosest(self):
+        e = parse_phase_expr("a; b || c")
+        assert isinstance(e, Par)
+
+    def test_parens(self):
+        e = parse_phase_expr("(a; b)^2")
+        assert e == Rep(Seq((PhaseRef("a"), PhaseRef("b"))), 2)
+
+    def test_epsilon_keywords(self):
+        assert parse_phase_expr("eps") == EPSILON
+        assert parse_phase_expr("epsilon") == EPSILON
+
+    def test_indexed_phase_names(self):
+        # Names produced by LaRCS indexed families round-trip.
+        e = parse_phase_expr("fly[0]; fly[1]; compute")
+        assert e == Seq((PhaseRef("fly[0]"), PhaseRef("fly[1]"), PhaseRef("compute")))
+        assert parse_phase_expr(str(e)) == e
+
+    def test_nested_rep(self):
+        e = parse_phase_expr("a^2^3")
+        assert e.linearize() == [frozenset({"a"})] * 6
+
+    def test_bad_character(self):
+        with pytest.raises(PhaseExprError):
+            parse_phase_expr("a @ b")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(PhaseExprError):
+            parse_phase_expr("a b")
+
+    def test_missing_rparen(self):
+        with pytest.raises(PhaseExprError):
+            parse_phase_expr("(a; b")
+
+    def test_rep_requires_int(self):
+        with pytest.raises(PhaseExprError):
+            parse_phase_expr("a^b")
+
+    @given(exprs())
+    def test_str_roundtrip(self, e):
+        reparsed = parse_phase_expr(str(e))
+        assert reparsed.linearize(max_steps=100_000) == e.linearize(
+            max_steps=100_000
+        )

@@ -1,0 +1,103 @@
+"""Tests for regularity detection (repro.graph.properties)."""
+
+from repro.graph import TaskGraph, families
+from repro.graph.properties import (
+    cayley_group_of,
+    comm_functions,
+    is_node_symmetric,
+    regularity_report,
+)
+
+
+class TestCommFunctions:
+    def test_ring_phases_are_permutations(self):
+        perms = comm_functions(families.ring(6))
+        assert perms is not None
+        assert str(perms["ring"]) == "(012345)"
+
+    def test_nbody_both_phases(self):
+        perms = comm_functions(families.nbody(7))
+        assert set(perms) == {"ring", "chordal"}
+        assert perms["chordal"](0) == 4
+
+    def test_non_bijection_returns_none(self):
+        tg = families.star(4)  # broadcast is one-to-many
+        assert comm_functions(tg) is None
+
+    def test_partial_function_returns_none(self):
+        tg = TaskGraph()
+        tg.add_nodes(range(3))
+        tg.add_comm_phase("p").add(0, 1)
+        assert comm_functions(tg) is None
+
+    def test_non_integer_labels_return_none(self):
+        tg = TaskGraph()
+        tg.add_nodes(["a", "b"])
+        ph = tg.add_comm_phase("p")
+        ph.add("a", "b")
+        ph.add("b", "a")
+        assert comm_functions(tg) is None
+
+
+class TestCayleyDetection:
+    def test_ring_is_cayley(self):
+        assert cayley_group_of(families.ring(8)) is not None
+
+    def test_nbody_is_cayley(self):
+        g = cayley_group_of(families.nbody(15))
+        assert g is not None and g.order == 15
+
+    def test_hypercube_is_cayley(self):
+        g = cayley_group_of(families.hypercube(3))
+        assert g is not None and g.order == 8
+
+    def test_torus_is_cayley(self):
+        assert cayley_group_of(families.torus(3, 4)) is not None
+
+    def test_tree_is_not_cayley(self):
+        assert cayley_group_of(families.full_binary_tree(2)) is None
+
+    def test_star_is_not_cayley(self):
+        assert cayley_group_of(families.star(5)) is None
+
+
+class TestNodeSymmetry:
+    def test_ring_symmetric(self):
+        assert is_node_symmetric(families.ring(6)) is True
+
+    def test_star_not_symmetric(self):
+        assert is_node_symmetric(families.star(4)) is False
+
+    def test_tree_not_symmetric(self):
+        assert is_node_symmetric(families.full_binary_tree(2)) is False
+
+    def test_torus_symmetric(self):
+        assert is_node_symmetric(families.torus(3, 3)) is True
+
+    def test_large_graph_unknown(self):
+        assert is_node_symmetric(families.ring(100), max_nodes=64) is None
+
+    def test_empty_graph(self):
+        assert is_node_symmetric(TaskGraph()) is True
+
+
+class TestRegularityReport:
+    def test_named_family_dispatch(self):
+        rep = regularity_report(families.ring(8))
+        assert rep.mapper_class == "nameable"
+
+    def test_cayley_dispatch(self):
+        tg = families.nbody(9)
+        tg.family = None  # hide the name: the group path must catch it
+        rep = regularity_report(tg)
+        assert rep.cayley and rep.mapper_class == "regular"
+
+    def test_arbitrary_dispatch(self):
+        tg = families.full_binary_tree(3)
+        tg.family = None
+        rep = regularity_report(tg)
+        assert rep.mapper_class == "arbitrary"
+
+    def test_flags(self):
+        rep = regularity_report(families.nbody(7))
+        assert rep.integer_labels and rep.bijective_phases and rep.node_symmetric_hint

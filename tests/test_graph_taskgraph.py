@@ -1,0 +1,140 @@
+"""Tests for repro.graph.taskgraph."""
+
+import pytest
+
+from repro.graph import TaskGraph, parse_phase_expr
+from repro.graph.taskgraph import CommEdge
+
+
+def make_simple():
+    tg = TaskGraph("demo")
+    tg.add_nodes(range(4))
+    ph = tg.add_comm_phase("ring")
+    for i in range(4):
+        ph.add(i, (i + 1) % 4, 2.0)
+    tg.add_exec_phase("work", cost=3.0, costs={0: 5.0})
+    return tg
+
+
+class TestConstruction:
+    def test_counts(self):
+        tg = make_simple()
+        assert tg.n_tasks == 4
+        assert tg.n_edges == 4
+        assert tg.total_volume() == 8.0
+
+    def test_add_edge_checks_nodes(self):
+        tg = make_simple()
+        with pytest.raises(KeyError):
+            tg.add_edge("ring", 0, 99)
+
+    def test_duplicate_phase_name_rejected(self):
+        tg = make_simple()
+        with pytest.raises(ValueError):
+            tg.add_comm_phase("ring")
+        with pytest.raises(ValueError):
+            tg.add_exec_phase("ring")
+
+    def test_node_weight(self):
+        tg = TaskGraph()
+        tg.add_node("a", 2.5)
+        assert tg.node_weight("a") == 2.5
+
+    def test_exec_cost_override(self):
+        tg = make_simple()
+        work = tg.exec_phase("work")
+        assert work.cost_of(0) == 5.0
+        assert work.cost_of(1) == 3.0
+
+    def test_phase_names_order(self):
+        tg = make_simple()
+        assert tg.phase_names == ["ring", "work"]
+
+    def test_repr(self):
+        assert "4 tasks" in repr(make_simple())
+
+
+class TestDerivedGraphs:
+    def test_static_graph_aggregates_antiparallel(self):
+        tg = TaskGraph()
+        tg.add_nodes(range(2))
+        a = tg.add_comm_phase("a")
+        b = tg.add_comm_phase("b")
+        a.add(0, 1, 3.0)
+        b.add(1, 0, 4.0)
+        g = tg.static_graph()
+        assert g[0][1]["weight"] == 7.0
+
+    def test_static_graph_drops_self_loops(self):
+        tg = TaskGraph()
+        tg.add_node(0)
+        tg.add_comm_phase("a").add(0, 0, 1.0)
+        assert tg.static_graph().number_of_edges() == 0
+
+    def test_phase_digraph(self):
+        tg = make_simple()
+        d = tg.phase_digraph("ring")
+        assert d.number_of_edges() == 4
+        assert d[0][1]["volume"] == 2.0
+
+    def test_static_graph_node_weights(self):
+        tg = TaskGraph()
+        tg.add_node(0, 9.0)
+        assert tg.static_graph().nodes[0]["weight"] == 9.0
+
+
+class TestCommFunction:
+    def test_functional_phase(self):
+        tg = make_simple()
+        fn = tg.comm_function("ring")
+        assert fn == {0: 1, 1: 2, 2: 3, 3: 0}
+
+    def test_non_functional_phase(self):
+        tg = TaskGraph()
+        tg.add_nodes(range(3))
+        ph = tg.add_comm_phase("bcast")
+        ph.add(0, 1)
+        ph.add(0, 2)
+        assert tg.comm_function("bcast") is None
+
+    def test_integer_nodes_contiguous(self):
+        assert make_simple().integer_nodes() == [0, 1, 2, 3]
+
+    def test_integer_nodes_noncontiguous(self):
+        tg = TaskGraph()
+        tg.add_nodes([0, 2])
+        assert tg.integer_nodes() is None
+
+    def test_integer_nodes_tuples(self):
+        tg = TaskGraph()
+        tg.add_nodes([(0, 0), (0, 1)])
+        assert tg.integer_nodes() is None
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        make_simple().validate()
+
+    def test_negative_volume_rejected(self):
+        tg = TaskGraph()
+        tg.add_nodes(range(2))
+        tg.add_comm_phase("p").edges.append(CommEdge(0, 1, -1.0))
+        with pytest.raises(ValueError):
+            tg.validate()
+
+    def test_undeclared_phase_in_expression(self):
+        tg = make_simple()
+        tg.phase_expr = parse_phase_expr("ring; nosuch")
+        with pytest.raises(ValueError):
+            tg.validate()
+
+    def test_phase_expr_with_declared_phases(self):
+        tg = make_simple()
+        tg.phase_expr = parse_phase_expr("(ring; work)^3")
+        tg.validate()
+
+
+class TestCommEdge:
+    def test_reversed(self):
+        e = CommEdge(1, 2, 5.0)
+        assert e.reversed() == CommEdge(2, 1, 5.0)

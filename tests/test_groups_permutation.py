@@ -1,0 +1,185 @@
+"""Tests for repro.groups.permutation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.groups.permutation import Permutation
+
+
+def permutations(max_degree=9):
+    return st.integers(min_value=1, max_value=max_degree).flatmap(
+        lambda n: st.permutations(list(range(n))).map(Permutation)
+    )
+
+
+def permutation_pairs(max_degree=8):
+    """Two permutations of the same degree."""
+    return st.integers(min_value=1, max_value=max_degree).flatmap(
+        lambda n: st.tuples(
+            st.permutations(list(range(n))).map(Permutation),
+            st.permutations(list(range(n))).map(Permutation),
+        )
+    )
+
+
+def permutation_triples(max_degree=7):
+    return st.integers(min_value=1, max_value=max_degree).flatmap(
+        lambda n: st.tuples(
+            *[st.permutations(list(range(n))).map(Permutation)] * 3
+        )
+    )
+
+
+class TestConstruction:
+    def test_identity(self):
+        e = Permutation.identity(4)
+        assert e.is_identity()
+        assert all(e(i) == i for i in range(4))
+
+    def test_rejects_non_permutation(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 0, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Permutation([0, 3])
+
+    def test_from_function_ring(self):
+        p = Permutation.from_function(lambda i: (i + 1) % 8, 8)
+        assert p.cycles() == [tuple(range(8))]
+
+    def test_from_function_non_bijection_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation.from_function(lambda i: min(i, 5), 8)
+
+    def test_from_cycles(self):
+        p = Permutation.from_cycles([(0, 4), (1, 5), (2, 6), (3, 7)], 8)
+        assert p(0) == 4 and p(4) == 0 and p(3) == 7
+
+    def test_from_cycles_fixed_points(self):
+        p = Permutation.from_cycles([(1, 2)], 4)
+        assert p(0) == 0 and p(3) == 3
+
+    def test_from_cycles_duplicate_point_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation.from_cycles([(0, 1), (1, 2)], 4)
+
+
+class TestParse:
+    def test_paper_compact_form(self):
+        # comm2 of the paper's 8-node perfect broadcast example.
+        p = Permutation.parse("(0246)(1357)", 8)
+        assert p(0) == 2 and p(2) == 4 and p(4) == 6 and p(6) == 0
+        assert p(1) == 3 and p(7) == 1
+
+    def test_spaced_form(self):
+        p = Permutation.parse("(0 10 5)", 12)
+        assert p(0) == 10 and p(10) == 5 and p(5) == 0
+
+    def test_identity_forms(self):
+        assert Permutation.parse("()", 5).is_identity()
+        assert Permutation.parse("e", 5).is_identity()
+
+    def test_roundtrip_str(self):
+        p = Permutation.parse("(04)(15)(26)(37)", 8)
+        assert Permutation.parse(str(p), 8) == p
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            Permutation.parse("hello", 4)
+
+
+class TestComposition:
+    def test_paper_footnote_example(self):
+        # Footnote 4: (123) composed with (13)(2) gives (12)(3),
+        # left-to-right.
+        a = Permutation.parse("(123)", 4)
+        b = Permutation.parse("(13)(2)", 4)
+        assert str(a * b) == "(0)(12)(3)"
+
+    def test_left_to_right_semantics(self):
+        a = Permutation.from_function(lambda i: (i + 1) % 5, 5)
+        b = Permutation.from_function(lambda i: (2 * i) % 5, 5)
+        ab = a * b
+        for x in range(5):
+            assert ab(x) == b(a(x))
+
+    def test_degree_mismatch(self):
+        with pytest.raises(ValueError):
+            Permutation.identity(3) * Permutation.identity(4)
+
+    @given(permutation_pairs())
+    def test_inverse_cancels(self, pair):
+        p, _ = pair
+        assert (p * p.inverse()).is_identity()
+        assert (p.inverse() * p).is_identity()
+
+    @given(permutation_triples())
+    def test_associativity(self, triple):
+        a, b, c = triple
+        assert (a * b) * c == a * (b * c)
+
+    @given(permutations())
+    def test_identity_neutral(self, p):
+        e = Permutation.identity(p.degree)
+        assert p * e == p and e * p == p
+
+    @given(permutations())
+    def test_power_matches_repeated_product(self, p):
+        q = Permutation.identity(p.degree)
+        for k in range(5):
+            assert p**k == q
+            q = q * p
+
+    @given(permutations())
+    def test_negative_power(self, p):
+        assert p**-1 == p.inverse()
+        assert (p**-2) * (p**2) == Permutation.identity(p.degree)
+
+
+class TestCycleStructure:
+    def test_order_lcm(self):
+        p = Permutation.from_cycles([(0, 1, 2), (3, 4)], 5)
+        assert p.order() == 6
+
+    @given(permutations())
+    def test_order_is_minimal_period(self, p):
+        k = p.order()
+        assert (p**k).is_identity()
+        for j in range(1, k):
+            assert not (p**j).is_identity()
+
+    def test_uniform_cycles_true(self):
+        assert Permutation.parse("(04)(15)(26)(37)", 8).has_uniform_cycles()
+        assert Permutation.parse("(01234567)", 8).has_uniform_cycles()
+        assert Permutation.identity(8).has_uniform_cycles()
+
+    def test_uniform_cycles_false(self):
+        assert not Permutation.from_cycles([(0, 1, 2), (3, 4)], 5).has_uniform_cycles()
+        # A fixed point counts as a cycle of length 1.
+        assert not Permutation.from_cycles([(1, 2)], 3).has_uniform_cycles()
+
+    @given(permutations())
+    def test_cycles_partition_points(self, p):
+        pts = sorted(x for c in p.cycles() for x in c)
+        assert pts == list(range(p.degree))
+
+    def test_cycles_sorted_by_minimum(self):
+        p = Permutation.parse("(04)(15)(26)(37)", 8)
+        assert [c[0] for c in p.cycles()] == [0, 1, 2, 3]
+
+
+class TestDunder:
+    def test_hash_eq(self):
+        a = Permutation([1, 0, 2])
+        b = Permutation.from_cycles([(0, 1)], 3)
+        assert a == b and hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_repr_roundtrip(self):
+        p = Permutation([2, 0, 1])
+        assert eval(repr(p)) == p
+
+    def test_str_large_degree_uses_spaces(self):
+        p = Permutation.from_cycles([(0, 11)], 12)
+        assert "0 11" in str(p)

@@ -1,0 +1,160 @@
+"""Tests for JSON serialisation (repro.io)."""
+
+import json
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.io import (
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+    taskgraph_from_dict,
+    taskgraph_to_dict,
+)
+
+
+class TestTaskGraphRoundTrip:
+    def test_nbody(self):
+        tg = families.nbody(15)
+        back = taskgraph_from_dict(taskgraph_to_dict(tg))
+        assert back.nodes == tg.nodes
+        assert back.family == tg.family
+        for phase in tg.comm_phases:
+            assert back.comm_phase(phase).pairs() == tg.comm_phase(phase).pairs()
+        assert back.phase_expr.linearize() == tg.phase_expr.linearize()
+
+    def test_tuple_labels(self):
+        tg = stdlib.load("jacobi", rows=3, cols=3)
+        back = taskgraph_from_dict(taskgraph_to_dict(tg))
+        assert back.nodes == tg.nodes
+        assert (0, 0) in back.nodes  # tuples restored, not lists
+
+    def test_per_task_costs(self):
+        tg = stdlib.load("pipeline", n=4)
+        back = taskgraph_from_dict(taskgraph_to_dict(tg))
+        work = back.exec_phase("work")
+        assert work.cost_of(1) == 2.0
+
+    def test_volumes_preserved(self):
+        tg = families.ring(4, volume=7.5)
+        back = taskgraph_from_dict(taskgraph_to_dict(tg))
+        assert back.comm_phase("ring").edges[0].volume == 7.5
+
+    def test_json_serialisable(self):
+        tg = families.hypercube(3)
+        json.dumps(taskgraph_to_dict(tg))  # no TypeError
+
+
+class TestStdlibSweep:
+    @pytest.mark.parametrize(
+        "name,kw",
+        [
+            ("nbody", dict(n=7)),
+            ("jacobi", dict(rows=3, cols=3)),
+            ("sor", dict(rows=3, cols=3)),
+            ("fft", dict(m=3)),
+            ("dnc", dict(m=3)),
+            ("cannon", dict(q=2)),
+            ("voting", dict(m=3)),
+            ("pipeline", dict(n=4)),
+            ("annealing", dict(rows=3, cols=3)),
+            ("oddeven", dict(n=6)),
+            ("bitonic", dict(m=3)),
+            ("gauss", dict(n=4)),
+        ],
+    )
+    def test_every_stdlib_graph_round_trips(self, name, kw):
+        tg = stdlib.load(name, **kw)
+        back = taskgraph_from_dict(json.loads(json.dumps(taskgraph_to_dict(tg))))
+        assert back.nodes == tg.nodes
+        assert back.family == tg.family
+        for phase in tg.comm_phases:
+            orig = [(e.src, e.dst, e.volume) for e in tg.comm_phase(phase).edges]
+            got = [(e.src, e.dst, e.volume) for e in back.comm_phase(phase).edges]
+            assert got == orig
+        if tg.phase_expr is not None:
+            assert back.phase_expr.linearize() == tg.phase_expr.linearize()
+
+
+class TestRandomRoundTrip:
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        edges=st.lists(
+            st.tuples(
+                st.integers(0, 11), st.integers(0, 11), st.integers(1, 50)
+            ),
+            max_size=20,
+        ),
+    )
+    def test_random_graph_round_trip(self, n, edges):
+        from repro.graph.taskgraph import TaskGraph
+
+        tg = TaskGraph("rand")
+        tg.add_nodes(range(n))
+        ph = tg.add_comm_phase("c")
+        for u, v, w in edges:
+            if u < n and v < n:
+                ph.add(u, v, float(w))
+        back = taskgraph_from_dict(json.loads(json.dumps(taskgraph_to_dict(tg))))
+        assert back.nodes == tg.nodes
+        assert [(e.src, e.dst, e.volume) for e in back.comm_phase("c").edges] == [
+            (e.src, e.dst, e.volume) for e in tg.comm_phase("c").edges
+        ]
+
+
+class TestMappingRoundTrip:
+    def test_full_mapping(self):
+        m = map_computation(families.nbody(15), networks.hypercube(3))
+        back = mapping_from_dict(mapping_to_dict(m))
+        assert back.assignment == m.assignment
+        assert back.routes == m.routes
+        assert back.provenance == m.provenance
+        back.validate(require_routes=True)
+
+    def test_topology_rebuilt(self):
+        m = map_computation(families.ring(8), networks.mesh(2, 4), strategy="mwm")
+        back = mapping_from_dict(mapping_to_dict(m))
+        assert back.topology.n_processors == 8
+        assert back.topology.family == ("mesh", (2, 4))
+        assert back.topology.diameter == m.topology.diameter
+
+    def test_tuple_label_mapping(self):
+        m = map_computation(
+            stdlib.load("jacobi", rows=4, cols=4), networks.mesh(2, 2)
+        )
+        back = mapping_from_dict(mapping_to_dict(m))
+        assert back.proc_of((0, 0)) == m.proc_of((0, 0))
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            mapping_from_dict({"format": "something-else"})
+
+    def test_file_roundtrip(self, tmp_path):
+        m = map_computation(families.nbody(15), networks.hypercube(3))
+        path = tmp_path / "mapping.json"
+        save_mapping(m, str(path))
+        back = load_mapping(str(path))
+        assert back.assignment == m.assignment
+        # The saved artefact is analysis-ready.
+        from repro.metrics import analyze
+
+        assert analyze(back).total_ipc == analyze(m).total_ipc
+
+    def test_simulatable_after_load(self, tmp_path):
+        from repro.sim import CostModel, simulate
+
+        m = map_computation(families.nbody(7), networks.hypercube(2))
+        path = tmp_path / "m.json"
+        save_mapping(m, str(path))
+        back = load_mapping(str(path))
+        assert simulate(back, CostModel()).total_time == simulate(
+            m, CostModel()
+        ).total_time

@@ -1,0 +1,162 @@
+"""Edge-case tests for the LaRCS front end: parser corners, odd whitespace,
+comment placement, and error positions."""
+
+import pytest
+
+from repro.larcs import ast
+from repro.larcs.compiler import compile_larcs
+from repro.larcs.errors import LarcsSemanticError, LarcsSyntaxError
+from repro.larcs.parser import parse_larcs
+
+
+class TestWhitespaceAndComments:
+    def test_single_line_program(self):
+        prog = parse_larcs(
+            "algorithm a(n); nodetype t[0..n-1]; comphase p t(i) -> t(i);"
+        )
+        assert prog.name == "a"
+
+    def test_comments_between_tokens(self):
+        src = """
+        algorithm a(n);   -- the algorithm
+        nodetype t[0 .. -- inclusive range
+                   n-1];
+        # hash comment
+        comphase p t(i) -> t(i);  -- identity
+        """
+        prog = parse_larcs(src)
+        assert len(prog.comphases) == 1
+
+    def test_no_trailing_newline(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\ncomphase p t(i) -> t(i);"
+        )
+        assert prog.comphases[0].name == "p"
+
+    def test_tabs(self):
+        prog = parse_larcs(
+            "algorithm\ta(n);\n\tnodetype t[0..n-1];\n\tcomphase p t(i) -> t(i);"
+        )
+        assert prog.name == "a"
+
+
+class TestParserCorners:
+    def test_deeply_nested_phase_expr(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\ncomphase p t(i) -> t(i);\n"
+            "execphase w;\n"
+            "phases ((((p; w)^2)^2 || eps)^2);\n"
+        )
+        from repro.larcs.evaluator import elaborate
+
+        tg, _ = elaborate(prog, {"n": 3})
+        assert len(tg.phase_expr.linearize()) == 16
+
+    def test_expression_in_nodetype_range(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nnodetype t[min(2, n) .. max(4, n) - 1];\n"
+            "comphase p t(i) -> t(i);"
+        )
+        from repro.larcs.evaluator import elaborate
+
+        tg, _ = elaborate(prog, {"n": 3})
+        assert tg.nodes == [2, 3]
+
+    def test_phase_index_expression(self):
+        src = (
+            "algorithm a(m);\nconstant n = 2**m;\nnodetype t[0..n-1];\n"
+            "comphase f[s : 0..m-1] t(i) -> t(i xor (1 shl s));\n"
+            "phases f[m - 1];\n"
+        )
+        tg = compile_larcs(src, m=3).task_graph
+        assert tg.phase_expr.phase_names() == {"f[2]"}
+
+    def test_empty_braced_comphase_is_empty_phase(self):
+        # `{ }` declares a phase with no rules -- a legal placeholder for a
+        # phase whose edges are filled in later (e.g. by the aggregation
+        # synthesiser).
+        tg = compile_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\ncomphase p { }", n=3
+        ).task_graph
+        assert len(tg.comm_phase("p")) == 0
+
+    def test_missing_arrow(self):
+        with pytest.raises(LarcsSyntaxError, match="->"):
+            parse_larcs(
+                "algorithm a(n);\nnodetype t[0..n-1];\ncomphase p t(i) t(i);"
+            )
+
+    def test_keyword_as_identifier_rejected(self):
+        with pytest.raises(LarcsSyntaxError):
+            parse_larcs("algorithm volume(n);")
+
+    def test_error_position_deep_in_program(self):
+        src = "algorithm a(n);\nnodetype t[0..n-1];\n\n\ncomphase p t(i) -> t(@);"
+        with pytest.raises(LarcsSyntaxError) as exc:
+            parse_larcs(src)
+        assert "line 5" in str(exc.value)
+
+
+class TestSemanticCorners:
+    def test_large_exponent_ok(self):
+        tg = compile_larcs(
+            "algorithm a(m);\nconstant n = 2 ** m;\nnodetype t[0..n-1];\n"
+            "comphase p t(i) -> t((i + 1) mod n);",
+            m=10,
+        ).task_graph
+        assert tg.n_tasks == 1024
+
+    def test_boolean_volume_rejected(self):
+        with pytest.raises(LarcsSemanticError):
+            compile_larcs(
+                "algorithm a(n);\nnodetype t[0..n-1];\n"
+                "comphase p t(i) -> t(i) volume true;",
+                n=4,
+            )
+
+    def test_boolean_range_rejected(self):
+        with pytest.raises(LarcsSemanticError):
+            compile_larcs(
+                "algorithm a(n);\nnodetype t[true .. n-1];\ncomphase p t(i) -> t(i);",
+                n=4,
+            )
+
+    def test_where_must_be_boolean(self):
+        with pytest.raises(LarcsSemanticError):
+            compile_larcs(
+                "algorithm a(n);\nnodetype t[0..n-1];\n"
+                "comphase p t(i) -> t(i) where 1;",
+                n=4,
+            )
+
+    def test_forall_empty_range_produces_no_edges(self):
+        tg = compile_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\n"
+            "comphase p forall j in 1..0 : t(i) -> t(j);",
+            n=4,
+        ).task_graph
+        assert len(tg.comm_phase("p")) == 0
+
+    def test_duplicate_nodetype_rejected(self):
+        with pytest.raises(LarcsSemanticError, match="duplicate"):
+            compile_larcs(
+                "algorithm a(n);\nnodetype t[0..n-1];\nnodetype t[0..n-1];\n"
+                "comphase p t(i) -> t(i);",
+                n=4,
+            )
+
+    def test_constant_shadowing_param_rejected(self):
+        with pytest.raises(LarcsSemanticError, match="shadows"):
+            compile_larcs(
+                "algorithm a(n);\nconstant n = 5;\nnodetype t[0..n-1];\n"
+                "comphase p t(i) -> t(i);",
+                n=4,
+            )
+
+    def test_index_var_shadowing_in_phase_expr(self):
+        src = (
+            "algorithm a(n);\nnodetype t[0..n-1];\ncomphase p t(i) -> t(i);\n"
+            "phases seq n in 0..2 : p;\n"
+        )
+        with pytest.raises(LarcsSemanticError, match="shadows"):
+            compile_larcs(src, n=4)

@@ -1,0 +1,87 @@
+"""Tests for the LaRCS lexer."""
+
+import pytest
+
+from repro.larcs.errors import LarcsSyntaxError
+from repro.larcs.lexer import tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)[:-1]]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1 and toks[0].kind == "eof"
+
+    def test_keywords_fold_into_kind(self):
+        assert kinds("algorithm nodetype comphase")[:3] == [
+            "algorithm",
+            "nodetype",
+            "comphase",
+        ]
+
+    def test_identifiers(self):
+        toks = tokenize("body cell_2 _tmp")
+        assert all(t.kind == "ident" for t in toks[:-1])
+
+    def test_integers(self):
+        toks = tokenize("0 42 1000")
+        assert [t.value for t in toks[:-1]] == ["0", "42", "1000"]
+        assert all(t.kind == "int" for t in toks[:-1])
+
+    def test_keyword_prefix_identifier(self):
+        # 'formula' starts with 'for' but is an identifier.
+        toks = tokenize("formula")
+        assert toks[0].kind == "ident"
+
+
+class TestSymbols:
+    def test_maximal_munch(self):
+        assert kinds("-> .. ** || == != <= >=")[:-1] == [
+            "->",
+            "..",
+            "**",
+            "||",
+            "==",
+            "!=",
+            "<=",
+            ">=",
+        ]
+
+    def test_range_vs_dots(self):
+        assert kinds("0..n")[:-1] == ["int", "..", "ident"]
+
+    def test_minus_vs_arrow(self):
+        assert kinds("a - b -> c")[:-1] == ["ident", "-", "ident", "->", "ident"]
+
+    def test_power_vs_times(self):
+        assert kinds("a ** b * c")[:-1] == ["ident", "**", "ident", "*", "ident"]
+
+    def test_caret(self):
+        assert kinds("a^2")[:-1] == ["ident", "^", "int"]
+
+
+class TestCommentsAndPositions:
+    def test_dash_comment(self):
+        assert values("a -- comment here\nb") == ["a", "b"]
+
+    def test_hash_comment(self):
+        assert values("a # comment\nb") == ["a", "b"]
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\n  c")
+        assert [(t.line, t.col) for t in toks[:-1]] == [(1, 1), (2, 1), (3, 3)]
+
+    def test_bad_character(self):
+        with pytest.raises(LarcsSyntaxError) as exc:
+            tokenize("a $ b")
+        assert "line 1" in str(exc.value)
+
+    def test_comment_to_eof(self):
+        assert values("a -- no newline at end") == ["a"]

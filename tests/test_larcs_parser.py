@@ -1,0 +1,212 @@
+"""Tests for the LaRCS parser."""
+
+import pytest
+
+from repro.larcs import ast
+from repro.larcs.errors import LarcsSyntaxError
+from repro.larcs.parser import parse_larcs
+
+MINIMAL = """
+algorithm tiny(n);
+nodetype t[0 .. n-1];
+comphase step t(i) -> t((i + 1) mod n);
+"""
+
+
+class TestHeader:
+    def test_name_and_params(self):
+        prog = parse_larcs(MINIMAL)
+        assert prog.name == "tiny"
+        assert prog.params == [("n", None)]
+
+    def test_param_defaults(self):
+        prog = parse_larcs(
+            "algorithm a(n, s = 2);\nnodetype t[0..n-1];\ncomphase p t(i) -> t(i);"
+        )
+        name, default = prog.params[1]
+        assert name == "s" and isinstance(default, ast.Num)
+
+    def test_no_params(self):
+        prog = parse_larcs("algorithm a();\nnodetype t[0..3];\ncomphase p t(i) -> t(i);")
+        assert prog.params == []
+
+    def test_missing_semicolon(self):
+        with pytest.raises(LarcsSyntaxError):
+            parse_larcs("algorithm a(n)")
+
+    def test_imports(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nimport msize = 4, other;\n"
+            "nodetype t[0..n-1];\ncomphase p t(i) -> t(i);"
+        )
+        assert [name for name, _ in prog.imports] == ["msize", "other"]
+
+    def test_constants(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nconstant half = (n+1)/2;\n"
+            "nodetype t[0..n-1];\ncomphase p t(i) -> t(i);"
+        )
+        assert prog.constants[0].name == "half"
+
+
+class TestNodeType:
+    def test_multidim(self):
+        prog = parse_larcs(
+            "algorithm a(n, m);\nnodetype cell[0..n-1, 0..m-1];\n"
+            "comphase p cell(i, j) -> cell(i, j);"
+        )
+        assert len(prog.nodetypes[0].ranges) == 2
+
+    def test_nodesymmetric_attr(self):
+        prog = parse_larcs(MINIMAL.replace("t[0 .. n-1];", "t[0 .. n-1] nodesymmetric;"))
+        assert prog.nodetypes[0].attrs == ["nodesymmetric"]
+
+
+class TestCommPhase:
+    def test_single_rule_form(self):
+        prog = parse_larcs(MINIMAL)
+        ph = prog.comphases[0]
+        assert ph.name == "step" and len(ph.rules) == 1
+
+    def test_braced_multi_rule(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\n"
+            "comphase p { t(i) -> t(i+1) where i < n-1; t(i) -> t(i-1) where i > 0; }"
+        )
+        assert len(prog.comphases[0].rules) == 2
+
+    def test_indexed_phase(self):
+        prog = parse_larcs(
+            "algorithm a(m);\nconstant n = 2**m;\nnodetype t[0..n-1];\n"
+            "comphase fly[s : 0..m-1] t(i) -> t(i xor (1 shl s));"
+        )
+        ph = prog.comphases[0]
+        assert ph.index is not None and ph.index[0] == "s"
+
+    def test_forall_and_clauses(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\n"
+            "comphase p forall j in 0..2 : t(i) -> t(i+j) where j > 0 volume j*2;"
+        )
+        rule = prog.comphases[0].rules[0]
+        assert rule.foralls[0][0] == "j"
+        assert rule.where is not None and rule.volume is not None
+
+    def test_duplicate_where_rejected(self):
+        with pytest.raises(LarcsSyntaxError):
+            parse_larcs(
+                "algorithm a(n);\nnodetype t[0..n-1];\n"
+                "comphase p t(i) -> t(i) where true where false;"
+            )
+
+    def test_volume_before_where_allowed(self):
+        prog = parse_larcs(
+            "algorithm a(n);\nnodetype t[0..n-1];\n"
+            "comphase p t(i) -> t(i+1) volume 2 where i < n-1;"
+        )
+        rule = prog.comphases[0].rules[0]
+        assert rule.volume is not None and rule.where is not None
+
+
+class TestExecPhase:
+    def test_plain(self):
+        prog = parse_larcs(MINIMAL + "execphase work cost 5;\n")
+        assert prog.execphases[0].name == "work"
+
+    def test_with_binding(self):
+        prog = parse_larcs(MINIMAL + "execphase work for t(i) cost i + 1;\n")
+        assert prog.execphases[0].binding.typename == "t"
+
+    def test_no_cost(self):
+        prog = parse_larcs(MINIMAL + "execphase work;\n")
+        assert prog.execphases[0].cost is None
+
+
+class TestExpressions:
+    def parse_expr_via_constant(self, text):
+        prog = parse_larcs(
+            f"algorithm a(n);\nconstant x = {text};\n"
+            "nodetype t[0..n-1];\ncomphase p t(i) -> t(i);"
+        )
+        return prog.constants[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.parse_expr_via_constant("1 + 2 * 3")
+        assert isinstance(e, ast.BinOp) and e.op == "+"
+
+    def test_power_right_assoc(self):
+        e = self.parse_expr_via_constant("2 ** 3 ** 2")
+        assert e.op == "**" and isinstance(e.right, ast.BinOp)
+
+    def test_unary_minus(self):
+        e = self.parse_expr_via_constant("-n + 1")
+        assert e.op == "+" and isinstance(e.left, ast.UnOp)
+
+    def test_builtin_call(self):
+        e = self.parse_expr_via_constant("min(n, 4)")
+        assert isinstance(e, ast.Call) and e.func == "min"
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(LarcsSyntaxError):
+            self.parse_expr_via_constant("frobnicate(n)")
+
+    def test_comparisons_and_bool(self):
+        e = self.parse_expr_via_constant("n > 1 and not (n == 2) or false")
+        assert e.op == "or"
+
+
+class TestPhasesDecl:
+    def test_paper_nbody_expression(self):
+        prog = parse_larcs(
+            MINIMAL + "execphase c1;\nexecphase c2;\n"
+            "phases ((step; c1)^((n+1)/2); c2)^2;\n"
+        )
+        assert isinstance(prog.phase_expr, ast.PXRep)
+
+    def test_count_at_multiplicative_precedence(self):
+        # The paper's ^(n+1)/2 without extra parens.
+        prog = parse_larcs(MINIMAL + "phases step^(n+1)/2;\n")
+        rep = prog.phase_expr
+        assert isinstance(rep, ast.PXRep) and isinstance(rep.count, ast.BinOp)
+
+    def test_semicolon_separator_and_terminator(self):
+        prog = parse_larcs(MINIMAL + "execphase w;\nphases step; w;\n")
+        assert isinstance(prog.phase_expr, ast.PXSeq)
+        assert len(prog.phase_expr.parts) == 2
+
+    def test_parallel(self):
+        prog = parse_larcs(MINIMAL + "execphase w;\nphases step || w;\n")
+        assert isinstance(prog.phase_expr, ast.PXPar)
+
+    def test_indexed_seq(self):
+        prog = parse_larcs(
+            "algorithm a(m);\nconstant n = 2**m;\nnodetype t[0..n-1];\n"
+            "comphase fly[s : 0..m-1] t(i) -> t(i xor (1 shl s));\n"
+            "execphase c;\n"
+            "phases seq s in 0..m-1 : (fly[s]; c);\n"
+        )
+        px = prog.phase_expr
+        assert isinstance(px, ast.PXIndexed) and px.kind == "seq"
+
+    def test_eps(self):
+        prog = parse_larcs(MINIMAL + "phases eps || step;\n")
+        assert isinstance(prog.phase_expr.parts[0], ast.PXEps)
+
+    def test_duplicate_phases_decl_rejected(self):
+        with pytest.raises(LarcsSyntaxError):
+            parse_larcs(MINIMAL + "phases step;\nphases step;\n")
+
+
+class TestErrors:
+    def test_garbage_top_level(self):
+        with pytest.raises(LarcsSyntaxError):
+            parse_larcs("algorithm a(n);\nwibble;")
+
+    def test_error_carries_line(self):
+        with pytest.raises(LarcsSyntaxError) as exc:
+            parse_larcs("algorithm a(n);\nnodetype t[0..n-1]\ncomphase p t(i) -> t(i);")
+        assert "line 3" in str(exc.value)
+
+    def test_noderef_requires_args(self):
+        with pytest.raises(LarcsSyntaxError):
+            parse_larcs("algorithm a(n);\nnodetype t[0..n-1];\ncomphase p t -> t(0);")

@@ -1,0 +1,153 @@
+"""Tests for the §6 extensions: aggregation selection and migration analysis."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.mapper.aggregate import add_aggregation_phase, select_aggregation_tree
+from repro.mapper.migration import evaluate_migration, segment_mappings
+from repro.sim import CostModel
+
+
+class TestAggregationTree:
+    def make(self):
+        return map_computation(families.nbody(15), networks.hypercube(3))
+
+    def test_paths_reach_root(self):
+        m = self.make()
+        paths = select_aggregation_tree(m, root=0)
+        root_proc = m.proc_of(0)
+        for proc, path in paths.items():
+            assert path[0] == proc and path[-1] == root_proc
+            assert m.topology.is_valid_route(path)
+
+    def test_root_path_trivial(self):
+        m = self.make()
+        paths = select_aggregation_tree(m, root=0)
+        assert paths[m.proc_of(0)] == [m.proc_of(0)]
+
+    def test_congestion_avoidance(self):
+        # With heavy congestion weighting the tree must not be *worse* on
+        # hot links than the congestion-blind tree.
+        m = self.make()
+        from repro.mapper.aggregate import _existing_link_load
+
+        load = _existing_link_load(m)
+        hot = max(load, key=load.get)
+
+        def hot_usage(paths):
+            return sum(
+                1
+                for path in paths.values()
+                for a, b in zip(path, path[1:])
+                if m.topology.link_id(a, b) == hot
+            )
+
+        aware = select_aggregation_tree(m, 0, congestion_weight=10.0)
+        blind = select_aggregation_tree(m, 0, congestion_weight=0.0)
+        assert hot_usage(aware) <= hot_usage(blind)
+
+    def test_add_aggregation_phase(self):
+        m = self.make()
+        add_aggregation_phase(m, root=0, volume=2.0)
+        tg = m.task_graph
+        assert "aggregate" in tg.comm_phases
+        assert len(tg.comm_phase("aggregate")) == 14
+        m.validate()
+        # Every aggregation edge has a route attached.
+        for idx in range(14):
+            assert ("aggregate", idx) in m.routes
+
+    def test_duplicate_phase_rejected(self):
+        m = self.make()
+        add_aggregation_phase(m, root=0)
+        with pytest.raises(ValueError):
+            add_aggregation_phase(m, root=0)
+
+    def test_works_on_mesh(self):
+        m = map_computation(stdlib.load("jacobi", rows=4, cols=4), networks.mesh(2, 2))
+        add_aggregation_phase(m, root=(0, 0), phase_name="reduce_all")
+        m.validate()
+
+
+class TestSegmentMappings:
+    def test_one_mapping_per_segment(self):
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        segs = [{"ring", "compute1"}, {"chordal", "compute2"}]
+        maps = segment_mappings(tg, topo, segs)
+        assert len(maps) == 2
+        for m in maps:
+            assert set(m.assignment) == set(tg.nodes)
+
+    def test_segment_optimised_for_its_phase(self):
+        # The chordal-only segment should place chordal partners closer (on
+        # average) than the ring-optimised canned mapping does.
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        segs = [{"ring", "compute1"}, {"chordal", "compute2"}]
+        maps = segment_mappings(tg, topo, segs)
+
+        def chordal_distance(m):
+            return sum(
+                topo.distance(m.proc_of(e.src), m.proc_of(e.dst))
+                for e in tg.comm_phase("chordal").edges
+            )
+
+        assert chordal_distance(maps[1]) <= chordal_distance(maps[0])
+
+
+class TestEvaluateMigration:
+    def test_plan_structure(self):
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        plan = evaluate_migration(
+            tg,
+            topo,
+            [{"ring", "compute1"}, {"chordal", "compute2"}],
+            state_volume=0.5,
+        )
+        assert plan.static_time > 0
+        assert plan.migratory_time > 0
+        assert plan.migration_cost >= 0
+        assert len(plan.mappings) == 2
+        assert isinstance(plan.worthwhile, bool)
+
+    def test_heavy_state_discourages_migration(self):
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        segs = [{"ring", "compute1"}, {"chordal", "compute2"}]
+        cheap = evaluate_migration(tg, topo, segs, state_volume=0.01)
+        costly = evaluate_migration(tg, topo, segs, state_volume=100.0)
+        assert costly.migration_cost >= cheap.migration_cost
+        assert costly.migratory_time >= cheap.migratory_time
+
+    def test_single_segment_no_migration(self):
+        tg = families.nbody(7)
+        topo = networks.hypercube(2)
+        plan = evaluate_migration(
+            tg, topo, [{"ring", "chordal", "compute1", "compute2"}]
+        )
+        assert plan.migration_cost == 0.0
+
+    def test_requires_phase_expr(self):
+        tg = families.complete(4)
+        tg.phase_expr = None
+        with pytest.raises(ValueError, match="phase expression"):
+            evaluate_migration(tg, networks.complete(4), [{"all"}])
+
+    def test_unknown_phase_rejected(self):
+        tg = families.nbody(7)
+        with pytest.raises(ValueError, match="declared"):
+            evaluate_migration(tg, networks.hypercube(2), [{"nosuch"}])
+
+    def test_custom_model(self):
+        tg = families.nbody(7)
+        topo = networks.hypercube(2)
+        model = CostModel(hop_latency=5.0, byte_time=2.0, exec_time=0.1)
+        plan = evaluate_migration(
+            tg, topo, [{"ring", "compute1"}, {"chordal", "compute2"}], model=model
+        )
+        assert plan.static_time > 0

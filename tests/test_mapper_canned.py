@@ -1,0 +1,186 @@
+"""Tests for the canned-mapping registry and its embeddings."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper.canned import binomial_mesh_positions, canned_assignment, lookup, register
+from repro.mapper.canned.binomial_mesh import binomial_to_mesh, mesh_dims
+from repro.mapper.mapping import NotApplicableError
+
+
+def avg_dilation(tg, topo, assignment):
+    total = hops = 0
+    for _, e in tg.all_edges():
+        total += topo.distance(assignment[e.src], assignment[e.dst])
+        hops += 1
+    return total / hops
+
+
+class TestRegistry:
+    def test_hit(self):
+        assert lookup("ring", "hypercube") is not None
+
+    def test_miss_raises(self):
+        tg = families.ring(8)
+        with pytest.raises(NotApplicableError):
+            canned_assignment(tg, networks.cube_connected_cycles(2))
+
+    def test_unnamed_graph_raises(self):
+        tg = families.ring(8)
+        tg.family = None
+        with pytest.raises(NotApplicableError):
+            canned_assignment(tg, networks.hypercube(3))
+
+    def test_register_custom(self):
+        register("ring", "star", lambda tg, topo: {t: 0 for t in tg.nodes})
+        try:
+            a = canned_assignment(families.ring(3), networks.star(4))
+            assert set(a.values()) == {0}
+        finally:
+            import repro.mapper.canned.registry as reg
+
+            del reg._REGISTRY[("ring", "star")]
+
+    def test_identity_same_family(self):
+        tg = families.mesh(3, 4)
+        a = canned_assignment(tg, networks.mesh(3, 4))
+        assert a == {i: i for i in range(12)}
+
+    def test_identity_size_mismatch(self):
+        with pytest.raises(NotApplicableError):
+            canned_assignment(families.ring(8), networks.ring(4))
+
+
+class TestGrayEmbeddings:
+    def test_ring_exact_size_dilation_one(self):
+        tg = families.ring(8)
+        topo = networks.hypercube(3)
+        a = canned_assignment(tg, topo)
+        assert avg_dilation(tg, topo, a) == 1.0
+
+    def test_ring_contracted_balanced(self):
+        tg = families.ring(16)
+        topo = networks.hypercube(3)
+        a = canned_assignment(tg, topo)
+        sizes = {}
+        for t, p in a.items():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert set(sizes.values()) == {2}
+        # Ring edges have dilation <= 1 after segment contraction.
+        for _, e in tg.all_edges():
+            assert topo.distance(a[e.src], a[e.dst]) <= 1
+
+    def test_nbody_15_on_q3(self):
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        a = canned_assignment(tg, topo)
+        assert set(a.values()) <= set(range(8))
+        for _, e in tg.all_edges():
+            assert topo.distance(a[e.src], a[e.dst]) <= topo.diameter
+
+    def test_mesh_exact_dilation_one(self):
+        tg = families.mesh(4, 8)
+        topo = networks.hypercube(5)
+        a = canned_assignment(tg, topo)
+        assert avg_dilation(tg, topo, a) == 1.0
+
+    def test_torus_power_of_two_dilation_one(self):
+        tg = families.torus(4, 4)
+        topo = networks.hypercube(4)
+        a = canned_assignment(tg, topo)
+        assert avg_dilation(tg, topo, a) == 1.0
+
+    def test_mesh_wrong_size_falls_through(self):
+        tg = families.mesh(3, 5)
+        with pytest.raises(NotApplicableError):
+            canned_assignment(tg, networks.hypercube(4))
+
+    def test_hypercube_identity(self):
+        tg = families.hypercube(3)
+        a = canned_assignment(tg, networks.hypercube(3))
+        assert a == {i: i for i in range(8)}
+        assert avg_dilation(tg, networks.hypercube(3), a) == 1.0
+
+    def test_hypercube_contraction_balanced_dilation(self):
+        tg = families.fft_butterfly(32)
+        topo = networks.hypercube(3)
+        a = canned_assignment(tg, topo)
+        sizes = {}
+        for t, p in a.items():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert set(sizes.values()) == {4}
+        for _, e in tg.all_edges():
+            assert topo.distance(a[e.src], a[e.dst]) <= 1
+
+
+class TestTreeEmbeddings:
+    def test_binary_tree_dilation_at_most_two(self):
+        tg = families.full_binary_tree(3)  # 15 nodes
+        topo = networks.hypercube(4)
+        a = canned_assignment(tg, topo)
+        for _, e in tg.all_edges():
+            assert topo.distance(a[e.src], a[e.dst]) <= 2
+
+    def test_binary_tree_contraction_balanced(self):
+        tg = families.full_binary_tree(4)  # 31 nodes
+        topo = networks.hypercube(3)
+        a = canned_assignment(tg, topo)
+        sizes = {}
+        for t, p in a.items():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert max(sizes.values()) - min(sizes.values()) <= 1
+
+    def test_binomial_into_hypercube_dilation_one(self):
+        tg = families.binomial_tree(4)
+        topo = networks.hypercube(4)
+        a = canned_assignment(tg, topo)
+        assert avg_dilation(tg, topo, a) == 1.0
+
+    def test_binomial_contraction_dilation_at_most_one(self):
+        tg = families.binomial_tree(6)
+        topo = networks.hypercube(3)
+        a = canned_assignment(tg, topo)
+        for _, e in tg.all_edges():
+            assert topo.distance(a[e.src], a[e.dst]) <= 1
+
+
+class TestBinomialMesh:
+    def test_positions_bijective(self):
+        for k in range(9):
+            pos = binomial_mesh_positions(k)
+            h, w = mesh_dims(k)
+            assert len(pos) == h * w
+            assert len(set(pos.values())) == h * w
+
+    def test_average_dilation_below_1_2(self):
+        # The paper's headline claim (Section 4.1).
+        for k in range(1, 11):
+            tg = families.binomial_tree(k)
+            h, w = mesh_dims(k)
+            topo = networks.mesh(h, w)
+            a = binomial_to_mesh(tg, topo)
+            assert avg_dilation(tg, topo, a) <= 1.2, f"B_{k} exceeds 1.2"
+
+    def test_small_orders_dilation_one(self):
+        # B_0..B_4 are spanning subgraphs of their meshes.
+        for k in range(1, 5):
+            tg = families.binomial_tree(k)
+            h, w = mesh_dims(k)
+            topo = networks.mesh(h, w)
+            assert avg_dilation(tg, topo, binomial_to_mesh(tg, topo)) == 1.0
+
+    def test_transposed_mesh_accepted(self):
+        tg = families.binomial_tree(3)  # host 4x2
+        topo = networks.mesh(2, 4)
+        a = binomial_to_mesh(tg, topo)
+        assert len(set(a.values())) == 8
+
+    def test_wrong_mesh_rejected(self):
+        tg = families.binomial_tree(4)
+        with pytest.raises(NotApplicableError):
+            binomial_to_mesh(tg, networks.mesh(2, 8))
+
+    def test_wrong_family_rejected(self):
+        with pytest.raises(NotApplicableError):
+            binomial_to_mesh(families.ring(16), networks.mesh(4, 4))

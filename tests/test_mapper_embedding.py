@@ -1,0 +1,119 @@
+"""Tests for NN-Embed and the baseline embeddings."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper.embedding import (
+    assignment_from_clusters,
+    identity_embed,
+    nn_embed,
+    random_embed,
+)
+from repro.mapper.embedding.nn_embed import cluster_weights
+from repro.mapper.mapping import NotApplicableError
+
+
+class TestClusterWeights:
+    def test_aggregates_over_phases(self):
+        tg = families.nbody(7)
+        clusters = [[0, 1], [2, 3], [4, 5], [6]]
+        w = cluster_weights(tg, clusters)
+        # Ring edge 1->2 crosses clusters 0 and 1.
+        assert w[(0, 1)] >= 1.0
+
+    def test_internal_edges_excluded(self):
+        tg = families.ring(4)
+        w = cluster_weights(tg, [[0, 1, 2, 3]])
+        assert w == {}
+
+
+class TestNnEmbed:
+    def test_injective_placement(self):
+        tg = families.nbody(15)
+        clusters = [[i, i + 1] for i in range(0, 14, 2)] + [[14]]
+        placement = nn_embed(tg, clusters, networks.hypercube(3))
+        assert len(set(placement.values())) == len(clusters)
+
+    def test_too_many_clusters_rejected(self):
+        tg = families.ring(8)
+        clusters = [[i] for i in range(8)]
+        with pytest.raises(NotApplicableError):
+            nn_embed(tg, clusters, networks.ring(4))
+
+    def test_empty(self):
+        assert nn_embed(families.ring(2), [], networks.ring(2)) == {}
+
+    def test_heavy_pairs_adjacent_on_ring(self):
+        # Two clusters communicating heavily must land on adjacent
+        # processors when the rest are quiet.
+        tg = families.ring(8, volume=0.001)
+        tg.add_comm_phase("hot").add(0, 2, 100.0)
+        clusters = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        placement = nn_embed(tg, clusters, networks.ring(4))
+        topo = networks.ring(4)
+        assert topo.distance(placement[0], placement[1]) == 1
+
+    def test_chain_locality_quality(self):
+        # Greedy NN-Embed gives no optimality guarantee, but on a chain of
+        # clusters mapped to a chain of processors the distance-weighted
+        # communication must stay within a small factor of the lower bound
+        # (every cluster edge needs at least one hop).
+        tg = families.linear(8)
+        clusters = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        topo = networks.linear(4)
+        placement = nn_embed(tg, clusters, topo)
+        w = cluster_weights(tg, clusters)
+        cost = sum(
+            wv * topo.distance(placement[i], placement[j])
+            for (i, j), wv in w.items()
+        )
+        lower = sum(w.values())
+        assert cost <= 2.5 * lower
+
+    def test_deterministic(self):
+        tg = stdlib.load("jacobi", rows=4, cols=4)
+        from repro.mapper.contraction import mwm_contract
+
+        clusters = mwm_contract(tg, 4)
+        p1 = nn_embed(tg, clusters, networks.mesh(2, 2))
+        p2 = nn_embed(tg, clusters, networks.mesh(2, 2))
+        assert p1 == p2
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=8))
+    def test_placement_always_valid(self, n_clusters):
+        tg = families.ring(16)
+        clusters = [
+            [t for t in range(16) if t % n_clusters == c] for c in range(n_clusters)
+        ]
+        topo = networks.hypercube(3)
+        placement = nn_embed(tg, clusters, topo)
+        assert set(placement) == set(range(n_clusters))
+        assert len(set(placement.values())) == n_clusters
+        assert set(placement.values()) <= set(topo.processors)
+
+
+class TestBaselinesAndFlatten:
+    def test_identity(self):
+        placement = identity_embed([[0], [1], [2]], networks.ring(4))
+        assert placement == {0: 0, 1: 1, 2: 2}
+
+    def test_random_distinct(self):
+        placement = random_embed([[0], [1], [2]], networks.ring(8), seed=3)
+        assert len(set(placement.values())) == 3
+
+    def test_random_seeded(self):
+        a = random_embed([[0], [1]], networks.ring(8), seed=1)
+        b = random_embed([[0], [1]], networks.ring(8), seed=1)
+        assert a == b
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(NotApplicableError):
+            identity_embed([[0], [1], [2]], networks.ring(2))
+
+    def test_assignment_from_clusters(self):
+        assignment = assignment_from_clusters([[0, 1], [2]], {0: "p0", 1: "p1"})
+        assert assignment == {0: "p0", 1: "p0", 2: "p1"}

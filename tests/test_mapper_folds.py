@@ -1,0 +1,144 @@
+"""Tests for the snake/fold/tile canned embeddings (repro.mapper.canned.folds)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper.canned.folds import (
+    _fold_positions,
+    mesh_to_linear_snake,
+    mesh_to_mesh_tile,
+    ring_to_linear_fold,
+    torus_to_mesh_fold,
+)
+from repro.mapper.canned.registry import canned_assignment
+from repro.mapper.mapping import NotApplicableError
+
+
+def max_dilation(tg, topo, assignment):
+    return max(
+        topo.distance(assignment[e.src], assignment[e.dst])
+        for _, e in tg.all_edges()
+    )
+
+
+class TestFoldPositions:
+    @given(st.integers(min_value=1, max_value=200))
+    def test_is_permutation(self, n):
+        pos = _fold_positions(n)
+        assert sorted(pos.values()) == list(range(n))
+
+    @given(st.integers(min_value=2, max_value=200))
+    def test_ring_neighbours_within_two(self, n):
+        pos = _fold_positions(n)
+        for k in range(n):
+            assert abs(pos[k] - pos[(k + 1) % n]) <= 2
+
+
+class TestRingToLinear:
+    def test_exact_size_dilation_two(self):
+        tg = families.ring(10)
+        topo = networks.linear(10)
+        a = ring_to_linear_fold(tg, topo)
+        assert max_dilation(tg, topo, a) <= 2
+
+    def test_contracted(self):
+        tg = families.ring(20)
+        topo = networks.linear(5)
+        a = ring_to_linear_fold(tg, topo)
+        sizes = {}
+        for p in a.values():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert set(sizes.values()) == {4}
+        assert max_dilation(tg, topo, a) <= 2
+
+    def test_registered_for_nbody(self):
+        tg = families.nbody(9)
+        topo = networks.linear(9)
+        a = canned_assignment(tg, topo)
+        ring_dil = max(
+            topo.distance(a[e.src], a[e.dst])
+            for e in tg.comm_phase("ring").edges
+        )
+        assert ring_dil <= 2
+
+    def test_wrong_topology(self):
+        with pytest.raises(NotApplicableError):
+            ring_to_linear_fold(families.ring(6), networks.mesh(2, 3))
+
+
+class TestMeshToLinear:
+    def test_snake_row_edges_adjacent(self):
+        tg = families.mesh(3, 4)
+        topo = networks.linear(12)
+        a = mesh_to_linear_snake(tg, topo)
+        # East/west edges are consecutive in snake order: dilation 1.
+        for e in tg.comm_phase("east").edges:
+            assert topo.distance(a[e.src], a[e.dst]) == 1
+        # Column edges dilate by at most 2*cols - 1.
+        assert max_dilation(tg, topo, a) <= 2 * 4 - 1
+
+    def test_snake_contracted_balanced(self):
+        tg = families.mesh(4, 4)
+        topo = networks.linear(4)
+        a = mesh_to_linear_snake(tg, topo)
+        sizes = {}
+        for p in a.values():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert set(sizes.values()) == {4}
+
+    def test_wrong_family(self):
+        with pytest.raises(NotApplicableError):
+            mesh_to_linear_snake(families.ring(6), networks.linear(6))
+
+
+class TestMeshTile:
+    def test_divisible_dilation_one(self):
+        tg = families.mesh(6, 8)
+        topo = networks.mesh(3, 4)
+        a = mesh_to_mesh_tile(tg, topo)
+        assert max_dilation(tg, topo, a) == 1
+        sizes = {}
+        for p in a.values():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert set(sizes.values()) == {4}
+
+    def test_identity_when_equal(self):
+        tg = families.mesh(3, 3)
+        a = mesh_to_mesh_tile(tg, networks.mesh(3, 3))
+        assert a == {i: i for i in range(9)}
+
+    def test_non_divisible_rejected(self):
+        with pytest.raises(NotApplicableError):
+            mesh_to_mesh_tile(families.mesh(5, 5), networks.mesh(2, 2))
+
+    def test_registered(self):
+        tg = families.mesh(4, 6)
+        a = canned_assignment(tg, networks.mesh(2, 3))
+        assert len(set(a.values())) == 6
+
+
+class TestTorusFold:
+    def test_equal_size_dilation_two(self):
+        tg = families.torus(6, 8)
+        topo = networks.mesh(6, 8)
+        a = torus_to_mesh_fold(tg, topo)
+        assert max_dilation(tg, topo, a) <= 2
+
+    def test_is_bijection(self):
+        tg = families.torus(5, 7)
+        a = torus_to_mesh_fold(tg, networks.mesh(5, 7))
+        assert sorted(a.values()) == list(range(35))
+
+    def test_registry_falls_back_to_tiling(self):
+        tg = families.torus(8, 8)
+        a = canned_assignment(tg, networks.mesh(4, 4))
+        sizes = {}
+        for p in a.values():
+            sizes[p] = sizes.get(p, 0) + 1
+        assert set(sizes.values()) == {4}
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(NotApplicableError):
+            torus_to_mesh_fold(families.torus(4, 4), networks.mesh(2, 8))

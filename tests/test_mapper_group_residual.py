@@ -1,0 +1,71 @@
+"""Tests for the 'almost node symmetric' partial group contraction."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper import map_computation
+from repro.mapper.contraction import group_contract
+from repro.mapper.mapping import NotApplicableError
+
+
+def nbody_with_aggregate(n=8):
+    """A Cayley graph plus one non-bijective phase (everyone reports to 0)."""
+    tg = families.ring(n)
+    tg.family = None  # hide the name so dispatch exercises the group path
+    report = tg.add_comm_phase("report")
+    for i in range(1, n):
+        report.add(i, 0, 1.0)
+    tg.phase_expr = None
+    return tg
+
+
+class TestAllowResidual:
+    def test_strict_mode_rejects(self):
+        with pytest.raises(NotApplicableError):
+            group_contract(nbody_with_aggregate(), 4)
+
+    def test_residual_mode_accepts(self):
+        gc = group_contract(nbody_with_aggregate(), 4, allow_residual=True)
+        assert len(gc.clusters) == 4
+        assert all(len(c) == 2 for c in gc.clusters)
+        assert gc.residual_phases == ["report"]
+
+    def test_residual_volume_accounted(self):
+        gc = group_contract(nbody_with_aggregate(), 4, allow_residual=True)
+        # Some report edges land inside clusters (task 0's cluster-mates).
+        assert gc.residual_internal_volume >= 0.0
+        # Partition still exact.
+        flat = sorted(t for c in gc.clusters for t in c)
+        assert flat == list(range(8))
+
+    def test_residual_influences_subgroup_choice(self):
+        # A heavy residual phase between i and i+4 should pull the subgroup
+        # towards <+4> (internalising it) rather than any equal alternative.
+        tg = families.ring(8, volume=0.001)
+        heavy = tg.add_comm_phase("heavy")
+        for i in range(4):
+            heavy.add(i, i + 4, 100.0)
+        tg.phase_expr = None
+        gc = group_contract(tg, 4, allow_residual=True)
+        clusters = sorted(map(sorted, gc.clusters))
+        assert clusters == [[0, 4], [1, 5], [2, 6], [3, 7]]
+        assert gc.residual_internal_volume == 400.0
+
+    def test_no_bijective_phase_still_rejected(self):
+        tg = families.star(8)
+        with pytest.raises(NotApplicableError, match="no communication phase"):
+            group_contract(tg, 4, allow_residual=True)
+
+    def test_dispatch_uses_group_path_with_residual(self):
+        tg = nbody_with_aggregate()
+        m = map_computation(tg, networks.hypercube(2))
+        assert m.provenance == "group"
+        m.validate(require_routes=True)
+
+    def test_tuple_labels_rejected(self):
+        from repro.larcs import stdlib
+
+        tg = stdlib.load("jacobi", rows=3, cols=3)
+        with pytest.raises(NotApplicableError):
+            group_contract(tg, 3, allow_residual=True)

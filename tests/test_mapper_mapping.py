@@ -1,0 +1,85 @@
+"""Tests for the Mapping result type (repro.mapper.mapping)."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper.mapping import Mapping
+
+
+def make_mapping():
+    tg = families.ring(4)
+    topo = networks.ring(4)
+    assignment = {i: i for i in range(4)}
+    routes = {("ring", i): [i, (i + 1) % 4] for i in range(4)}
+    return Mapping(tg, topo, assignment, routes, provenance="test")
+
+
+class TestLookups:
+    def test_proc_of(self):
+        m = make_mapping()
+        assert m.proc_of(2) == 2
+
+    def test_tasks_on_and_clusters(self):
+        tg = families.ring(4)
+        topo = networks.ring(2)
+        m = Mapping(tg, topo, {0: 0, 1: 0, 2: 1, 3: 1})
+        assert sorted(m.tasks_on(0)) == [0, 1]
+        assert m.clusters() == {0: [0, 1], 1: [2, 3]}
+
+    def test_dilation(self):
+        m = make_mapping()
+        assert m.dilation("ring", 0) == 1
+
+    def test_used_procs(self):
+        tg = families.ring(2)
+        topo = networks.ring(4)
+        m = Mapping(tg, topo, {0: 1, 1: 1})
+        assert m.used_procs() == {1}
+
+    def test_repr(self):
+        assert "test" in repr(make_mapping())
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        make_mapping().validate(require_routes=True)
+
+    def test_unassigned_task(self):
+        tg = families.ring(3)
+        topo = networks.ring(3)
+        m = Mapping(tg, topo, {0: 0, 1: 1})
+        with pytest.raises(ValueError, match="unassigned"):
+            m.validate()
+
+    def test_unknown_processor(self):
+        tg = families.ring(2)
+        topo = networks.ring(2)
+        m = Mapping(tg, topo, {0: 0, 1: 99})
+        with pytest.raises(ValueError, match="unknown processor"):
+            m.validate()
+
+    def test_route_not_a_path(self):
+        m = make_mapping()
+        m.routes[("ring", 0)] = [0, 2]  # 0 and 2 are not linked in ring4
+        with pytest.raises(ValueError, match="not a network path"):
+            m.validate()
+
+    def test_route_wrong_endpoints(self):
+        m = make_mapping()
+        m.routes[("ring", 0)] = [1, 2]
+        with pytest.raises(ValueError, match="does not connect"):
+            m.validate()
+
+    def test_route_bad_key(self):
+        m = make_mapping()
+        m.routes[("ring", 99)] = [0, 1]
+        with pytest.raises(ValueError, match="matches no edge"):
+            m.validate()
+
+    def test_require_routes(self):
+        m = make_mapping()
+        del m.routes[("ring", 2)]
+        m.validate()  # fine without the flag
+        with pytest.raises(ValueError, match="missing route"):
+            m.validate(require_routes=True)

@@ -1,0 +1,107 @@
+"""Internal-behaviour tests for the migration machinery."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper.mapping import Mapping
+from repro.mapper.migration import (
+    _migration_time,
+    _segment_graph,
+    evaluate_migration,
+)
+from repro.sim import CostModel
+
+
+class TestSegmentGraph:
+    def test_keeps_only_named_phases(self):
+        tg = families.nbody(7)
+        seg = _segment_graph(tg, {"ring"})
+        assert list(seg.comm_phases) == ["ring"]
+        assert len(seg.comm_phase("ring")) == 7
+
+    def test_keeps_all_exec_phases(self):
+        tg = families.nbody(7)
+        seg = _segment_graph(tg, {"chordal"})
+        assert set(seg.exec_phases) == {"compute1", "compute2"}
+
+    def test_preserves_node_weights_and_volumes(self):
+        tg = families.ring(4, volume=3.5)
+        tg.add_node(99, 7.0)
+        seg = _segment_graph(tg, {"ring"})
+        assert seg.node_weight(99) == 7.0
+        assert seg.comm_phase("ring").edges[0].volume == 3.5
+
+    def test_empty_selection(self):
+        tg = families.ring(4)
+        seg = _segment_graph(tg, set())
+        assert seg.comm_phases == {}
+        assert seg.nodes == tg.nodes
+
+
+class TestMigrationTime:
+    def make(self, before_assign, after_assign):
+        tg = families.ring(4)
+        topo = networks.linear(4)
+        before = Mapping(tg, topo, before_assign)
+        after = Mapping(tg, topo, after_assign)
+        return tg, topo, before, after
+
+    def test_no_moves_costs_nothing(self):
+        a = {i: i for i in range(4)}
+        tg, topo, before, after = self.make(a, dict(a))
+        assert _migration_time(tg, topo, before, after, 1.0, CostModel()) == 0.0
+
+    def test_single_move_cost(self):
+        a = {i: i for i in range(4)}
+        b = dict(a)
+        b[0] = 1  # one task moves one hop
+        tg, topo, before, after = self.make(a, b)
+        model = CostModel(hop_latency=1.0, byte_time=2.0)
+        t = _migration_time(tg, topo, before, after, 5.0, model)
+        # One task, one hop: transfer_time(5) = 1 + 10 = 11, plus the
+        # serialisation term 5*2/3 links.
+        assert t == pytest.approx(11.0 + 10.0 / 3.0)
+
+    def test_cost_grows_with_distance(self):
+        a = {i: 0 for i in range(4)}
+        near = {**a, 0: 1}
+        far = {**a, 0: 3}
+        tg, topo, b1, a1 = self.make(a, near)
+        _, _, b2, a2 = self.make(a, far)
+        m = CostModel()
+        assert _migration_time(tg, topo, b2, a2, 1.0, m) > _migration_time(
+            tg, topo, b1, a1, 1.0, m
+        )
+
+
+class TestEvaluateMigrationEdges:
+    def test_overlapping_segments_first_wins(self):
+        # A phase named in two segments: steps attribute to the first.
+        tg = families.nbody(7)
+        topo = networks.hypercube(2)
+        plan = evaluate_migration(
+            tg,
+            topo,
+            [{"ring", "chordal", "compute1", "compute2"}, {"chordal"}],
+        )
+        # Everything lands in segment 0: no migrations happen.
+        assert plan.migration_cost == 0.0
+
+    def test_mappings_cover_all_tasks(self):
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        plan = evaluate_migration(
+            tg, topo, [{"ring", "compute1"}, {"chordal", "compute2"}]
+        )
+        for m in plan.mappings:
+            assert set(m.assignment) == set(tg.nodes)
+            assert m.provenance == "migratory"
+
+    def test_worthwhile_flag_consistent(self):
+        tg = families.nbody(7)
+        topo = networks.hypercube(2)
+        plan = evaluate_migration(
+            tg, topo, [{"ring", "compute1"}, {"chordal", "compute2"}]
+        )
+        assert plan.worthwhile == (plan.migratory_time < plan.static_time)

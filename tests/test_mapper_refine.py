@@ -1,0 +1,150 @@
+"""Tests for the KL-style refinement passes (repro.mapper.refine)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import networks
+from repro.graph import families
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper import map_computation
+from repro.mapper.contraction import mwm_contract, random_contract, total_ipc
+from repro.mapper.embedding import nn_embed
+from repro.mapper.embedding.nn_embed import cluster_weights
+from repro.mapper.refine import refine_contraction, refine_embedding
+
+
+def random_graph(n, density, seed):
+    rng = random.Random(seed)
+    tg = TaskGraph(f"r{n}")
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("c")
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                ph.add(u, v, float(rng.randint(1, 9)))
+    return tg
+
+
+def placement_cost(tg, clusters, placement, topo):
+    w = cluster_weights(tg, clusters)
+    return sum(
+        v * topo.distance(placement[i], placement[j]) for (i, j), v in w.items()
+    )
+
+
+class TestRefineContraction:
+    def test_never_increases_ipc(self):
+        for seed in range(5):
+            tg = random_graph(24, 0.2, seed)
+            clusters = random_contract(tg, 4, seed=seed)
+            before = total_ipc(tg, clusters)
+            refined = refine_contraction(tg, clusters, load_bound=6)
+            assert total_ipc(tg, refined) <= before
+
+    def test_improves_bad_contraction(self):
+        # A deliberately striped contraction of a chain must improve.
+        tg = families.linear(16)
+        striped = [[t for t in range(16) if t % 4 == k] for k in range(4)]
+        before = total_ipc(tg, striped)
+        refined = refine_contraction(tg, striped, load_bound=4)
+        assert total_ipc(tg, refined) < before
+
+    def test_respects_load_bound(self):
+        tg = random_graph(20, 0.3, 1)
+        clusters = random_contract(tg, 5, seed=1)
+        refined = refine_contraction(tg, clusters, load_bound=4)
+        assert all(len(c) <= 4 for c in refined)
+
+    def test_partition_preserved(self):
+        tg = random_graph(18, 0.25, 2)
+        clusters = random_contract(tg, 3, seed=2)
+        refined = refine_contraction(tg, clusters, load_bound=6)
+        flat = sorted(t for c in refined for t in c)
+        assert flat == list(range(18))
+
+    def test_never_empties_cluster(self):
+        tg = families.ring(8)
+        clusters = [[0], [1, 2, 3, 4, 5, 6, 7]]
+        refined = refine_contraction(tg, clusters, load_bound=7)
+        assert len(refined) == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), p=st.integers(2, 6))
+    def test_monotone_property(self, seed, p):
+        tg = random_graph(15, 0.3, seed)
+        bound = math.ceil(15 / p)
+        clusters = random_contract(tg, p, seed=seed)
+        before = total_ipc(tg, clusters)
+        refined = refine_contraction(tg, clusters, load_bound=bound)
+        assert total_ipc(tg, refined) <= before
+        assert all(len(c) <= bound for c in refined)
+
+
+class TestRefineEmbedding:
+    def test_never_increases_cost(self):
+        for seed in range(5):
+            tg = random_graph(24, 0.2, seed)
+            clusters = mwm_contract(tg, 8)
+            topo = networks.hypercube(3)
+            placement = {i: topo.processors[i] for i in range(len(clusters))}
+            before = placement_cost(tg, clusters, placement, topo)
+            refined = refine_embedding(tg, clusters, placement, topo)
+            assert placement_cost(tg, clusters, refined, topo) <= before
+
+    def test_fixes_swapped_chain(self):
+        # Chain clusters placed in scrambled order on a chain of procs.
+        tg = families.linear(8)
+        clusters = [[0, 1], [2, 3], [4, 5], [6, 7]]
+        topo = networks.linear(4)
+        scrambled = {0: 2, 1: 0, 2: 3, 3: 1}
+        refined = refine_embedding(tg, clusters, scrambled, topo)
+        assert placement_cost(tg, clusters, refined, topo) <= placement_cost(
+            tg, clusters, scrambled, topo
+        )
+        # The optimum (cost 3... each adjacent pair at distance 1) reached.
+        assert placement_cost(tg, clusters, refined, topo) == sum(
+            cluster_weights(tg, clusters).values()
+        )
+
+    def test_uses_free_processors(self):
+        tg = families.ring(4, volume=10.0)
+        clusters = [[0, 1], [2, 3]]
+        topo = networks.linear(4)
+        placement = {0: 0, 1: 3}  # far apart; 1 should move next to 0
+        refined = refine_embedding(tg, clusters, placement, topo)
+        assert topo.distance(refined[0], refined[1]) == 1
+
+    def test_placement_stays_injective(self):
+        tg = random_graph(16, 0.3, 3)
+        clusters = mwm_contract(tg, 4)
+        topo = networks.mesh(2, 4)
+        placement = nn_embed(tg, clusters, topo)
+        refined = refine_embedding(tg, clusters, placement, topo)
+        assert len(set(refined.values())) == len(clusters)
+
+
+class TestDispatchRefine:
+    def test_refined_mapping_valid_and_not_worse(self):
+        tg = random_graph(32, 0.15, 7)
+        topo = networks.hypercube(3)
+        plain = map_computation(tg, topo, strategy="mwm")
+        refined = map_computation(tg, topo, strategy="mwm", refine=True)
+        refined.validate(require_routes=True)
+        assert "refined" in refined.provenance
+
+        def ipc(m):
+            return total_ipc(tg, [sorted(ts) for ts in m.clusters().values()])
+
+        assert ipc(refined) <= ipc(plain)
+
+    def test_canned_not_refined(self):
+        m = map_computation(families.ring(8), networks.hypercube(3), refine=True)
+        assert m.provenance == "canned"
+
+    def test_group_path_refinable(self):
+        tg = families.ring(12)
+        m = map_computation(tg, networks.ring(4), refine=True)
+        m.validate(require_routes=True)

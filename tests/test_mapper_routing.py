@@ -1,0 +1,156 @@
+"""Tests for Algorithm MM-Route and the routing baselines."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper.canned.registry import canned_assignment
+from repro.mapper.routing import dimension_order_route, mm_route, random_route
+
+
+def check_routes(tg, topo, assignment, result, *, shortest=True):
+    """Every edge routed, every route a valid shortest network path."""
+    for phase_name, phase in tg.comm_phases.items():
+        for idx, e in enumerate(phase.edges):
+            route = result.routes[(phase_name, idx)]
+            assert route[0] == assignment[e.src]
+            assert route[-1] == assignment[e.dst]
+            assert topo.is_valid_route(route)
+            if shortest:
+                assert len(route) - 1 == topo.distance(
+                    assignment[e.src], assignment[e.dst]
+                )
+
+
+def link_loads(topo, result, phase):
+    loads = {}
+    for (ph, _), route in result.routes.items():
+        if ph != phase:
+            continue
+        for a, b in zip(route, route[1:]):
+            lid = topo.link_id(a, b)
+            loads[lid] = loads.get(lid, 0) + 1
+    return loads
+
+
+class TestMmRouteFig6:
+    def setup_method(self):
+        self.tg = families.nbody(15)
+        self.topo = networks.hypercube(3)
+        self.assignment = canned_assignment(self.tg, self.topo)
+
+    def test_all_routes_shortest(self):
+        result = mm_route(self.tg, self.topo, self.assignment)
+        check_routes(self.tg, self.topo, self.assignment, result)
+
+    def test_ring_phase_needs_single_round(self):
+        # Gray-code embedding makes all ring hops single-link; MM-Route
+        # spreads 8 inter-processor messages over 8 distinct links in one
+        # matching round.
+        result = mm_route(self.tg, self.topo, self.assignment)
+        assert result.rounds["ring"] == [1]
+
+    def test_chordal_contention_bounded(self):
+        result = mm_route(self.tg, self.topo, self.assignment)
+        # 15 chordal messages over 12 links can't be contention-free, but
+        # each matching round uses a link once; the bound is the round count.
+        for phase in ("ring", "chordal"):
+            loads = link_loads(self.topo, result, phase)
+            for step_rounds in [result.max_rounds(phase)]:
+                assert max(loads.values()) <= sum(result.rounds[phase])
+
+    def test_beats_or_matches_deterministic_routing(self):
+        mm = mm_route(self.tg, self.topo, self.assignment)
+        det = dimension_order_route(self.tg, self.topo, self.assignment)
+        mm_worst = max(link_loads(self.topo, mm, "chordal").values())
+        det_worst = max(link_loads(self.topo, det, "chordal").values())
+        assert mm_worst <= det_worst
+
+
+class TestMmRouteGeneral:
+    def test_intra_processor_routes(self):
+        tg = families.ring(4)
+        topo = networks.ring(2)
+        assignment = {0: 0, 1: 0, 2: 1, 3: 1}
+        result = mm_route(tg, topo, assignment)
+        assert result.routes[("ring", 0)] == [0]  # 0 -> 1 same processor
+        assert result.routes[("ring", 1)] == [0, 1]
+
+    def test_single_processor(self):
+        tg = families.complete(4)
+        topo = networks.ring(1)
+        result = mm_route(tg, topo, {i: 0 for i in range(4)})
+        assert all(route == [0] for route in result.routes.values())
+
+    def test_multi_hop_routes(self):
+        tg = families.ring(4)
+        topo = networks.linear(4)
+        assignment = {i: i for i in range(4)}
+        result = mm_route(tg, topo, assignment)
+        # The wrap edge 3 -> 0 must traverse the whole chain.
+        assert result.routes[("ring", 3)] == [3, 2, 1, 0]
+
+    def test_rounds_recorded_per_hop(self):
+        tg = families.complete(4)
+        topo = networks.star(4)
+        result = mm_route(tg, topo, {i: i for i in range(4)})
+        assert "all" in result.rounds
+        assert all(r >= 1 for r in result.rounds["all"])
+
+    def test_max_rounds_default(self):
+        tg = families.ring(2)
+        topo = networks.ring(2)
+        result = mm_route(tg, topo, {0: 0, 1: 0})
+        assert result.max_rounds("ring") == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=4), st.integers(min_value=0, max_value=10**6))
+    def test_random_assignment_routes_valid(self, dim, seed):
+        import random
+
+        rng = random.Random(seed)
+        tg = families.fft_butterfly(8)
+        topo = networks.hypercube(dim)
+        assignment = {t: rng.randrange(1 << dim) for t in tg.nodes}
+        result = mm_route(tg, topo, assignment)
+        check_routes(tg, topo, assignment, result)
+
+
+class TestBaselines:
+    def test_random_route_valid_and_shortest(self):
+        tg = families.nbody(15)
+        topo = networks.hypercube(3)
+        assignment = canned_assignment(tg, topo)
+        result = random_route(tg, topo, assignment, seed=11)
+        check_routes(tg, topo, assignment, result)
+
+    def test_random_route_seeded(self):
+        tg = families.nbody(7)
+        topo = networks.hypercube(3)
+        assignment = canned_assignment(tg, topo)
+        a = random_route(tg, topo, assignment, seed=5)
+        b = random_route(tg, topo, assignment, seed=5)
+        assert a.routes == b.routes
+
+    def test_dimension_order_valid_and_deterministic(self):
+        tg = families.fft_butterfly(8)
+        topo = networks.hypercube(3)
+        assignment = {i: i for i in range(8)}
+        a = dimension_order_route(tg, topo, assignment)
+        b = dimension_order_route(tg, topo, assignment)
+        check_routes(tg, topo, assignment, a)
+        assert a.routes == b.routes
+
+    def test_dimension_order_single_path_per_pair(self):
+        topo = networks.hypercube(3)
+        tg = families.ring(8)
+        assignment = {i: i for i in range(8)}
+        result = dimension_order_route(tg, topo, assignment)
+        # Same (src, dst) pair always gets the same route.
+        seen = {}
+        for (phase, idx), route in result.routes.items():
+            key = (route[0], route[-1])
+            if key in seen:
+                assert seen[key] == route
+            seen[key] = route

@@ -1,0 +1,147 @@
+"""Tests for the syntactic Cayley characterisation (contraction/syntactic.py)."""
+
+import pytest
+
+from repro.graph.properties import comm_functions
+from repro.larcs import parse_larcs, stdlib
+from repro.larcs.compiler import compile_larcs
+from repro.mapper.contraction.syntactic import SyntacticCayley, syntactic_cayley
+from repro.mapper.mapping import NotApplicableError
+
+
+class TestCirculantRecognition:
+    def test_nbody_recognised(self):
+        result = syntactic_cayley(parse_larcs(stdlib.NBODY), {"n": 15})
+        assert result.kind == "circulant"
+        assert result.n == 15
+        assert result.constants == {"ring": 1, "chordal": 8}
+
+    def test_voting_indexed_phases_recognised(self):
+        result = syntactic_cayley(parse_larcs(stdlib.BROADCAST_VOTING), {"m": 3})
+        assert result.kind == "circulant"
+        assert result.constants == {"hop[0]": 1, "hop[1]": 2, "hop[2]": 4}
+
+    def test_generators_match_generic_path(self):
+        program = parse_larcs(stdlib.NBODY)
+        result = syntactic_cayley(program, {"n": 15})
+        tg = compile_larcs(stdlib.NBODY, n=15).task_graph
+        assert result.generators() == comm_functions(tg)
+
+    def test_group_is_regular_without_enumeration(self):
+        result = syntactic_cayley(parse_larcs(stdlib.NBODY), {"n": 15})
+        group = result.group()
+        assert group.order == 15 and group.is_regular_action()
+
+    def test_non_coprime_shifts_rejected(self):
+        src = """
+        algorithm striped(n);
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t((i + 2) mod n);
+        comphase b t(i) -> t((i + 4) mod n);
+        """
+        with pytest.raises(NotApplicableError, match="gcd"):
+            syntactic_cayley(parse_larcs(src), {"n": 8})
+
+    def test_shift_written_constant_first(self):
+        src = """
+        algorithm c(n);
+        constant half = (n + 1) / 2;
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t((half + i) mod n);
+        """
+        result = syntactic_cayley(parse_larcs(src), {"n": 9})
+        assert result.constants == {"a": 5}
+
+    def test_negative_shift(self):
+        src = """
+        algorithm back(n);
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t((i - 1) mod n);
+        comphase b t(i) -> t((i + 1) mod n);
+        """
+        result = syntactic_cayley(parse_larcs(src), {"n": 6})
+        assert result.constants["a"] == 5
+
+    def test_reflection_rejected(self):
+        src = """
+        algorithm refl(n);
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t((n - 1 - i) mod n);
+        """
+        with pytest.raises(NotApplicableError):
+            syntactic_cayley(parse_larcs(src), {"n": 8})
+
+
+class TestXorRecognition:
+    def test_fft_recognised(self):
+        result = syntactic_cayley(parse_larcs(stdlib.FFT), {"m": 3})
+        assert result.kind == "xor"
+        assert result.constants == {"fly[0]": 1, "fly[1]": 2, "fly[2]": 4}
+
+    def test_xor_generators_match_generic(self):
+        result = syntactic_cayley(parse_larcs(stdlib.FFT), {"m": 4})
+        tg = compile_larcs(stdlib.FFT, m=4).task_graph
+        assert result.generators() == comm_functions(tg)
+
+    def test_partial_span_rejected(self):
+        src = """
+        algorithm sub(m);
+        constant n = 2 ** m;
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t(i xor 1);
+        comphase b t(i) -> t(i xor 2);
+        """
+        with pytest.raises(NotApplicableError, match="span"):
+            syntactic_cayley(parse_larcs(src), {"m": 3})  # 1,2 span only 4 of 8
+
+    def test_full_span_accepted(self):
+        src = """
+        algorithm full(m);
+        constant n = 2 ** m;
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t(i xor 1);
+        comphase b t(i) -> t(i xor 6);
+        comphase c t(i) -> t(i xor 4);
+        """
+        result = syntactic_cayley(parse_larcs(src), {"m": 3})
+        assert result.kind == "xor"
+
+
+class TestRejections:
+    def test_guarded_rules_rejected(self):
+        with pytest.raises(NotApplicableError, match="guards"):
+            syntactic_cayley(parse_larcs(stdlib.PIPELINE), {"n": 8})
+
+    def test_multidim_rejected(self):
+        with pytest.raises(NotApplicableError, match="1-D"):
+            syntactic_cayley(parse_larcs(stdlib.JACOBI), {"rows": 3, "cols": 3})
+
+    def test_mixed_patterns_rejected(self):
+        src = """
+        algorithm mixed(n);
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t((i + 1) mod n);
+        comphase b t(i) -> t(i xor 1);
+        """
+        with pytest.raises(NotApplicableError, match="mixed"):
+            syntactic_cayley(parse_larcs(src), {"n": 8})
+
+    def test_non_matching_function_rejected(self):
+        src = """
+        algorithm sq(n);
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t((i * i) mod n);
+        """
+        with pytest.raises(NotApplicableError, match="neither"):
+            syntactic_cayley(parse_larcs(src), {"n": 8})
+
+    def test_identity_only_not_transitive(self):
+        # A single self-message phase generates the trivial group: the
+        # action cannot be regular on more than one task.
+        src = """
+        algorithm quiet(n);
+        nodetype t[0 .. n-1];
+        comphase a t(i) -> t(i);
+        """
+        with pytest.raises(NotApplicableError, match="transitive"):
+            syntactic_cayley(parse_larcs(src), {"n": 4})

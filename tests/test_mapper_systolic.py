@@ -1,0 +1,249 @@
+"""Tests for the systolic synthesis subsystem (repro.mapper.systolic)."""
+
+import numpy as np
+import pytest
+
+from repro.larcs.parser import parse_larcs
+from repro.mapper.mapping import NotApplicableError
+from repro.mapper.systolic import (
+    NoScheduleError,
+    Polytope,
+    UniformRecurrence,
+    convolution,
+    detect_recurrence,
+    find_allocation,
+    find_schedule,
+    matmul,
+    synthesize,
+)
+from repro.mapper.systolic.allocation import allocation_matrix, project
+from repro.mapper.systolic.recurrence import triangular_solver
+from repro.mapper.systolic.schedule import makespan
+
+
+class TestPolytope:
+    def test_box_points(self):
+        p = Polytope([(0, 1), (0, 2)])
+        assert len(p) == 6
+        assert p.contains((1, 2)) and not p.contains((2, 0))
+
+    def test_constraints_cut(self):
+        # Triangle j <= i on a 3x3 box.
+        p = Polytope([(0, 2), (0, 2)], [((-1, 1), 0)])
+        assert len(p) == 6
+        assert p.contains((2, 2)) and not p.contains((0, 1))
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            Polytope([(3, 2)])
+
+    def test_dim_mismatch_constraint(self):
+        with pytest.raises(ValueError):
+            Polytope([(0, 1)], [((1, 1), 0)])
+
+    def test_wrong_dim_point(self):
+        assert not Polytope([(0, 1)]).contains((0, 0))
+
+    def test_box_corners(self):
+        assert len(Polytope([(0, 3), (0, 3)]).box_corners()) == 4
+
+
+class TestRecurrence:
+    def test_matmul_edges_within_domain(self):
+        rec = matmul(3)
+        for p, q in rec.edges():
+            assert rec.domain.contains(p) and rec.domain.contains(q)
+            assert tuple(b - a for a, b in zip(p, q)) in rec.dependencies
+
+    def test_zero_dependence_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRecurrence("bad", Polytope([(0, 1)]), [(0,)])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            UniformRecurrence("bad", Polytope([(0, 1)]), [(1, 0)])
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            matmul(0)
+        with pytest.raises(ValueError):
+            convolution(0, 3)
+
+
+class TestSchedule:
+    def test_matmul_optimal(self):
+        lam, span = find_schedule(matmul(4))
+        assert lam == (1, 1, 1)
+        assert span == 3 * 3 + 1  # 3(n-1)+1 time steps
+
+    def test_convolution(self):
+        lam, span = find_schedule(convolution(8, 3))
+        # Both dependencies need lambda_i >= 1; optimal is (1, 1).
+        assert lam == (1, 1)
+        assert span == (8 - 1) + (3 - 1) + 1
+
+    def test_schedule_respects_all_dependencies(self):
+        rec = triangular_solver(4)
+        lam, _ = find_schedule(rec)
+        for d in rec.dependencies:
+            assert sum(l * v for l, v in zip(lam, d)) >= 1
+
+    def test_conflicting_cycle_unschedulable(self):
+        rec = UniformRecurrence(
+            "cycle", Polytope([(0, 3), (0, 3)]), [(1, 0), (-1, 0)]
+        )
+        with pytest.raises(NoScheduleError):
+            find_schedule(rec)
+
+    def test_makespan_on_constrained_domain(self):
+        rec = triangular_solver(4)
+        lam, span = find_schedule(rec)
+        assert span == makespan(lam, rec.domain)
+
+
+class TestAllocation:
+    def test_matrix_kernel(self):
+        for u in [(1, 0, 0), (0, 1, 0), (1, 1, 1), (0, -1, 1)]:
+            a = allocation_matrix(u)
+            assert a.shape == (2, 3)
+            assert (a @ np.array(u) == 0).all()
+            assert np.linalg.matrix_rank(a) == 2
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(ValueError):
+            allocation_matrix((0, 0))
+
+    def test_matmul_allocation_conflict_free(self):
+        rec = matmul(3)
+        lam, _ = find_schedule(rec)
+        u, a = find_allocation(rec, lam)
+        assert sum(l * v for l, v in zip(lam, u)) != 0
+        seen = set()
+        for p in rec.domain.points():
+            key = (project(a, p), sum(l * x for l, x in zip(lam, p)))
+            assert key not in seen
+            seen.add(key)
+
+    def test_matmul_projects_to_n_squared_processors(self):
+        rec = matmul(4)
+        lam, _ = find_schedule(rec)
+        u, a = find_allocation(rec, lam)
+        procs = {project(a, p) for p in rec.domain.points()}
+        assert len(procs) == 16  # the classic n x n array
+
+
+class TestSynthesis:
+    def test_matmul_array(self):
+        arr = synthesize(matmul(3))
+        assert arr.n_processors == 9
+        assert arr.makespan == 7
+        arr.verify()
+
+    def test_convolution_linear_array(self):
+        arr = synthesize(convolution(8, 3))
+        # Projecting a 2-D domain yields a linear array.
+        assert arr.n_processors in (3, 8)
+        topo = arr.as_topology()
+        assert topo.n_processors == arr.n_processors
+        # Linear array: a path graph.
+        degrees = sorted(topo.degree(p) for p in topo.processors)
+        assert degrees[0] in (1, 2) and degrees[-1] <= 2
+
+    def test_triangular_solver(self):
+        arr = synthesize(triangular_solver(5))
+        arr.verify()
+        assert 0 < arr.utilization() <= 1.0
+
+    def test_topology_is_nearest_neighbour(self):
+        arr = synthesize(matmul(3))
+        topo = arr.as_topology()
+        # Mesh-like: every link direction is a projected dependence.
+        for link in topo.links:
+            u, v = tuple(link)
+            step = tuple(abs(a - b) for a, b in zip(u, v))
+            assert sum(step) >= 1
+
+    def test_space_time_covers_domain(self):
+        rec = convolution(5, 2)
+        arr = synthesize(rec)
+        assert set(arr.space_time) == set(rec.domain.points())
+        assert min(t for _, t in arr.space_time.values()) == 0
+
+
+SYSTOLIC_LARCS = """
+algorithm conv(n, k);
+nodetype pt[0 .. n-1, 0 .. k-1];
+comphase pipe pt(i, j) -> pt(i + 1, j);
+comphase accum pt(i, j) -> pt(i, j + 1);
+"""
+
+NON_UNIFORM_LARCS = """
+algorithm rev(n);
+nodetype pt[0 .. n-1];
+comphase flip pt(i) -> pt(n - 1 - i);
+"""
+
+NON_AFFINE_LARCS = """
+algorithm fftish(n);
+nodetype pt[0 .. n-1];
+comphase fly pt(i) -> pt(i xor 1);
+"""
+
+
+class TestDetect:
+    def test_uniform_program_detected(self):
+        rec = detect_recurrence(parse_larcs(SYSTOLIC_LARCS), {"n": 6, "k": 3})
+        assert rec.dim == 2
+        assert sorted(rec.dependencies) == [(0, 1), (1, 0)]
+        assert len(rec.domain) == 18
+
+    def test_detected_recurrence_synthesises(self):
+        rec = detect_recurrence(parse_larcs(SYSTOLIC_LARCS), {"n": 6, "k": 3})
+        arr = synthesize(rec)
+        arr.verify()
+
+    def test_affine_but_not_uniform_rejected(self):
+        with pytest.raises(NotApplicableError, match="not uniform"):
+            detect_recurrence(parse_larcs(NON_UNIFORM_LARCS), {"n": 8})
+
+    def test_non_affine_rejected(self):
+        with pytest.raises(NotApplicableError, match="not affine"):
+            detect_recurrence(parse_larcs(NON_AFFINE_LARCS), {"n": 8})
+
+    def test_indexed_phase_rejected(self):
+        src = """
+        algorithm f(m);
+        constant n = 2 ** m;
+        nodetype pt[0 .. n-1];
+        comphase fly[s : 0 .. m-1] pt(i) -> pt(i + 1);
+        """
+        with pytest.raises(NotApplicableError, match="indexed"):
+            detect_recurrence(parse_larcs(src), {"m": 3})
+
+    def test_multiple_nodetypes_rejected(self):
+        src = """
+        algorithm f(n);
+        nodetype a[0 .. n-1];
+        nodetype b[0 .. n-1];
+        comphase p a(i) -> b(i);
+        """
+        with pytest.raises(NotApplicableError, match="one nodetype"):
+            detect_recurrence(parse_larcs(src), {"n": 4})
+
+    def test_self_messages_skipped(self):
+        src = """
+        algorithm f(n);
+        nodetype a[0 .. n-1];
+        comphase keep a(i) -> a(i);
+        comphase step a(i) -> a(i + 1);
+        """
+        rec = detect_recurrence(parse_larcs(src), {"n": 4})
+        assert rec.dependencies == [(1,)]
+
+    def test_stdlib_jacobi_is_uniform(self):
+        # The Jacobi stencil is a uniform recurrence (guards trim the
+        # boundary but the dependence vectors are constant).
+        from repro.larcs import stdlib
+
+        rec = detect_recurrence(parse_larcs(stdlib.JACOBI), {"rows": 4, "cols": 4})
+        assert sorted(rec.dependencies) == [(-1, 0), (0, -1), (0, 1), (1, 0)]

@@ -1,0 +1,109 @@
+"""Tests for the ASCII mapping display (repro.metrics.display)."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.metrics.display import (
+    render_link_traffic,
+    render_mapping_ascii,
+    render_timeline,
+)
+from repro.sim import CostModel, simulate
+
+
+class TestRenderMappingAscii:
+    def test_mesh_grid(self):
+        m = map_computation(stdlib.load("jacobi", rows=4, cols=4), networks.mesh(2, 2))
+        art = render_mapping_ascii(m)
+        assert art.count("--") >= 2  # horizontal links drawn
+        assert "|" in art  # vertical links drawn
+        assert "0:" in art and "3:" in art
+
+    def test_torus_notes_wraparound(self):
+        m = map_computation(stdlib.load("cannon", q=2), networks.torus(2, 2))
+        art = render_mapping_ascii(m)
+        assert "wrap" in art
+
+    def test_ring_chain(self):
+        m = map_computation(families.ring(6), networks.ring(6))
+        art = render_mapping_ascii(m)
+        assert "wraps to" in art
+        assert art.count("--") >= 5
+
+    def test_linear_chain_open(self):
+        m = map_computation(stdlib.load("pipeline", n=4), networks.linear(4))
+        art = render_mapping_ascii(m)
+        assert "wraps" not in art
+
+    def test_hypercube_adjacency(self):
+        m = map_computation(families.nbody(15), networks.hypercube(3))
+        art = render_mapping_ascii(m)
+        # Adjacency fallback: one line per processor with neighbours.
+        assert art.count("->") == 8
+
+    def test_empty_processor_shown_as_dash(self):
+        m = map_computation(families.ring(2), networks.ring(4), strategy="mwm")
+        art = render_mapping_ascii(m)
+        assert ":-" in art
+
+    def test_header_mentions_provenance(self):
+        m = map_computation(families.ring(8), networks.hypercube(3))
+        assert "(canned)" in render_mapping_ascii(m)
+
+
+class TestRenderLinkTraffic:
+    def test_bars_and_phases(self):
+        m = map_computation(families.nbody(15), networks.hypercube(3))
+        text = render_link_traffic(m)
+        assert "busiest links" in text
+        assert "#" in text
+        assert "chordal=" in text or "ring=" in text
+
+    def test_top_limits_rows(self):
+        m = map_computation(families.nbody(15), networks.hypercube(3))
+        text = render_link_traffic(m, top=3)
+        assert text.count("link ") == 3
+
+    def test_no_traffic(self):
+        m = map_computation(families.ring(4), networks.ring(1))
+        assert render_link_traffic(m) == "no inter-processor traffic"
+
+
+class TestRenderTimeline:
+    def make(self):
+        m = map_computation(families.nbody(15), networks.hypercube(3))
+        return m, simulate(m, CostModel(exec_time=0.1))
+
+    def test_rows_and_bars(self):
+        m, sim = self.make()
+        text = render_timeline(m, sim)
+        assert "timeline of nbody15" in text
+        assert "ring" in text and "chordal" in text
+        assert "=" in text
+
+    def test_folding_repeated_steps(self):
+        # A phase expression that repeats one identical step folds into a
+        # single row with a repeat count.
+        from repro.graph.phase_expr import PhaseRef, Rep
+
+        tg = families.complete(4)
+        tg.phase_expr = Rep(PhaseRef("all"), 5)
+        m = map_computation(tg, networks.complete(4))
+        sim = simulate(m, CostModel())
+        text = render_timeline(m, sim)
+        assert "x5" in text
+        assert text.count("all") == 1
+
+    def test_max_rows_truncation(self):
+        m, sim = self.make()
+        text = render_timeline(m, sim, max_rows=1)
+        assert "more step groups" in text
+
+    def test_mismatched_sim_rejected(self):
+        m, sim = self.make()
+        other = map_computation(families.ring(4), networks.ring(4))
+        with pytest.raises(ValueError):
+            render_timeline(other, sim)

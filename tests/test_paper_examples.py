@@ -1,0 +1,62 @@
+"""Tests for the reconstructed paper examples (repro.graph.paper_examples)."""
+
+from repro.graph.paper_examples import (
+    FIG5_LOAD_BOUND,
+    FIG5_OPTIMAL_IPC,
+    FIG5_PROCESSORS,
+    fig4_generators_cycle_notation,
+    fig5_task_graph,
+)
+from repro.groups import Permutation
+
+
+class TestFig4Generators:
+    def test_parse_as_valid_permutations(self):
+        perms = [Permutation.parse(s, 8) for s in fig4_generators_cycle_notation]
+        assert [str(p) for p in perms] == list(fig4_generators_cycle_notation)
+
+    def test_are_the_power_of_two_rotations(self):
+        perms = [Permutation.parse(s, 8) for s in fig4_generators_cycle_notation]
+        for k, p in enumerate(perms):
+            shift = 1 << k
+            assert all(p(i) == (i + shift) % 8 for i in range(8))
+
+
+class TestFig5Graph:
+    def test_stated_parameters(self):
+        assert FIG5_PROCESSORS == 3
+        assert FIG5_LOAD_BOUND == 4
+        assert FIG5_OPTIMAL_IPC == 6.0
+
+    def test_twelve_tasks(self):
+        tg = fig5_task_graph()
+        assert tg.n_tasks == 12
+        tg.validate()
+
+    def test_contains_the_weight_15_edge(self):
+        tg = fig5_task_graph()
+        weights = {
+            (e.src, e.dst): e.volume for _, e in tg.all_edges()
+        }
+        assert weights[(1, 2)] == 15.0
+
+    def test_cross_community_volume_is_optimal_ipc(self):
+        tg = fig5_task_graph()
+        community = lambda t: t // 4
+        cross = sum(
+            e.volume
+            for _, e in tg.all_edges()
+            if community(e.src) != community(e.dst)
+        )
+        assert cross == FIG5_OPTIMAL_IPC
+
+    def test_heavy_edges_force_greedy_order(self):
+        # The five heaviest edges are the intra-pair merges the paper's
+        # greedy stage performs before examining the weight-15 edge.
+        tg = fig5_task_graph()
+        edges = sorted(
+            ((e.volume, (e.src, e.dst)) for _, e in tg.all_edges()),
+            reverse=True,
+        )
+        top5 = {pair for _, pair in edges[:5]}
+        assert top5 == {(0, 1), (4, 5), (2, 3), (6, 7), (8, 9)}

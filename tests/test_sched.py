@@ -1,0 +1,185 @@
+"""Tests for the scheduling extension (repro.sched)."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.sched import (
+    SynchronySets,
+    build_directives,
+    derive_synchrony_sets,
+    partner_misalignment,
+    schedule_skew,
+)
+
+
+def nbody_mapping():
+    return map_computation(families.nbody(15), networks.hypercube(3))
+
+
+class TestSynchronySets:
+    def test_every_task_slotted(self):
+        m = nbody_mapping()
+        sets = derive_synchrony_sets(m)
+        assert set(sets.slots) == set(m.task_graph.nodes)
+        sets.validate(m)
+
+    def test_one_task_per_processor_per_slot(self):
+        m = nbody_mapping()
+        sets = derive_synchrony_sets(m)
+        for group in sets.sets:
+            procs = [m.proc_of(t) for t in group]
+            assert len(procs) == len(set(procs))
+
+    def test_singleton_clusters_all_slot_zero(self):
+        m = map_computation(families.ring(8), networks.hypercube(3))
+        sets = derive_synchrony_sets(m)
+        assert all(slot == 0 for slot in sets.slots.values())
+        assert len(sets.sets) == 1
+
+    def test_validate_catches_missing(self):
+        m = nbody_mapping()
+        good = derive_synchrony_sets(m)
+        del good.slots[m.task_graph.nodes[-1]]
+        with pytest.raises(ValueError, match="no synchrony slot"):
+            good.validate(m)
+
+    def test_validate_catches_collision(self):
+        m = nbody_mapping()
+        sets = SynchronySets({t: 0 for t in m.task_graph.nodes})
+        with pytest.raises(ValueError, match="share slot"):
+            sets.validate(m)
+
+    def test_deterministic(self):
+        m = nbody_mapping()
+        assert derive_synchrony_sets(m).slots == derive_synchrony_sets(m).slots
+
+
+def label_order_sets(m):
+    slots = {}
+    for proc, tasks in m.clusters().items():
+        for i, t in enumerate(sorted(tasks, key=repr)):
+            slots[t] = i
+    return SynchronySets(slots)
+
+
+class TestPartnerMisalignment:
+    def random_mapping(self, n=31, dim=3, seed=2):
+        from repro.mapper.contraction import random_contract
+        from repro.mapper.embedding import assignment_from_clusters, nn_embed
+        from repro.mapper.mapping import Mapping
+        from repro.mapper.routing import mm_route
+
+        tg = families.nbody(n)
+        topo = networks.hypercube(dim)
+        clusters = random_contract(tg, topo.n_processors, seed=seed)
+        placement = nn_embed(tg, clusters, topo)
+        m = Mapping(tg, topo, assignment_from_clusters(clusters, placement))
+        m.routes = mm_route(tg, topo, m.assignment).routes
+        return m
+
+    def test_derived_beats_label_order_on_random_clusters(self):
+        m = self.random_mapping()
+        derived_gap = partner_misalignment(m, derive_synchrony_sets(m))
+        naive_gap = partner_misalignment(m, label_order_sets(m))
+        assert derived_gap <= naive_gap
+
+    def test_zero_when_one_task_per_proc(self):
+        m = map_computation(families.ring(8), networks.hypercube(3))
+        sets = derive_synchrony_sets(m)
+        assert partner_misalignment(m, sets) == 0.0
+
+    def test_intra_processor_edges_ignored(self):
+        m = map_computation(families.ring(4), networks.ring(1))
+        sets = derive_synchrony_sets(m)
+        assert partner_misalignment(m, sets) == 0.0
+
+
+class TestScheduleSkew:
+    def test_label_order_has_zero_drift(self):
+        # Gapless slot assignment + uniform costs: offsets equal slots, and
+        # each set holds only one slot, so drift is structurally zero.
+        m = map_computation(families.ring(16), networks.hypercube(3), strategy="mwm")
+        assert schedule_skew(m, label_order_sets(m)) == 0.0
+
+    def test_skew_zero_when_one_task_per_proc(self):
+        m = map_computation(families.ring(8), networks.hypercube(3))
+        sets = derive_synchrony_sets(m)
+        assert schedule_skew(m, sets) == 0.0
+
+    def test_skew_specific_phase(self):
+        m = nbody_mapping()
+        sets = derive_synchrony_sets(m)
+        assert schedule_skew(m, sets, "compute1") >= 0.0
+
+    def test_no_exec_phases(self):
+        tg = families.ring(4)
+        tg._exec_phases.clear()
+        tg.phase_expr = None
+        m = map_computation(tg, networks.ring(4))
+        sets = derive_synchrony_sets(m)
+        assert schedule_skew(m, sets) == 0.0
+
+
+class TestDirectives:
+    def test_structure(self):
+        m = nbody_mapping()
+        schedules = build_directives(m)
+        assert set(schedules) == set(m.topology.processors)
+        steps = m.task_graph.phase_expr.linearize()
+        for sched in schedules.values():
+            assert len(sched.steps) == len(steps)
+
+    def test_exec_steps_cover_all_local_tasks(self):
+        m = nbody_mapping()
+        schedules = build_directives(m)
+        steps = m.task_graph.phase_expr.linearize()
+        exec_steps = [i for i, s in enumerate(steps) if "compute1" in s]
+        i = exec_steps[0]
+        for proc, sched in schedules.items():
+            tasks = {t for t, _ in sched.steps[i]}
+            assert tasks == set(m.tasks_on(proc))
+
+    def test_comm_steps_empty(self):
+        m = nbody_mapping()
+        schedules = build_directives(m)
+        steps = m.task_graph.phase_expr.linearize()
+        ring_step = next(i for i, s in enumerate(steps) if s == frozenset({"ring"}))
+        for sched in schedules.values():
+            assert sched.steps[ring_step] == []
+
+    def test_path_expression_notation(self):
+        m = nbody_mapping()
+        schedules = build_directives(m)
+        steps = m.task_graph.phase_expr.linearize()
+        i = next(i for i, s in enumerate(steps) if "compute1" in s)
+        proc = next(p for p in m.topology.processors if len(m.tasks_on(p)) == 2)
+        expr = schedules[proc].path_expression(i)
+        assert expr.startswith("path (") and expr.endswith(") end")
+        assert ".compute1" in expr and " ; " in expr
+
+    def test_empty_step_renders(self):
+        m = nbody_mapping()
+        schedules = build_directives(m)
+        sched = next(iter(schedules.values()))
+        assert "path end" in sched.path_expression(0) or "path (" in sched.path_expression(0)
+
+    def test_render(self):
+        m = nbody_mapping()
+        schedules = build_directives(m)
+        text = schedules[0].render()
+        assert text.startswith("processor 0:")
+        assert "step 0:" in text
+
+    def test_slot_order_respected(self):
+        m = nbody_mapping()
+        sets = derive_synchrony_sets(m)
+        schedules = build_directives(m, sets)
+        steps = m.task_graph.phase_expr.linearize()
+        i = next(i for i, s in enumerate(steps) if "compute1" in s)
+        for proc, sched in schedules.items():
+            tasks = [t for t, _ in sched.steps[i]]
+            slots = [sets.slots[t] for t in tasks]
+            assert slots == sorted(slots)

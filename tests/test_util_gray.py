@@ -1,0 +1,65 @@
+"""Tests for binary-reflected Gray codes (repro.util.gray)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.gray import gray_code, gray_rank, gray_sequence, hamming
+
+
+class TestGrayCode:
+    def test_first_eight_words(self):
+        assert [gray_code(i) for i in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    def test_zero(self):
+        assert gray_code(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_code(-1)
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_consecutive_words_differ_in_one_bit(self, i):
+        assert hamming(gray_code(i), gray_code(i + 1)) == 1
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_rank_inverts_code(self, i):
+        assert gray_rank(gray_code(i)) == i
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_code_inverts_rank(self, g):
+        assert gray_code(gray_rank(g)) == g
+
+    def test_rank_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_rank(-3)
+
+
+class TestGraySequence:
+    def test_is_permutation_of_labels(self):
+        for nbits in range(6):
+            seq = gray_sequence(nbits)
+            assert sorted(seq) == list(range(1 << nbits))
+
+    def test_cyclic_adjacency(self):
+        # The sequence is a Hamiltonian ring of the hypercube: wraparound
+        # neighbours also differ in one bit.
+        for nbits in range(1, 7):
+            seq = gray_sequence(nbits)
+            for a, b in zip(seq, seq[1:] + seq[:1]):
+                assert hamming(a, b) == 1
+
+    def test_zero_bits(self):
+        assert gray_sequence(0) == [0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            gray_sequence(-1)
+
+
+class TestHamming:
+    def test_identical(self):
+        assert hamming(13, 13) == 0
+
+    def test_known_values(self):
+        assert hamming(0b1010, 0b0101) == 4
+        assert hamming(0, 7) == 3

@@ -1,0 +1,125 @@
+"""Tests for the matching substrate (repro.util.matching)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.matching import (
+    exact_max_weight_matching,
+    greedy_maximal_matching,
+    is_matching,
+    is_maximal_matching,
+    matching_weight,
+    max_weight_matching,
+)
+
+
+def small_weighted_graphs():
+    """Hypothesis strategy: random weighted graphs with <= 8 nodes, <= 14 edges."""
+
+    @st.composite
+    def build(draw):
+        n = draw(st.integers(min_value=2, max_value=8))
+        possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        edges = draw(
+            st.lists(st.sampled_from(possible), min_size=1, max_size=min(14, len(possible)), unique=True)
+        )
+        weights = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=50),
+                min_size=len(edges),
+                max_size=len(edges),
+            )
+        )
+        return {e: float(w) for e, w in zip(edges, weights)}
+
+    return build()
+
+
+class TestGreedyMaximalMatching:
+    def test_path_graph(self):
+        m = greedy_maximal_matching([(0, 1), (1, 2), (2, 3)])
+        assert is_matching(m)
+        assert is_maximal_matching(m, [(0, 1), (1, 2), (2, 3)])
+
+    def test_priority_prefers_heavy_edges(self):
+        edges = [(0, 1), (1, 2)]
+        m = greedy_maximal_matching(edges, priority={(1, 2): 10.0, (0, 1): 1.0})
+        assert m == {(1, 2)}
+
+    def test_self_loops_skipped(self):
+        assert greedy_maximal_matching([(0, 0), (0, 1)]) == {(0, 1)}
+
+    def test_empty(self):
+        assert greedy_maximal_matching([]) == set()
+
+    @given(small_weighted_graphs())
+    def test_always_maximal(self, weights):
+        edges = list(weights)
+        m = greedy_maximal_matching(edges, priority=weights)
+        assert is_matching(m)
+        assert is_maximal_matching(m, edges)
+
+
+class TestMaxWeightMatching:
+    def test_triangle_takes_heaviest_edge(self):
+        weights = {(0, 1): 5.0, (1, 2): 3.0, (0, 2): 4.0}
+        m = max_weight_matching(weights)
+        assert m == {(0, 1)}
+
+    def test_square_takes_opposite_pair(self):
+        weights = {(0, 1): 10.0, (1, 2): 1.0, (2, 3): 10.0, (3, 0): 1.0}
+        m = max_weight_matching(weights)
+        assert m == {(0, 1), (2, 3)}
+
+    def test_maxcardinality_forces_pairing(self):
+        # Without maxcardinality, the heavy edge alone wins; with it, two
+        # edges must be chosen.
+        weights = {(0, 1): 100.0, (1, 2): 1.0, (0, 3): 1.0, (2, 3): 0.0}
+        m = max_weight_matching(weights, maxcardinality=True)
+        assert len(m) == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            max_weight_matching({(0, 0): 1.0})
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_weighted_graphs())
+    def test_agrees_with_exhaustive_search(self, weights):
+        m = max_weight_matching(weights)
+        exact = exact_max_weight_matching(weights)
+        assert is_matching(m)
+        assert matching_weight(m, weights) == pytest.approx(
+            matching_weight(exact, weights)
+        )
+
+
+class TestExactMatcher:
+    def test_refuses_large_inputs(self):
+        weights = {(0, i): 1.0 for i in range(1, 26)}
+        with pytest.raises(ValueError):
+            exact_max_weight_matching(weights)
+
+    def test_simple(self):
+        assert exact_max_weight_matching({(0, 1): 2.0}) == {(0, 1)}
+
+
+class TestPredicates:
+    def test_is_matching_rejects_shared_vertex(self):
+        assert not is_matching([(0, 1), (1, 2)])
+
+    def test_is_matching_rejects_self_loop(self):
+        assert not is_matching([(0, 0)])
+
+    def test_matching_weight_orientation_free(self):
+        weights = {(0, 1): 3.0}
+        assert matching_weight([(1, 0)], weights) == 3.0
+
+    def test_matching_weight_unknown_edge(self):
+        with pytest.raises(KeyError):
+            matching_weight([(0, 2)], {(0, 1): 3.0})
+
+    def test_is_maximal_rejects_non_matching(self):
+        assert not is_maximal_matching([(0, 1), (1, 2)], [(0, 1), (1, 2)])
+
+    def test_is_maximal_detects_augmentable(self):
+        assert not is_maximal_matching([(0, 1)], [(0, 1), (2, 3)])

@@ -1,0 +1,50 @@
+"""Tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import check_positive_int, check_power_of_two, require
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestCheckPositiveInt:
+    def test_accepts(self):
+        assert check_positive_int(5, "x") == 5
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(-1, "x")
+
+    def test_rejects_bool_and_float(self):
+        with pytest.raises(ValueError):
+            check_positive_int(True, "x")
+        with pytest.raises(ValueError):
+            check_positive_int(2.0, "x")
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_positive_int(-3, "rows")
+
+
+class TestCheckPowerOfTwo:
+    def test_accepts(self):
+        for v in (1, 2, 4, 1024):
+            assert check_power_of_two(v, "n") == v
+
+    def test_rejects_non_powers(self):
+        for v in (3, 6, 12, 100):
+            with pytest.raises(ValueError):
+                check_power_of_two(v, "n")
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            check_power_of_two(0, "n")
