@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Benchmark runner: measures the pipeline's hot paths and emits a trajectory
+JSON (``BENCH_PR1.json``) that future PRs regress against.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR1.json]
+
+Measured sections
+-----------------
+* ``sim_micro``   -- the repeated-phase microbenchmark (jacobi 8x8, the
+  compute/comm sweep repeated 100x) with the step cache on and off; the
+  ratio is the headline memoization speedup.
+* ``e2e``         -- map_computation + simulate wall-clock on the paper's
+  benchmark workloads (nbody63, jacobi8x8, fft64).
+* ``contraction`` -- MWM-Contract on the n-body 63-task graph and a scaled
+  community graph (256 tasks / 64 clusters).
+* ``perf_spans``  -- the repro.util.perf span totals recorded while the
+  suite ran, so per-stage attribution lands in the trajectory too.
+
+All timings are best-of-N wall-clock seconds (N=5 for sub-10ms items).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.arch import networks
+from repro.graph import families
+from repro.graph.phase_expr import Rep
+from repro.graph.taskgraph import TaskGraph
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.mapper.contraction import mwm_contract
+from repro.sim import CostModel, simulate
+from repro.util import perf
+
+MODEL = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.05)
+
+WORKLOADS = [
+    ("nbody63", lambda: families.nbody(63, volume=4.0),
+     lambda: networks.hypercube(4)),
+    ("jacobi8x8", lambda: stdlib.load("jacobi", rows=8, cols=8, msize=4),
+     lambda: networks.mesh(4, 4)),
+    ("fft64", lambda: stdlib.load("fft", m=6, msize=4),
+     lambda: networks.hypercube(4)),
+]
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def communities(p: int) -> TaskGraph:
+    """p heavy 4-task communities in a light ring (Fig 5's pattern scaled)."""
+    n = 4 * p
+    tg = TaskGraph(f"communities{n}")
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("comm")
+    for c in range(p):
+        base = 4 * c
+        ph.add(base, base + 1, 20.0)
+        ph.add(base + 2, base + 3, 18.0)
+        ph.add(base + 1, base + 2, 15.0)
+        ph.add((base + 3) % n, (base + 4) % n, 2.0)
+    return tg
+
+
+def bench_sim_micro() -> dict:
+    tg = stdlib.load("jacobi", rows=8, cols=8, msize=4)
+    tg.phase_expr = Rep(tg.phase_expr, 100)
+    mapping = map_computation(tg, networks.mesh(4, 4))
+    memoized = best_of(lambda: simulate(mapping, MODEL))
+    uncached = best_of(lambda: simulate(mapping, MODEL, memoize=False))
+    identical = simulate(mapping, MODEL) == simulate(mapping, MODEL, memoize=False)
+    return {
+        "workload": "jacobi8x8_x100",
+        "memoized_s": memoized,
+        "uncached_s": uncached,
+        "speedup": uncached / memoized,
+        "results_identical": identical,
+    }
+
+
+def bench_e2e() -> dict:
+    out = {}
+    for name, tg_fn, topo_fn in WORKLOADS:
+        tg, topo = tg_fn(), topo_fn()
+        out[name] = {
+            "map_s": best_of(lambda: map_computation(tg, topo), 3),
+        }
+        mapping = map_computation(tg, topo)
+        out[name]["simulate_s"] = best_of(lambda: simulate(mapping, MODEL), 3)
+        out[name]["total_time"] = simulate(mapping, MODEL).total_time
+    return out
+
+
+def bench_contraction() -> dict:
+    nbody = families.nbody(63, volume=4.0)
+    big = communities(64)
+    return {
+        "mwm_nbody63_p16_s": best_of(lambda: mwm_contract(nbody, 16)),
+        "mwm_communities256_p64_s": best_of(
+            lambda: mwm_contract(big, 64, load_bound=4), 3
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "-o", "--output", type=Path, default=Path("BENCH_PR1.json"),
+        help="trajectory file to write (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="optional JSON of pre-change timings to embed for comparison",
+    )
+    args = parser.parse_args(argv)
+
+    perf.reset()
+    payload = {
+        "meta": {
+            "pr": 1,
+            "description": "step-memoized sim kernel, incremental MWM "
+                           "contraction, derived-structure caching",
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "sim_micro": bench_sim_micro(),
+        "e2e": bench_e2e(),
+        "contraction": bench_contraction(),
+    }
+    payload["perf_spans"] = {
+        name: {"calls": s.calls, "total_s": s.total}
+        for name, s in sorted(perf.stats().items())
+    }
+    payload["perf_counters"] = perf.counters()
+    if args.baseline and args.baseline.exists():
+        payload["baseline"] = json.loads(args.baseline.read_text())
+
+    args.output.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+    micro = payload["sim_micro"]
+    print(f"sim micro ({micro['workload']}): "
+          f"{micro['uncached_s'] * 1e3:.2f}ms -> {micro['memoized_s'] * 1e3:.2f}ms "
+          f"({micro['speedup']:.1f}x, identical={micro['results_identical']})")
+    for name, row in payload["e2e"].items():
+        print(f"e2e {name}: map {row['map_s'] * 1e3:.2f}ms, "
+              f"simulate {row['simulate_s'] * 1e3:.2f}ms")
+    for name, value in payload["contraction"].items():
+        print(f"{name}: {value * 1e3:.2f}ms")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

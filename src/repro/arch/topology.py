@@ -65,6 +65,13 @@ class Topology:
         self._link_id: dict[Link, int] = {
             link: i + 1 for i, link in enumerate(self._links)
         }
+        # Ordered-pair lookup so the hot link_id path is one dict probe
+        # with no frozenset construction.
+        self._link_id_pairs: dict[tuple[Proc, Proc], int] = {}
+        for i, (u, v) in enumerate(g.edges):
+            self._link_id_pairs[(u, v)] = i + 1
+            self._link_id_pairs[(v, u)] = i + 1
+        self._route_links_cache: dict[tuple[Proc, ...], tuple[int, ...]] = {}
         self._dist: dict[Proc, dict[Proc, int]] = {
             src: dict(lengths)
             for src, lengths in nx.all_pairs_shortest_path_length(g)
@@ -96,7 +103,7 @@ class Topology:
     def link_id(self, u: Proc, v: Proc) -> int:
         """The 1-based number of the link between adjacent processors."""
         try:
-            return self._link_id[frozenset((u, v))]
+            return self._link_id_pairs[(u, v)]
         except KeyError:
             raise KeyError(f"no link between {u!r} and {v!r}") from None
 
@@ -189,8 +196,29 @@ class Topology:
         return table
 
     def route_links(self, route: list[Proc]) -> list[int]:
-        """The 1-based link numbers along a processor route."""
-        return [self.link_id(a, b) for a, b in zip(route, route[1:])]
+        """The 1-based link numbers along a processor route.
+
+        Results are memoized per route (the simulator and METRICS resolve
+        the same routes repeatedly); the cache stores immutable tuples and
+        every call returns a fresh list, so callers may mutate freely.
+        """
+        key = tuple(route)
+        cached = self._route_links_cache.get(key)
+        if cached is None:
+            pairs = self._link_id_pairs
+            try:
+                cached = tuple(pairs[(a, b)] for a, b in zip(route, route[1:]))
+            except KeyError:
+                missing = next(
+                    (a, b)
+                    for a, b in zip(route, route[1:])
+                    if (a, b) not in pairs
+                )
+                raise KeyError(
+                    f"no link between {missing[0]!r} and {missing[1]!r}"
+                ) from None
+            self._route_links_cache[key] = cached
+        return list(cached)
 
     def is_valid_route(self, route: list[Proc]) -> bool:
         """True when *route* is a walk along existing links."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from collections.abc import Hashable, Iterable, Mapping
+from types import MappingProxyType
 
 import networkx as nx
 
@@ -103,6 +104,11 @@ class TaskGraph:
         self._comm_phases: dict[str, CommPhase] = {}
         self._exec_phases: dict[str, ExecPhase] = {}
         self.phase_expr: PhaseExpr | None = None
+        # Mutation counter: bumped by every structural mutator so derived
+        # structures (static graph, phase-name sets) can cache behind it.
+        self._version = 0
+        self._static_cache: tuple[tuple[int, int], nx.Graph] | None = None
+        self._name_cache: tuple[int, frozenset[str], frozenset[str]] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -110,6 +116,7 @@ class TaskGraph:
     def add_node(self, node: Node, weight: float = 1.0) -> None:
         """Add a task with an execution-time weight (idempotent on the node)."""
         self._nodes[node] = weight
+        self._version += 1
 
     def add_nodes(self, nodes: Iterable[Node], weight: float = 1.0) -> None:
         """Add several tasks with a common weight."""
@@ -122,6 +129,7 @@ class TaskGraph:
             raise ValueError(f"phase name {name!r} already declared")
         phase = CommPhase(name)
         self._comm_phases[name] = phase
+        self._version += 1
         return phase
 
     def add_edge(self, phase: str, src: Node, dst: Node, volume: float = 1.0) -> None:
@@ -129,6 +137,7 @@ class TaskGraph:
         if src not in self._nodes or dst not in self._nodes:
             raise KeyError(f"edge ({src!r}, {dst!r}) references undeclared task")
         self._comm_phases[phase].add(src, dst, volume)
+        self._version += 1
 
     def add_exec_phase(
         self,
@@ -141,6 +150,7 @@ class TaskGraph:
             raise ValueError(f"phase name {name!r} already declared")
         phase = ExecPhase(name, cost, dict(costs or {}))
         self._exec_phases[name] = phase
+        self._version += 1
         return phase
 
     # ------------------------------------------------------------------
@@ -161,14 +171,43 @@ class TaskGraph:
         return self._nodes[node]
 
     @property
-    def comm_phases(self) -> dict[str, CommPhase]:
-        """Mapping of communication-phase name to phase (insertion order)."""
-        return dict(self._comm_phases)
+    def comm_phases(self) -> Mapping[str, CommPhase]:
+        """Read-only live view of communication phases (insertion order).
+
+        The view is backed by the internal dict, so repeated accesses in hot
+        loops (the simulator reads this once per step) cost nothing; declare
+        phases through :meth:`add_comm_phase`, not by writing into the view.
+        """
+        return MappingProxyType(self._comm_phases)
 
     @property
-    def exec_phases(self) -> dict[str, ExecPhase]:
-        """Mapping of execution-phase name to phase."""
-        return dict(self._exec_phases)
+    def exec_phases(self) -> Mapping[str, ExecPhase]:
+        """Read-only live view of execution phases (insertion order)."""
+        return MappingProxyType(self._exec_phases)
+
+    def _phase_name_sets(self) -> tuple[frozenset[str], frozenset[str]]:
+        """Cached ``(comm names, exec names)`` frozensets.
+
+        Phase declarations only happen through ``add_*_phase`` (which bump
+        the mutation counter), so the counter alone keys this cache.
+        """
+        cached = self._name_cache
+        if cached is None or cached[0] != self._version:
+            comm = frozenset(self._comm_phases)
+            exc = frozenset(self._exec_phases)
+            self._name_cache = (self._version, comm, exc)
+            return comm, exc
+        return cached[1], cached[2]
+
+    @property
+    def comm_phase_names(self) -> frozenset[str]:
+        """Cached frozenset of communication-phase names."""
+        return self._phase_name_sets()[0]
+
+    @property
+    def exec_phase_names(self) -> frozenset[str]:
+        """Cached frozenset of execution-phase names."""
+        return self._phase_name_sets()[1]
 
     def comm_phase(self, name: str) -> CommPhase:
         """Look up one communication phase by name."""
@@ -207,7 +246,15 @@ class TaskGraph:
         This is the *static task graph* view used by contraction (Stone /
         Bokhari style): phase colors are forgotten and volumes of parallel
         and antiparallel messages accumulate on a single undirected edge.
+
+        The graph is cached and invalidated by the mutation counter plus the
+        total edge count (which also catches edges appended directly to a
+        :class:`CommPhase` by the family generators).  Treat the returned
+        graph as read-only; ``.copy()`` it before mutating.
         """
+        key = (self._version, self.n_edges)
+        if self._static_cache is not None and self._static_cache[0] == key:
+            return self._static_cache[1]
         g = nx.Graph()
         for node, w in self._nodes.items():
             g.add_node(node, weight=w)
@@ -219,6 +266,7 @@ class TaskGraph:
                     g[e.src][e.dst]["weight"] += e.volume
                 else:
                     g.add_edge(e.src, e.dst, weight=e.volume)
+        self._static_cache = (key, g)
         return g
 
     def phase_digraph(self, phase: str) -> nx.DiGraph:

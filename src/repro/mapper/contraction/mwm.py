@@ -24,6 +24,15 @@ Two-stage structure, exactly as the paper describes:
 When the task count is at most ``2P`` stage 1 is skipped and the result is
 an *optimal* symmetric contraction ([Lo88]'s theorem); beyond that the
 result is heuristic (Fig 5's example happens to reach the optimum IPC 6).
+
+Implementation note: the cluster graph is maintained *incrementally* by
+:class:`_ClusterState` -- the task-level graph is scanned once, and every
+merge folds the absorbed cluster's neighbour-weight map into the survivor's
+-- so each greedy pass and matching round costs O(cluster edges) instead of
+re-aggregating all O(E) task edges.  Stage 2 candidates are likewise
+restricted to *adjacent* cluster pairs, falling back to the dense
+zero-weight pair set only when adjacency alone cannot pair the clusters
+down to the processor count.
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from collections.abc import Hashable
 import networkx as nx
 
 from repro.graph.taskgraph import TaskGraph
+from repro.util import perf
 
 __all__ = ["mwm_contract", "total_ipc"]
 
@@ -41,12 +51,18 @@ Task = Hashable
 Cluster = frozenset
 
 
-def total_ipc(tg: TaskGraph, clusters: list[list[Task]]) -> float:
-    """Total inter-cluster communication volume under a contraction."""
+def _owner_map(clusters) -> dict[Task, int]:
+    """Task -> cluster-index lookup for a list of task collections."""
     owner: dict[Task, int] = {}
     for ci, cluster in enumerate(clusters):
         for t in cluster:
             owner[t] = ci
+    return owner
+
+
+def total_ipc(tg: TaskGraph, clusters: list[list[Task]]) -> float:
+    """Total inter-cluster communication volume under a contraction."""
+    owner = _owner_map(clusters)
     ipc = 0.0
     for _, edge in tg.all_edges():
         if edge.src != edge.dst and owner[edge.src] != owner[edge.dst]:
@@ -58,10 +74,7 @@ def _cluster_graph(
     static: nx.Graph, clusters: list[set[Task]]
 ) -> dict[tuple[int, int], float]:
     """Aggregate inter-cluster weights: ``(i, j) -> total volume``, i < j."""
-    owner: dict[Task, int] = {}
-    for ci, cluster in enumerate(clusters):
-        for t in cluster:
-            owner[t] = ci
+    owner = _owner_map(clusters)
     weights: dict[tuple[int, int], float] = {}
     for u, v, data in static.edges(data=True):
         cu, cv = owner[u], owner[v]
@@ -72,23 +85,91 @@ def _cluster_graph(
     return weights
 
 
-def _greedy_premerge(
-    static: nx.Graph,
-    clusters: list[set[Task]],
-    target: int,
-    size_cap: float,
-) -> list[set[Task]]:
+class _ClusterState:
+    """Clusters plus an incrementally maintained inter-cluster weight map.
+
+    ``clusters[i]`` is a (possibly emptied) task set and ``nbr[i]`` its
+    symmetric neighbour map ``{j: weight}`` over *live* cluster indices.
+    :meth:`merge` folds one cluster into another in O(degree) and
+    :meth:`compact` re-indexes after a round of merges, so no operation
+    ever re-scans the task-level graph.
+    """
+
+    def __init__(self, static: nx.Graph, clusters: list[set[Task]]):
+        self.clusters = clusters
+        self.nbr: list[dict[int, float]] = [{} for _ in clusters]
+        owner = _owner_map(clusters)
+        for u, v, data in static.edges(data=True):
+            cu, cv = owner[u], owner[v]
+            if cu == cv:
+                continue
+            w = data["weight"]
+            self.nbr[cu][cv] = self.nbr[cu].get(cv, 0.0) + w
+            self.nbr[cv][cu] = self.nbr[cv].get(cu, 0.0) + w
+
+    def weights(self) -> dict[tuple[int, int], float]:
+        """Snapshot of inter-cluster weights keyed ``(i, j)`` with i < j."""
+        return {
+            (i, j): w
+            for i, adjacency in enumerate(self.nbr)
+            for j, w in adjacency.items()
+            if i < j
+        }
+
+    def merge(self, i: int, j: int) -> None:
+        """Fold cluster *j* into cluster *i*, internalising their edge."""
+        self.clusters[i] |= self.clusters[j]
+        self.clusters[j] = set()
+        nbr_i, nbr_j = self.nbr[i], self.nbr[j]
+        nbr_i.pop(j, None)
+        for k, w in nbr_j.items():
+            if k == i:
+                continue  # the internalised edge, already dropped above
+            del self.nbr[k][j]
+            total = nbr_i.get(k, 0.0) + w
+            nbr_i[k] = total
+            self.nbr[k][i] = total
+        nbr_j.clear()
+
+    def compact(self) -> None:
+        """Drop emptied clusters and remap indices, preserving order."""
+        remap: dict[int, int] = {}
+        for old, cluster in enumerate(self.clusters):
+            if cluster:
+                remap[old] = len(remap)
+        if len(remap) == len(self.clusters):
+            return
+        self.clusters = [c for c in self.clusters if c]
+        self.nbr = [
+            {remap[k]: w for k, w in self.nbr[old].items()}
+            for old in remap
+        ]
+
+    def reorder(self, perm: list[int]) -> None:
+        """Reorder clusters so new index ``i`` holds old index ``perm[i]``."""
+        inverse = [0] * len(perm)
+        for new, old in enumerate(perm):
+            inverse[old] = new
+        self.clusters = [self.clusters[old] for old in perm]
+        self.nbr = [
+            {inverse[k]: w for k, w in self.nbr[old].items()} for old in perm
+        ]
+
+
+def _greedy_premerge_state(
+    state: _ClusterState, target: int, size_cap: float
+) -> None:
     """Stage 1: merge along heavy edges until at most *target* clusters.
 
-    Runs repeated passes (after each pass the cluster graph is rebuilt with
-    accumulated weights) until the target is met or no merge is possible
-    under the size cap; a final fallback merges the smallest clusters
-    pairwise regardless of adjacency, still respecting the cap -- needed for
+    Runs repeated passes (each pass snapshots the incrementally maintained
+    cluster weights) until the target is met or no merge is possible under
+    the size cap; a final fallback merges the smallest clusters pairwise
+    regardless of adjacency, still respecting the cap -- needed for
     disconnected task graphs.
     """
+    clusters = state.clusters
     while len(clusters) > target:
-        weights = _cluster_graph(static, clusters)
-        order = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+        order = sorted(state.weights().items(), key=lambda kv: (-kv[1], kv[0]))
         merged_into: dict[int, int] = {}  # old index -> surviving index
 
         def find(i: int) -> int:
@@ -105,25 +186,81 @@ def _greedy_premerge(
             if ri == rj:
                 continue
             if len(clusters[ri]) + len(clusters[rj]) <= size_cap:
-                clusters[ri] |= clusters[rj]
-                clusters[rj] = set()
+                state.merge(ri, rj)
                 merged_into[rj] = ri
                 n_clusters -= 1
                 merged_any = True
-        clusters = [c for c in clusters if c]
+        state.compact()
+        clusters = state.clusters
         if not merged_any:
             break
 
     # Disconnected graphs: force zero-weight merges, smallest pair first.
     # (If even the two smallest clusters exceed the cap together, no pair
     # fits and we stop; the caller's matching stage may still succeed.)
-    while len(clusters) > target:
-        clusters.sort(key=len)
-        if len(clusters[0]) + len(clusters[1]) > size_cap:
+    while len(state.clusters) > target:
+        state.reorder(
+            sorted(range(len(state.clusters)), key=lambda i: len(state.clusters[i]))
+        )
+        if len(state.clusters[0]) + len(state.clusters[1]) > size_cap:
             break
-        clusters[0] |= clusters[1]
-        del clusters[1]
-    return clusters
+        state.merge(0, 1)
+        state.compact()
+
+
+def _greedy_premerge(
+    static: nx.Graph,
+    clusters: list[set[Task]],
+    target: int,
+    size_cap: float,
+) -> list[set[Task]]:
+    """Stage 1 on a raw cluster list (see :func:`_greedy_premerge_state`)."""
+    state = _ClusterState(static, clusters)
+    _greedy_premerge_state(state, target, size_cap)
+    return state.clusters
+
+
+def _match_round(
+    state: _ClusterState, n_procs: int, bound: int
+) -> set[tuple[int, int]] | None:
+    """One stage-2 matching round; returns the pairs to merge (or None to stop).
+
+    When the cluster count already fits the processor count, candidates are
+    only the *adjacent* feasible pairs (zero-weight merges would be filtered
+    out anyway, so the restriction is exact).  Only when the count must
+    still shrink (``need_cardinality``) does the dense zero-weight pair set
+    come into play: the maximum-cardinality matching may then pair
+    non-adjacent clusters, both to reach ``ceil(c/2)`` and to free heavier
+    adjacent pairs for each other (required for [Lo88] optimality at
+    ``n <= 2P``).
+    """
+    from repro.util.matching import max_weight_matching
+
+    clusters = state.clusters
+    need_cardinality = len(clusters) > n_procs
+    if need_cardinality:
+        adjacent = state.weights()
+        candidate = {
+            (i, j): adjacent.get((i, j), 0.0)
+            for i in range(len(clusters))
+            for j in range(i + 1, len(clusters))
+            if len(clusters[i]) + len(clusters[j]) <= bound
+        }
+        if not candidate:
+            return None
+        mate = max_weight_matching(candidate, maxcardinality=True)
+    else:
+        candidate = {
+            pair: w
+            for pair, w in state.weights().items()
+            if len(clusters[pair[0]]) + len(clusters[pair[1]]) <= bound
+        }
+        if not candidate:
+            return None
+        mate = max_weight_matching(candidate)
+        # Only merge pairs that actually internalise communication.
+        mate = {e for e in mate if candidate[e] > 0.0}
+    return mate or None
 
 
 def mwm_contract(
@@ -161,67 +298,60 @@ def mwm_contract(
             f"load bound B={bound} cannot hold {n} tasks on {n_procs} processors"
         )
 
-    static = tg.static_graph()
-    clusters: list[set[Task]] = [{t} for t in tasks]
+    with perf.span("mapper.mwm_contract"):
+        static = tg.static_graph()
+        state = _ClusterState(static, [{t} for t in tasks])
 
-    # Stage 1: greedy pre-merge down to 2P clusters of size <= B/2.
-    if len(clusters) > 2 * n_procs:
-        clusters = _greedy_premerge(static, clusters, 2 * n_procs, bound / 2)
+        # Stage 1: greedy pre-merge down to 2P clusters of size <= B/2.
+        if len(state.clusters) > 2 * n_procs:
+            _greedy_premerge_state(state, 2 * n_procs, bound / 2)
 
-    # Stage 2: maximum weight matching pairs clusters, internalising the
-    # matched communication.  One matching round at most halves the cluster
-    # count, so the round repeats until the processor count is reached (a
-    # single round suffices for the paper's n <= 2P setting).
-    from repro.util.matching import max_weight_matching
-
-    while True:
-        need_cardinality = len(clusters) > n_procs
-        weights = _cluster_graph(static, clusters)
-        candidate: dict[tuple[int, int], float] = {}
-        for i in range(len(clusters)):
-            for j in range(i + 1, len(clusters)):
-                if len(clusters[i]) + len(clusters[j]) > bound:
-                    continue
-                candidate[(i, j)] = weights.get((i, j), 0.0)
-        if not candidate:
-            break
-        mate = max_weight_matching(candidate, maxcardinality=need_cardinality)
-        if not need_cardinality:
-            # Only merge pairs that actually internalise communication.
-            mate = {e for e in mate if candidate[e] > 0.0}
-        if not mate:
-            break
-        for i, j in mate:
-            clusters[i] |= clusters[j]
-            clusters[j] = set()
-        clusters = [c for c in clusters if c]
-        if len(clusters) <= n_procs:
-            break
-
-    # Rebalancing fallback for shapes pairwise merging cannot reach (e.g.
-    # three size-2 clusters under B=3): disperse the smallest cluster's
-    # tasks into clusters with spare capacity, maximising attachment.
-    # Feasible whenever B * P >= n, which was checked above.
-    while len(clusters) > n_procs:
-        clusters.sort(key=len)
-        smallest = clusters.pop(0)
-        merged = False
-        weights = _cluster_graph(static, [smallest] + clusters)
-        attach = {j: weights.get((0, j + 1), weights.get((j + 1, 0), 0.0))
-                  for j in range(len(clusters))}
-        order = sorted(range(len(clusters)), key=lambda j: -attach[j])
-        for j in order:
-            if len(clusters[j]) + len(smallest) <= bound:
-                clusters[j] |= smallest
-                merged = True
+        # Stage 2: maximum weight matching pairs clusters, internalising the
+        # matched communication.  One matching round at most halves the
+        # cluster count, so the round repeats until the processor count is
+        # reached (a single round suffices for the paper's n <= 2P setting).
+        while True:
+            mate = _match_round(state, n_procs, bound)
+            if not mate:
                 break
-        if not merged:
-            for t in sorted(smallest, key=repr):
-                target = max(
-                    (j for j in range(len(clusters)) if len(clusters[j]) < bound),
-                    key=lambda j: sum(
-                        static[t][u]["weight"] for u in clusters[j] if static.has_edge(t, u)
-                    ),
+            for i, j in mate:
+                state.merge(i, j)
+            state.compact()
+            if len(state.clusters) <= n_procs:
+                break
+
+        # Rebalancing fallback for shapes pairwise merging cannot reach
+        # (e.g. three size-2 clusters under B=3): disperse the smallest
+        # cluster's tasks into clusters with spare capacity, maximising
+        # attachment.  Feasible whenever B * P >= n, which was checked above.
+        while len(state.clusters) > n_procs:
+            state.reorder(
+                sorted(
+                    range(len(state.clusters)),
+                    key=lambda i: len(state.clusters[i]),
                 )
-                clusters[target].add(t)
-    return [sorted(c, key=repr) for c in clusters]
+            )
+            clusters = state.clusters
+            smallest = clusters[0]
+            attach = state.nbr[0]
+            merged = False
+            for j in sorted(range(1, len(clusters)), key=lambda j: -attach.get(j, 0.0)):
+                if len(clusters[j]) + len(smallest) <= bound:
+                    state.merge(j, 0)
+                    state.compact()
+                    merged = True
+                    break
+            if not merged:
+                rest = [set(c) for c in clusters[1:]]
+                for t in sorted(smallest, key=repr):
+                    target = max(
+                        (j for j in range(len(rest)) if len(rest[j]) < bound),
+                        key=lambda j: sum(
+                            static[t][u]["weight"]
+                            for u in rest[j]
+                            if static.has_edge(t, u)
+                        ),
+                    )
+                    rest[target].add(t)
+                state = _ClusterState(static, rest)
+        return [sorted(c, key=repr) for c in state.clusters]

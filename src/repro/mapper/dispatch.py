@@ -27,6 +27,7 @@ from repro.mapper.contraction.mwm import mwm_contract
 from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
 from repro.mapper.mapping import Mapping, NotApplicableError
 from repro.mapper.routing.mm_route import mm_route
+from repro.util import perf
 
 __all__ = ["map_computation"]
 
@@ -124,34 +125,39 @@ def map_computation(
     """
     if strategy not in _STRATEGIES:
         raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
-    tg.validate()
+    with perf.span("mapper.map_computation"):
+        tg.validate()
 
-    if strategy == "canned":
-        mapping = _canned(tg, topology)
-    elif strategy == "group":
-        mapping = _group(tg, topology, load_bound)
-    elif strategy == "mwm":
-        mapping = _mwm(tg, topology, load_bound)
-    else:
-        mapping = None
-        for attempt in (
-            lambda: _canned(tg, topology),
-            lambda: _group(tg, topology, load_bound),
-        ):
-            try:
-                mapping = attempt()
-                break
-            except NotApplicableError:
-                continue
-        if mapping is None:
-            mapping = _mwm(tg, topology, load_bound)
+        with perf.span("mapper.strategy"):
+            if strategy == "canned":
+                mapping = _canned(tg, topology)
+            elif strategy == "group":
+                mapping = _group(tg, topology, load_bound)
+            elif strategy == "mwm":
+                mapping = _mwm(tg, topology, load_bound)
+            else:
+                mapping = None
+                for attempt in (
+                    lambda: _canned(tg, topology),
+                    lambda: _group(tg, topology, load_bound),
+                ):
+                    try:
+                        mapping = attempt()
+                        break
+                    except NotApplicableError:
+                        continue
+                if mapping is None:
+                    mapping = _mwm(tg, topology, load_bound)
+        perf.count(f"mapper.strategy.{mapping.provenance}")
 
-    if refine and mapping.provenance != "canned" and tg.n_tasks > 0:
-        mapping = _refine(tg, topology, mapping, load_bound)
+        if refine and mapping.provenance != "canned" and tg.n_tasks > 0:
+            with perf.span("mapper.refine"):
+                mapping = _refine(tg, topology, mapping, load_bound)
 
-    if route:
-        routing = mm_route(tg, topology, mapping.assignment)
-        mapping.routes = routing.routes
-        mapping.routing_rounds = routing.rounds
-    mapping.validate(require_routes=route)
-    return mapping
+        if route:
+            with perf.span("mapper.route"):
+                routing = mm_route(tg, topology, mapping.assignment)
+                mapping.routes = routing.routes
+                mapping.routing_rounds = routing.rounds
+        mapping.validate(require_routes=route)
+        return mapping

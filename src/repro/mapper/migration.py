@@ -175,25 +175,19 @@ def evaluate_migration(
 
 def _single_step_time(mapping: Mapping, step, model: CostModel) -> float:
     """Duration of one synchronous step under a given mapping."""
-    from repro.sim.engine import _simulate_comm, _simulate_exec, SimulationResult
+    from repro.sim.engine import _CompiledSim
 
     tg = mapping.task_graph
-    scratch = SimulationResult()
-    comm = sorted(n for n in step if n in tg.comm_phases)
     # Segment mappings only carry routes for their own phases; a step can
     # still mention a phase from another regime with zero traffic here.
-    routable = [
+    routable = {
         n
-        for n in comm
-        if all((n, i) in mapping.routes for i in range(len(tg.comm_phase(n).edges)))
-    ]
-    t = 0.0
-    if routable:
-        t = max(t, _simulate_comm(mapping, routable, model, scratch))
-    for name in sorted(step):
-        if name in tg.exec_phases:
-            t = max(t, _simulate_exec(mapping, name, model, scratch))
-    return t
+        for n in step
+        if n in tg.comm_phase_names
+        and all((n, i) in mapping.routes for i in range(len(tg.comm_phase(n).edges)))
+    }
+    execs = {n for n in step if n in tg.exec_phase_names}
+    return _CompiledSim(mapping, model).run_step(frozenset(routable | execs)).duration
 
 
 def _migration_time(

@@ -13,6 +13,23 @@ lock-step semantics of the paper's synchronous computations).
   contention therefore directly lengthens the phase -- which is what makes
   MM-Route's low-contention routes measurably faster than oblivious
   routing in benchmark E10/E12.
+
+Performance model
+-----------------
+The simulation state resets at every synchronous step boundary (the
+lock-step barrier), so a step's outcome depends only on *which* phases run
+in it -- not on when it runs.  :func:`simulate` exploits this two ways:
+
+1. **Phase compilation.**  Each communication phase is resolved once into a
+   flat message table ``(link-id tuple, volume)`` and each execution phase
+   into a per-processor busy table, so route lookups and assignment scans
+   happen once per phase instead of once per step.
+2. **Step memoization.**  Per-step outcomes (duration plus ``link_busy`` /
+   ``proc_busy`` deltas) are cached keyed by the step's phase set, so a
+   phase expression repeating the same step 1000 times pays the event-loop
+   cost once.  Accumulation into the final :class:`SimulationResult` always
+   happens step by step in the same order, so memoized and cache-disabled
+   runs produce bit-identical results (see ``tests/test_sim_memoization``).
 """
 
 from __future__ import annotations
@@ -22,6 +39,7 @@ from dataclasses import dataclass, field
 
 from repro.mapper.mapping import Mapping
 from repro.sim.model import CostModel
+from repro.util import perf
 
 __all__ = ["simulate", "SimulationResult"]
 
@@ -61,41 +79,102 @@ class SimulationResult:
         return max(self.link_busy.values()) / self.total_time
 
 
-def _simulate_comm(
-    mapping: Mapping,
-    phase_names: list[str],
-    model: CostModel,
-    result: SimulationResult,
-) -> float:
-    """Simulate the communication phases of one synchronous step.
+@dataclass
+class _StepOutcome:
+    """One synchronous step's contribution to the overall result."""
 
-    Phases running in parallel (``r || s``) share the physical links, so
-    all their messages enter a single FIFO event pool.
+    duration: float
+    link_busy: dict[int, float]
+    proc_busy: dict[object, float]
+    messages: int
+
+
+class _CompiledSim:
+    """Compiled phase tables for one (mapping, model) pair.
+
+    :meth:`comm_table` resolves a communication phase once into a flat
+    message table -- one ``(link-id tuple, volume)`` entry per
+    *inter-processor* edge, in edge order -- and :meth:`exec_table` an
+    execution phase into its per-processor busy map.  Tables depend only on
+    the mapping and model, so they are built lazily on first use and shared
+    by every step that runs the phase (migration's segment mappings carry
+    routes for only some phases, which lazy compilation tolerates).
     """
-    topo = mapping.topology
-    # (message id, [link ids along route], volume)
-    msgs: list[tuple[int, list[int], float]] = []
-    mid = 0
-    for phase_name in phase_names:
-        phase = mapping.task_graph.comm_phase(phase_name)
-        for idx, edge in enumerate(phase.edges):
-            route = mapping.routes[(phase_name, idx)]
-            links = topo.route_links(route)
-            if links:
-                msgs.append((mid, links, edge.volume))
-                mid += 1
-    result.messages += len(msgs)
-    if not msgs:
-        return 0.0
-    if model.switching == "cut_through":
-        return _cut_through(msgs, model, result)
-    return _store_and_forward(msgs, model, result)
+
+    def __init__(self, mapping: Mapping, model: CostModel):
+        self.mapping = mapping
+        self.model = model
+        tg = mapping.task_graph
+        self.comm_names = tg.comm_phase_names
+        self.exec_names = tg.exec_phase_names
+        self._comm_msgs: dict[str, list[tuple[tuple[int, ...], float]]] = {}
+        self._exec_busy: dict[str, dict[object, float]] = {}
+
+    def comm_table(self, name: str) -> list[tuple[tuple[int, ...], float]]:
+        """The phase's message table, compiled on first access."""
+        table = self._comm_msgs.get(name)
+        if table is None:
+            mapping = self.mapping
+            topo = mapping.topology
+            table = []
+            for idx, edge in enumerate(mapping.task_graph.comm_phase(name).edges):
+                links = topo.route_links(mapping.routes[(name, idx)])
+                if links:
+                    table.append((tuple(links), edge.volume))
+            self._comm_msgs[name] = table
+        return table
+
+    def exec_table(self, name: str) -> dict[object, float]:
+        """The phase's per-processor busy map, compiled on first access."""
+        per_proc = self._exec_busy.get(name)
+        if per_proc is None:
+            phase = self.mapping.task_graph.exec_phase(name)
+            exec_time = self.model.exec_time
+            per_proc = {}
+            for task, proc in self.mapping.assignment.items():
+                cost = phase.cost_of(task) * exec_time
+                per_proc[proc] = per_proc.get(proc, 0.0) + cost
+            self._exec_busy[name] = per_proc
+        return per_proc
+
+    def run_step(self, step: frozenset[str]) -> _StepOutcome:
+        """Simulate one synchronous step from the compiled tables."""
+        comms = sorted(n for n in step if n in self.comm_names)
+        execs = sorted(n for n in step if n in self.exec_names)
+        unknown = set(step) - self.comm_names - self.exec_names
+        if unknown:  # pragma: no cover - validate() prevents this
+            raise ValueError(f"phases {sorted(unknown)!r} not declared")
+
+        link_busy: dict[int, float] = {}
+        proc_busy: dict[object, float] = {}
+        duration = 0.0
+
+        # Phases running in parallel (``r || s``) share the physical links,
+        # so all their messages enter a single FIFO event pool.
+        msgs: list[tuple[int, tuple[int, ...], float]] = []
+        for name in comms:
+            for links, volume in self.comm_table(name):
+                msgs.append((len(msgs), links, volume))
+        if msgs:
+            if self.model.switching == "cut_through":
+                duration = _cut_through(msgs, self.model, link_busy)
+            else:
+                duration = _store_and_forward(msgs, self.model, link_busy)
+
+        for name in execs:
+            per_proc = self.exec_table(name)
+            for proc, busy in per_proc.items():
+                proc_busy[proc] = proc_busy.get(proc, 0.0) + busy
+            if per_proc:
+                duration = max(duration, max(per_proc.values()))
+
+        return _StepOutcome(duration, link_busy, proc_busy, len(msgs))
 
 
 def _store_and_forward(
-    msgs: list[tuple[int, list[int], float]],
+    msgs: list[tuple[int, tuple[int, ...], float]],
     model: CostModel,
-    result: SimulationResult,
+    link_busy: dict[int, float],
 ) -> float:
     """NCUBE-style hop-by-hop forwarding; links are FIFO one-message servers."""
     link_free: dict[int, float] = {}
@@ -114,7 +193,7 @@ def _store_and_forward(
         duration = model.transfer_time(volume_of[m])
         done = start + duration
         link_free[link] = done
-        result.link_busy[link] = result.link_busy.get(link, 0.0) + duration
+        link_busy[link] = link_busy.get(link, 0.0) + duration
         if hop + 1 < len(links):
             heapq.heappush(events, (done, m, hop + 1))
         else:
@@ -123,9 +202,9 @@ def _store_and_forward(
 
 
 def _cut_through(
-    msgs: list[tuple[int, list[int], float]],
+    msgs: list[tuple[int, tuple[int, ...], float]],
     model: CostModel,
-    result: SimulationResult,
+    link_busy: dict[int, float],
 ) -> float:
     """iPSC/2-style cut-through: the message pipelines across its whole path.
 
@@ -143,26 +222,9 @@ def _cut_through(
         done = start + duration
         for l in links:
             link_free[l] = done
-            result.link_busy[l] = result.link_busy.get(l, 0.0) + duration
+            link_busy[l] = link_busy.get(l, 0.0) + duration
         finish_time = max(finish_time, done)
     return finish_time
-
-
-def _simulate_exec(
-    mapping: Mapping,
-    phase_name: str,
-    model: CostModel,
-    result: SimulationResult,
-) -> float:
-    """Simulate one execution phase; returns its duration."""
-    phase = mapping.task_graph.exec_phase(phase_name)
-    per_proc: dict[object, float] = {}
-    for task, proc in mapping.assignment.items():
-        cost = phase.cost_of(task) * model.exec_time
-        per_proc[proc] = per_proc.get(proc, 0.0) + cost
-    for proc, busy in per_proc.items():
-        result.proc_busy[proc] = result.proc_busy.get(proc, 0.0) + busy
-    return max(per_proc.values(), default=0.0)
 
 
 def simulate(
@@ -170,37 +232,51 @@ def simulate(
     model: CostModel | None = None,
     *,
     max_steps: int = 100_000,
+    memoize: bool = True,
 ) -> SimulationResult:
     """Run the mapped computation through its phase expression.
 
     Requires routes on the mapping (``map_computation(..., route=True)``)
     and a phase expression on the task graph; a task graph without a phase
     expression is treated as one step running every phase in parallel.
+
+    With *memoize* (the default) repeated steps -- the same phase set
+    occurring again, as every ``r^k`` repetition does -- reuse the cached
+    step outcome instead of re-running the event loop.  Memoization is
+    semantics-preserving: disabling it changes wall-clock time only, never
+    any field of the result.
     """
     model = model or CostModel()
     tg = mapping.task_graph
-    mapping.validate(require_routes=True)
-    if tg.phase_expr is not None:
-        steps = tg.phase_expr.linearize(max_steps=max_steps)
-    else:
-        steps = [frozenset(tg.phase_names)]
+    with perf.span("sim.simulate"):
+        mapping.validate(require_routes=True)
+        if tg.phase_expr is not None:
+            steps = tg.phase_expr.linearize(max_steps=max_steps)
+        else:
+            steps = [frozenset(tg.phase_names)]
 
-    result = SimulationResult()
-    comm_names = set(tg.comm_phases)
-    exec_names = set(tg.exec_phases)
-    for step in steps:
-        comms = sorted(n for n in step if n in comm_names)
-        execs = sorted(n for n in step if n in exec_names)
-        unknown = set(step) - comm_names - exec_names
-        if unknown:  # pragma: no cover - validate() prevents this
-            raise ValueError(f"phases {sorted(unknown)!r} not declared")
-        step_time = 0.0
-        if comms:
-            step_time = max(step_time, _simulate_comm(mapping, comms, model, result))
-        for name in execs:
-            step_time = max(step_time, _simulate_exec(mapping, name, model, result))
-        result.step_times.append(step_time)
-        result.total_time += step_time
-        for name in step:
-            result.phase_time[name] = result.phase_time.get(name, 0.0) + step_time
-    return result
+        compiled = _CompiledSim(mapping, model)
+        result = SimulationResult()
+        cache: dict[frozenset[str], _StepOutcome] = {}
+        for step in steps:
+            outcome = cache.get(step) if memoize else None
+            if outcome is None:
+                outcome = compiled.run_step(step)
+                if memoize:
+                    cache[step] = outcome
+                perf.count("sim.step_cache_miss")
+            else:
+                perf.count("sim.step_cache_hit")
+            result.step_times.append(outcome.duration)
+            result.total_time += outcome.duration
+            result.messages += outcome.messages
+            link_busy = result.link_busy
+            for link, busy in outcome.link_busy.items():
+                link_busy[link] = link_busy.get(link, 0.0) + busy
+            proc_busy = result.proc_busy
+            for proc, busy in outcome.proc_busy.items():
+                proc_busy[proc] = proc_busy.get(proc, 0.0) + busy
+            phase_time = result.phase_time
+            for name in step:
+                phase_time[name] = phase_time.get(name, 0.0) + outcome.duration
+        return result

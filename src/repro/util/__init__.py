@@ -9,8 +9,11 @@ MAPPER algorithms are built on:
   and *maximum-weight* matching (Algorithm MWM-Contract).
 * :mod:`repro.util.validation` -- argument-checking helpers shared by the
   public API.
+* :mod:`repro.util.perf` -- the timer/counter registry the pipeline's hot
+  paths report into.
 """
 
+from repro.util import perf
 from repro.util.gray import gray_code, gray_rank, gray_sequence
 from repro.util.matching import (
     greedy_maximal_matching,
@@ -21,6 +24,7 @@ from repro.util.matching import (
 )
 
 __all__ = [
+    "perf",
     "gray_code",
     "gray_rank",
     "gray_sequence",

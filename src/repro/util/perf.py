@@ -1,0 +1,173 @@
+"""Lightweight timer/counter registry for the mapping pipeline's hot paths.
+
+The ROADMAP's "as fast as the hardware allows" goal needs observability
+before optimisation: this module provides named context-manager **spans**
+(wall-clock accumulators) and monotonic **counters** (cache hits, merge
+rounds, ...) with near-zero overhead, so :func:`repro.mapper.map_computation`
+and :func:`repro.sim.simulate` can report where time goes without dragging in
+a profiler.
+
+Typical use::
+
+    from repro.util import perf
+
+    perf.reset()
+    with perf.span("mapper.route"):
+        ...
+    perf.count("sim.step_cache_hit", 12)
+    print(perf.report())
+
+All state lives in a process-global :data:`REGISTRY`; tests that need
+isolation can instantiate their own :class:`PerfRegistry`.  Disabling the
+registry (``perf.disable()``) turns spans and counters into no-ops.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PerfRegistry",
+    "SpanStats",
+    "REGISTRY",
+    "span",
+    "count",
+    "reset",
+    "enable",
+    "disable",
+    "stats",
+    "counters",
+    "report",
+]
+
+
+@dataclass
+class SpanStats:
+    """Accumulated wall-clock statistics for one named span."""
+
+    calls: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = 0.0
+
+    def record(self, elapsed: float) -> None:
+        """Fold one timed interval into the stats."""
+        self.calls += 1
+        self.total += elapsed
+        if elapsed < self.min:
+            self.min = elapsed
+        if elapsed > self.max:
+            self.max = elapsed
+
+    @property
+    def mean(self) -> float:
+        """Average seconds per call (0.0 before any call)."""
+        return self.total / self.calls if self.calls else 0.0
+
+
+class PerfRegistry:
+    """A registry of named timing spans and counters.
+
+    Spans nest freely (each records its own wall-clock time, including that
+    of inner spans) and exceptions propagate while still recording the
+    elapsed time of the failed region.
+    """
+
+    def __init__(self, *, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: dict[str, SpanStats] = {}
+        self._counters: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    @contextmanager
+    def span(self, name: str):
+        """Context manager timing the enclosed block under *name*."""
+        if not self.enabled:
+            yield
+            return
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            stats = self._spans.get(name)
+            if stats is None:
+                stats = self._spans[name] = SpanStats()
+            stats.record(elapsed)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment counter *name* by *amount*."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, SpanStats]:
+        """Snapshot of all span statistics, keyed by span name."""
+        return dict(self._spans)
+
+    def counters(self) -> dict[str, float]:
+        """Snapshot of all counter values."""
+        return dict(self._counters)
+
+    def total(self, name: str) -> float:
+        """Total seconds recorded under span *name* (0.0 if never entered)."""
+        stats = self._spans.get(name)
+        return stats.total if stats else 0.0
+
+    def counter(self, name: str) -> float:
+        """Current value of counter *name* (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    def report(self) -> str:
+        """Human-readable table of spans (by total time) and counters."""
+        lines = []
+        if self._spans:
+            lines.append(f"{'span':<32} {'calls':>8} {'total s':>10} {'mean ms':>10}")
+            for name, st in sorted(
+                self._spans.items(), key=lambda kv: -kv[1].total
+            ):
+                lines.append(
+                    f"{name:<32} {st.calls:>8} {st.total:>10.4f} "
+                    f"{st.mean * 1e3:>10.3f}"
+                )
+        if self._counters:
+            lines.append(f"{'counter':<32} {'value':>8}")
+            for name, value in sorted(self._counters.items()):
+                lines.append(f"{name:<32} {value:>8g}")
+        return "\n".join(lines) if lines else "(no perf data recorded)"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all recorded spans and counters."""
+        self._spans.clear()
+        self._counters.clear()
+
+    def enable(self) -> None:
+        """Start recording (the default state)."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording; spans and counters become no-ops."""
+        self.enabled = False
+
+
+#: Process-global registry used by the pipeline's instrumented entry points.
+REGISTRY = PerfRegistry()
+
+span = REGISTRY.span
+count = REGISTRY.count
+reset = REGISTRY.reset
+enable = REGISTRY.enable
+disable = REGISTRY.disable
+stats = REGISTRY.stats
+counters = REGISTRY.counters
+report = REGISTRY.report

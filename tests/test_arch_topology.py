@@ -55,6 +55,22 @@ class TestLinks:
         t = networks.ring(4)
         assert t.has_link(0, 1) and not t.has_link(0, 2)
 
+    def test_route_links_cached_results_are_fresh_lists(self):
+        t = networks.ring(6)
+        route = [0, 1, 2]
+        first = t.route_links(route)
+        first.append(999)  # caller-side mutation must not poison the cache
+        assert t.route_links(route) == [t.link_id(0, 1), t.link_id(1, 2)]
+
+    def test_route_links_rejects_non_walks(self):
+        t = networks.ring(6)
+        with pytest.raises(KeyError):
+            t.route_links([0, 3])
+        # ... including after a valid prefix was cached
+        t.route_links([0, 1])
+        with pytest.raises(KeyError):
+            t.route_links([0, 1, 4])
+
 
 class TestDistances:
     def test_hypercube_distance_is_hamming(self):

@@ -138,3 +138,57 @@ class TestCommEdge:
     def test_reversed(self):
         e = CommEdge(1, 2, 5.0)
         assert e.reversed() == CommEdge(2, 1, 5.0)
+
+
+class TestDerivedStructureCaching:
+    def test_static_graph_is_cached(self):
+        tg = make_simple()
+        assert tg.static_graph() is tg.static_graph()
+
+    def test_add_edge_invalidates_static_graph(self):
+        tg = make_simple()
+        g1 = tg.static_graph()
+        assert not g1.has_edge(0, 2)
+        tg.add_edge("ring", 0, 2, 7.0)
+        g2 = tg.static_graph()
+        assert g2 is not g1
+        assert g2[0][2]["weight"] == 7.0
+
+    def test_add_node_invalidates_static_graph(self):
+        tg = make_simple()
+        assert 99 not in tg.static_graph()
+        tg.add_node(99, weight=2.0)
+        assert tg.static_graph().nodes[99]["weight"] == 2.0
+
+    def test_direct_phase_append_invalidates_static_graph(self):
+        # The family generators append to CommPhase objects directly,
+        # bypassing TaskGraph.add_edge; the edge-count part of the cache
+        # key must still catch that.
+        tg = make_simple()
+        g1 = tg.static_graph()
+        tg.comm_phase("ring").add(1, 3, 4.0)
+        g2 = tg.static_graph()
+        assert g2 is not g1
+        assert g2[1][3]["weight"] == 4.0
+
+    def test_new_phase_invalidates_name_sets(self):
+        tg = make_simple()
+        assert tg.comm_phase_names == frozenset({"ring"})
+        assert tg.exec_phase_names == frozenset({"work"})
+        tg.add_comm_phase("extra")
+        tg.add_exec_phase("more")
+        assert tg.comm_phase_names == frozenset({"ring", "extra"})
+        assert tg.exec_phase_names == frozenset({"work", "more"})
+
+    def test_phase_views_are_live_and_read_only(self):
+        tg = make_simple()
+        view = tg.comm_phases
+        tg.add_comm_phase("late")
+        assert "late" in view  # live view, not a stale copy
+        with pytest.raises(TypeError):
+            view["bad"] = None
+
+    def test_exec_phase_view_read_only(self):
+        tg = make_simple()
+        with pytest.raises(TypeError):
+            tg.exec_phases["bad"] = None

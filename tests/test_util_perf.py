@@ -1,0 +1,85 @@
+"""Tests for the repro.util.perf timer/counter registry."""
+
+import pytest
+
+from repro.util.perf import PerfRegistry
+from repro.util import perf
+
+
+class TestPerfRegistry:
+    def test_span_records_calls_and_time(self):
+        reg = PerfRegistry()
+        for _ in range(3):
+            with reg.span("work"):
+                pass
+        stats = reg.stats()["work"]
+        assert stats.calls == 3
+        assert stats.total >= 0.0
+        assert stats.min <= stats.max
+        assert stats.mean == pytest.approx(stats.total / 3)
+
+    def test_span_records_on_exception(self):
+        reg = PerfRegistry()
+        with pytest.raises(RuntimeError):
+            with reg.span("boom"):
+                raise RuntimeError("x")
+        assert reg.stats()["boom"].calls == 1
+
+    def test_counters_accumulate(self):
+        reg = PerfRegistry()
+        reg.count("hits")
+        reg.count("hits", 4)
+        assert reg.counter("hits") == 5
+        assert reg.counter("absent") == 0
+
+    def test_disable_makes_noops(self):
+        reg = PerfRegistry()
+        reg.disable()
+        with reg.span("skipped"):
+            pass
+        reg.count("skipped")
+        assert reg.stats() == {} and reg.counters() == {}
+        reg.enable()
+        reg.count("back")
+        assert reg.counter("back") == 1
+
+    def test_reset_clears_everything(self):
+        reg = PerfRegistry()
+        with reg.span("s"):
+            pass
+        reg.count("c")
+        reg.reset()
+        assert reg.stats() == {} and reg.counters() == {}
+        assert reg.total("s") == 0.0
+
+    def test_report_formats_spans_and_counters(self):
+        reg = PerfRegistry()
+        with reg.span("alpha"):
+            pass
+        reg.count("beta", 2)
+        text = reg.report()
+        assert "alpha" in text and "beta" in text
+
+    def test_report_empty(self):
+        assert "no perf data" in PerfRegistry().report()
+
+
+class TestPipelineInstrumentation:
+    def test_map_and_simulate_record_spans(self):
+        from repro.arch import networks
+        from repro.graph import families
+        from repro.mapper import map_computation
+        from repro.sim import simulate
+
+        perf.reset()
+        mapping = map_computation(families.ring(8), networks.hypercube(3))
+        simulate(mapping)
+        stats = perf.stats()
+        assert "mapper.map_computation" in stats
+        assert "mapper.route" in stats
+        assert "sim.simulate" in stats
+        # The ring phase expression repeats one (ring; compute) step 8x:
+        # 2 distinct steps, 14 cache hits.
+        assert perf.counters()["sim.step_cache_miss"] == 2
+        assert perf.counters()["sim.step_cache_hit"] == 14
+        perf.reset()
