@@ -1,30 +1,46 @@
 #!/usr/bin/env python
 """Benchmark runner: measures the pipeline's hot paths and emits a trajectory
-JSON (``BENCH_PR1.json``) that future PRs regress against.
+JSON (``BENCH_PR<n>.json``) that future PRs regress against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR1.json]
+    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR2.json
 
 Measured sections
 -----------------
 * ``sim_micro``   -- the repeated-phase microbenchmark (jacobi 8x8, the
   compute/comm sweep repeated 100x) with the step cache on and off; the
-  ratio is the headline memoization speedup.
+  ratio is the PR 1 memoization speedup.
 * ``e2e``         -- map_computation + simulate wall-clock on the paper's
   benchmark workloads (nbody63, jacobi8x8, fft64).
 * ``contraction`` -- MWM-Contract on the n-body 63-task graph and a scaled
   community graph (256 tasks / 64 clusters).
+* ``embed``       -- NN-Embed, 256 singleton clusters onto a 16x16 torus:
+  vectorized kernel vs. the reference loop (PR 2 headline).
+* ``route``       -- MM-Route on a scattered fft64/hypercube4 workload:
+  table kernel vs. the label-based reference.
+* ``metrics``     -- METRICS analyze with the bincount kernel vs. the
+  per-hop dict reference (simulation excluded via ``sim=``).
+* ``portfolio``   -- ``map_many`` over 8 (graph, topology) pairs: 4-worker
+  process pool vs. sequential, with winner-determinism checked.
 * ``perf_spans``  -- the repro.util.perf span totals recorded while the
   suite ran, so per-stage attribution lands in the trajectory too.
 
-All timings are best-of-N wall-clock seconds (N=5 for sub-10ms items).
+All timings are best-of-N wall-clock seconds (N=5 for sub-10ms items;
+``--quick`` drops to N=1 for the CI smoke job).
+
+``--check BASELINE.json`` compares every ``*_s`` timing against the
+committed baseline and exits non-zero when any stage regresses more than
+``--max-regression`` (default 3x) -- the CI guard against silent
+performance regressions.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import time
 from pathlib import Path
@@ -34,8 +50,11 @@ from repro.graph import families
 from repro.graph.phase_expr import Rep
 from repro.graph.taskgraph import TaskGraph
 from repro.larcs import stdlib
-from repro.mapper import map_computation
+from repro.mapper import map_computation, map_many
 from repro.mapper.contraction import mwm_contract
+from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
+from repro.mapper.routing.mm_route import mm_route
+from repro.metrics.analysis import analyze
 from repro.sim import CostModel, simulate
 from repro.util import perf
 
@@ -50,10 +69,32 @@ WORKLOADS = [
      lambda: networks.hypercube(4)),
 ]
 
+#: (graph, topology) batch for the portfolio benchmark -- 8 mixed pairs.
+PORTFOLIO_PAIRS = [
+    ("nbody63/hcube4", lambda: families.nbody(63, volume=4.0),
+     lambda: networks.hypercube(4)),
+    ("jacobi8x8/mesh4x4", lambda: stdlib.load("jacobi", rows=8, cols=8, msize=4),
+     lambda: networks.mesh(4, 4)),
+    ("fft64/hcube4", lambda: stdlib.load("fft", m=6, msize=4),
+     lambda: networks.hypercube(4)),
+    ("ring64/hcube4", lambda: families.ring(64),
+     lambda: networks.hypercube(4)),
+    ("torus8x8/mesh4x4", lambda: families.torus(8, 8),
+     lambda: networks.mesh(4, 4)),
+    ("hcube6/hcube4", lambda: families.hypercube(6),
+     lambda: networks.hypercube(4)),
+    ("btree5/mesh4x4", lambda: families.binomial_tree(5),
+     lambda: networks.mesh(4, 4)),
+    ("butterfly32/hcube4", lambda: families.fft_butterfly(32),
+     lambda: networks.hypercube(4)),
+]
 
-def best_of(fn, repeats: int = 5) -> float:
+REPEATS = 5
+
+
+def best_of(fn, repeats: int | None = None) -> float:
     times = []
-    for _ in range(repeats):
+    for _ in range(repeats or REPEATS):
         start = time.perf_counter()
         fn()
         times.append(time.perf_counter() - start)
@@ -115,30 +156,200 @@ def bench_contraction() -> dict:
     }
 
 
+def bench_embed() -> dict:
+    """The PR 2 headline: 256 clusters onto a 256-processor torus."""
+    tg = families.torus(16, 16)
+    topo = networks.torus(16, 16)
+    clusters = [[t] for t in tg.nodes]
+    nn_embed(tg, clusters, topo)  # warm the distance-matrix cache
+    vector = best_of(lambda: nn_embed(tg, clusters, topo), 3)
+    reference = best_of(
+        lambda: nn_embed(tg, clusters, topo, kernel="reference"), 1
+    )
+    identical = nn_embed(tg, clusters, topo) == nn_embed(
+        tg, clusters, topo, kernel="reference"
+    )
+    return {
+        "workload": "torus16x16_256clusters",
+        "vector_s": vector,
+        "reference_s": reference,
+        "speedup": reference / vector,
+        "results_identical": identical,
+    }
+
+
+def bench_route() -> dict:
+    """Table-driven vs. label-based MM-Route on a contended scatter."""
+    tg = stdlib.load("fft", m=6, msize=4)
+    topo = networks.hypercube(4)
+    # A deliberately poor round-robin scatter maximises routing work.
+    assignment = {t: i % topo.n_processors for i, t in enumerate(tg.nodes)}
+    mm_route(tg, topo, assignment)  # warm the next-hop tables
+    table = best_of(lambda: mm_route(tg, topo, assignment), 3)
+    reference = best_of(
+        lambda: mm_route(tg, topo, assignment, kernel="reference"), 3
+    )
+    a = mm_route(tg, topo, assignment)
+    b = mm_route(tg, topo, assignment, kernel="reference")
+    return {
+        "workload": "fft64_scattered_hcube4",
+        "table_s": table,
+        "reference_s": reference,
+        "speedup": reference / table,
+        "results_identical": a.routes == b.routes and a.rounds == b.rounds,
+    }
+
+
+def bench_metrics() -> dict:
+    """bincount vs. per-hop dict METRICS accumulation (simulation excluded).
+
+    A 256-task torus scattered round-robin over a 64-processor hypercube:
+    1024 edges with multi-hop routes, so per-link accumulation dominates.
+    """
+    from repro.mapper.mapping import Mapping
+    from repro.mapper.routing.mm_route import mm_route
+
+    tg = families.torus(16, 16)
+    topo = networks.hypercube(6)
+    assignment = {t: i % topo.n_processors for i, t in enumerate(tg.nodes)}
+    mapping = Mapping(tg, topo, assignment, mm_route(tg, topo, assignment).routes)
+    sim = simulate(mapping, MODEL)
+    vector = best_of(lambda: analyze(mapping, MODEL, sim=sim), 3)
+    reference = best_of(
+        lambda: analyze(mapping, MODEL, sim=sim, kernel="reference"), 3
+    )
+    identical = analyze(mapping, MODEL, sim=sim) == analyze(
+        mapping, MODEL, sim=sim, kernel="reference"
+    )
+    return {
+        "workload": "torus16x16_scattered_hcube6",
+        "vector_s": vector,
+        "reference_s": reference,
+        "speedup": reference / vector,
+        "results_identical": identical,
+    }
+
+
+def bench_portfolio() -> dict:
+    """map_many over 8 pairs: 4-worker process pool vs. sequential.
+
+    The speedup scales with available cores (recorded in ``meta``); a
+    warm-up pass fills every topology/graph cache first so both timed runs
+    see identical state.
+    """
+    pairs = [(tg_fn(), topo_fn()) for _, tg_fn, topo_fn in PORTFOLIO_PAIRS]
+    map_many(pairs, model=MODEL, executor="serial")  # warm all caches
+
+    start = time.perf_counter()
+    serial = map_many(pairs, model=MODEL, executor="serial")
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = map_many(pairs, model=MODEL, executor="process", max_workers=4)
+    parallel_s = time.perf_counter() - start
+
+    deterministic = [r.winner for r in serial] == [
+        r.winner for r in parallel
+    ] and [r.completion_time for r in serial] == [
+        r.completion_time for r in parallel
+    ]
+    out = {
+        "pairs": [name for name, _, _ in PORTFOLIO_PAIRS],
+        "workers": 4,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": serial_s / parallel_s,
+        "winners": [r.winner for r in serial],
+        "deterministic": deterministic,
+    }
+    if (os.cpu_count() or 1) <= 1:
+        out["note"] = (
+            "single-core host: the pool time-slices one CPU, so the "
+            "measured speedup is bounded by pool overhead; the win "
+            "materialises with cores (workers are fully independent)"
+        )
+    return out
+
+
+def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(iter_timings(value, f"{path}."))
+        elif key.endswith("_s") and isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+def check_regressions(
+    payload: dict, baseline: dict, max_ratio: float
+) -> list[str]:
+    """Timings regressing more than *max_ratio* vs. the baseline.
+
+    A 10ms absolute slack is added on top of the ratio so sub-millisecond
+    stages can't trip the gate on shared-runner scheduling noise.
+    """
+    current = iter_timings(payload)
+    reference = iter_timings(baseline)
+    failures = []
+    for path, ref in sorted(reference.items()):
+        if path.startswith(("perf_spans.", "baseline.")) or ref <= 0:
+            continue
+        now = current.get(path)
+        if now is not None and now > ref * max_ratio + 0.010:
+            failures.append(f"{path}: {now * 1e3:.2f}ms vs baseline "
+                            f"{ref * 1e3:.2f}ms ({now / ref:.1f}x)")
+    return failures
+
+
 def main(argv=None) -> int:
+    global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR1.json"),
-        help="trajectory file to write (default: BENCH_PR1.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR2.json"),
+        help="trajectory file to write (default: BENCH_PR2.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
         help="optional JSON of pre-change timings to embed for comparison",
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="single repeat per item (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--check", type=Path, default=None,
+        help="baseline JSON to regression-check against (non-zero exit on "
+             "any stage regressing more than --max-regression)",
+    )
+    parser.add_argument(
+        "--max-regression", type=float, default=3.0,
+        help="allowed slowdown factor vs. the --check baseline (default 3.0)",
+    )
     args = parser.parse_args(argv)
+    if args.quick:
+        REPEATS = 1
 
     perf.reset()
     payload = {
         "meta": {
-            "pr": 1,
-            "description": "step-memoized sim kernel, incremental MWM "
-                           "contraction, derived-structure caching",
+            "pr": 2,
+            "description": "vectorized embed/route/metrics kernels, "
+                           "parallel mapping portfolio",
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "quick": args.quick,
         },
         "sim_micro": bench_sim_micro(),
         "e2e": bench_e2e(),
         "contraction": bench_contraction(),
+        "embed": bench_embed(),
+        "route": bench_route(),
+        "metrics": bench_metrics(),
+        "portfolio": bench_portfolio(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -158,7 +369,30 @@ def main(argv=None) -> int:
               f"simulate {row['simulate_s'] * 1e3:.2f}ms")
     for name, value in payload["contraction"].items():
         print(f"{name}: {value * 1e3:.2f}ms")
+    for section in ("embed", "route", "metrics"):
+        row = payload[section]
+        fast_key = "vector_s" if "vector_s" in row else "table_s"
+        print(f"{section} ({row['workload']}): "
+              f"{row['reference_s'] * 1e3:.2f}ms -> {row[fast_key] * 1e3:.2f}ms "
+              f"({row['speedup']:.1f}x, identical={row['results_identical']})")
+    pf = payload["portfolio"]
+    print(f"portfolio (8 pairs, {pf['workers']} workers): "
+          f"serial {pf['serial_s'] * 1e3:.0f}ms -> parallel "
+          f"{pf['parallel_s'] * 1e3:.0f}ms ({pf['speedup']:.1f}x, "
+          f"deterministic={pf['deterministic']})")
     print(f"wrote {args.output}")
+
+    if args.check and args.check.exists():
+        failures = check_regressions(
+            payload, json.loads(args.check.read_text()), args.max_regression
+        )
+        if failures:
+            print(f"REGRESSIONS (> {args.max_regression}x):")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print(f"regression check vs {args.check}: ok "
+              f"(threshold {args.max_regression}x)")
     return 0
 
 

@@ -9,6 +9,17 @@ top of the raw graph it precomputes what the mapping algorithms consume:
   hops,
 * a link numbering (the paper numbers the 12 links of the 8-node hypercube
   1..12 in Fig 6) used by the routing and METRICS displays.
+
+Vectorized-kernel support (PR 2): every topology also carries a stable
+processor <-> integer-index bijection (:meth:`Topology.index_of` /
+:meth:`Topology.proc_by_index`), a cached numpy all-pairs distance matrix
+(:meth:`Topology.distance_matrix`, computed with ``scipy.sparse.csgraph``
+when SciPy is importable, otherwise from the BFS distances), and lazily
+built per-``(src, dst)`` next-hop link-id tables
+(:meth:`Topology.next_hop_links`) that the table-driven MM-Route kernel
+consumes.  Topologies are immutable after construction, so these caches --
+like the PR 1 ``route_links`` / ``link_id`` caches -- are built once and
+never invalidated.
 """
 
 from __future__ import annotations
@@ -17,6 +28,7 @@ from collections import deque
 from collections.abc import Hashable, Iterable
 
 import networkx as nx
+import numpy as np
 
 __all__ = ["Topology"]
 
@@ -76,6 +88,14 @@ class Topology:
             src: dict(lengths)
             for src, lengths in nx.all_pairs_shortest_path_length(g)
         }
+        # Vectorized-kernel support: a stable processor <-> index bijection
+        # (insertion order, matching self._procs) plus lazily built numpy
+        # distance matrix and per-(src, dst) next-hop link-id tables.
+        self._proc_index: dict[Proc, int] = {p: i for i, p in enumerate(self._procs)}
+        self._dist_matrix: np.ndarray | None = None
+        self._degree_array: np.ndarray | None = None
+        self._nbr_links: list[tuple[tuple[int, int], ...]] | None = None
+        self._next_hop_table: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
 
     # ------------------------------------------------------------------
     # basic structure
@@ -127,6 +147,109 @@ class Topology:
     def graph(self) -> nx.Graph:
         """A copy of the underlying processor graph."""
         return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    # integer indexing (vectorized-kernel support)
+    # ------------------------------------------------------------------
+    def index_of(self, p: Proc) -> int:
+        """The stable 0-based index of processor *p* (insertion order)."""
+        return self._proc_index[p]
+
+    def proc_by_index(self, i: int) -> Proc:
+        """The processor with stable index *i* (inverse of :meth:`index_of`)."""
+        return self._procs[i]
+
+    @property
+    def proc_indices(self) -> dict[Proc, int]:
+        """A copy of the processor -> stable-index map."""
+        return dict(self._proc_index)
+
+    def distance_matrix(self) -> np.ndarray:
+        """Cached all-pairs hop-distance matrix, indexed by stable indices.
+
+        ``distance_matrix()[index_of(u), index_of(v)] == distance(u, v)``.
+        Built once (topologies are immutable) via
+        ``scipy.sparse.csgraph.shortest_path`` when SciPy is available,
+        otherwise from the BFS distance dicts.  The returned array is the
+        cache itself -- treat it as read-only.
+        """
+        if self._dist_matrix is None:
+            n = len(self._procs)
+            try:
+                from scipy.sparse import csr_matrix
+                from scipy.sparse.csgraph import shortest_path
+            except ImportError:
+                mat = np.zeros((n, n), dtype=np.int64)
+                for u, row in self._dist.items():
+                    ui = self._proc_index[u]
+                    for v, d in row.items():
+                        mat[ui, self._proc_index[v]] = d
+            else:
+                rows, cols = [], []
+                for u, v in self._graph.edges:
+                    ui, vi = self._proc_index[u], self._proc_index[v]
+                    rows.extend((ui, vi))
+                    cols.extend((vi, ui))
+                adj = csr_matrix(
+                    (np.ones(len(rows), dtype=np.int8), (rows, cols)),
+                    shape=(n, n),
+                )
+                mat = shortest_path(adj, method="D", unweighted=True).astype(
+                    np.int64
+                )
+            self._dist_matrix = mat
+        return self._dist_matrix
+
+    def degree_array(self) -> np.ndarray:
+        """Per-processor link counts, indexed by stable indices (cached)."""
+        if self._degree_array is None:
+            self._degree_array = np.array(
+                [self._graph.degree(p) for p in self._procs], dtype=np.int64
+            )
+        return self._degree_array
+
+    def _neighbor_links(self) -> list[tuple[tuple[int, int], ...]]:
+        """Per-processor ``((neighbor_index, link_id), ...)`` adjacency.
+
+        Neighbour order matches :meth:`neighbors` (graph insertion order),
+        so table-driven candidate sets enumerate exactly like the
+        label-based reference path.
+        """
+        if self._nbr_links is None:
+            pairs = self._link_id_pairs
+            self._nbr_links = [
+                tuple(
+                    (self._proc_index[nb], pairs[(p, nb)])
+                    for nb in self._graph.neighbors(p)
+                )
+                for p in self._procs
+            ]
+        return self._nbr_links
+
+    def next_hop_links(self, src_idx: int, dst_idx: int) -> tuple[tuple[int, int], ...]:
+        """Shortest-path first hops of ``src -> dst`` as an indexed table.
+
+        Returns ``((neighbor_index, link_id), ...)`` for every neighbour of
+        the processor with index *src_idx* that lies on some shortest path
+        to the processor with index *dst_idx* -- the integer-indexed
+        equivalent of :meth:`next_hops`.  Entries are memoized per ordered
+        pair; an empty tuple means ``src_idx == dst_idx``.
+        """
+        key = (src_idx, dst_idx)
+        cached = self._next_hop_table.get(key)
+        if cached is None:
+            if src_idx == dst_idx:
+                cached = ()
+            else:
+                dist = self.distance_matrix()
+                want = dist[src_idx, dst_idx] - 1
+                cached = tuple(
+                    (nb_idx, lid)
+                    for nb_idx, lid in self._neighbor_links()[src_idx]
+                    if dist[nb_idx, dst_idx] == want
+                )
+            self._next_hop_table[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # distances and shortest routes
@@ -201,6 +324,17 @@ class Topology:
         Results are memoized per route (the simulator and METRICS resolve
         the same routes repeatedly); the cache stores immutable tuples and
         every call returns a fresh list, so callers may mutate freely.
+        Hot paths that never mutate should call :meth:`route_link_ids`,
+        which hands out the cached tuple without copying.
+        """
+        return list(self.route_link_ids(route))
+
+    def route_link_ids(self, route: list[Proc]) -> tuple[int, ...]:
+        """The 1-based link numbers along a route, as the cached tuple.
+
+        Zero-copy variant of :meth:`route_links`: the returned tuple *is*
+        the cache entry, so it must not be mutated (it can't be -- tuples
+        are immutable) and identical routes return the identical object.
         """
         key = tuple(route)
         cached = self._route_links_cache.get(key)
@@ -218,7 +352,7 @@ class Topology:
                     f"no link between {missing[0]!r} and {missing[1]!r}"
                 ) from None
             self._route_links_cache[key] = cached
-        return list(cached)
+        return cached
 
     def is_valid_route(self, route: list[Proc]) -> bool:
         """True when *route* is a walk along existing links."""

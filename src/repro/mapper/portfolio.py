@@ -1,0 +1,289 @@
+"""A parallel mapping-strategy portfolio (run several mappers, keep the best).
+
+Fast static-mapping toolkits get robustness the same way: run a portfolio
+of heuristics on the same (task graph, topology) instance and keep the
+winner by the objective.  This module does that on top of MAPPER's
+strategies, with ``concurrent.futures`` supplying the parallelism:
+
+* :func:`run_portfolio` maps one (graph, topology) pair with every
+  applicable strategy, simulates each candidate mapping, and selects the
+  best by completion time with deterministic tie-breaks (strategy order).
+* :func:`map_many` batches portfolios over many (graph, topology) pairs --
+  the entry point of a high-throughput mapping service.  Pairs fan out
+  over a process or thread pool; results come back in input order and the
+  winners are independent of worker count or scheduling.
+
+Strategy names are :func:`repro.mapper.map_computation` strategies, with
+an optional ``+refine`` suffix enabling the Kernighan-Lin-style
+post-passes (``"mwm+refine"`` contracts with MWM then refines).
+Strategies that raise :class:`~repro.mapper.NotApplicableError` are
+recorded as skipped, not errors; a portfolio where *every* strategy is
+inapplicable raises.
+
+Determinism: each candidate's completion time comes from the deterministic
+simulator, and the winner is ``min((time, strategy_rank))`` over the
+declared strategy order -- never over completion order -- so serial,
+thread-backed, and process-backed runs of the same inputs pick the same
+winner.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from dataclasses import dataclass, field
+from collections.abc import Iterable, Sequence
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.dispatch import map_computation
+from repro.mapper.mapping import Mapping, NotApplicableError
+from repro.sim.model import CostModel
+from repro.util import perf
+
+__all__ = [
+    "Candidate",
+    "PortfolioResult",
+    "DEFAULT_STRATEGIES",
+    "run_portfolio",
+    "map_many",
+]
+
+#: Strategy order tried by default; also the deterministic tie-break order.
+DEFAULT_STRATEGIES: tuple[str, ...] = ("canned", "group", "mwm", "mwm+refine")
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def _process_pool(max_workers: int | None) -> concurrent.futures.ProcessPoolExecutor:
+    """A process pool preferring the fork start method when available.
+
+    Forked workers inherit the parent's warm caches (distance matrices,
+    next-hop tables) copy-on-write instead of re-deriving them, and the
+    choice is pinned so the default start method changing across Python
+    versions never changes behaviour.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows, some macOS setups)
+        ctx = None
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=ctx
+    )
+
+
+@dataclass
+class Candidate:
+    """One strategy's outcome inside a portfolio run.
+
+    ``mapping`` is ``None`` when the strategy was inapplicable; ``skipped``
+    then holds the :class:`NotApplicableError` message.
+    """
+
+    strategy: str
+    mapping: Mapping | None = None
+    completion_time: float = float("inf")
+    skipped: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the strategy produced a mapping."""
+        return self.mapping is not None
+
+
+@dataclass
+class PortfolioResult:
+    """All candidates of one portfolio run plus the selected winner."""
+
+    candidates: list[Candidate] = field(default_factory=list)
+    best: Candidate | None = None
+
+    @property
+    def mapping(self) -> Mapping:
+        """The winning mapping."""
+        assert self.best is not None and self.best.mapping is not None
+        return self.best.mapping
+
+    @property
+    def winner(self) -> str:
+        """The winning strategy name."""
+        assert self.best is not None
+        return self.best.strategy
+
+    @property
+    def completion_time(self) -> float:
+        """Simulated completion time of the winning mapping."""
+        assert self.best is not None
+        return self.best.completion_time
+
+
+def _run_strategy(
+    tg: TaskGraph,
+    topology: Topology,
+    strategy: str,
+    model: CostModel,
+    load_bound: int | None,
+) -> Candidate:
+    """Map + simulate one strategy; inapplicable strategies become skips."""
+    from repro.sim.engine import simulate
+
+    base, _, suffix = strategy.partition("+")
+    if suffix not in ("", "refine"):
+        raise ValueError(f"unknown strategy suffix {suffix!r} in {strategy!r}")
+    try:
+        mapping = map_computation(
+            tg,
+            topology,
+            strategy=base,
+            load_bound=load_bound,
+            refine=suffix == "refine",
+        )
+    except NotApplicableError as exc:
+        return Candidate(strategy, skipped=str(exc))
+    sim = simulate(mapping, model)
+    return Candidate(strategy, mapping, sim.total_time)
+
+
+def _select_best(candidates: Sequence[Candidate]) -> Candidate:
+    """The winner: min completion time, ties broken by strategy order."""
+    viable = [
+        (c.completion_time, rank, c)
+        for rank, c in enumerate(candidates)
+        if c.ok
+    ]
+    if not viable:
+        raise NotApplicableError(
+            "no portfolio strategy produced a mapping: "
+            + "; ".join(f"{c.strategy}: {c.skipped}" for c in candidates)
+        )
+    return min(viable, key=lambda v: (v[0], v[1]))[2]
+
+
+def run_portfolio(
+    tg: TaskGraph,
+    topology: Topology,
+    *,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    model: CostModel | None = None,
+    load_bound: int | None = None,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> PortfolioResult:
+    """Map one (graph, topology) pair with every strategy; keep the best.
+
+    Parameters
+    ----------
+    strategies:
+        Strategy names tried, in tie-break order.  ``"<base>+refine"``
+        enables the refinement post-passes on ``<base>``.
+    executor:
+        ``"serial"`` (default) runs strategies in-process; ``"thread"`` /
+        ``"process"`` fan them out over ``concurrent.futures``.  The
+        winner is identical for every executor and worker count.
+    max_workers:
+        Pool size for the parallel executors (default: one per strategy).
+    """
+    if not strategies:
+        raise ValueError("portfolio needs at least one strategy")
+    model = model or CostModel()
+    with perf.span("mapper.portfolio"):
+        candidates = _map_batch(
+            [(tg, topology, s, model, load_bound) for s in strategies],
+            executor=executor,
+            max_workers=max_workers or len(strategies),
+        )
+        best = _select_best(candidates)
+    perf.count(f"mapper.portfolio.winner.{best.strategy}")
+    return PortfolioResult(list(candidates), best)
+
+
+def _portfolio_task(payload) -> Candidate:
+    """Top-level worker (picklable for process pools)."""
+    return _run_strategy(*payload)
+
+
+def _map_batch(
+    payloads: list[tuple],
+    *,
+    executor: str,
+    max_workers: int,
+) -> list[Candidate]:
+    """Run ``_run_strategy`` payloads under the chosen executor, in order."""
+    if executor not in _EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    if executor == "serial" or len(payloads) <= 1 or max_workers <= 1:
+        return [_portfolio_task(p) for p in payloads]
+    workers = min(max_workers, len(payloads))
+    pool = (
+        concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        if executor == "thread"
+        else _process_pool(workers)
+    )
+    with pool:
+        # Executor.map preserves input order, so downstream selection never
+        # sees completion order and stays deterministic.
+        return list(pool.map(_portfolio_task, payloads))
+
+
+def _pair_task(payload) -> PortfolioResult:
+    """Top-level per-pair worker: a full serial portfolio for one pair."""
+    tg, topology, strategies, model, load_bound = payload
+    return run_portfolio(
+        tg,
+        topology,
+        strategies=strategies,
+        model=model,
+        load_bound=load_bound,
+        executor="serial",
+    )
+
+
+def map_many(
+    pairs: Iterable[tuple[TaskGraph, Topology]],
+    *,
+    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    model: CostModel | None = None,
+    load_bound: int | None = None,
+    executor: str = "process",
+    max_workers: int | None = None,
+) -> list[PortfolioResult]:
+    """Run a strategy portfolio over many (graph, topology) pairs.
+
+    Each pair's portfolio runs serially inside one worker while pairs fan
+    out across the pool -- coarse-grained parallelism with no intra-pair
+    coordination, which is what lets process pools win wall-clock on
+    batches.  Results arrive in input order; winners and completion times
+    are bit-identical for ``executor="serial"``, ``"thread"``, and
+    ``"process"`` at any worker count.
+
+    Parameters
+    ----------
+    pairs:
+        The (task graph, topology) instances to map.
+    executor:
+        ``"process"`` (default; best for CPU-bound batches), ``"thread"``,
+        or ``"serial"``.
+    max_workers:
+        Pool size (default: ``concurrent.futures`` chooses).
+    """
+    if executor not in _EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    model = model or CostModel()
+    payloads = [
+        (tg, topology, tuple(strategies), model, load_bound)
+        for tg, topology in pairs
+    ]
+    with perf.span("mapper.portfolio.map_many"):
+        if executor == "serial" or len(payloads) <= 1:
+            results = [_pair_task(p) for p in payloads]
+        else:
+            workers = max_workers and min(max_workers, len(payloads))
+            pool = (
+                concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+                if executor == "thread"
+                else _process_pool(workers)
+            )
+            with pool:
+                results = list(pool.map(_pair_task, payloads))
+    perf.count("mapper.portfolio.pairs", len(payloads))
+    return results

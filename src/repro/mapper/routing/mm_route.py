@@ -21,6 +21,24 @@ few messages share a link.  Per phase, hop by hop:
 The matching is the greedy maximal matching, processing most-constrained
 messages (fewest candidate links) first; the whole loop is the paper's
 ``O(|X|^2 |Y|)``.
+
+Determinism: among a message's equally loaded free candidate links, the
+one with the smallest stable link id (the topology's 1-based numbering)
+wins, so routing is reproducible for any processor label type -- ints,
+tuples, strings -- without ever comparing or ``repr``-sorting labels.
+
+Two kernels implement the phase loop:
+
+* ``kernel="table"`` (default) -- integer-indexed: messages carry stable
+  processor indices and candidate sets come from the topology's
+  precomputed per-``(src, dst)`` next-hop link-id tables
+  (:meth:`repro.arch.Topology.next_hop_links`), so the inner matching
+  loop touches only small ints and flat arrays.
+* ``kernel="reference"`` -- the label-based implementation, kept as the
+  executable specification.
+
+Both kernels make identical matching decisions and are pinned
+route-identical by ``tests/test_vectorized_kernels.py``.
 """
 
 from __future__ import annotations
@@ -30,12 +48,15 @@ from collections.abc import Hashable, Mapping
 
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
+from repro.util import perf
 
 __all__ = ["mm_route", "RoutingResult"]
 
 Task = Hashable
 Proc = Hashable
 RouteKey = tuple[str, int]
+
+_KERNELS = ("table", "reference")
 
 
 @dataclass
@@ -62,49 +83,58 @@ class RoutingResult:
         return max(rs, default=1)
 
 
-def _route_phase(
+def _route_phase_table(
     topology: Topology,
-    messages: list[tuple[int, Proc, Proc]],
-) -> tuple[dict[int, list[Proc]], list[int]]:
-    """Route one phase's messages; returns (paths by message id, rounds per hop)."""
-    paths: dict[int, list[Proc]] = {idx: [src] for idx, src, _ in messages}
-    position: dict[int, Proc] = {idx: src for idx, src, _ in messages}
-    dest: dict[int, Proc] = {idx: dst for idx, _, dst in messages}
+    messages: list[tuple[int, int, int]],
+) -> tuple[dict[int, list[int]], list[int]]:
+    """Table-driven phase router over stable processor indices.
+
+    *messages* are ``(message_id, src_index, dst_index)``; returns paths as
+    index lists.  Candidate links come from the topology's precomputed
+    next-hop link-id tables and all bookkeeping is by integer link id.
+    """
+    paths: dict[int, list[int]] = {idx: [src] for idx, src, _ in messages}
+    position: dict[int, int] = {idx: src for idx, src, _ in messages}
+    dest: dict[int, int] = {idx: dst for idx, _, dst in messages}
     pending = sorted(idx for idx, src, dst in messages if src != dst)
     rounds_per_hop: list[int] = []
-    phase_load: dict[frozenset, int] = {}  # cumulative per-link use this phase
+    # Cumulative per-link use this phase, indexed by 1-based link id.
+    phase_load = [0] * (topology.n_links + 1)
+    next_hop_links = topology.next_hop_links
 
     while pending:
-        # Candidate first-hop links for every pending message.
-        candidates: dict[int, list[frozenset]] = {}
-        for m in pending:
-            here, there = position[m], dest[m]
-            candidates[m] = [
-                frozenset((here, nb)) for nb in topology.next_hops(here, there)
-            ]
+        # Candidate (next_index, link_id) pairs for every pending message.
+        candidates: dict[int, tuple[tuple[int, int], ...]] = {
+            m: next_hop_links(position[m], dest[m]) for m in pending
+        }
         # Matching rounds until every pending message is assigned a link.
         unassigned = list(pending)
-        assigned: dict[int, frozenset] = {}
+        assigned: dict[int, tuple[int, int]] = {}
         rounds = 0
         while unassigned:
             rounds += 1
-            used_links: set[frozenset] = set()
+            used = bytearray(topology.n_links + 1)
             still: list[int] = []
             # Most-constrained messages first makes the greedy matching
             # cover more messages per round; among a message's free
-            # candidate links, the one least loaded so far in this phase
-            # keeps the cumulative per-link contention flat.
+            # candidate links, the least loaded so far in this phase wins,
+            # with the smallest stable link id breaking ties.
             for m in sorted(unassigned, key=lambda m: (len(candidates[m]), m)):
-                free = [l for l in candidates[m] if l not in used_links]
-                if not free:
+                best: tuple[int, int] | None = None
+                best_key: tuple[int, int] | None = None
+                for nb, lid in candidates[m]:
+                    if used[lid]:
+                        continue
+                    key = (phase_load[lid], lid)
+                    if best_key is None or key < best_key:
+                        best, best_key = (nb, lid), key
+                if best is None:
                     still.append(m)
                 else:
-                    link = min(
-                        free, key=lambda l: (phase_load.get(l, 0), sorted(map(repr, l)))
-                    )
-                    used_links.add(link)
-                    assigned[m] = link
-                    phase_load[link] = phase_load.get(link, 0) + 1
+                    nb, lid = best
+                    used[lid] = 1
+                    assigned[m] = best
+                    phase_load[lid] += 1
             if len(still) == len(unassigned):
                 # Should be impossible (every message has >= 1 candidate on
                 # a connected topology), but guard against livelock.
@@ -114,8 +144,78 @@ def _route_phase(
         # Advance every message one hop along its assigned link.
         next_pending: list[int] = []
         for m in pending:
-            here = position[m]
-            (nxt,) = assigned[m] - {here}
+            nxt = assigned[m][0]
+            position[m] = nxt
+            paths[m].append(nxt)
+            if nxt != dest[m]:
+                next_pending.append(m)
+        pending = next_pending
+    return paths, rounds_per_hop
+
+
+def _route_phase(
+    topology: Topology,
+    messages: list[tuple[int, Proc, Proc]],
+) -> tuple[dict[int, list[Proc]], list[int]]:
+    """Route one phase's messages; returns (paths by message id, rounds per hop).
+
+    Reference kernel: operates on processor labels directly, consulting
+    :meth:`Topology.next_hops` per step.  Kept as the executable
+    specification the table kernel is tested against.
+    """
+    paths: dict[int, list[Proc]] = {idx: [src] for idx, src, _ in messages}
+    position: dict[int, Proc] = {idx: src for idx, src, _ in messages}
+    dest: dict[int, Proc] = {idx: dst for idx, _, dst in messages}
+    pending = sorted(idx for idx, src, dst in messages if src != dst)
+    rounds_per_hop: list[int] = []
+    phase_load: dict[int, int] = {}  # cumulative use this phase, by link id
+
+    while pending:
+        # Candidate (next hop, link id) pairs for every pending message.
+        candidates: dict[int, list[tuple[Proc, int]]] = {}
+        for m in pending:
+            here, there = position[m], dest[m]
+            candidates[m] = [
+                (nb, topology.link_id(here, nb))
+                for nb in topology.next_hops(here, there)
+            ]
+        # Matching rounds until every pending message is assigned a link.
+        unassigned = list(pending)
+        assigned: dict[int, tuple[Proc, int]] = {}
+        rounds = 0
+        while unassigned:
+            rounds += 1
+            used_links: set[int] = set()
+            still: list[int] = []
+            # Most-constrained messages first makes the greedy matching
+            # cover more messages per round; among a message's free
+            # candidate links, the least loaded so far in this phase wins,
+            # with the smallest stable link id breaking ties.
+            for m in sorted(unassigned, key=lambda m: (len(candidates[m]), m)):
+                free = [
+                    (nb, lid)
+                    for nb, lid in candidates[m]
+                    if lid not in used_links
+                ]
+                if not free:
+                    still.append(m)
+                else:
+                    nb, lid = min(
+                        free, key=lambda nl: (phase_load.get(nl[1], 0), nl[1])
+                    )
+                    used_links.add(lid)
+                    assigned[m] = (nb, lid)
+                    phase_load[lid] = phase_load.get(lid, 0) + 1
+            if len(still) == len(unassigned):
+                # Should be impossible (every message has >= 1 candidate on
+                # a connected topology), but guard against livelock.
+                raise RuntimeError("MM-Route matching failed to progress")
+            unassigned = still
+        rounds_per_hop.append(rounds)
+        # Advance every message one hop along its assigned link.
+        next_pending: list[int] = []
+        for m in pending:
+            nxt = assigned[m][0]
             position[m] = nxt
             paths[m].append(nxt)
             if nxt != dest[m]:
@@ -128,21 +228,41 @@ def mm_route(
     tg: TaskGraph,
     topology: Topology,
     assignment: Mapping[Task, Proc],
+    *,
+    kernel: str = "table",
 ) -> RoutingResult:
     """Route every communication phase of *tg* under *assignment*.
 
     Every produced route is a shortest path (each hop strictly decreases
     the distance to the destination), so the dilation of each edge equals
-    the processor distance of its endpoints.
+    the processor distance of its endpoints.  *kernel* selects the
+    integer-indexed table kernel (``"table"``, the default) or the
+    label-based one (``"reference"``); both produce identical routes.
     """
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
     result = RoutingResult()
-    for phase_name, phase in tg.comm_phases.items():
-        messages = [
-            (idx, assignment[e.src], assignment[e.dst])
-            for idx, e in enumerate(phase.edges)
-        ]
-        paths, rounds = _route_phase(topology, messages)
-        for idx, path in paths.items():
-            result.routes[(phase_name, idx)] = path
-        result.rounds[phase_name] = rounds
+    with perf.span(f"mapper.mm_route.{kernel}"):
+        if kernel == "table":
+            index_of = topology.index_of
+            procs = topology.processors
+            for phase_name, phase in tg.comm_phases.items():
+                messages = [
+                    (idx, index_of(assignment[e.src]), index_of(assignment[e.dst]))
+                    for idx, e in enumerate(phase.edges)
+                ]
+                paths, rounds = _route_phase_table(topology, messages)
+                for idx, path in paths.items():
+                    result.routes[(phase_name, idx)] = [procs[i] for i in path]
+                result.rounds[phase_name] = rounds
+        else:
+            for phase_name, phase in tg.comm_phases.items():
+                messages = [
+                    (idx, assignment[e.src], assignment[e.dst])
+                    for idx, e in enumerate(phase.edges)
+                ]
+                paths, rounds = _route_phase(topology, messages)
+                for idx, path in paths.items():
+                    result.routes[(phase_name, idx)] = path
+                result.rounds[phase_name] = rounds
     return result

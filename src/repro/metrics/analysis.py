@@ -11,10 +11,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.mapper.mapping import Mapping
+from repro.sim.engine import SimulationResult
 from repro.sim.model import CostModel
+from repro.util import perf
 
 __all__ = ["MappingMetrics", "PhaseLinkMetrics", "analyze"]
+
+_KERNELS = ("vector", "reference")
 
 
 @dataclass
@@ -97,31 +103,53 @@ class MappingMetrics:
         )
 
 
-def analyze(mapping: Mapping, model: CostModel | None = None) -> MappingMetrics:
-    """Compute the METRICS suite for a routed mapping.
+def _phase_link_metrics_vector(mapping: Mapping, metrics: MappingMetrics) -> None:
+    """Link metrics per phase + total IPC, accumulated with ``np.bincount``.
 
-    The completion time comes from the discrete-event simulator (the
-    contention-aware semantics of the substituted execution substrate);
-    when the task graph has no phase expression it is the one-shot
-    all-phases time.
+    Per phase, the link ids of every inter-processor hop (in edge order,
+    hops in route order) form one flat array; ``bincount`` then yields the
+    message count per link and, weighted by the per-hop volumes, the volume
+    per link.  ``bincount`` folds weights into each bin in input order, so
+    the per-link float sums accumulate in exactly the order the reference
+    kernel adds them.
     """
-    model = model or CostModel()
     tg = mapping.task_graph
     topo = mapping.topology
-    metrics = MappingMetrics()
+    routes = mapping.routes
+    route_link_ids = topo.route_link_ids
+    n_bins = topo.n_links + 1
+    for phase_name, phase in tg.comm_phases.items():
+        pm = PhaseLinkMetrics()
+        dilations = pm.dilations
+        lids: list[int] = []
+        edge_vols: list[float] = []  # volume of each inter-processor edge
+        edge_hops: list[int] = []  # its hop count (np.repeat expansion key)
+        for idx, edge in enumerate(phase.edges):
+            route = routes[(phase_name, idx)]
+            hops = len(route) - 1
+            dilations.append(hops)
+            if hops:
+                metrics.total_ipc += edge.volume
+                lids.extend(route_link_ids(route))
+                edge_vols.append(edge.volume)
+                edge_hops.append(hops)
+        if lids:
+            lid_arr = np.array(lids, dtype=np.intp)
+            hop_vols = np.repeat(edge_vols, edge_hops)
+            counts = np.bincount(lid_arr, minlength=n_bins)
+            volumes = np.bincount(lid_arr, weights=hop_vols, minlength=n_bins)
+            for lid in np.flatnonzero(counts):
+                pm.messages_per_link[int(lid)] = int(counts[lid])
+                pm.volume_per_link[int(lid)] = float(volumes[lid])
+        metrics.phase_links[phase_name] = pm
 
-    # Load balancing.
-    for proc in topo.processors:
-        metrics.tasks_per_processor[proc] = 0
-        metrics.exec_time_per_processor[proc] = 0.0
-    for task, proc in mapping.assignment.items():
-        metrics.tasks_per_processor[proc] += 1
-        for phase in tg.exec_phases.values():
-            metrics.exec_time_per_processor[proc] += (
-                phase.cost_of(task) * model.exec_time
-            )
 
-    # Link metrics per phase + total IPC.
+def _phase_link_metrics_reference(
+    mapping: Mapping, metrics: MappingMetrics
+) -> None:
+    """Per-hop dict accumulation (the executable specification)."""
+    tg = mapping.task_graph
+    topo = mapping.topology
     for phase_name, phase in tg.comm_phases.items():
         pm = PhaseLinkMetrics()
         for idx, edge in enumerate(phase.edges):
@@ -139,10 +167,68 @@ def analyze(mapping: Mapping, model: CostModel | None = None) -> MappingMetrics:
                     )
         metrics.phase_links[phase_name] = pm
 
-    # Overall completion time via the simulator.
-    from repro.sim.engine import simulate
 
-    sim = simulate(mapping, model)
+def analyze(
+    mapping: Mapping,
+    model: CostModel | None = None,
+    *,
+    memoize: bool = True,
+    sim: SimulationResult | None = None,
+    kernel: str = "vector",
+) -> MappingMetrics:
+    """Compute the METRICS suite for a routed mapping.
+
+    The completion time comes from the discrete-event simulator (the
+    contention-aware semantics of the substituted execution substrate);
+    when the task graph has no phase expression it is the one-shot
+    all-phases time.
+
+    Parameters
+    ----------
+    memoize:
+        Forwarded to :func:`repro.sim.simulate` (the PR 1 step cache);
+        disabling it changes wall-clock time only, never the metrics.
+    sim:
+        An already-simulated :class:`~repro.sim.SimulationResult` for this
+        mapping under *model*.  When given, the simulator is not re-run --
+        callers holding a simulation (the portfolio, a benchmark loop)
+        avoid paying for it twice.
+    kernel:
+        ``"vector"`` (default) accumulates per-link volume/message counts
+        with ``np.bincount`` over route link-id arrays; ``"reference"`` is
+        the per-hop dict loop.  Results are identical.
+    """
+    if kernel not in _KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
+    model = model or CostModel()
+    tg = mapping.task_graph
+    topo = mapping.topology
+    metrics = MappingMetrics()
+
+    with perf.span(f"metrics.analyze.{kernel}"):
+        # Load balancing.
+        for proc in topo.processors:
+            metrics.tasks_per_processor[proc] = 0
+            metrics.exec_time_per_processor[proc] = 0.0
+        for task, proc in mapping.assignment.items():
+            metrics.tasks_per_processor[proc] += 1
+            for phase in tg.exec_phases.values():
+                metrics.exec_time_per_processor[proc] += (
+                    phase.cost_of(task) * model.exec_time
+                )
+
+        # Link metrics per phase + total IPC.
+        if kernel == "vector":
+            _phase_link_metrics_vector(mapping, metrics)
+        else:
+            _phase_link_metrics_reference(mapping, metrics)
+
+    # Overall completion time via the simulator (reusing the caller's
+    # simulation when one is supplied).
+    if sim is None:
+        from repro.sim.engine import simulate
+
+        sim = simulate(mapping, model, memoize=memoize)
     metrics.estimated_completion_time = sim.total_time
     metrics.phase_critical_time = dict(sim.phase_time)
     return metrics

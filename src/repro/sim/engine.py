@@ -118,9 +118,9 @@ class _CompiledSim:
             topo = mapping.topology
             table = []
             for idx, edge in enumerate(mapping.task_graph.comm_phase(name).edges):
-                links = topo.route_links(mapping.routes[(name, idx)])
+                links = topo.route_link_ids(mapping.routes[(name, idx)])
                 if links:
-                    table.append((tuple(links), edge.volume))
+                    table.append((links, edge.volume))
             self._comm_msgs[name] = table
         return table
 

@@ -1,0 +1,123 @@
+"""Tests for the parallel mapping-strategy portfolio."""
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper import NotApplicableError, map_many, run_portfolio
+from repro.mapper.portfolio import DEFAULT_STRATEGIES
+from repro.sim import CostModel, simulate
+
+
+def irregular_graph() -> TaskGraph:
+    """A graph with no family tag (no canned entry) and no group structure."""
+    tg = TaskGraph("irregular")
+    tg.add_nodes(range(10))
+    ph = tg.add_comm_phase("comm")
+    for i in range(9):
+        ph.add(i, i + 1, float(i + 1))
+    ph.add(0, 9, 5.0)
+    ph.add(2, 7, 3.0)
+    return tg
+
+
+class TestRunPortfolio:
+    def test_winner_is_best_completion_time(self):
+        result = run_portfolio(families.nbody(15), networks.hypercube(3))
+        viable = [c for c in result.candidates if c.ok]
+        assert viable
+        assert result.completion_time == min(c.completion_time for c in viable)
+        assert result.mapping is result.best.mapping
+
+    def test_candidates_cover_all_strategies_in_order(self):
+        result = run_portfolio(families.nbody(15), networks.hypercube(3))
+        assert [c.strategy for c in result.candidates] == list(DEFAULT_STRATEGIES)
+
+    def test_inapplicable_strategies_are_skipped_not_fatal(self):
+        result = run_portfolio(irregular_graph(), networks.mesh(2, 4))
+        skipped = {c.strategy for c in result.candidates if not c.ok}
+        assert "canned" in skipped  # no family tag -> no canned mapping
+        assert result.best.ok
+
+    def test_all_inapplicable_raises(self):
+        with pytest.raises(NotApplicableError, match="no portfolio strategy"):
+            run_portfolio(
+                irregular_graph(), networks.mesh(2, 4), strategies=("canned",)
+            )
+
+    def test_empty_strategies_rejected(self):
+        with pytest.raises(ValueError, match="at least one strategy"):
+            run_portfolio(families.ring(4), networks.ring(4), strategies=())
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            run_portfolio(families.ring(4), networks.ring(4), executor="gpu")
+
+    def test_winner_time_matches_independent_simulation(self):
+        model = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.05)
+        result = run_portfolio(
+            families.nbody(15), networks.hypercube(3), model=model
+        )
+        assert result.completion_time == simulate(result.mapping, model).total_time
+
+    @pytest.mark.parametrize(
+        "executor,workers", [("serial", None), ("thread", 2), ("thread", 4)]
+    )
+    def test_deterministic_across_executors(self, executor, workers):
+        baseline = run_portfolio(families.nbody(15), networks.hypercube(3))
+        other = run_portfolio(
+            families.nbody(15),
+            networks.hypercube(3),
+            executor=executor,
+            max_workers=workers,
+        )
+        assert other.winner == baseline.winner
+        assert other.completion_time == baseline.completion_time
+        assert [
+            (c.strategy, c.completion_time, c.ok) for c in other.candidates
+        ] == [(c.strategy, c.completion_time, c.ok) for c in baseline.candidates]
+
+
+class TestMapMany:
+    def pairs(self):
+        return [
+            (families.ring(16), networks.hypercube(3)),
+            (families.torus(4, 4), networks.mesh(4, 4)),
+            (irregular_graph(), networks.mesh(2, 4)),
+            (families.fft_butterfly(16), networks.hypercube(4)),
+        ]
+
+    def test_results_in_input_order(self):
+        results = map_many(self.pairs(), executor="serial")
+        assert len(results) == 4
+        for (tg, topo), result in zip(self.pairs(), results):
+            assert result.mapping.task_graph.name == tg.name
+            assert result.mapping.topology.name == topo.name
+
+    def test_thread_pool_matches_serial(self):
+        serial = map_many(self.pairs(), executor="serial")
+        threaded = map_many(self.pairs(), executor="thread", max_workers=4)
+        assert [r.winner for r in threaded] == [r.winner for r in serial]
+        assert [r.completion_time for r in threaded] == [
+            r.completion_time for r in serial
+        ]
+
+    def test_process_pool_matches_serial(self):
+        pairs = self.pairs()[:2]
+        serial = map_many(pairs, executor="serial")
+        procs = map_many(pairs, executor="process", max_workers=2)
+        assert [r.winner for r in procs] == [r.winner for r in serial]
+        assert [r.completion_time for r in procs] == [
+            r.completion_time for r in serial
+        ]
+        # Returned mappings are fully usable after the pickle round-trip.
+        for r in procs:
+            r.mapping.validate(require_routes=True)
+
+    def test_empty_batch(self):
+        assert map_many([], executor="serial") == []
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="executor"):
+            map_many(self.pairs(), executor="mpi")
