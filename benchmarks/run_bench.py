@@ -271,6 +271,71 @@ def bench_portfolio() -> dict:
     return out
 
 
+def bench_resilience() -> dict:
+    """Incremental repair vs. full remap, and sweep throughput (PR 3).
+
+    A jacobi-style 8x8 stencil on the 64-processor hypercube with 1-4
+    failed processors: the incremental path relocates only the stranded
+    tasks and re-routes only the affected edges, so it should beat a full
+    ``map_computation`` on the degraded machine.  The sweep injects all 64
+    single-processor faults, serial vs. a 4-worker process pool, and
+    asserts the criticality rankings are identical.
+    """
+    from repro.resilience import FaultSet, failure_sweep, repair_mapping
+
+    tg = stdlib.load("jacobi", rows=8, cols=8, msize=4)
+    topo = networks.hypercube(6)
+    mapping = map_computation(tg, topo)
+
+    out: dict = {"workload": "jacobi8x8_hcube6", "repair": {}}
+    for n_failed in (1, 2, 3, 4):
+        faults = FaultSet(failed_procs=[0, 21, 42, 63][:n_failed])
+        report = repair_mapping(tg, mapping, topo, faults, model=MODEL)
+        repair_s = best_of(
+            lambda: repair_mapping(tg, mapping, topo, faults, model=MODEL), 3
+        )
+        degraded = topo.degrade(faults)
+        full_s = best_of(lambda: map_computation(tg, degraded), 3)
+        report.mapping.validate(require_routes=True)
+        avoids_failed = not (
+            set(report.mapping.assignment.values()) & set(faults.failed_procs)
+        )
+        out["repair"][f"failed{n_failed}"] = {
+            "repair_s": repair_s,
+            "full_remap_s": full_s,
+            "speedup": full_s / repair_s,
+            "strategy": report.strategy,
+            "moved_tasks": report.n_moved,
+            "rerouted": report.n_rerouted,
+            "kept_routes": report.kept_routes,
+            "valid": True,
+            "avoids_failed_hardware": avoids_failed,
+        }
+
+    start = time.perf_counter()
+    serial = failure_sweep(tg, topo, mapping=mapping, model=MODEL,
+                           executor="serial")
+    sweep_serial_s = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel = failure_sweep(tg, topo, mapping=mapping, model=MODEL,
+                             executor="process", max_workers=4)
+    sweep_parallel_s = time.perf_counter() - start
+    deterministic = [
+        (e.label, e.status, e.ratio) for e in serial.ranking()
+    ] == [(e.label, e.status, e.ratio) for e in parallel.ranking()]
+    out["sweep"] = {
+        "faults": len(serial.entries),
+        "workers": 4,
+        "serial_s": sweep_serial_s,
+        "parallel_s": sweep_parallel_s,
+        "speedup": sweep_serial_s / sweep_parallel_s,
+        "throughput_faults_per_s": len(serial.entries) / sweep_serial_s,
+        "deterministic": deterministic,
+        "most_critical": serial.ranking()[0].label,
+    }
+    return out
+
+
 def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
     """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
     out: dict[str, float] = {}
@@ -308,8 +373,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR2.json"),
-        help="trajectory file to write (default: BENCH_PR2.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR3.json"),
+        help="trajectory file to write (default: BENCH_PR3.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -335,9 +400,9 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 2,
-            "description": "vectorized embed/route/metrics kernels, "
-                           "parallel mapping portfolio",
+            "pr": 3,
+            "description": "fault-aware topologies, incremental mapping "
+                           "repair, failure-sweep analysis",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -350,6 +415,7 @@ def main(argv=None) -> int:
         "route": bench_route(),
         "metrics": bench_metrics(),
         "portfolio": bench_portfolio(),
+        "resilience": bench_resilience(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -380,6 +446,18 @@ def main(argv=None) -> int:
           f"serial {pf['serial_s'] * 1e3:.0f}ms -> parallel "
           f"{pf['parallel_s'] * 1e3:.0f}ms ({pf['speedup']:.1f}x, "
           f"deterministic={pf['deterministic']})")
+    res = payload["resilience"]
+    for name, row in res["repair"].items():
+        print(f"resilience repair {name}: incremental "
+              f"{row['repair_s'] * 1e3:.2f}ms vs full remap "
+              f"{row['full_remap_s'] * 1e3:.2f}ms ({row['speedup']:.1f}x, "
+              f"moved {row['moved_tasks']}, rerouted {row['rerouted']})")
+    sw = res["sweep"]
+    print(f"resilience sweep ({sw['faults']} faults): serial "
+          f"{sw['serial_s'] * 1e3:.0f}ms -> parallel "
+          f"{sw['parallel_s'] * 1e3:.0f}ms "
+          f"({sw['throughput_faults_per_s']:.1f} faults/s, "
+          f"deterministic={sw['deterministic']})")
     print(f"wrote {args.output}")
 
     if args.check and args.check.exists():

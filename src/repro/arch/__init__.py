@@ -8,7 +8,7 @@ sets MM-Route draws candidate links from, and the paper's Fig-6-style link
 numbering.
 """
 
-from repro.arch.topology import Topology
+from repro.arch.topology import DisconnectedTopologyError, Topology
 from repro.arch import networks
 from repro.arch.networks import (
     butterfly,
@@ -25,6 +25,7 @@ from repro.arch.networks import (
 from repro.arch.cayley_networks import cayley_topology, pancake, transposition_star
 
 __all__ = [
+    "DisconnectedTopologyError",
     "Topology",
     "networks",
     "ring",

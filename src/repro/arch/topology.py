@@ -20,6 +20,17 @@ built per-``(src, dst)`` next-hop link-id tables
 consumes.  Topologies are immutable after construction, so these caches --
 like the PR 1 ``route_links`` / ``link_id`` caches -- are built once and
 never invalidated.
+
+Fault awareness (PR 3): :meth:`Topology.degrade` applies a fault set
+(failed processors, failed links, per-link slowdown factors -- see
+:class:`repro.resilience.FaultSet`) and returns the surviving machine as a
+*new* topology with its own fresh vector core.  Degraded-but-alive links
+carry their slowdown factors in :attr:`Topology.link_slowdowns`, which the
+simulator charges automatically.  Fault sets that disconnect the machine
+raise :class:`DisconnectedTopologyError` with the component structure, and
+:meth:`Topology.distance_matrix` refuses to hand out matrices containing
+unreachable pairs rather than letting ``inf`` entries poison downstream
+cost arithmetic.
 """
 
 from __future__ import annotations
@@ -30,10 +41,20 @@ from collections.abc import Hashable, Iterable
 import networkx as nx
 import numpy as np
 
-__all__ = ["Topology"]
+__all__ = ["Topology", "DisconnectedTopologyError"]
 
 Proc = Hashable
 Link = frozenset  # frozenset({u, v})
+
+
+class DisconnectedTopologyError(ValueError):
+    """A topology (or a degraded sub-topology) is not connected.
+
+    Raised when construction or :meth:`Topology.degrade` would yield a
+    machine where some processor pair has no surviving path, and by
+    distance queries on topologies built with ``allow_disconnected=True``
+    when they hit an unreachable pair.
+    """
 
 
 class Topology:
@@ -57,6 +78,7 @@ class Topology:
         *,
         nodes: Iterable[Proc] = (),
         family: tuple[str, tuple] | None = None,
+        allow_disconnected: bool = False,
     ):
         self.name = name
         self.family = family
@@ -68,9 +90,17 @@ class Topology:
             g.add_edge(u, v)
         if g.number_of_nodes() == 0:
             raise ValueError("a topology needs at least one processor")
-        if not nx.is_connected(g):
-            raise ValueError(f"topology {name!r} is not connected")
+        self._connected = nx.is_connected(g)
+        if not self._connected and not allow_disconnected:
+            raise DisconnectedTopologyError(
+                f"topology {name!r} is not connected "
+                f"({nx.number_connected_components(g)} components)"
+            )
         self._graph = g
+        #: 1-based link id -> slowdown factor (>= 1.0) for degraded links;
+        #: empty on a pristine topology.  :meth:`degrade` populates it and
+        #: the simulator scales per-link transfer times by it.
+        self.link_slowdowns: dict[int, float] = {}
         self._procs: list[Proc] = list(g.nodes)
         # Stable 1-based link numbering in insertion order (Fig 6 style).
         self._links: list[Link] = [frozenset(e) for e in g.edges]
@@ -148,6 +178,17 @@ class Topology:
         """A copy of the underlying processor graph."""
         return self._graph.copy()
 
+    @property
+    def is_connected(self) -> bool:
+        """True when every processor pair has a path."""
+        return self._connected
+
+    def components(self) -> list[list[Proc]]:
+        """Connected components, largest first (ties by first member order)."""
+        comps = [sorted(c, key=self._proc_index.__getitem__)
+                 for c in nx.connected_components(self._graph)]
+        return sorted(comps, key=lambda c: (-len(c), self._proc_index[c[0]]))
+
     # ------------------------------------------------------------------
     # integer indexing (vectorized-kernel support)
     # ------------------------------------------------------------------
@@ -172,7 +213,21 @@ class Topology:
         ``scipy.sparse.csgraph.shortest_path`` when SciPy is available,
         otherwise from the BFS distance dicts.  The returned array is the
         cache itself -- treat it as read-only.
+
+        Raises :class:`DisconnectedTopologyError` on a disconnected
+        topology: unreachable pairs would otherwise surface as ``inf``
+        (SciPy) or silent zeros (BFS fallback) and poison every cost matrix
+        built from the distances (e.g. NN-Embed's placement scores).
         """
+        if not self._connected:
+            comps = self.components()
+            raise DisconnectedTopologyError(
+                f"topology {self.name!r} is disconnected "
+                f"({len(comps)} components, sizes "
+                f"{[len(c) for c in comps]}); distances between components "
+                "are undefined -- repair the fault set or mask the "
+                "unreachable processors before asking for a distance matrix"
+            )
         if self._dist_matrix is None:
             n = len(self._procs)
             try:
@@ -256,7 +311,15 @@ class Topology:
     # ------------------------------------------------------------------
     def distance(self, u: Proc, v: Proc) -> int:
         """Hop distance between two processors."""
-        return self._dist[u][v]
+        try:
+            return self._dist[u][v]
+        except KeyError:
+            if u in self._dist and v in self._proc_index:
+                raise DisconnectedTopologyError(
+                    f"no path between {u!r} and {v!r} in topology "
+                    f"{self.name!r}"
+                ) from None
+            raise
 
     @property
     def diameter(self) -> int:
@@ -359,6 +422,93 @@ class Topology:
         if not route:
             return False
         return all(self._graph.has_edge(a, b) for a, b in zip(route, route[1:]))
+
+    # ------------------------------------------------------------------
+    # fault-aware degradation
+    # ------------------------------------------------------------------
+    def degrade(
+        self,
+        faults,
+        *,
+        name: str | None = None,
+        allow_disconnected: bool = False,
+    ) -> "Topology":
+        """The surviving machine after applying a fault set.
+
+        *faults* is any object exposing ``failed_procs`` (iterable of
+        processor labels), ``failed_links`` (iterable of 2-element link
+        sets/tuples) and ``degraded_links`` (mapping of link -> slowdown
+        factor >= 1.0) -- canonically a :class:`repro.resilience.FaultSet`.
+
+        Returns a **new** :class:`Topology` containing only the surviving
+        processors and links, with a fresh vector core of its own (stable
+        index bijection, distance matrix, next-hop tables -- nothing is
+        shared with the parent, so the degraded machine's caches can never
+        serve stale pristine-machine answers).  Surviving degraded links
+        land in the result's :attr:`link_slowdowns`, keyed by the *new*
+        link numbering.
+
+        Raises
+        ------
+        ValueError
+            When a fault references a processor or link this topology does
+            not have, or when every processor fails.
+        DisconnectedTopologyError
+            When the surviving machine is disconnected (unless
+            *allow_disconnected*, for component-structure analysis).
+        """
+        failed_procs = set(faults.failed_procs)
+        failed_links = {frozenset(l) for l in faults.failed_links}
+        degraded = {frozenset(l): f for l, f in dict(faults.degraded_links).items()}
+
+        unknown_procs = failed_procs - set(self._procs)
+        if unknown_procs:
+            raise ValueError(
+                f"fault set names processors not in topology {self.name!r}: "
+                f"{sorted(unknown_procs, key=repr)!r}"
+            )
+        have_links = set(self._links)
+        unknown_links = (failed_links | set(degraded)) - have_links
+        if unknown_links:
+            raise ValueError(
+                f"fault set names links not in topology {self.name!r}: "
+                f"{sorted(tuple(sorted(l, key=repr)) for l in unknown_links)!r}"
+            )
+        doubly = failed_links & set(degraded)
+        if doubly:
+            raise ValueError(
+                f"links marked both failed and degraded: "
+                f"{sorted(tuple(sorted(l, key=repr)) for l in doubly)!r}"
+            )
+
+        survivors = [p for p in self._procs if p not in failed_procs]
+        if not survivors:
+            raise ValueError(
+                f"fault set fails every processor of topology {self.name!r}"
+            )
+        live_links = [
+            link
+            for link in self._links
+            if link not in failed_links and not (link & failed_procs)
+        ]
+        sub = Topology(
+            name or f"{self.name}~degraded",
+            [tuple(link) for link in live_links],
+            nodes=survivors,
+            allow_disconnected=allow_disconnected,
+        )
+        if not sub.is_connected and not allow_disconnected:
+            # Unreachable: the Topology constructor already raised.  Kept as
+            # a guard for future constructor changes.
+            raise DisconnectedTopologyError(  # pragma: no cover
+                f"degrading {self.name!r} disconnected the machine"
+            )
+        sub.link_slowdowns = {
+            sub.link_id(*tuple(link)): factor
+            for link, factor in degraded.items()
+            if link in set(sub.links)
+        }
+        return sub
 
     def __repr__(self) -> str:
         return (

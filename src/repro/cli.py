@@ -191,11 +191,17 @@ def _cmd_map(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
+    import json
+
     from repro.io import load_mapping
+    from repro.metrics import metrics_to_dict
 
     mapping = load_mapping(args.mapping)
-    print(f"loaded {mapping!r}")
     metrics = analyze(mapping)
+    if args.json:
+        print(json.dumps(metrics_to_dict(metrics, mapping), indent=1))
+        return 0
+    print(f"loaded {mapping!r}")
     print()
     print(render_report(mapping, metrics))
     if args.ascii:
@@ -203,6 +209,126 @@ def _cmd_analyze(args) -> int:
         print(render_mapping_ascii(mapping))
         print()
         print(render_link_traffic(mapping, metrics))
+    return 0
+
+
+def _parse_proc(text: str):
+    """A processor label from the command line (int where it looks like one)."""
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _parse_link(spec: str) -> tuple:
+    """A ``U-V`` link spec into an endpoint pair."""
+    u, sep, v = spec.partition("-")
+    if not sep or not u or not v:
+        raise ValueError(f"link spec {spec!r} is not of the form U-V")
+    return _parse_proc(u), _parse_proc(v)
+
+
+def _parse_degraded(spec: str) -> tuple:
+    """A ``U-V:FACTOR`` degraded-link spec into ``((u, v), factor)``."""
+    link, sep, factor = spec.rpartition(":")
+    if not sep:
+        raise ValueError(
+            f"degraded-link spec {spec!r} is not of the form U-V:FACTOR"
+        )
+    try:
+        value = float(factor)
+    except ValueError:
+        raise ValueError(
+            f"degraded-link spec {spec!r}: factor must be a number"
+        ) from None
+    return _parse_link(link), value
+
+
+def _cmd_resilience(args) -> int:
+    import json
+
+    from repro.metrics.display import render_failure_sweep, render_repair
+    from repro.resilience import FaultSet, failure_sweep, repair_mapping
+
+    source = _load_source(args.program)
+    result = compile_larcs(source, parse_bindings(args.bind))
+    tg = result.task_graph
+    if args.program in stdlib.PROGRAMS:
+        tg.family = stdlib.family_tag(args.program, tg)
+    topology = parse_topology(args.topology)
+    mapping = map_computation(tg, topology, strategy=args.strategy)
+
+    if args.sweep:
+        sweep = failure_sweep(
+            tg,
+            topology,
+            mapping=mapping,
+            elements=args.sweep,
+            executor=args.executor,
+            max_workers=args.workers,
+        )
+        if args.json:
+            print(json.dumps(sweep.to_dict(), indent=1))
+        else:
+            print(render_failure_sweep(sweep, top=args.top))
+        return 0
+
+    if args.faults:
+        from repro.io import load_faultset
+
+        faults = load_faultset(args.faults)
+    else:
+        faults = FaultSet(
+            failed_procs=[_parse_proc(p) for p in args.fail_proc],
+            failed_links=[_parse_link(l) for l in args.fail_link],
+            degraded_links=[_parse_degraded(d) for d in args.degrade_link],
+        )
+    if faults.is_empty:
+        raise ValueError(
+            "no faults given: use --fail-proc/--fail-link/--degrade-link, "
+            "--faults FILE, or --sweep"
+        )
+    report = repair_mapping(tg, mapping, topology, faults, mode=args.mode)
+    baseline = simulate(mapping).total_time
+    repaired = simulate(report.mapping).total_time
+    if args.json:
+        print(json.dumps({
+            "strategy": report.strategy,
+            "fallback_reason": report.fallback_reason,
+            "faults": {
+                "failed_procs": sorted(map(str, faults.failed_procs)),
+                "failed_links": sorted(
+                    "-".join(map(str, sorted(l, key=repr)))
+                    for l in faults.failed_links
+                ),
+                "degraded_links": [
+                    ["-".join(map(str, l)), f] for l, f in faults.degraded_links
+                ],
+            },
+            "moved_tasks": {
+                str(t): [str(old), str(new)]
+                for t, (old, new) in sorted(
+                    report.moved_tasks.items(), key=lambda kv: repr(kv[0])
+                )
+            },
+            "n_rerouted": report.n_rerouted,
+            "migration_cost": report.migration_cost,
+            "baseline_time": baseline,
+            "repaired_time": repaired,
+            "slowdown_ratio": repaired / baseline if baseline else float("inf"),
+        }, indent=1))
+        return 0
+    print(render_repair(report))
+    print()
+    print(f"baseline completion time: {baseline:g}")
+    print(f"repaired completion time: {repaired:g} "
+          f"(x{repaired / baseline if baseline else float('inf'):.4g})")
+    if args.save:
+        from repro.io import save_mapping
+
+        save_mapping(report.mapping, args.save)
+        print(f"saved repaired mapping to {args.save}")
     return 0
 
 
@@ -248,6 +374,45 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze = sub.add_parser("analyze", help="analyse a saved mapping")
     p_analyze.add_argument("mapping", help="JSON file from 'map --save'")
     p_analyze.add_argument("--ascii", action="store_true")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="emit the metric suite as JSON")
+
+    p_res = sub.add_parser(
+        "resilience",
+        help="inject faults, repair the mapping, or sweep all single faults",
+    )
+    p_res.add_argument("program", help="stdlib name or .larcs file path")
+    p_res.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
+    p_res.add_argument("--topology", required=True, metavar="SPEC",
+                       help="e.g. hypercube:6, mesh:8x8")
+    p_res.add_argument("--strategy", default="auto",
+                       choices=["auto", "canned", "group", "mwm"])
+    p_res.add_argument("--fail-proc", action="append", default=[],
+                       metavar="P", help="mark a processor failed (repeatable)")
+    p_res.add_argument("--fail-link", action="append", default=[],
+                       metavar="U-V", help="mark a link failed (repeatable)")
+    p_res.add_argument("--degrade-link", action="append", default=[],
+                       metavar="U-V:FACTOR",
+                       help="slow a link by FACTOR >= 1 (repeatable)")
+    p_res.add_argument("--faults", metavar="FILE", default=None,
+                       help="load the fault set from a JSON file instead")
+    p_res.add_argument("--mode", default="auto",
+                       choices=["auto", "incremental", "full"],
+                       help="repair strategy (auto falls back to full)")
+    p_res.add_argument("--sweep", default=None,
+                       choices=["processors", "links", "both"],
+                       help="rank every single fault instead of repairing one set")
+    p_res.add_argument("--executor", default="serial",
+                       choices=["serial", "thread", "process"],
+                       help="sweep fan-out executor")
+    p_res.add_argument("--workers", type=int, default=None,
+                       help="sweep worker count (results are identical at any)")
+    p_res.add_argument("--top", type=int, default=10,
+                       help="rows of the criticality ranking to print")
+    p_res.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON")
+    p_res.add_argument("--save", metavar="FILE", default=None,
+                       help="write the repaired mapping to a JSON file")
     return parser
 
 
@@ -261,6 +426,7 @@ def main(argv: list[str] | None = None) -> int:
         "compile": _cmd_compile,
         "map": _cmd_map,
         "analyze": _cmd_analyze,
+        "resilience": _cmd_resilience,
     }
     try:
         return handlers[args.command](args)

@@ -27,6 +27,10 @@ __all__ = [
     "mapping_from_dict",
     "save_mapping",
     "load_mapping",
+    "faultset_to_dict",
+    "faultset_from_dict",
+    "save_faultset",
+    "load_faultset",
 ]
 
 
@@ -163,6 +167,58 @@ def mapping_from_dict(data: dict) -> Mapping:
     )
     mapping.validate()
     return mapping
+
+
+def faultset_to_dict(faults) -> dict:
+    """Serialise a :class:`~repro.resilience.FaultSet` to a JSON dict."""
+    return {
+        "format": "oregami-faultset-v1",
+        "failed_procs": sorted(
+            (_encode_label(p) for p in faults.failed_procs), key=repr
+        ),
+        "failed_links": sorted(
+            (
+                sorted((_encode_label(u), _encode_label(v)), key=repr)
+                for u, v in (tuple(l) for l in faults.failed_links)
+            ),
+            key=repr,
+        ),
+        "degraded_links": [
+            [_encode_label(u), _encode_label(v), factor]
+            for (u, v), factor in faults.degraded_links
+        ],
+    }
+
+
+def faultset_from_dict(data: dict):
+    """Rebuild a fault set from :func:`faultset_to_dict` output."""
+    from repro.resilience import FaultSet
+
+    if data.get("format") != "oregami-faultset-v1":
+        raise ValueError(f"unknown faultset format {data.get('format')!r}")
+    return FaultSet(
+        failed_procs=[_decode_label(p) for p in data.get("failed_procs", [])],
+        failed_links=[
+            (_decode_label(u), _decode_label(v))
+            for u, v in data.get("failed_links", [])
+        ],
+        degraded_links=[
+            ((_decode_label(u), _decode_label(v)), factor)
+            for u, v, factor in data.get("degraded_links", [])
+        ],
+    )
+
+
+def save_faultset(faults, path: str) -> None:
+    """Write a fault set to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(faultset_to_dict(faults), fh, indent=1)
+
+
+def load_faultset(path: str):
+    """Read a fault set from a JSON file written by :func:`save_faultset`."""
+    with open(path) as fh:
+        return faultset_from_dict(json.load(fh))
 
 
 def save_mapping(mapping: Mapping, path: str) -> None:

@@ -321,14 +321,30 @@ def mwm_contract(
                 break
 
         # Rebalancing fallback for shapes pairwise merging cannot reach
-        # (e.g. three size-2 clusters under B=3): disperse the smallest
-        # cluster's tasks into clusters with spare capacity, maximising
-        # attachment.  Feasible whenever B * P >= n, which was checked above.
+        # (e.g. three size-2 clusters under B=3): break up one cluster and
+        # spread its tasks into clusters with spare capacity, maximising
+        # attachment.  The victim is the cluster whose *internal* weight is
+        # lowest (ties to the smallest) -- dispersing a cluster cuts every
+        # edge the earlier stages internalised in it, so the cheapest one
+        # to break is the one holding the least communication.  Feasible
+        # whenever B * P >= n, which was checked above.
+        def internal_weight(cluster: set) -> float:
+            members = sorted(cluster, key=repr)
+            return sum(
+                static[a][b]["weight"]
+                for k, a in enumerate(members)
+                for b in members[k + 1:]
+                if static.has_edge(a, b)
+            )
+
         while len(state.clusters) > n_procs:
             state.reorder(
                 sorted(
                     range(len(state.clusters)),
-                    key=lambda i: len(state.clusters[i]),
+                    key=lambda i: (
+                        internal_weight(state.clusters[i]),
+                        len(state.clusters[i]),
+                    ),
                 )
             )
             clusters = state.clusters

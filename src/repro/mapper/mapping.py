@@ -19,6 +19,7 @@ from collections.abc import Hashable, Mapping as AbcMapping
 
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
+from repro.util.validation import ValidationError
 
 __all__ = ["Mapping", "NotApplicableError"]
 
@@ -90,9 +91,12 @@ class Mapping:
     def validate(self, *, require_routes: bool = False) -> None:
         """Raise :class:`ValueError` when structurally inconsistent.
 
-        Checks: every task assigned to an existing processor; every route
-        connects the assigned endpoints of its edge along existing links;
-        with *require_routes*, every inter-processor edge has a route.
+        Checks: every graph task assigned to an existing processor; no
+        assignment entry for a task the graph does not have (a dangling
+        entry would silently corrupt cluster and load-balance accounting);
+        every route connects the assigned endpoints of its edge along
+        existing links; with *require_routes*, every inter-processor edge
+        has a route.
         """
         procs = set(self.topology.processors)
         tasks = set(self.task_graph.nodes)
@@ -104,6 +108,12 @@ class Mapping:
                     f"task {task!r} assigned to unknown processor "
                     f"{self.assignment[task]!r}"
                 )
+        unknown_tasks = [t for t in self.assignment if t not in tasks]
+        if unknown_tasks:
+            raise ValidationError(
+                f"assignment contains tasks not in the graph: "
+                f"{sorted(unknown_tasks, key=repr)!r}"
+            )
         for (phase, idx), route in self.routes.items():
             edges = self.task_graph.comm_phase(phase).edges
             if not (0 <= idx < len(edges)):

@@ -23,7 +23,12 @@ from repro.mapper.mapping import Mapping
 from repro.sim.engine import simulate
 from repro.sim.model import CostModel
 
-__all__ = ["MigrationPlan", "evaluate_migration", "segment_mappings"]
+__all__ = [
+    "MigrationPlan",
+    "evaluate_migration",
+    "migration_time",
+    "segment_mappings",
+]
 
 
 @dataclass
@@ -190,19 +195,27 @@ def _single_step_time(mapping: Mapping, step, model: CostModel) -> float:
     return _CompiledSim(mapping, model).run_step(frozenset(routable | execs)).duration
 
 
-def _migration_time(
-    tg: TaskGraph,
+def migration_time(
     topology: Topology,
-    before: Mapping,
-    after: Mapping,
+    moves: list[tuple[object, object]],
     state_volume: float,
     model: CostModel,
 ) -> float:
-    """Cost of moving every relocated task's state between two mappings."""
+    """The volume x hops cost of a batch of task-state relocations.
+
+    *moves* are ``(old_proc, new_proc)`` pairs, one per relocated task.
+    Each move is charged ``hops * (hop_latency + state_volume * byte_time)``
+    (the store-and-forward per-hop time over the shortest path), and the
+    batch pays the longest individual move plus the average serialisation
+    pressure of the total moved volume over the network's links.  Shared by
+    the phase-shift analysis here and the fault-repair accounting in
+    :mod:`repro.resilience.repair` (where hop distances are measured on the
+    pre-fault topology, the last machine on which the dead processor was
+    reachable).
+    """
     per_task = []
     total_volume = 0.0
-    for task in tg.nodes:
-        a, b = before.proc_of(task), after.proc_of(task)
+    for a, b in moves:
         if a != b:
             hops = topology.distance(a, b)
             per_task.append(hops * model.transfer_time(state_volume))
@@ -212,3 +225,16 @@ def _migration_time(
     # Longest individual move, plus average serialisation pressure.
     serialisation = total_volume * model.byte_time / max(1, topology.n_links)
     return max(per_task) + serialisation
+
+
+def _migration_time(
+    tg: TaskGraph,
+    topology: Topology,
+    before: Mapping,
+    after: Mapping,
+    state_volume: float,
+    model: CostModel,
+) -> float:
+    """Cost of moving every relocated task's state between two mappings."""
+    moves = [(before.proc_of(t), after.proc_of(t)) for t in tg.nodes]
+    return migration_time(topology, moves, state_volume, model)

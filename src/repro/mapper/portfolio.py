@@ -29,8 +29,6 @@ winner.
 
 from __future__ import annotations
 
-import concurrent.futures
-import multiprocessing
 from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
@@ -40,6 +38,8 @@ from repro.mapper.dispatch import map_computation
 from repro.mapper.mapping import Mapping, NotApplicableError
 from repro.sim.model import CostModel
 from repro.util import perf
+from repro.util.pools import EXECUTORS as _EXECUTORS
+from repro.util.pools import run_ordered
 
 __all__ = [
     "Candidate",
@@ -51,25 +51,6 @@ __all__ = [
 
 #: Strategy order tried by default; also the deterministic tie-break order.
 DEFAULT_STRATEGIES: tuple[str, ...] = ("canned", "group", "mwm", "mwm+refine")
-
-_EXECUTORS = ("serial", "thread", "process")
-
-
-def _process_pool(max_workers: int | None) -> concurrent.futures.ProcessPoolExecutor:
-    """A process pool preferring the fork start method when available.
-
-    Forked workers inherit the parent's warm caches (distance matrices,
-    next-hop tables) copy-on-write instead of re-deriving them, and the
-    choice is pinned so the default start method changing across Python
-    versions never changes behaviour.
-    """
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # platforms without fork (Windows, some macOS setups)
-        ctx = None
-    return concurrent.futures.ProcessPoolExecutor(
-        max_workers=max_workers, mp_context=ctx
-    )
 
 
 @dataclass
@@ -209,20 +190,9 @@ def _map_batch(
     max_workers: int,
 ) -> list[Candidate]:
     """Run ``_run_strategy`` payloads under the chosen executor, in order."""
-    if executor not in _EXECUTORS:
-        raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
-    if executor == "serial" or len(payloads) <= 1 or max_workers <= 1:
-        return [_portfolio_task(p) for p in payloads]
-    workers = min(max_workers, len(payloads))
-    pool = (
-        concurrent.futures.ThreadPoolExecutor(max_workers=workers)
-        if executor == "thread"
-        else _process_pool(workers)
+    return run_ordered(
+        _portfolio_task, payloads, executor=executor, max_workers=max_workers
     )
-    with pool:
-        # Executor.map preserves input order, so downstream selection never
-        # sees completion order and stays deterministic.
-        return list(pool.map(_portfolio_task, payloads))
 
 
 def _pair_task(payload) -> PortfolioResult:
@@ -274,16 +244,8 @@ def map_many(
         for tg, topology in pairs
     ]
     with perf.span("mapper.portfolio.map_many"):
-        if executor == "serial" or len(payloads) <= 1:
-            results = [_pair_task(p) for p in payloads]
-        else:
-            workers = max_workers and min(max_workers, len(payloads))
-            pool = (
-                concurrent.futures.ThreadPoolExecutor(max_workers=workers)
-                if executor == "thread"
-                else _process_pool(workers)
-            )
-            with pool:
-                results = list(pool.map(_pair_task, payloads))
+        results = run_ordered(
+            _pair_task, payloads, executor=executor, max_workers=max_workers
+        )
     perf.count("mapper.portfolio.pairs", len(payloads))
     return results

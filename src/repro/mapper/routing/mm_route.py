@@ -44,13 +44,13 @@ route-identical by ``tests/test_vectorized_kernels.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Hashable, Mapping
+from collections.abc import Hashable, Iterable, Mapping
 
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
 from repro.util import perf
 
-__all__ = ["mm_route", "RoutingResult"]
+__all__ = ["mm_route", "route_edges", "RoutingResult"]
 
 Task = Hashable
 Proc = Hashable
@@ -86,12 +86,17 @@ class RoutingResult:
 def _route_phase_table(
     topology: Topology,
     messages: list[tuple[int, int, int]],
+    *,
+    initial_load: list[int] | None = None,
 ) -> tuple[dict[int, list[int]], list[int]]:
     """Table-driven phase router over stable processor indices.
 
     *messages* are ``(message_id, src_index, dst_index)``; returns paths as
     index lists.  Candidate links come from the topology's precomputed
     next-hop link-id tables and all bookkeeping is by integer link id.
+    *initial_load* optionally seeds the cumulative per-link load (1-based
+    link-id indexed) so partial re-routing sees the traffic of routes it is
+    keeping.
     """
     paths: dict[int, list[int]] = {idx: [src] for idx, src, _ in messages}
     position: dict[int, int] = {idx: src for idx, src, _ in messages}
@@ -99,7 +104,10 @@ def _route_phase_table(
     pending = sorted(idx for idx, src, dst in messages if src != dst)
     rounds_per_hop: list[int] = []
     # Cumulative per-link use this phase, indexed by 1-based link id.
-    phase_load = [0] * (topology.n_links + 1)
+    if initial_load is None:
+        phase_load = [0] * (topology.n_links + 1)
+    else:
+        phase_load = list(initial_load)
     next_hop_links = topology.next_hop_links
 
     while pending:
@@ -222,6 +230,57 @@ def _route_phase(
                 next_pending.append(m)
         pending = next_pending
     return paths, rounds_per_hop
+
+
+def route_edges(
+    tg: TaskGraph,
+    topology: Topology,
+    assignment: Mapping[Task, Proc],
+    keys: Iterable[RouteKey],
+    *,
+    kept_routes: Mapping[RouteKey, list[Proc]] | None = None,
+) -> RoutingResult:
+    """Route only the given ``(phase, edge_index)`` subset of *tg*'s edges.
+
+    The incremental-repair entry point: after a fault, only routes crossing
+    dead or degraded hardware (plus routes of relocated tasks) need
+    re-routing, so the full per-phase matching loop runs over just those
+    messages on the degraded topology's next-hop tables.
+
+    *kept_routes* are the surviving routes the caller is **not** touching;
+    their per-link traffic seeds the phase-load counters so the matching's
+    least-loaded tie-break steers rerouted messages away from links that
+    are already busy.  Returned rounds cover only the rerouted messages.
+    """
+    by_phase: dict[str, list[int]] = {}
+    for phase_name, idx in keys:
+        by_phase.setdefault(phase_name, []).append(idx)
+    result = RoutingResult()
+    index_of = topology.index_of
+    procs = topology.processors
+    with perf.span("mapper.route_edges"):
+        for phase_name in sorted(by_phase):
+            edges = tg.comm_phase(phase_name).edges
+            messages = []
+            for idx in sorted(by_phase[phase_name]):
+                edge = edges[idx]
+                messages.append(
+                    (idx, index_of(assignment[edge.src]), index_of(assignment[edge.dst]))
+                )
+            initial_load = None
+            if kept_routes:
+                initial_load = [0] * (topology.n_links + 1)
+                for (kp, _), route in kept_routes.items():
+                    if kp == phase_name:
+                        for lid in topology.route_link_ids(route):
+                            initial_load[lid] += 1
+            paths, rounds = _route_phase_table(
+                topology, messages, initial_load=initial_load
+            )
+            for idx, path in paths.items():
+                result.routes[(phase_name, idx)] = [procs[i] for i in path]
+            result.rounds[phase_name] = rounds
+    return result
 
 
 def mm_route(

@@ -18,7 +18,7 @@ from repro.sim.engine import SimulationResult
 from repro.sim.model import CostModel
 from repro.util import perf
 
-__all__ = ["MappingMetrics", "PhaseLinkMetrics", "analyze"]
+__all__ = ["MappingMetrics", "PhaseLinkMetrics", "analyze", "metrics_to_dict"]
 
 _KERNELS = ("vector", "reference")
 
@@ -232,3 +232,56 @@ def analyze(
     metrics.estimated_completion_time = sim.total_time
     metrics.phase_critical_time = dict(sim.phase_time)
     return metrics
+
+
+def metrics_to_dict(metrics: MappingMetrics, mapping: Mapping | None = None) -> dict:
+    """A JSON-compatible dict of the metric suite (``repro analyze --json``).
+
+    Keys are stringified so arbitrary processor labels survive JSON; the
+    derived properties (imbalance, dilation, contention) are included so
+    consumers need not recompute them.  With *mapping*, provenance and the
+    graph/topology names are attached for self-describing output.
+    """
+    out: dict = {
+        "load_balancing": {
+            "tasks_per_processor": {
+                str(p): n for p, n in metrics.tasks_per_processor.items()
+            },
+            "exec_time_per_processor": {
+                str(p): t for p, t in metrics.exec_time_per_processor.items()
+            },
+            "max_tasks": metrics.max_tasks,
+            "min_tasks": metrics.min_tasks,
+            "load_imbalance": metrics.load_imbalance,
+        },
+        "links": {
+            name: {
+                "volume_per_link": {
+                    str(l): v for l, v in pm.volume_per_link.items()
+                },
+                "messages_per_link": {
+                    str(l): n for l, n in pm.messages_per_link.items()
+                },
+                "dilations": list(pm.dilations),
+                "max_contention": pm.max_contention,
+                "average_dilation": pm.average_dilation,
+                "max_dilation": pm.max_dilation,
+            }
+            for name, pm in metrics.phase_links.items()
+        },
+        "overall": {
+            "total_ipc": metrics.total_ipc,
+            "estimated_completion_time": metrics.estimated_completion_time,
+            "average_dilation": metrics.average_dilation,
+            "max_contention": metrics.max_contention,
+            "phase_critical_time": dict(metrics.phase_critical_time),
+        },
+    }
+    if mapping is not None:
+        out["mapping"] = {
+            "task_graph": mapping.task_graph.name,
+            "topology": mapping.topology.name,
+            "provenance": mapping.provenance,
+            "processors_used": len(mapping.used_procs()),
+        }
+    return out

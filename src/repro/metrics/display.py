@@ -13,7 +13,13 @@ from __future__ import annotations
 from repro.mapper.mapping import Mapping
 from repro.metrics.analysis import MappingMetrics, analyze
 
-__all__ = ["render_mapping_ascii", "render_link_traffic", "render_timeline"]
+__all__ = [
+    "render_mapping_ascii",
+    "render_link_traffic",
+    "render_timeline",
+    "render_repair",
+    "render_failure_sweep",
+]
 
 
 def _cell_text(mapping: Mapping, proc) -> str:
@@ -148,4 +154,70 @@ def render_link_traffic(
             if pm.volume_per_link.get(lid)
         )
         lines.append(f"  link {lid:>3} ({u}--{v}): {totals[lid]:>7g} {bar}  [{per_phase}]")
+    return "\n".join(lines)
+
+
+def render_repair(report) -> str:
+    """A textual summary of a :class:`~repro.resilience.RepairReport`.
+
+    Shows the fault set, the strategy taken, every task relocation, the
+    re-routed edge count, and the state-migration cost -- the METRICS view
+    of "what did this failure cost us".
+    """
+    faults = report.faults
+    lines = [
+        f"repair of {report.mapping.task_graph.name!r} on "
+        f"{report.degraded.name!r} ({report.strategy})",
+        f"  faults: {faults.describe()}",
+    ]
+    if report.fallback_reason:
+        lines.append(f"  fallback: {report.fallback_reason}")
+    if report.moved_tasks:
+        lines.append(f"  moved {report.n_moved} task(s):")
+        for task, (old, new) in sorted(
+            report.moved_tasks.items(), key=lambda kv: repr(kv[0])
+        ):
+            lines.append(f"    {task!r}: {old!r} -> {new!r}")
+    else:
+        lines.append("  moved 0 tasks")
+    lines.append(
+        f"  re-routed {report.n_rerouted} edge(s), kept "
+        f"{report.kept_routes} route(s)"
+    )
+    lines.append(f"  migration cost: {report.migration_cost:g}")
+    return "\n".join(lines)
+
+
+def render_failure_sweep(sweep, *, top: int = 10) -> str:
+    """The criticality ranking of a :class:`~repro.resilience.SweepResult`.
+
+    One row per fault, worst first: disconnecting faults lead, then
+    survivable faults by slowdown ratio with a bar -- which hardware the
+    machine can least afford to lose.
+    """
+    ranking = sweep.ranking()
+    dist = sweep.distribution()
+    lines = [
+        f"failure sweep: {dist['faults']} fault(s), baseline time "
+        f"{sweep.baseline_time:g}",
+        f"  survivable {dist['survivable']}, disconnecting "
+        f"{dist['disconnecting']}; slowdown ratio min {dist['min_ratio']:g} "
+        f"median {dist['median_ratio']:g} max {dist['max_ratio']:g}",
+        f"criticality ranking (top {min(top, len(ranking))}):",
+    ]
+    shown = ranking[:top]
+    finite = [e.ratio for e in shown if e.status == "ok"]
+    scale = max(finite, default=1.0) or 1.0
+    label_w = max((len(e.label) for e in shown), default=5)
+    for e in shown:
+        if e.status == "disconnects":
+            lines.append(f"  {e.label:<{label_w}}  DISCONNECTS the machine")
+        else:
+            bar = "#" * max(1, round(e.ratio / scale * 30))
+            lines.append(
+                f"  {e.label:<{label_w}}  x{e.ratio:<7.4g} {bar}  "
+                f"(moved {e.moved_tasks}, rerouted {e.rerouted})"
+            )
+    if len(ranking) > top:
+        lines.append(f"  ... {len(ranking) - top} more")
     return "\n".join(lines)

@@ -1,0 +1,36 @@
+"""Fault-aware mapping: degrade, repair, and sweep (the resilience layer).
+
+OREGAMI maps onto a pristine machine; this package makes every layer of the
+pipeline fault-aware:
+
+* :class:`FaultSet` -- the fault model: failed processors, failed links,
+  and degraded links with per-link slowdown factors.
+  :meth:`repro.arch.Topology.degrade` applies one and returns the surviving
+  machine with a fresh vector core of its own.
+* :func:`repair_mapping` -- incremental repair: relocate only the tasks on
+  dead processors (nearest surviving spare via the cached distance matrix)
+  and re-route only the routes crossing dead/degraded links (MM-Route's
+  table kernel on the degraded topology), with a full-remap fallback and a
+  :class:`RepairReport` of exactly what was touched and what the state
+  migration cost.
+* :func:`failure_sweep` -- inject every single processor/link fault,
+  repair, re-simulate, and rank the hardware by criticality; runs over the
+  serial/thread/process executors with worker-count-independent results.
+
+The simulator charges degraded links automatically: a mapping on a
+degraded topology inherits its :attr:`~repro.arch.Topology.link_slowdowns`
+and every transfer across a degraded link is scaled by its factor.
+"""
+
+from repro.resilience.faults import FaultSet
+from repro.resilience.repair import RepairReport, repair_mapping
+from repro.resilience.sweep import FaultImpact, SweepResult, failure_sweep
+
+__all__ = [
+    "FaultSet",
+    "RepairReport",
+    "repair_mapping",
+    "FaultImpact",
+    "SweepResult",
+    "failure_sweep",
+]

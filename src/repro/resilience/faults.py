@@ -1,0 +1,207 @@
+"""The fault model: which processors and links are dead or degraded.
+
+OREGAMI's MAPPER assumes a pristine machine; real message-passing machines
+lose processors and links, and fault-aware toolchains treat "map around the
+dead cores" as a first-class service.  A :class:`FaultSet` is the immutable
+value describing one machine state:
+
+* **failed processors** -- the processor and every incident link are gone;
+* **failed links** -- the link is gone, both endpoints survive;
+* **degraded links** -- the link survives but every transfer across it is
+  slowed by a factor >= 1 (a flaky cable, a link sharing bandwidth with a
+  recovery process).
+
+:meth:`repro.arch.Topology.degrade` applies a fault set and returns the
+surviving machine as a fresh topology; :func:`repro.resilience.repair_mapping`
+repairs an existing mapping against it; :func:`repro.io.save_faultset` /
+:func:`repro.io.load_faultset` serialise it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass, field
+
+from repro.arch.topology import Topology
+
+__all__ = ["FaultSet"]
+
+Proc = Hashable
+Link = frozenset  # frozenset({u, v})
+
+
+def _normalize_link(link) -> Link:
+    """A 2-element frozenset from any 2-element link spec."""
+    pair = frozenset(link)
+    if len(pair) != 2:
+        raise ValueError(
+            f"a link is a set of two distinct processors, got {link!r}"
+        )
+    return pair
+
+
+@dataclass(frozen=True)
+class FaultSet:
+    """An immutable set of processor/link failures and link degradations.
+
+    Parameters
+    ----------
+    failed_procs:
+        Processor labels that are dead.
+    failed_links:
+        Links (2-element sets/tuples of processor labels) that are dead.
+    degraded_links:
+        Link -> slowdown factor; every factor must be >= 1.0 (1.0 means
+        "not actually degraded" and is rejected to keep fault sets
+        canonical).
+
+    The constructor normalises links to frozensets, so
+    ``FaultSet(failed_links=[(0, 1)])`` and
+    ``FaultSet(failed_links=[(1, 0)])`` are equal.
+    """
+
+    failed_procs: frozenset = field(default_factory=frozenset)
+    failed_links: frozenset = field(default_factory=frozenset)
+    degraded_links: tuple = field(default_factory=tuple)
+
+    def __init__(
+        self,
+        failed_procs: Iterable[Proc] = (),
+        failed_links: Iterable = (),
+        degraded_links: Mapping | Iterable[tuple] = (),
+    ):
+        object.__setattr__(self, "failed_procs", frozenset(failed_procs))
+        object.__setattr__(
+            self,
+            "failed_links",
+            frozenset(_normalize_link(l) for l in failed_links),
+        )
+        items = (
+            degraded_links.items()
+            if isinstance(degraded_links, Mapping)
+            else degraded_links
+        )
+        normalized: dict[Link, float] = {}
+        for link, factor in items:
+            pair = _normalize_link(link)
+            factor = float(factor)
+            if factor < 1.0:
+                raise ValueError(
+                    f"slowdown factor for link {tuple(sorted(pair, key=repr))!r} "
+                    f"must be >= 1.0, got {factor:g}"
+                )
+            if pair in normalized and normalized[pair] != factor:
+                raise ValueError(
+                    f"conflicting slowdown factors for link "
+                    f"{tuple(sorted(pair, key=repr))!r}"
+                )
+            normalized[pair] = factor
+        # Stored as a sorted tuple of (link, factor) pairs so equal fault
+        # sets hash equally regardless of insertion order.
+        object.__setattr__(
+            self,
+            "degraded_links",
+            tuple(
+                sorted(
+                    normalized.items(),
+                    key=lambda lf: sorted(map(repr, lf[0])),
+                )
+            ),
+        )
+        overlap = self.failed_links & {l for l, _ in self.degraded_links}
+        if overlap:
+            raise ValueError(
+                f"links marked both failed and degraded: "
+                f"{sorted(tuple(sorted(l, key=repr)) for l in overlap)!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # convenience constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def proc(cls, p: Proc) -> "FaultSet":
+        """The single-fault set killing one processor."""
+        return cls(failed_procs=[p])
+
+    @classmethod
+    def link(cls, u: Proc, v: Proc) -> "FaultSet":
+        """The single-fault set killing one link."""
+        return cls(failed_links=[(u, v)])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when nothing failed and nothing is degraded."""
+        return not (self.failed_procs or self.failed_links or self.degraded_links)
+
+    def slowdown_of(self, u: Proc, v: Proc) -> float:
+        """The slowdown factor of a link (1.0 when not degraded)."""
+        return dict(self.degraded_links).get(frozenset((u, v)), 1.0)
+
+    def dead_links_on(self, topology: Topology) -> set[Link]:
+        """Every link of *topology* that the fault set removes.
+
+        Failed links plus every link incident to a failed processor --
+        exactly the links a surviving route must not traverse.
+        """
+        dead = set(self.failed_links)
+        for link in topology.links:
+            if link & self.failed_procs:
+                dead.add(link)
+        return dead
+
+    def validate_against(self, topology: Topology) -> None:
+        """Raise :class:`ValueError` when a fault references missing hardware."""
+        procs = set(topology.processors)
+        unknown = self.failed_procs - procs
+        if unknown:
+            raise ValueError(
+                f"fault set names processors not in topology "
+                f"{topology.name!r}: {sorted(unknown, key=repr)!r}"
+            )
+        links = set(topology.links)
+        bad = (self.failed_links | {l for l, _ in self.degraded_links}) - links
+        if bad:
+            raise ValueError(
+                f"fault set names links not in topology {topology.name!r}: "
+                f"{sorted(tuple(sorted(l, key=repr)) for l in bad)!r}"
+            )
+
+    def union(self, other: "FaultSet") -> "FaultSet":
+        """The combined fault set (conflicting slowdowns raise)."""
+        return FaultSet(
+            failed_procs=self.failed_procs | other.failed_procs,
+            failed_links=self.failed_links | other.failed_links,
+            degraded_links=list(self.degraded_links) + list(other.degraded_links),
+        )
+
+    def describe(self) -> str:
+        """A one-line human summary."""
+        parts = []
+        if self.failed_procs:
+            parts.append(
+                "procs " + ",".join(str(p) for p in
+                                    sorted(self.failed_procs, key=repr))
+            )
+        if self.failed_links:
+            parts.append(
+                "links " + ",".join(
+                    "-".join(str(e) for e in sorted(l, key=repr))
+                    for l in sorted(self.failed_links,
+                                    key=lambda l: sorted(map(repr, l)))
+                )
+            )
+        if self.degraded_links:
+            parts.append(
+                "degraded " + ",".join(
+                    "-".join(str(e) for e in sorted(l, key=repr))
+                    + f"x{f:g}"
+                    for l, f in self.degraded_links
+                )
+            )
+        return "; ".join(parts) if parts else "no faults"
+
+    def __repr__(self) -> str:
+        return f"<FaultSet {self.describe()}>"

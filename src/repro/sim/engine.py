@@ -101,12 +101,23 @@ class _CompiledSim:
     routes for only some phases, which lazy compilation tolerates).
     """
 
-    def __init__(self, mapping: Mapping, model: CostModel):
+    def __init__(
+        self,
+        mapping: Mapping,
+        model: CostModel,
+        link_slowdowns: dict[int, float] | None = None,
+    ):
         self.mapping = mapping
         self.model = model
         tg = mapping.task_graph
         self.comm_names = tg.comm_phase_names
         self.exec_names = tg.exec_phase_names
+        # Degraded-link factors (failure injection): default to whatever the
+        # topology itself declares, so mappings repaired onto a degraded
+        # machine are charged its slow links without any caller plumbing.
+        if link_slowdowns is None:
+            link_slowdowns = getattr(mapping.topology, "link_slowdowns", {})
+        self.link_slowdowns = dict(link_slowdowns or {})
         self._comm_msgs: dict[str, list[tuple[tuple[int, ...], float]]] = {}
         self._exec_busy: dict[str, dict[object, float]] = {}
 
@@ -157,9 +168,13 @@ class _CompiledSim:
                 msgs.append((len(msgs), links, volume))
         if msgs:
             if self.model.switching == "cut_through":
-                duration = _cut_through(msgs, self.model, link_busy)
+                duration = _cut_through(
+                    msgs, self.model, link_busy, self.link_slowdowns
+                )
             else:
-                duration = _store_and_forward(msgs, self.model, link_busy)
+                duration = _store_and_forward(
+                    msgs, self.model, link_busy, self.link_slowdowns
+                )
 
         for name in execs:
             per_proc = self.exec_table(name)
@@ -175,8 +190,14 @@ def _store_and_forward(
     msgs: list[tuple[int, tuple[int, ...], float]],
     model: CostModel,
     link_busy: dict[int, float],
+    slowdowns: dict[int, float] | None = None,
 ) -> float:
-    """NCUBE-style hop-by-hop forwarding; links are FIFO one-message servers."""
+    """NCUBE-style hop-by-hop forwarding; links are FIFO one-message servers.
+
+    *slowdowns* (1-based link id -> factor >= 1) scales the per-hop
+    transfer time of degraded links -- the failure-injection hook.
+    """
+    slowdowns = slowdowns or {}
     link_free: dict[int, float] = {}
     finish_time = 0.0
     # Event: (arrival time, message id, hop index). FIFO per link with
@@ -190,7 +211,7 @@ def _store_and_forward(
         links = route_of[m]
         link = links[hop]
         start = max(arrival, link_free.get(link, 0.0))
-        duration = model.transfer_time(volume_of[m])
+        duration = model.transfer_time(volume_of[m]) * slowdowns.get(link, 1.0)
         done = start + duration
         link_free[link] = done
         link_busy[link] = link_busy.get(link, 0.0) + duration
@@ -205,6 +226,7 @@ def _cut_through(
     msgs: list[tuple[int, tuple[int, ...], float]],
     model: CostModel,
     link_busy: dict[int, float],
+    slowdowns: dict[int, float] | None = None,
 ) -> float:
     """iPSC/2-style cut-through: the message pipelines across its whole path.
 
@@ -213,12 +235,17 @@ def _cut_through(
     that duration (the circuit-like behaviour that makes low-contention
     routing even more valuable under cut-through than store-and-forward).
     Messages launch in ascending id order, greedily as links free up.
+    A pipelined message flows at the pace of its slowest link, so the
+    whole-path time scales by the worst slowdown on the route.
     """
+    slowdowns = slowdowns or {}
     link_free: dict[int, float] = {}
     finish_time = 0.0
     for m, links, volume in sorted(msgs):
         start = max((link_free.get(l, 0.0) for l in links), default=0.0)
         duration = model.cut_through_time(volume, len(links))
+        if slowdowns:
+            duration *= max((slowdowns.get(l, 1.0) for l in links), default=1.0)
         done = start + duration
         for l in links:
             link_free[l] = done
@@ -233,6 +260,7 @@ def simulate(
     *,
     max_steps: int = 100_000,
     memoize: bool = True,
+    link_slowdowns: dict[int, float] | None = None,
 ) -> SimulationResult:
     """Run the mapped computation through its phase expression.
 
@@ -245,6 +273,13 @@ def simulate(
     step outcome instead of re-running the event loop.  Memoization is
     semantics-preserving: disabling it changes wall-clock time only, never
     any field of the result.
+
+    *link_slowdowns* is the failure-injection point: a 1-based link id ->
+    factor (>= 1) map scaling transfer times on degraded links.  It
+    defaults to the topology's own :attr:`~repro.arch.Topology.link_slowdowns`,
+    so simulating a mapping repaired onto a degraded machine
+    (:func:`repro.resilience.repair_mapping`) charges its slow links with
+    no extra plumbing.
     """
     model = model or CostModel()
     tg = mapping.task_graph
@@ -255,7 +290,7 @@ def simulate(
         else:
             steps = [frozenset(tg.phase_names)]
 
-        compiled = _CompiledSim(mapping, model)
+        compiled = _CompiledSim(mapping, model, link_slowdowns)
         result = SimulationResult()
         cache: dict[frozenset[str], _StepOutcome] = {}
         for step in steps:

@@ -1,0 +1,76 @@
+"""Deterministic executor fan-out shared by the parallel entry points.
+
+The portfolio (:mod:`repro.mapper.portfolio`) and the failure sweep
+(:mod:`repro.resilience.sweep`) both follow the same pattern: a list of
+independent payloads runs through a top-level picklable worker under a
+caller-chosen executor (``"serial"`` / ``"thread"`` / ``"process"``), and
+results must come back **in input order** so downstream selection never
+observes completion order -- that is what makes winners and rankings
+bit-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+__all__ = ["EXECUTORS", "process_pool", "run_ordered"]
+
+#: The executor names every parallel entry point accepts.
+EXECUTORS = ("serial", "thread", "process")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def process_pool(max_workers: int | None) -> concurrent.futures.ProcessPoolExecutor:
+    """A process pool preferring the fork start method when available.
+
+    Forked workers inherit the parent's warm caches (distance matrices,
+    next-hop tables) copy-on-write instead of re-deriving them, and the
+    choice is pinned so the default start method changing across Python
+    versions never changes behaviour.
+    """
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # platforms without fork (Windows, some macOS setups)
+        ctx = None
+    return concurrent.futures.ProcessPoolExecutor(
+        max_workers=max_workers, mp_context=ctx
+    )
+
+
+def run_ordered(
+    fn: Callable[[T], R],
+    payloads: Sequence[T],
+    *,
+    executor: str,
+    max_workers: int | None = None,
+) -> list[R]:
+    """Apply *fn* to every payload under *executor*; results in input order.
+
+    *fn* must be a module-level callable (picklable) for the process
+    executor.  ``max_workers=None`` lets ``concurrent.futures`` pick the
+    pool size; a single payload or ``max_workers <= 1`` short-circuits to
+    the serial path.
+    """
+    if executor not in EXECUTORS:
+        raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
+    if (
+        executor == "serial"
+        or len(payloads) <= 1
+        or (max_workers is not None and max_workers <= 1)
+    ):
+        return [fn(p) for p in payloads]
+    workers = min(max_workers, len(payloads)) if max_workers else None
+    pool = (
+        concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        if executor == "thread"
+        else process_pool(workers)
+    )
+    with pool:
+        # Executor.map preserves input order, so downstream selection never
+        # sees completion order and stays deterministic.
+        return list(pool.map(fn, payloads))

@@ -2,7 +2,21 @@
 
 from __future__ import annotations
 
-__all__ = ["require", "check_positive_int", "check_power_of_two"]
+__all__ = [
+    "ValidationError",
+    "require",
+    "check_positive_int",
+    "check_power_of_two",
+]
+
+
+class ValidationError(ValueError):
+    """A structural-consistency check failed on a user-provided artefact.
+
+    Subclasses :class:`ValueError` so every existing ``except ValueError``
+    (and every test matching it) keeps working; the distinct type lets
+    callers tell artefact corruption from bad call arguments.
+    """
 
 
 def require(condition: bool, message: str) -> None:

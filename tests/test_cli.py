@@ -176,3 +176,88 @@ class TestCommands:
              "--simulate", "--switching", "cut_through"]
         ) == 0
         assert "simulated completion" in capsys.readouterr().out
+
+    def test_analyze_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "m.json"
+        main(["map", "jacobi", "--bind", "rows=4", "cols=4",
+              "--topology", "mesh:2x2", "--save", str(out)])
+        capsys.readouterr()
+        assert main(["analyze", str(out), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["mapping"]["topology"] == "mesh2x2"
+        assert data["overall"]["estimated_completion_time"] > 0
+        assert data["load_balancing"]["max_tasks"] >= 1
+
+
+class TestResilienceCommand:
+    _BASE = ["resilience", "jacobi", "--bind", "rows=4", "cols=4",
+             "--topology", "hypercube:4"]
+
+    def test_repair_report(self, capsys):
+        assert main(self._BASE + ["--fail-proc", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "repair of 'jacobi'" in out
+        assert "baseline completion time" in out
+        assert "repaired completion time" in out
+
+    def test_repair_json(self, capsys):
+        import json
+
+        assert main(self._BASE + ["--fail-proc", "0", "--fail-link", "1-3",
+                                  "--degrade-link", "2-6:2.5", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["strategy"] == "incremental"
+        assert data["faults"]["failed_procs"] == ["0"]
+        assert data["repaired_time"] >= data["baseline_time"]
+
+    def test_repair_save(self, tmp_path, capsys):
+        out = tmp_path / "repaired.json"
+        assert main(self._BASE + ["--fail-proc", "0", "--save", str(out)]) == 0
+        from repro.io import load_mapping
+
+        repaired = load_mapping(str(out))
+        assert 0 not in repaired.assignment.values()
+
+    def test_sweep(self, capsys):
+        assert main(self._BASE + ["--sweep", "processors", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "criticality ranking" in out
+        assert "16 fault(s)" in out
+
+    def test_sweep_json(self, capsys):
+        import json
+
+        assert main(self._BASE + ["--sweep", "links", "--json",
+                                  "--executor", "thread", "--workers", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["distribution"]["faults"] == 32  # hypercube(4) links
+
+    def test_faults_file(self, tmp_path, capsys):
+        from repro.io import save_faultset
+        from repro.resilience import FaultSet
+
+        path = tmp_path / "faults.json"
+        save_faultset(FaultSet.proc(5), str(path))
+        assert main(self._BASE + ["--faults", str(path)]) == 0
+        assert "procs 5" in capsys.readouterr().out
+
+    def test_no_faults_is_an_error(self, capsys):
+        assert main(self._BASE) == 2
+        assert "no faults given" in capsys.readouterr().err
+
+    def test_bad_link_spec(self, capsys):
+        assert main(self._BASE + ["--fail-link", "07"]) == 2
+        assert "U-V" in capsys.readouterr().err
+
+    def test_bad_degrade_spec(self, capsys):
+        assert main(self._BASE + ["--degrade-link", "0-1"]) == 2
+        assert "FACTOR" in capsys.readouterr().err
+
+    def test_disconnecting_fault_reported(self, capsys):
+        assert main(
+            ["resilience", "pipeline", "--bind", "n=4",
+             "--topology", "linear:4", "--fail-link", "1-2"]
+        ) == 2
+        assert "not connected" in capsys.readouterr().err

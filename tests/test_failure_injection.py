@@ -16,6 +16,7 @@ from repro.io import load_mapping, mapping_from_dict, mapping_to_dict, save_mapp
 from repro.mapper import map_computation
 from repro.metrics import MappingSession
 from repro.sim import simulate
+from repro.util.validation import ValidationError
 
 
 def good_mapping():
@@ -25,10 +26,11 @@ def good_mapping():
 class TestCorruptedMappings:
     def test_dangling_task_assignment(self):
         m = good_mapping()
-        m.assignment[999] = 0  # task that does not exist in the graph...
-        # validate() checks graph tasks are assigned; an extra assignment
-        # entry is tolerated by validate but must not corrupt clusters.
-        assert 999 in m.tasks_on(0)
+        m.assignment[999] = 0  # task that does not exist in the graph
+        # A dangling assignment entry would silently corrupt cluster and
+        # load-balance accounting; validate() must reject it loudly.
+        with pytest.raises(ValidationError, match="not in the graph"):
+            m.validate()
 
     def test_route_to_wrong_processor(self):
         m = good_mapping()

@@ -1,0 +1,168 @@
+"""Tests for the fault model: FaultSet, Topology.degrade, serialisation."""
+
+import pytest
+
+from repro.arch import DisconnectedTopologyError, networks
+from repro.arch.topology import Topology
+from repro.io import faultset_from_dict, faultset_to_dict, load_faultset, save_faultset
+from repro.resilience import FaultSet
+
+
+class TestFaultSet:
+    def test_empty(self):
+        fs = FaultSet()
+        assert fs.is_empty
+        assert fs.describe() == "no faults"
+
+    def test_link_normalisation(self):
+        assert FaultSet(failed_links=[(0, 1)]) == FaultSet(failed_links=[(1, 0)])
+
+    def test_degraded_order_independent(self):
+        a = FaultSet(degraded_links=[((0, 1), 2.0), ((2, 3), 3.0)])
+        b = FaultSet(degraded_links=[((3, 2), 3.0), ((1, 0), 2.0)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_degraded_dict_form(self):
+        fs = FaultSet(degraded_links={(0, 1): 2.5})
+        assert fs.slowdown_of(1, 0) == 2.5
+        assert fs.slowdown_of(0, 2) == 1.0
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError, match=">= 1.0"):
+            FaultSet(degraded_links=[((0, 1), 0.5)])
+
+    def test_conflicting_factors_rejected(self):
+        with pytest.raises(ValueError, match="conflicting"):
+            FaultSet(degraded_links=[((0, 1), 2.0), ((1, 0), 3.0)])
+
+    def test_failed_and_degraded_overlap_rejected(self):
+        with pytest.raises(ValueError, match="both failed and degraded"):
+            FaultSet(failed_links=[(0, 1)], degraded_links=[((1, 0), 2.0)])
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError, match="two distinct"):
+            FaultSet(failed_links=[(3, 3)])
+
+    def test_single_fault_constructors(self):
+        assert FaultSet.proc(5).failed_procs == frozenset([5])
+        assert FaultSet.link(1, 2).failed_links == frozenset([frozenset((1, 2))])
+
+    def test_dead_links_include_incident(self):
+        topo = networks.ring(4)
+        dead = FaultSet.proc(0).dead_links_on(topo)
+        assert dead == {frozenset((0, 1)), frozenset((0, 3))}
+
+    def test_union(self):
+        fs = FaultSet.proc(1).union(FaultSet.link(2, 3))
+        assert fs.failed_procs == frozenset([1])
+        assert frozenset((2, 3)) in fs.failed_links
+
+    def test_validate_against_unknown_proc(self):
+        with pytest.raises(ValueError, match="processors not in topology"):
+            FaultSet.proc(99).validate_against(networks.ring(4))
+
+    def test_validate_against_unknown_link(self):
+        # 0-2 is a chord the 4-ring does not have.
+        with pytest.raises(ValueError, match="links not in topology"):
+            FaultSet.link(0, 2).validate_against(networks.ring(4))
+
+
+class TestDegrade:
+    def test_failed_proc_removed_with_links(self):
+        topo = networks.hypercube(3)
+        sub = topo.degrade(FaultSet.proc(0))
+        assert 0 not in sub.processors
+        assert sub.n_processors == 7
+        assert sub.n_links == topo.n_links - 3  # degree of a cube corner
+
+    def test_survivors_keep_insertion_order(self):
+        topo = networks.hypercube(3)
+        sub = topo.degrade(FaultSet.proc(3))
+        assert sub.processors == [p for p in topo.processors if p != 3]
+
+    def test_fresh_vector_core(self):
+        topo = networks.hypercube(3)
+        sub = topo.degrade(FaultSet.proc(0))
+        # Index bijection is rebuilt for the survivor set...
+        assert sub.index_of(sub.processors[0]) == 0
+        assert sub.distance_matrix().shape == (7, 7)
+        # ...and link ids are renumbered 1..n over the surviving links.
+        assert sorted(sub.link_id(*tuple(l)) for l in sub.links) == list(
+            range(1, sub.n_links + 1)
+        )
+
+    def test_failed_link_removed(self):
+        topo = networks.hypercube(3)
+        sub = topo.degrade(FaultSet.link(0, 1))
+        assert not sub.has_link(0, 1)
+        assert sub.n_processors == 8
+        # Around the missing cube edge: flip another bit out and back.
+        assert sub.distance(0, 1) == 3
+
+    def test_degraded_links_carried_with_new_ids(self):
+        topo = networks.hypercube(3)
+        sub = topo.degrade(FaultSet(degraded_links=[((1, 3), 2.5)]))
+        lid = sub.link_id(1, 3)
+        assert sub.link_slowdowns == {lid: 2.5}
+
+    def test_disconnection_raises(self):
+        topo = networks.linear(4)  # 0-1-2-3
+        with pytest.raises(DisconnectedTopologyError, match="not connected"):
+            topo.degrade(FaultSet.link(1, 2))
+
+    def test_disconnection_allowed_when_asked(self):
+        topo = networks.linear(4)
+        sub = topo.degrade(FaultSet.link(1, 2), allow_disconnected=True)
+        assert not sub.is_connected
+        assert [sorted(c) for c in sub.components()] == [[0, 1], [2, 3]]
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ValueError, match="not in topology"):
+            networks.ring(4).degrade(FaultSet.proc(99))
+
+    def test_all_procs_failed_rejected(self):
+        topo = networks.ring(3)
+        with pytest.raises(ValueError):
+            topo.degrade(FaultSet(failed_procs=[0, 1, 2]))
+
+
+class TestTopologyConnectivity:
+    def test_distance_matrix_raises_on_disconnected(self):
+        topo = Topology(
+            "split", [(0, 1), (2, 3)], nodes=[0, 1, 2, 3], allow_disconnected=True
+        )
+        with pytest.raises(DisconnectedTopologyError, match="components"):
+            topo.distance_matrix()
+
+    def test_distance_raises_on_unreachable_pair(self):
+        topo = Topology(
+            "split", [(0, 1), (2, 3)], nodes=[0, 1, 2, 3], allow_disconnected=True
+        )
+        with pytest.raises(DisconnectedTopologyError):
+            topo.distance(0, 3)
+
+    def test_connected_topology_unaffected(self):
+        topo = networks.hypercube(3)
+        assert topo.is_connected
+        assert topo.distance_matrix().max() == 3
+
+
+class TestFaultSetIO:
+    def test_round_trip(self, tmp_path):
+        fs = FaultSet(
+            failed_procs=[3, 7],
+            failed_links=[(0, 1)],
+            degraded_links=[((2, 6), 2.0)],
+        )
+        path = tmp_path / "faults.json"
+        save_faultset(fs, str(path))
+        assert load_faultset(str(path)) == fs
+
+    def test_dict_round_trip_tuple_labels(self):
+        fs = FaultSet(failed_procs=[(0, 1)], failed_links=[((0, 0), (0, 1))])
+        assert faultset_from_dict(faultset_to_dict(fs)) == fs
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown faultset format"):
+            faultset_from_dict({"format": "nope"})

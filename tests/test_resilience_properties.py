@@ -1,0 +1,116 @@
+"""Property tests: repair invariants over random graphs, machines, faults.
+
+For any mapping and any survivable fault set, ``repair_mapping`` must
+return a mapping that validates, assigns no task to a failed processor,
+and routes nothing across a dead link -- regardless of graph shape,
+topology, or which hardware died.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import DisconnectedTopologyError, networks
+from repro.graph import TaskGraph
+from repro.mapper import map_computation
+from repro.resilience import FaultSet, repair_mapping
+
+_TOPOLOGIES = [
+    lambda: networks.ring(6),
+    lambda: networks.mesh(3, 3),
+    lambda: networks.hypercube(3),
+    lambda: networks.torus(3, 3),
+    lambda: networks.complete(5),
+]
+
+
+def repair_cases():
+    @st.composite
+    def build(draw):
+        topo = draw(st.sampled_from(_TOPOLOGIES))()
+        n = draw(st.integers(min_value=2, max_value=12))
+        tg = TaskGraph("rand")
+        tg.add_nodes(range(n))
+        ph = tg.add_comm_phase("c")
+        for _ in range(draw(st.integers(0, 2 * n))):
+            u = draw(st.integers(0, n - 1))
+            v = draw(st.integers(0, n - 1))
+            if u != v:
+                ph.add(u, v, float(draw(st.integers(1, 9))))
+
+        procs = topo.processors
+        n_fail = draw(st.integers(0, min(3, topo.n_processors - 1)))
+        failed_procs = draw(
+            st.lists(
+                st.sampled_from(procs), min_size=n_fail, max_size=n_fail,
+                unique=True,
+            )
+        )
+        survivors = [p for p in procs if p not in failed_procs]
+        live_links = [
+            tuple(l) for l in topo.links
+            if not (set(l) & set(failed_procs))
+        ]
+        failed_links = draw(
+            st.lists(st.sampled_from(live_links), max_size=2, unique=True)
+        ) if live_links else []
+        degradable = [l for l in live_links if l not in failed_links]
+        degraded = [
+            (l, float(draw(st.integers(2, 5))))
+            for l in draw(
+                st.lists(st.sampled_from(degradable), max_size=2, unique=True)
+            )
+        ] if degradable else []
+        faults = FaultSet(
+            failed_procs=failed_procs,
+            failed_links=failed_links,
+            degraded_links=degraded,
+        )
+        return tg, topo, faults, survivors
+
+    return build()
+
+
+@settings(max_examples=40, deadline=None)
+@given(repair_cases())
+def test_repair_invariants(case):
+    tg, topo, faults, survivors = case
+    mapping = map_computation(tg, topo)
+    try:
+        report = repair_mapping(tg, mapping, topo, faults)
+    except DisconnectedTopologyError:
+        # The drawn faults split the machine; refusing is the contract.
+        return
+
+    repaired = report.mapping
+    # 1. The repaired mapping is structurally valid with complete routes.
+    repaired.validate(require_routes=True)
+    # 2. No task sits on failed hardware.
+    assert not (set(repaired.assignment.values()) & set(faults.failed_procs))
+    assert set(repaired.assignment.values()) <= set(survivors)
+    # 3. No route crosses a failed link (nor any link of a failed proc).
+    dead = {
+        tuple(sorted(l, key=repr)) for l in faults.dead_links_on(topo)
+    }
+    for route in repaired.routes.values():
+        for a, b in zip(route, route[1:]):
+            assert tuple(sorted((a, b), key=repr)) not in dead
+    # 4. The degraded machine carries the degradation factors.
+    for (u, v), factor in faults.degraded_links:
+        assert report.degraded.link_slowdowns[
+            report.degraded.link_id(u, v)
+        ] == factor
+
+
+@settings(max_examples=20, deadline=None)
+@given(repair_cases())
+def test_repair_is_deterministic(case):
+    tg, topo, faults, _survivors = case
+    mapping = map_computation(tg, topo)
+    try:
+        a = repair_mapping(tg, mapping, topo, faults)
+        b = repair_mapping(tg, mapping, topo, faults)
+    except DisconnectedTopologyError:
+        return
+    assert a.mapping.assignment == b.mapping.assignment
+    assert a.mapping.routes == b.mapping.routes
+    assert a.strategy == b.strategy

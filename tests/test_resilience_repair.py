@@ -1,0 +1,177 @@
+"""Tests for incremental mapping repair (repro.resilience.repair)."""
+
+import pytest
+
+from repro.arch import DisconnectedTopologyError, networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.resilience import FaultSet, repair_mapping
+from repro.sim import simulate
+
+
+def jacobi_case(dim=4):
+    tg = stdlib.load("jacobi", rows=4, cols=4, msize=2)
+    topo = networks.hypercube(dim)
+    return tg, topo, map_computation(tg, topo)
+
+
+def check_repair(report, faults):
+    """Invariants every successful repair must satisfy."""
+    m = report.mapping
+    m.validate(require_routes=True)
+    assert not (set(m.assignment.values()) & set(faults.failed_procs))
+    dead = {tuple(sorted(l, key=repr)) for l in faults.dead_links_on(report.degraded)}
+    # The degraded topology no longer has the dead links at all, so any
+    # valid route avoids them; assert it explicitly anyway.
+    for route in m.routes.values():
+        for a, b in zip(route, route[1:]):
+            assert tuple(sorted((a, b), key=repr)) not in dead
+
+
+class TestIncrementalRepair:
+    def test_single_proc_failure(self):
+        tg, topo, m = jacobi_case()
+        faults = FaultSet.proc(0)
+        report = repair_mapping(tg, m, topo, faults)
+        check_repair(report, faults)
+        assert report.strategy == "incremental"
+        assert report.n_moved == len(m.tasks_on(0))
+        # Every move is off the dead processor.
+        assert all(old == 0 for old, _new in report.moved_tasks.values())
+
+    @pytest.mark.parametrize("n_failed", [1, 2, 3, 4])
+    def test_multi_proc_failures(self, n_failed):
+        tg, topo, m = jacobi_case()
+        faults = FaultSet(failed_procs=list(range(n_failed)))
+        report = repair_mapping(tg, m, topo, faults)
+        check_repair(report, faults)
+
+    def test_untouched_routes_kept_verbatim(self):
+        tg, topo, m = jacobi_case()
+        report = repair_mapping(tg, m, topo, FaultSet.proc(0))
+        for key, route in report.mapping.routes.items():
+            if key not in report.rerouted:
+                assert route == m.routes[key]
+        assert report.kept_routes == len(m.routes) - report.n_rerouted
+
+    def test_link_failure_moves_no_tasks(self):
+        tg, topo, m = jacobi_case()
+        faults = FaultSet.link(0, 1)
+        report = repair_mapping(tg, m, topo, faults)
+        check_repair(report, faults)
+        assert report.n_moved == 0
+        assert report.migration_cost == 0.0
+
+    def test_degraded_link_reroutes_without_moves(self):
+        tg, topo, m = jacobi_case()
+        # Find a link some route actually crosses.
+        route = next(r for r in m.routes.values() if len(r) > 1)
+        u, v = route[0], route[1]
+        faults = FaultSet(degraded_links=[((u, v), 10.0)])
+        report = repair_mapping(tg, m, topo, faults)
+        check_repair(report, faults)
+        assert report.n_moved == 0
+        assert report.n_rerouted > 0
+        # The degraded machine keeps the link, just slower.
+        assert report.degraded.has_link(u, v)
+        lid = report.degraded.link_id(u, v)
+        assert report.degraded.link_slowdowns[lid] == 10.0
+
+    def test_migration_cost_positive_when_tasks_move(self):
+        tg, topo, m = jacobi_case()
+        report = repair_mapping(tg, m, topo, FaultSet.proc(0), state_volume=4.0)
+        assert report.migration_cost > 0
+        # More state to carry costs strictly more (hop latency keeps the
+        # charge affine rather than proportional in the volume).
+        half = repair_mapping(tg, m, topo, FaultSet.proc(0), state_volume=2.0)
+        assert half.migration_cost < report.migration_cost
+
+    def test_empty_faults_noop(self):
+        tg, topo, m = jacobi_case()
+        report = repair_mapping(tg, m, topo, FaultSet())
+        assert report.strategy == "noop"
+        assert report.mapping.assignment == m.assignment
+        assert report.mapping.routes == m.routes
+        assert report.n_moved == 0 and report.n_rerouted == 0
+        assert report.kept_routes == len(m.routes)
+
+    def test_deterministic(self):
+        tg, topo, m = jacobi_case()
+        faults = FaultSet(failed_procs=[0, 5], failed_links=[(1, 3)])
+        a = repair_mapping(tg, m, topo, faults)
+        b = repair_mapping(tg, m, topo, faults)
+        assert a.mapping.assignment == b.mapping.assignment
+        assert a.mapping.routes == b.mapping.routes
+        assert a.moved_tasks == b.moved_tasks
+
+    def test_repaired_mapping_simulates(self):
+        tg, topo, m = jacobi_case()
+        report = repair_mapping(tg, m, topo, FaultSet.proc(0))
+        result = simulate(report.mapping)
+        assert result.total_time > 0
+
+    def test_nearest_spare_preferred(self):
+        # One task per processor on a linear array: the task on the dead
+        # end must land on its neighbour, the closest surviving spare.
+        tg = families.linear(3)
+        topo = networks.linear(4)
+        m = map_computation(tg, topo)
+        dead = m.assignment[0]
+        report = repair_mapping(tg, m, topo, FaultSet.proc(dead))
+        (old, new), = set(report.moved_tasks.values())
+        assert old == dead
+        assert topo.distance(old, new) == min(
+            topo.distance(old, p) for p in report.degraded.processors
+        )
+
+
+class TestModesAndFallback:
+    def test_full_mode(self):
+        tg, topo, m = jacobi_case()
+        faults = FaultSet.proc(0)
+        report = repair_mapping(tg, m, topo, faults, mode="full")
+        check_repair(report, faults)
+        assert report.strategy == "full"
+        assert report.mapping.provenance.endswith("+full-repair")
+
+    def test_unknown_mode_rejected(self):
+        tg, topo, m = jacobi_case()
+        with pytest.raises(ValueError, match="unknown mode"):
+            repair_mapping(tg, m, topo, FaultSet.proc(0), mode="magic")
+
+    def test_disconnecting_fault_raises(self):
+        tg = families.linear(3)
+        topo = networks.linear(4)
+        m = map_computation(tg, topo)
+        with pytest.raises(DisconnectedTopologyError):
+            repair_mapping(tg, m, topo, FaultSet.link(1, 2))
+
+    def test_severe_faults_survived(self):
+        # 16 tasks, 3 of 4 ring processors dead: everything piles onto the
+        # one survivor and the repair still validates.
+        tg = families.mesh(4, 4)
+        topo = networks.ring(4)
+        m = map_computation(tg, topo)
+        faults = FaultSet(failed_procs=[0, 1, 2])
+        report = repair_mapping(tg, m, topo, faults)
+        check_repair(report, faults)
+        assert set(report.mapping.assignment.values()) == {3}
+
+    def test_auto_falls_back_when_incremental_breaks(self, monkeypatch):
+        import repro.resilience.repair as repair_mod
+
+        def boom(*_args, **_kwargs):
+            raise RuntimeError("incremental path exploded")
+
+        monkeypatch.setattr(repair_mod, "_repair_incremental", boom)
+        tg, topo, m = jacobi_case()
+        faults = FaultSet.proc(0)
+        # Forced incremental propagates the error...
+        with pytest.raises(RuntimeError, match="exploded"):
+            repair_mod.repair_mapping(tg, m, topo, faults, mode="incremental")
+        # ...auto falls back to the full remap and says why.
+        report = repair_mod.repair_mapping(tg, m, topo, faults, mode="auto")
+        check_repair(report, faults)
+        assert report.strategy == "full"
+        assert "exploded" in report.fallback_reason

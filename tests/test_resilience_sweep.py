@@ -1,0 +1,111 @@
+"""Tests for the single-fault criticality sweep (repro.resilience.sweep)."""
+
+import math
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.larcs import stdlib
+from repro.mapper import map_computation
+from repro.resilience import failure_sweep
+
+
+def jacobi_sweep(**kwargs):
+    tg = stdlib.load("jacobi", rows=4, cols=4, msize=2)
+    topo = networks.hypercube(4)
+    return failure_sweep(tg, topo, **kwargs)
+
+
+class TestSweepBasics:
+    def test_processor_sweep_covers_every_proc(self):
+        sweep = jacobi_sweep()
+        assert len(sweep.entries) == 16
+        assert [e.element for e in sweep.entries] == list(range(16))
+        assert all(e.kind == "proc" for e in sweep.entries)
+
+    def test_link_sweep_covers_every_link(self):
+        sweep = jacobi_sweep(elements="links")
+        assert len(sweep.entries) == networks.hypercube(4).n_links
+        assert all(e.kind == "link" for e in sweep.entries)
+
+    def test_both(self):
+        sweep = jacobi_sweep(elements="both")
+        topo = networks.hypercube(4)
+        assert len(sweep.entries) == topo.n_processors + topo.n_links
+
+    def test_unknown_elements_rejected(self):
+        with pytest.raises(ValueError, match="unknown elements"):
+            jacobi_sweep(elements="everything")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            jacobi_sweep(executor="gpu")
+
+    def test_ratios_at_least_one(self):
+        # Repairing a real fault never beats the pristine machine here.
+        sweep = jacobi_sweep()
+        assert all(e.ratio >= 1.0 for e in sweep.entries if e.status == "ok")
+
+    def test_supplied_mapping_reused(self):
+        tg = stdlib.load("jacobi", rows=4, cols=4, msize=2)
+        topo = networks.hypercube(4)
+        m = map_computation(tg, topo)
+        sweep = failure_sweep(tg, topo, mapping=m)
+        assert sweep.baseline_time > 0
+
+
+class TestDisconnects:
+    def test_bridge_link_disconnects(self):
+        tg = families.linear(4)
+        topo = networks.linear(4)
+        sweep = failure_sweep(tg, topo, elements="links")
+        assert all(e.status == "disconnects" for e in sweep.entries)
+        assert all(math.isinf(e.ratio) for e in sweep.entries)
+
+    def test_disconnects_rank_first(self):
+        tg = families.linear(4)
+        topo = networks.linear(4)
+        sweep = failure_sweep(tg, topo, elements="both")
+        ranking = sweep.ranking()
+        statuses = [e.status for e in ranking]
+        # All disconnecting faults come before every survivable one.
+        assert statuses == sorted(statuses, key=lambda s: s != "disconnects")
+        dist = sweep.distribution()
+        assert dist["disconnecting"] >= 3  # every interior link is a bridge
+
+    def test_interior_proc_disconnects_linear_array(self):
+        tg = families.linear(3)
+        topo = networks.linear(4)
+        sweep = failure_sweep(tg, topo)
+        by_proc = {e.element: e for e in sweep.entries}
+        assert by_proc[1].status == "disconnects"
+        assert by_proc[0].status == "ok"
+
+
+class TestDeterminism:
+    def test_identical_across_executors_and_worker_counts(self):
+        runs = [
+            jacobi_sweep(executor="serial"),
+            jacobi_sweep(executor="thread", max_workers=3),
+            jacobi_sweep(executor="process", max_workers=2),
+            jacobi_sweep(executor="process", max_workers=5),
+        ]
+        reference = [
+            (e.label, e.status, e.ratio, e.moved_tasks, e.rerouted)
+            for e in runs[0].ranking()
+        ]
+        for run in runs[1:]:
+            assert [
+                (e.label, e.status, e.ratio, e.moved_tasks, e.rerouted)
+                for e in run.ranking()
+            ] == reference
+
+    def test_to_dict_round_trips_to_json(self):
+        import json
+
+        sweep = jacobi_sweep(elements="both")
+        text = json.dumps(sweep.to_dict())
+        data = json.loads(text)
+        assert data["distribution"]["faults"] == len(sweep.entries)
+        assert len(data["ranking"]) == len(sweep.entries)
