@@ -4,8 +4,8 @@ JSON (``BENCH_PR<n>.json``) that future PRs regress against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR2.json]
-    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR2.json
+    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR4.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR4.json
 
 Measured sections
 -----------------
@@ -24,8 +24,16 @@ Measured sections
   per-hop dict reference (simulation excluded via ``sim=``).
 * ``portfolio``   -- ``map_many`` over 8 (graph, topology) pairs: 4-worker
   process pool vs. sequential, with winner-determinism checked.
+* ``cache``       -- cold vs. warm ``run_pipeline`` on jacobi8x8 against
+  an explicit tempdir :class:`~repro.pipeline.ArtifactCache`: the memory-
+  and disk-tier hit latencies vs. a full pipeline run (PR 4 headline).
 * ``perf_spans``  -- the repro.util.perf span totals recorded while the
   suite ran, so per-stage attribution lands in the trajectory too.
+
+The process-wide default artifact cache is switched off for the whole run
+(``REPRO_CACHE=off``): every legacy section must measure real mapping
+work, never a content-addressed hit.  Only the ``cache`` section caches,
+through its own explicit temporary-directory store.
 
 All timings are best-of-N wall-clock seconds (N=5 for sub-10ms items;
 ``--quick`` drops to N=1 for the CI smoke job).
@@ -42,6 +50,7 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
@@ -55,6 +64,8 @@ from repro.mapper.contraction import mwm_contract
 from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
 from repro.mapper.routing.mm_route import mm_route
 from repro.metrics.analysis import analyze
+from repro.pipeline import ArtifactCache, RunConfig, SimConfig, run_pipeline
+from repro.pipeline.cache import reset_default_cache
 from repro.sim import CostModel, simulate
 from repro.util import perf
 
@@ -336,6 +347,62 @@ def bench_resilience() -> dict:
     return out
 
 
+def bench_cache() -> dict:
+    """Cold vs. warm ``run_pipeline`` on jacobi8x8 (the PR 4 headline).
+
+    Cold = the full six-stage pipeline against an *empty* tempdir cache
+    (cleared between repeats).  Warm-memory = the same call served from
+    the in-process LRU; warm-disk = a second :class:`ArtifactCache` over
+    the same directory (an empty memory tier -- what a restarted process
+    sees), served by unpickling the disk entry.  Every tier must hand
+    back a result with identical artifacts.
+    """
+    tg = stdlib.load("jacobi", rows=8, cols=8, msize=4)
+    topo = networks.mesh(4, 4)
+    config = RunConfig(sim=SimConfig.from_model(MODEL))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+
+        cold_times = []
+        for _ in range(3 if REPEATS > 1 else 1):
+            cache.clear(disk=True)  # outside the timed region
+            start = time.perf_counter()
+            baseline = run_pipeline(tg, topo, config, cache=cache)
+            cold_times.append(time.perf_counter() - start)
+        cold_s = min(cold_times)
+
+        warm_s = best_of(
+            lambda: run_pipeline(tg, topo, config, cache=cache), 3
+        )
+        warm = run_pipeline(tg, topo, config, cache=cache)
+
+        restarted = ArtifactCache(tmp)  # memory tier empty, disk shared
+        start = time.perf_counter()
+        disk = run_pipeline(tg, topo, config, cache=restarted)
+        disk_s = time.perf_counter() - start
+
+    identical = all(
+        r.mapping.assignment == baseline.mapping.assignment
+        and r.mapping.routes == baseline.mapping.routes
+        and r.sim.total_time == baseline.sim.total_time
+        for r in (warm, disk)
+    )
+    return {
+        "workload": "jacobi8x8_mesh4x4_full_pipeline",
+        "cold_s": cold_s,
+        "warm_memory_s": warm_s,
+        "warm_disk_s": disk_s,
+        "speedup_memory": cold_s / warm_s,
+        "speedup_disk": cold_s / disk_s,
+        "tiers_hit": {
+            "memory": warm.cache_tier == "memory",
+            "disk": disk.cache_tier == "disk",
+        },
+        "results_identical": identical,
+    }
+
+
 def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
     """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
     out: dict[str, float] = {}
@@ -373,8 +440,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR3.json"),
-        help="trajectory file to write (default: BENCH_PR3.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR4.json"),
+        help="trajectory file to write (default: BENCH_PR4.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -397,12 +464,18 @@ def main(argv=None) -> int:
     if args.quick:
         REPEATS = 1
 
+    # The legacy sections must measure real mapping work -- kill the
+    # process-wide default artifact cache (pool workers inherit the env).
+    # bench_cache() is unaffected: it passes its own explicit store.
+    os.environ["REPRO_CACHE"] = "off"
+    reset_default_cache()
+
     perf.reset()
     payload = {
         "meta": {
-            "pr": 3,
-            "description": "fault-aware topologies, incremental mapping "
-                           "repair, failure-sweep analysis",
+            "pr": 4,
+            "description": "staged pipeline engine, typed run configs, "
+                           "content-addressed result caching",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -416,6 +489,7 @@ def main(argv=None) -> int:
         "metrics": bench_metrics(),
         "portfolio": bench_portfolio(),
         "resilience": bench_resilience(),
+        "cache": bench_cache(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -458,6 +532,12 @@ def main(argv=None) -> int:
           f"{sw['parallel_s'] * 1e3:.0f}ms "
           f"({sw['throughput_faults_per_s']:.1f} faults/s, "
           f"deterministic={sw['deterministic']})")
+    ca = payload["cache"]
+    print(f"cache ({ca['workload']}): cold {ca['cold_s'] * 1e3:.2f}ms -> "
+          f"memory {ca['warm_memory_s'] * 1e3:.3f}ms "
+          f"({ca['speedup_memory']:.0f}x) / disk "
+          f"{ca['warm_disk_s'] * 1e3:.3f}ms ({ca['speedup_disk']:.0f}x, "
+          f"identical={ca['results_identical']})")
     print(f"wrote {args.output}")
 
     if args.check and args.check.exists():

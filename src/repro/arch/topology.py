@@ -41,6 +41,8 @@ from collections.abc import Hashable, Iterable
 import networkx as nx
 import numpy as np
 
+from repro.util.fingerprint import encode_label, sort_encoded, stable_digest
+
 __all__ = ["Topology", "DisconnectedTopologyError"]
 
 Proc = Hashable
@@ -126,6 +128,7 @@ class Topology:
         self._degree_array: np.ndarray | None = None
         self._nbr_links: list[tuple[tuple[int, int], ...]] | None = None
         self._next_hop_table: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # basic structure
@@ -188,6 +191,45 @@ class Topology:
         comps = [sorted(c, key=self._proc_index.__getitem__)
                  for c in nx.connected_components(self._graph)]
         return sorted(comps, key=lambda c: (-len(c), self._proc_index[c[0]]))
+
+    # ------------------------------------------------------------------
+    # content fingerprint
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A stable content digest of the machine (hash-seed independent).
+
+        Covers everything mapping behaviour depends on: the processors and
+        links *in their stable numbering order* (the proc/link index
+        bijections are semantic -- tie-breaks read them), the display name,
+        the family tag, and any per-link slowdown factors a degraded
+        machine carries.  Computed once; topologies are immutable after
+        construction (:meth:`degrade` finishes populating
+        :attr:`link_slowdowns` before the degraded machine escapes).
+
+        Keys the pipeline's content-addressed artifact cache alongside
+        :meth:`repro.graph.TaskGraph.fingerprint`.
+        """
+        if self._fingerprint is None:
+            self._fingerprint = stable_digest({
+                "kind": "topology",
+                "name": self.name,
+                "family": [self.family[0],
+                           [encode_label(p) for p in self.family[1]]]
+                if self.family
+                else None,
+                "processors": [encode_label(p) for p in self._procs],
+                # Link order follows the 1-based numbering (semantic); the
+                # two endpoints within a link are canonically sorted -- a
+                # frozenset's iteration order is hash-seed dependent.
+                "links": [
+                    sort_encoded(encode_label(p) for p in link)
+                    for link in self._links
+                ],
+                "link_slowdowns": sorted(
+                    (lid, factor) for lid, factor in self.link_slowdowns.items()
+                ),
+            })
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # integer indexing (vectorized-kernel support)

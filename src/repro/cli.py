@@ -7,9 +7,15 @@ Usage examples::
     python -m repro map nbody --bind n=15 --topology hypercube:3 --report
     python -m repro map path/to/prog.larcs --bind n=64 --topology mesh:8x8 \\
         --strategy mwm --ascii --simulate
+    python -m repro run nbody --bind n=15 --topology hypercube:3 \\
+        --config pipeline.json
 
-The first positional argument of ``compile``/``map`` is either a stdlib
-program name or a path to a ``.larcs`` source file.
+The first positional argument of ``compile``/``map``/``run`` is either a
+stdlib program name or a path to a ``.larcs`` source file.  ``run`` is
+the machine-readable entry point: it executes the staged pipeline from a
+JSON/TOML :class:`~repro.pipeline.RunConfig` file and prints the
+``oregami-pipeline-result-v1`` document, with repeat runs served from the
+artifact cache.
 """
 
 from __future__ import annotations
@@ -28,6 +34,7 @@ from repro.metrics.display import (
     render_mapping_ascii,
     render_timeline,
 )
+from repro.pipeline import MapConfig, RunConfig, run_pipeline, strategy_names
 from repro.sim import CostModel, simulate
 
 __all__ = ["main", "parse_topology", "parse_bindings"]
@@ -136,7 +143,8 @@ def _cmd_compile(args) -> int:
     return 0
 
 
-def _cmd_map(args) -> int:
+def _compile_instance(args) -> tuple:
+    """The (task graph, topology) pair a mapping subcommand operates on."""
     source = _load_source(args.program)
     result = compile_larcs(source, parse_bindings(args.bind))
     tg = result.task_graph
@@ -144,14 +152,23 @@ def _cmd_map(args) -> int:
         # Nameable stdlib computations get their family tag so the canned
         # lookup fires, same as stdlib.load().
         tg.family = stdlib.family_tag(args.program, tg)
-    topology = parse_topology(args.topology)
-    mapping = map_computation(
+    return tg, parse_topology(args.topology)
+
+
+def _cmd_map(args) -> int:
+    tg, topology = _compile_instance(args)
+    mapping = run_pipeline(
         tg,
         topology,
-        strategy=args.strategy,
-        load_bound=args.load_bound,
-        refine=args.refine,
-    )
+        RunConfig(
+            map=MapConfig(
+                strategy=args.strategy,
+                load_bound=args.load_bound,
+                refine=args.refine,
+            ),
+            stages=("contract", "embed", "refine", "route"),
+        ),
+    ).mapping
     print(f"mapped {tg.name} -> {topology.name} via the {mapping.provenance!r} path")
     metrics = analyze(mapping)
     if args.report:
@@ -187,6 +204,46 @@ def _cmd_map(args) -> int:
 
         save_mapping(mapping, args.save)
         print(f"saved mapping to {args.save}")
+    return 0
+
+
+def _load_runconfig(path: str) -> RunConfig:
+    """A :class:`RunConfig` from a JSON or TOML file (strict keys)."""
+    text = Path(path).read_text()
+    if path.endswith(".toml"):
+        try:
+            import tomllib
+        except ImportError:  # Python < 3.11 has no stdlib TOML parser
+            raise ValueError(
+                f"TOML config {path!r} needs Python 3.11+; use JSON here"
+            ) from None
+        data = tomllib.loads(text)
+    else:
+        import json
+
+        data = json.loads(text)
+    return RunConfig.from_dict(data)
+
+
+def _cmd_run(args) -> int:
+    """Run the staged pipeline from a config file; emit the result as JSON.
+
+    The machine-readable counterpart of ``repro map``: one
+    ``oregami-pipeline-result-v1`` JSON document on stdout, carrying the
+    mapping, metrics, per-stage timings, fingerprints, and cache
+    provenance.  Repeat invocations of the same instance are served from
+    the on-disk artifact cache (see ``--no-cache`` and the
+    ``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment knobs).
+    """
+    import dataclasses
+    import json
+
+    tg, topology = _compile_instance(args)
+    config = _load_runconfig(args.config) if args.config else RunConfig()
+    if args.no_cache:
+        config = dataclasses.replace(config, cache=False)
+    result = run_pipeline(tg, topology, config)
+    print(json.dumps(result.to_dict(), indent=1))
     return 0
 
 
@@ -251,12 +308,7 @@ def _cmd_resilience(args) -> int:
     from repro.metrics.display import render_failure_sweep, render_repair
     from repro.resilience import FaultSet, failure_sweep, repair_mapping
 
-    source = _load_source(args.program)
-    result = compile_larcs(source, parse_bindings(args.bind))
-    tg = result.task_graph
-    if args.program in stdlib.PROGRAMS:
-        tg.family = stdlib.family_tag(args.program, tg)
-    topology = parse_topology(args.topology)
+    tg, topology = _compile_instance(args)
     mapping = map_computation(tg, topology, strategy=args.strategy)
 
     if args.sweep:
@@ -354,7 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--topology", required=True, metavar="SPEC",
                        help="e.g. hypercube:3, mesh:4x4, ring:8")
     p_map.add_argument("--strategy", default="auto",
-                       choices=["auto", "canned", "group", "mwm"])
+                       choices=["auto", *strategy_names()])
     p_map.add_argument("--load-bound", type=int, default=None)
     p_map.add_argument("--refine", action="store_true",
                        help="run the KL-style refinement post-passes")
@@ -371,6 +423,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--save", metavar="FILE", default=None,
                        help="write the mapping to a JSON file")
 
+    p_run = sub.add_parser(
+        "run",
+        help="run the staged pipeline from a RunConfig file, emit JSON",
+    )
+    p_run.add_argument("program", help="stdlib name or .larcs file path")
+    p_run.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
+    p_run.add_argument("--topology", required=True, metavar="SPEC",
+                       help="e.g. hypercube:3, mesh:4x4, ring:8")
+    p_run.add_argument("--config", metavar="FILE", default=None,
+                       help="RunConfig as JSON or TOML "
+                            "(default: full pipeline, auto strategy)")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="bypass the artifact cache for this run")
+
     p_analyze = sub.add_parser("analyze", help="analyse a saved mapping")
     p_analyze.add_argument("mapping", help="JSON file from 'map --save'")
     p_analyze.add_argument("--ascii", action="store_true")
@@ -386,7 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--topology", required=True, metavar="SPEC",
                        help="e.g. hypercube:6, mesh:8x8")
     p_res.add_argument("--strategy", default="auto",
-                       choices=["auto", "canned", "group", "mwm"])
+                       choices=["auto", *strategy_names()])
     p_res.add_argument("--fail-proc", action="append", default=[],
                        metavar="P", help="mark a processor failed (repeatable)")
     p_res.add_argument("--fail-link", action="append", default=[],
@@ -425,6 +491,7 @@ def main(argv: list[str] | None = None) -> int:
         "topologies": _cmd_topologies,
         "compile": _cmd_compile,
         "map": _cmd_map,
+        "run": _cmd_run,
         "analyze": _cmd_analyze,
         "resilience": _cmd_resilience,
     }

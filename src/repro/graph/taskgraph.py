@@ -16,6 +16,7 @@ from types import MappingProxyType
 import networkx as nx
 
 from repro.graph.phase_expr import PhaseExpr
+from repro.util.fingerprint import encode_label, sort_encoded, stable_digest
 
 __all__ = ["CommEdge", "CommPhase", "ExecPhase", "TaskGraph"]
 
@@ -109,6 +110,7 @@ class TaskGraph:
         self._version = 0
         self._static_cache: tuple[tuple[int, int], nx.Graph] | None = None
         self._name_cache: tuple[int, frozenset[str], frozenset[str]] | None = None
+        self._fingerprint_cache: tuple[tuple, str] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -302,6 +304,66 @@ class TaskGraph:
             if labels == list(range(len(labels))):
                 return labels
         return None
+
+    # ------------------------------------------------------------------
+    # content fingerprint
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A stable content digest of the graph (hash-seed independent).
+
+        Two processes building the same graph the same way -- any
+        ``PYTHONHASHSEED``, any platform -- get the same hex string, and any
+        semantic mutation (a node weight, an edge, a volume, a phase, the
+        phase expression, the family tag) changes it.  Node and edge
+        *declaration order* is part of the content: the mapping heuristics
+        iterate tasks in insertion order, so graphs that differ only in
+        declaration order may legitimately map differently and must not
+        share cache entries.  Orders that are construction artefacts with
+        no behavioural effect (per-task exec-cost dicts) are canonicalised.
+
+        The digest keys the pipeline's content-addressed artifact cache
+        (:mod:`repro.pipeline.cache`); it is cached behind the mutation
+        counter like :meth:`static_graph`; the phase expression (assigned
+        directly, not through a mutator) is part of the cache key so
+        re-assigning it is picked up too.
+        """
+        expr = str(self.phase_expr) if self.phase_expr is not None else None
+        key = (self._version, self.n_edges, expr)
+        if self._fingerprint_cache is not None and self._fingerprint_cache[0] == key:
+            return self._fingerprint_cache[1]
+        payload = {
+            "kind": "taskgraph",
+            "name": self.name,
+            "family": [self.family[0], [encode_label(p) for p in self.family[1]]]
+            if self.family
+            else None,
+            "node_symmetric_hint": self.node_symmetric_hint,
+            "nodes": [[encode_label(n), w] for n, w in self._nodes.items()],
+            "comm_phases": [
+                [
+                    name,
+                    [
+                        [encode_label(e.src), encode_label(e.dst), e.volume]
+                        for e in ph.edges
+                    ],
+                ]
+                for name, ph in self._comm_phases.items()
+            ],
+            "exec_phases": [
+                [
+                    name,
+                    ph.cost,
+                    sort_encoded(
+                        [encode_label(t), c] for t, c in ph.costs.items()
+                    ),
+                ]
+                for name, ph in self._exec_phases.items()
+            ],
+            "phase_expr": expr,
+        }
+        digest = stable_digest(payload)
+        self._fingerprint_cache = (key, digest)
+        return digest
 
     # ------------------------------------------------------------------
     # validation

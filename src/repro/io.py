@@ -13,6 +13,9 @@ as JSON arrays and are restored as tuples.
 from __future__ import annotations
 
 import json
+import os
+import pickle
+import tempfile
 from typing import Any
 
 from repro.arch.topology import Topology
@@ -31,6 +34,8 @@ __all__ = [
     "faultset_from_dict",
     "save_faultset",
     "load_faultset",
+    "save_artifact",
+    "load_artifact",
 ]
 
 
@@ -231,3 +236,44 @@ def load_mapping(path: str) -> Mapping:
     """Read a mapping from a JSON file written by :func:`save_mapping`."""
     with open(path) as fh:
         return mapping_from_dict(json.load(fh))
+
+
+# ----------------------------------------------------------------------
+# binary artifacts (the pipeline cache's disk tier)
+# ----------------------------------------------------------------------
+
+def save_artifact(payload: Any, path: str) -> None:
+    """Pickle *payload* to *path* atomically.
+
+    Written via a temp file in the destination directory plus
+    ``os.replace``, so a concurrent reader (another process sharing
+    ``~/.cache/repro``) sees either the old file or the new one, never a
+    torn write.  Creates the parent directory if needed.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_artifact(path: str) -> Any | None:
+    """Unpickle an artifact written by :func:`save_artifact`.
+
+    Returns ``None`` for a missing, truncated, or otherwise unreadable
+    file -- cache tiers treat any damage as a miss, never an error.
+    """
+    try:
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None

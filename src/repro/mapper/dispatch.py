@@ -1,20 +1,24 @@
-"""MAPPER's three-way dispatch (Fig 3) and the one-call mapping entry point.
+"""MAPPER's mapping strategies (Fig 3) and the one-call mapping shim.
 
-:func:`map_computation` runs the full pipeline: pick a contraction+embedding
-strategy by the task graph's regularity, then route with Algorithm MM-Route.
+The three dispatch paths live here as registered pipeline strategies --
+:mod:`repro.pipeline.stages` holds the registry, this module holds the
+implementations, and importing this module populates the registry:
 
-Strategy selection (``strategy="auto"``):
+1. **canned** (rank 0) -- the task graph and topology both carry family
+   names and the registry has an entry that fits: constant-time lookup.
+2. **group** (rank 1) -- the communication functions generate a regular
+   group action: group-theoretic contraction to perfectly balanced
+   cosets, then NN-Embed places the quotient graph.
+3. **mwm** (rank 2, refinable) -- everything else: Algorithm MWM-Contract
+   + Algorithm NN-Embed.
 
-1. **canned** -- the task graph and topology both carry family names and the
-   registry has an entry that fits: constant-time lookup.
-2. **group** -- the communication functions generate a regular group action:
-   group-theoretic contraction to perfectly balanced cosets, then NN-Embed
-   places the quotient graph.
-3. **mwm** -- everything else: Algorithm MWM-Contract + Algorithm NN-Embed.
+The rank order is the ``auto`` fall-through order *and* the portfolio
+tie-break order -- declared once, read everywhere.
 
-Each strategy can also be forced by name (``"canned"``, ``"group"``,
-``"mwm"``), in which case a non-fitting input raises
-:class:`repro.mapper.NotApplicableError` instead of falling through.
+:func:`map_computation` remains the one-call entry point, now a thin shim
+over :func:`repro.pipeline.run_pipeline` (stages ``contract`` / ``embed``
+/ ``refine`` / ``route``).  Its outputs are bit-identical to the
+pre-pipeline implementation -- pinned by ``tests/test_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -24,22 +28,29 @@ from repro.graph.taskgraph import TaskGraph
 from repro.mapper.canned.registry import canned_assignment
 from repro.mapper.contraction.group import group_contract
 from repro.mapper.contraction.mwm import mwm_contract
-from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
 from repro.mapper.mapping import Mapping, NotApplicableError
-from repro.mapper.routing.mm_route import mm_route
+from repro.pipeline.stages import Contraction, register_strategy, strategy_names
 from repro.util import perf
 
 __all__ = ["map_computation"]
 
-_STRATEGIES = ("auto", "canned", "group", "mwm")
+
+# ----------------------------------------------------------------------
+# strategy implementations (registered below)
+# ----------------------------------------------------------------------
+
+def _canned(
+    tg: TaskGraph, topology: Topology, load_bound: int | None
+) -> Contraction:
+    # Canned mappings place directly -- no separate embedding step.
+    return Contraction(
+        provenance="canned", assignment=canned_assignment(tg, topology)
+    )
 
 
-def _canned(tg: TaskGraph, topology: Topology) -> Mapping:
-    assignment = canned_assignment(tg, topology)
-    return Mapping(tg, topology, assignment, provenance="canned")
-
-
-def _group(tg: TaskGraph, topology: Topology, load_bound: int | None) -> Mapping:
+def _group(
+    tg: TaskGraph, topology: Topology, load_bound: int | None
+) -> Contraction:
     # allow_residual: "almost node symmetric" graphs (a few non-bijective
     # phases, e.g. a synthesised aggregation) still take the group path,
     # with the residual traffic folded into the subgroup choice.
@@ -52,40 +63,28 @@ def _group(tg: TaskGraph, topology: Topology, load_bound: int | None) -> Mapping
         raise NotApplicableError(
             "group contraction's coset size exceeds the requested load bound"
         )
-    placement = nn_embed(tg, contraction.clusters, topology)
-    assignment = assignment_from_clusters(contraction.clusters, placement)
-    mapping = Mapping(tg, topology, assignment, provenance="group")
-    mapping.group_contraction = contraction  # diagnostics for METRICS
-    return mapping
+    return Contraction(
+        provenance="group",
+        clusters=contraction.clusters,
+        group_contraction=contraction,  # diagnostics for METRICS
+    )
 
 
-def _mwm(tg: TaskGraph, topology: Topology, load_bound: int | None) -> Mapping:
+def _mwm(
+    tg: TaskGraph, topology: Topology, load_bound: int | None
+) -> Contraction:
     clusters = mwm_contract(tg, topology.n_processors, load_bound=load_bound)
-    placement = nn_embed(tg, clusters, topology)
-    assignment = assignment_from_clusters(clusters, placement)
-    return Mapping(tg, topology, assignment, provenance="mwm")
+    return Contraction(provenance="mwm", clusters=clusters)
 
 
-def _refine(tg: TaskGraph, topology: Topology, mapping: Mapping, load_bound) -> Mapping:
-    """KL-style post-pass: refine the contraction, re-embed, 2-opt."""
-    import math
+register_strategy("canned", _canned, rank=0)
+register_strategy("group", _group, rank=1)
+register_strategy("mwm", _mwm, rank=2, refinable=True)
 
-    from repro.mapper.embedding.nn_embed import nn_embed
-    from repro.mapper.refine import refine_contraction, refine_embedding
 
-    bound = load_bound if load_bound is not None else math.ceil(
-        max(tg.n_tasks, 1) / topology.n_processors
-    )
-    clusters = [sorted(ts, key=repr) for ts in mapping.clusters().values()]
-    clusters = refine_contraction(tg, clusters, load_bound=bound)
-    placement = nn_embed(tg, clusters, topology)
-    placement = refine_embedding(tg, clusters, placement, topology)
-    assignment = assignment_from_clusters(clusters, placement)
-    refined = Mapping(
-        tg, topology, assignment, provenance=mapping.provenance + "+refined"
-    )
-    return refined
-
+# ----------------------------------------------------------------------
+# the legacy one-call entry point (now a pipeline shim)
+# ----------------------------------------------------------------------
 
 def map_computation(
     tg: TaskGraph,
@@ -98,6 +97,11 @@ def map_computation(
 ) -> Mapping:
     """Map a task graph onto a topology: contraction, embedding, routing.
 
+    A thin shim over :func:`repro.pipeline.run_pipeline` -- same results
+    as ever, one execution path underneath.  Runs uncached: callers that
+    want memoised repeat runs use the pipeline directly and get the
+    artifact cache for free.
+
     Parameters
     ----------
     tg:
@@ -106,8 +110,11 @@ def map_computation(
     topology:
         The target architecture.
     strategy:
-        ``"auto"`` (default) tries canned, then group-theoretic, then
-        MWM-Contract; or force one of ``"canned"`` / ``"group"`` / ``"mwm"``.
+        ``"auto"`` (default) tries the registered strategies in rank
+        order -- canned, then group-theoretic, then MWM-Contract; or
+        force one by name (``"canned"`` / ``"group"`` / ``"mwm"``), in
+        which case a non-fitting input raises
+        :class:`~repro.mapper.NotApplicableError`.
     load_bound:
         Optional balance constraint ``B`` (max tasks per processor);
         defaults to ``ceil(n_tasks / n_processors)``.
@@ -123,41 +130,22 @@ def map_computation(
     -------
     A validated :class:`repro.mapper.Mapping`.
     """
-    if strategy not in _STRATEGIES:
-        raise ValueError(f"unknown strategy {strategy!r}; choose from {_STRATEGIES}")
+    # Lazy: repro.pipeline.engine may still be mid-import when this module
+    # loads (pipeline -> cache -> io -> mapper -> here); by call time it
+    # is complete.
+    from repro.pipeline.config import MapConfig, RunConfig
+    from repro.pipeline.engine import run_pipeline
+
+    known = ("auto", *strategy_names())
+    if strategy not in known:
+        raise ValueError(f"unknown strategy {strategy!r}; choose from {known}")
+    stages = ("contract", "embed", "refine")
+    if route:
+        stages += ("route",)
+    config = RunConfig(
+        map=MapConfig(strategy=strategy, load_bound=load_bound, refine=refine),
+        stages=stages,
+        cache=False,
+    )
     with perf.span("mapper.map_computation"):
-        tg.validate()
-
-        with perf.span("mapper.strategy"):
-            if strategy == "canned":
-                mapping = _canned(tg, topology)
-            elif strategy == "group":
-                mapping = _group(tg, topology, load_bound)
-            elif strategy == "mwm":
-                mapping = _mwm(tg, topology, load_bound)
-            else:
-                mapping = None
-                for attempt in (
-                    lambda: _canned(tg, topology),
-                    lambda: _group(tg, topology, load_bound),
-                ):
-                    try:
-                        mapping = attempt()
-                        break
-                    except NotApplicableError:
-                        continue
-                if mapping is None:
-                    mapping = _mwm(tg, topology, load_bound)
-        perf.count(f"mapper.strategy.{mapping.provenance}")
-
-        if refine and mapping.provenance != "canned" and tg.n_tasks > 0:
-            with perf.span("mapper.refine"):
-                mapping = _refine(tg, topology, mapping, load_bound)
-
-        if route:
-            with perf.span("mapper.route"):
-                routing = mm_route(tg, topology, mapping.assignment)
-                mapping.routes = routing.routes
-                mapping.routing_rounds = routing.rounds
-        mapping.validate(require_routes=route)
-        return mapping
+        return run_pipeline(tg, topology, config).mapping

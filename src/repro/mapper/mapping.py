@@ -85,6 +85,26 @@ class Mapping:
         """Hops of one message edge's route (0 for intra-processor)."""
         return len(self.routes[(phase, edge_index)]) - 1
 
+    def copy(self) -> "Mapping":
+        """A copy safe to mutate independently.
+
+        Fresh assignment/route dicts; the task graph and topology are
+        shared (immutable in practice).  The pipeline cache hands out
+        copies so one caller's provenance edits (e.g. the resilience
+        layer's ``+full-repair`` tag) never leak into cached artifacts.
+        """
+        dup = Mapping(
+            self.task_graph,
+            self.topology,
+            self.assignment,
+            self.routes,
+            provenance=self.provenance,
+        )
+        for attr in ("routing_rounds", "group_contraction"):
+            if hasattr(self, attr):
+                setattr(dup, attr, getattr(self, attr))
+        return dup
+
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------

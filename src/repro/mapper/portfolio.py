@@ -34,8 +34,8 @@ from collections.abc import Iterable, Sequence
 
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
-from repro.mapper.dispatch import map_computation
 from repro.mapper.mapping import Mapping, NotApplicableError
+from repro.pipeline.stages import default_portfolio
 from repro.sim.model import CostModel
 from repro.util import perf
 from repro.util.pools import EXECUTORS as _EXECUTORS
@@ -50,7 +50,10 @@ __all__ = [
 ]
 
 #: Strategy order tried by default; also the deterministic tie-break order.
-DEFAULT_STRATEGIES: tuple[str, ...] = ("canned", "group", "mwm", "mwm+refine")
+#: Derived from the strategy registry (rank order, plus ``+refine`` for
+#: refinable strategies) -- registering a new strategy extends this
+#: automatically instead of requiring edits here and in ``dispatch``.
+DEFAULT_STRATEGIES: tuple[str, ...] = default_portfolio()
 
 
 @dataclass
@@ -105,24 +108,30 @@ def _run_strategy(
     model: CostModel,
     load_bound: int | None,
 ) -> Candidate:
-    """Map + simulate one strategy; inapplicable strategies become skips."""
-    from repro.sim.engine import simulate
+    """Map + simulate one strategy; inapplicable strategies become skips.
+
+    One pipeline run per strategy (stages through ``simulate``), so a
+    portfolio re-running an instance it has seen -- across repair loops,
+    sweeps, or process restarts -- is served from the artifact cache.
+    """
+    from repro.pipeline.config import MapConfig, RunConfig, SimConfig
+    from repro.pipeline.engine import run_pipeline
 
     base, _, suffix = strategy.partition("+")
     if suffix not in ("", "refine"):
         raise ValueError(f"unknown strategy suffix {suffix!r} in {strategy!r}")
+    config = RunConfig(
+        map=MapConfig(
+            strategy=base, load_bound=load_bound, refine=suffix == "refine"
+        ),
+        sim=SimConfig.from_model(model),
+        stages=("contract", "embed", "refine", "route", "simulate"),
+    )
     try:
-        mapping = map_computation(
-            tg,
-            topology,
-            strategy=base,
-            load_bound=load_bound,
-            refine=suffix == "refine",
-        )
+        result = run_pipeline(tg, topology, config)
     except NotApplicableError as exc:
         return Candidate(strategy, skipped=str(exc))
-    sim = simulate(mapping, model)
-    return Candidate(strategy, mapping, sim.total_time)
+    return Candidate(strategy, result.mapping, result.sim.total_time)
 
 
 def _select_best(candidates: Sequence[Candidate]) -> Candidate:
@@ -144,7 +153,7 @@ def run_portfolio(
     tg: TaskGraph,
     topology: Topology,
     *,
-    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    strategies: Sequence[str] | None = None,
     model: CostModel | None = None,
     load_bound: int | None = None,
     executor: str = "serial",
@@ -155,8 +164,10 @@ def run_portfolio(
     Parameters
     ----------
     strategies:
-        Strategy names tried, in tie-break order.  ``"<base>+refine"``
-        enables the refinement post-passes on ``<base>``.
+        Strategy names tried, in tie-break order (default: the live
+        registry's :func:`~repro.pipeline.default_portfolio`).
+        ``"<base>+refine"`` enables the refinement post-passes on
+        ``<base>``.
     executor:
         ``"serial"`` (default) runs strategies in-process; ``"thread"`` /
         ``"process"`` fan them out over ``concurrent.futures``.  The
@@ -164,6 +175,8 @@ def run_portfolio(
     max_workers:
         Pool size for the parallel executors (default: one per strategy).
     """
+    if strategies is None:
+        strategies = default_portfolio()
     if not strategies:
         raise ValueError("portfolio needs at least one strategy")
     model = model or CostModel()
@@ -211,7 +224,7 @@ def _pair_task(payload) -> PortfolioResult:
 def map_many(
     pairs: Iterable[tuple[TaskGraph, Topology]],
     *,
-    strategies: Sequence[str] = DEFAULT_STRATEGIES,
+    strategies: Sequence[str] | None = None,
     model: CostModel | None = None,
     load_bound: int | None = None,
     executor: str = "process",
@@ -238,6 +251,8 @@ def map_many(
     """
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    if strategies is None:
+        strategies = default_portfolio()
     model = model or CostModel()
     payloads = [
         (tg, topology, tuple(strategies), model, load_bound)

@@ -1,0 +1,196 @@
+"""The two-tier content-addressed artifact cache behind ``run_pipeline``.
+
+Mapping a production workload re-solves the same instances constantly --
+the same (task graph, topology, config) triple arrives from sweeps,
+portfolios, repair loops, and repeated CLI invocations.  Because every
+input carries a stable content fingerprint (hash-seed independent; see
+:mod:`repro.util.fingerprint`), a finished :class:`PipelineResult` can be
+addressed purely by what was computed:
+
+* **memory tier** -- a bounded LRU of live results, for the inner loops of
+  one process;
+* **disk tier** -- pickled results under a cache directory, so a *new*
+  process (tomorrow's CLI run, another pool worker) reuses yesterday's
+  work.
+
+Layout and knobs
+----------------
+The default directory is ``$XDG_CACHE_HOME/repro`` (usually
+``~/.cache/repro``); override with ``REPRO_CACHE_DIR``, disable every
+default cache with ``REPRO_CACHE=off`` (``0``/``false``/``no`` also work).
+Entries are one pickle per key, wrapped in a schema-versioned envelope --
+a corrupted, truncated, or schema-mismatched file is a silent miss, and
+invalidation is automatic because any input change changes the key.
+Deleting the directory is always safe.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any
+
+from repro import io
+from repro.util import perf
+
+__all__ = [
+    "ArtifactCache",
+    "default_cache",
+    "reset_default_cache",
+    "cache_dir",
+]
+
+#: Bump when the pickled result layout changes incompatibly; envelopes
+#: with another schema are misses, so stale caches degrade to cold, never
+#: to wrong answers.
+CACHE_SCHEMA = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_SWITCH = "REPRO_CACHE"
+_OFF_VALUES = ("off", "0", "false", "no")
+
+
+def cache_dir() -> str:
+    """The on-disk cache directory the default cache uses.
+
+    ``REPRO_CACHE_DIR`` wins; otherwise ``$XDG_CACHE_HOME/repro``, falling
+    back to ``~/.cache/repro``.
+    """
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(base, "repro")
+
+
+class ArtifactCache:
+    """A bounded in-process LRU over a shared on-disk pickle store.
+
+    Thread-safe for the in-memory tier (portfolio thread pools share one
+    default cache); the disk tier relies on :func:`repro.io.save_artifact`'s
+    atomic replace for cross-process safety.
+
+    Parameters
+    ----------
+    directory:
+        Disk-tier location, or ``None`` for a memory-only cache.
+    capacity:
+        Memory-tier entry bound; the least recently used entry is evicted
+        (it stays on disk).
+    """
+
+    def __init__(self, directory: str | None = None, *, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.directory = directory
+        self.capacity = capacity
+        self._memory: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, key: str) -> tuple[Any, str] | None:
+        """The cached value as ``(value, tier)``, or ``None`` on a miss.
+
+        ``tier`` is ``"memory"`` or ``"disk"``; a disk hit is promoted
+        into the memory tier.
+        """
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                perf.count("pipeline.cache.memory_hit")
+                return self._memory[key], "memory"
+        if self.directory is not None:
+            envelope = io.load_artifact(self._path(key))
+            if (
+                isinstance(envelope, dict)
+                and envelope.get("schema") == CACHE_SCHEMA
+                and envelope.get("key") == key
+            ):
+                value = envelope["result"]
+                with self._lock:
+                    self._remember(key, value)
+                perf.count("pipeline.cache.disk_hit")
+                return value, "disk"
+        perf.count("pipeline.cache.miss")
+        return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store a value in both tiers (disk failures are non-fatal)."""
+        with self._lock:
+            self._remember(key, value)
+        if self.directory is not None:
+            envelope = {"schema": CACHE_SCHEMA, "key": key, "result": value}
+            try:
+                io.save_artifact(envelope, self._path(key))
+            except OSError:
+                # A read-only or full cache directory degrades the disk
+                # tier to a no-op; results still flow.
+                perf.count("pipeline.cache.disk_write_error")
+
+    def _remember(self, key: str, value: Any) -> None:
+        # caller holds the lock
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def clear(self, *, disk: bool = False) -> None:
+        """Drop the memory tier; with ``disk=True`` also delete disk entries."""
+        with self._lock:
+            self._memory.clear()
+        if disk and self.directory is not None and os.path.isdir(self.directory):
+            for name in os.listdir(self.directory):
+                if name.endswith(".pkl"):
+                    try:
+                        os.unlink(os.path.join(self.directory, name))
+                    except OSError:
+                        pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ArtifactCache {len(self)}/{self.capacity} in memory, "
+            f"disk={self.directory!r}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# the process-wide default
+# ----------------------------------------------------------------------
+
+_default: ArtifactCache | None = None
+_default_made = False
+_default_lock = threading.Lock()
+
+
+def default_cache() -> ArtifactCache | None:
+    """The process-wide cache ``run_pipeline`` uses when none is passed.
+
+    Built lazily from the environment; ``None`` when ``REPRO_CACHE`` is
+    set to an off value.  The environment is read once -- call
+    :func:`reset_default_cache` after changing it (tests do).
+    """
+    global _default, _default_made
+    with _default_lock:
+        if not _default_made:
+            switch = os.environ.get(_ENV_SWITCH, "").strip().lower()
+            _default = None if switch in _OFF_VALUES else ArtifactCache(cache_dir())
+            _default_made = True
+        return _default
+
+
+def reset_default_cache() -> None:
+    """Forget the default cache so the next use re-reads the environment."""
+    global _default, _default_made
+    with _default_lock:
+        _default = None
+        _default_made = False

@@ -1,0 +1,244 @@
+"""Typed, frozen run configurations for the staged mapping pipeline.
+
+Before this module, every caller re-encoded the same knobs its own way:
+``map_computation`` keyword args, the portfolio's strategy tuples, the
+CLI's flag plumbing.  A :class:`RunConfig` is the single typed value that
+states everything a pipeline run depends on:
+
+* :class:`MapConfig` -- which mapping strategy, load bound, refinement;
+* :class:`SimConfig` -- the simulated machine's cost model and the step
+  memoization switch;
+* :class:`AnalyzeConfig` -- the METRICS accumulation kernel;
+* the stage list to execute and whether the artifact cache may serve it.
+
+All four are frozen and hashable, so configs work as dict keys, dedupe in
+sets, and fingerprint stably for the content-addressed cache
+(:meth:`RunConfig.fingerprint`).  ``from_dict``/``to_dict`` round-trip them
+through JSON/TOML for the ``repro run`` serving entry point; ``from_dict``
+rejects unknown keys so a typo in a config file fails loudly instead of
+silently running defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.sim.model import CostModel
+from repro.util.fingerprint import stable_digest
+
+__all__ = ["MapConfig", "SimConfig", "AnalyzeConfig", "RunConfig", "DEFAULT_STAGES"]
+
+#: The full pipeline, in execution order.  ``refine`` is declared even when
+#: ``MapConfig.refine`` is false -- the stage no-ops -- so one stage list
+#: describes every run and introspection always sees the same shape.
+DEFAULT_STAGES: tuple[str, ...] = (
+    "contract", "embed", "refine", "route", "simulate", "analyze",
+)
+
+_METRICS_KERNELS = ("vector", "reference")
+_SWITCHING_MODES = ("store_and_forward", "cut_through")
+
+
+def _check_unknown(cls, data: dict) -> None:
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys {sorted(unknown)!r}; "
+            f"choose from {sorted(known)!r}"
+        )
+
+
+@dataclass(frozen=True)
+class MapConfig:
+    """How MAPPER contracts, embeds, and refines.
+
+    Attributes
+    ----------
+    strategy:
+        ``"auto"`` (registry order with fall-through) or a registered
+        strategy name (``"canned"`` / ``"group"`` / ``"mwm"`` today --
+        see :mod:`repro.pipeline.stages`).  Validated against the registry
+        when the contract stage runs, so strategies registered after
+        config construction still resolve.
+    load_bound:
+        Optional balance constraint ``B`` (max tasks per processor).
+    refine:
+        Run the Kernighan-Lin-style post-passes on heuristic mappings.
+    """
+
+    strategy: str = "auto"
+    load_bound: int | None = None
+    refine: bool = False
+
+    def __post_init__(self):
+        if not isinstance(self.strategy, str) or not self.strategy:
+            raise ValueError(f"strategy must be a non-empty string, "
+                             f"got {self.strategy!r}")
+        if self.load_bound is not None and self.load_bound < 1:
+            raise ValueError(f"load_bound must be >= 1, got {self.load_bound}")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MapConfig":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        _check_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """The simulated machine's parameters plus the memoization switch.
+
+    The first four fields mirror :class:`repro.sim.CostModel` exactly;
+    :meth:`cost_model` converts.  ``memoize`` toggles the PR 1 step cache,
+    which changes wall-clock time only, never results.
+    """
+
+    hop_latency: float = 1.0
+    byte_time: float = 1.0
+    exec_time: float = 1.0
+    switching: str = "store_and_forward"
+    memoize: bool = True
+
+    def __post_init__(self):
+        if self.switching not in _SWITCHING_MODES:
+            raise ValueError(
+                f"switching must be one of {_SWITCHING_MODES}, "
+                f"got {self.switching!r}"
+            )
+        if min(self.hop_latency, self.byte_time, self.exec_time) < 0:
+            raise ValueError("cost-model parameters must be non-negative")
+
+    def cost_model(self) -> CostModel:
+        """The equivalent :class:`~repro.sim.CostModel`."""
+        return CostModel(
+            hop_latency=self.hop_latency,
+            byte_time=self.byte_time,
+            exec_time=self.exec_time,
+            switching=self.switching,
+        )
+
+    @classmethod
+    def from_model(cls, model: CostModel, *, memoize: bool = True) -> "SimConfig":
+        """Wrap an existing cost model (the legacy entry points' shims)."""
+        return cls(
+            hop_latency=model.hop_latency,
+            byte_time=model.byte_time,
+            exec_time=model.exec_time,
+            switching=model.switching,
+            memoize=memoize,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimConfig":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        _check_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class AnalyzeConfig:
+    """METRICS knobs: which accumulation kernel computes link metrics."""
+
+    kernel: str = "vector"
+
+    def __post_init__(self):
+        if self.kernel not in _METRICS_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_METRICS_KERNELS}, got {self.kernel!r}"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-compatible form (inverse of :meth:`from_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalyzeConfig":
+        """Build from a (possibly partial) dict; unknown keys raise."""
+        _check_unknown(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything one pipeline run depends on, as a single hashable value.
+
+    Attributes
+    ----------
+    map, sim, analyze:
+        The per-stage configs.
+    stages:
+        The stage names to execute, in order (a subset of the registered
+        stages; see :data:`DEFAULT_STAGES`).  Legacy shims shorten this --
+        ``map_computation`` stops after ``route`` -- while the serving
+        entry point runs the full pipeline.
+    cache:
+        Whether the artifact cache may serve/store this run's result.
+        Part of the config (and its dict form) so a ``repro run`` config
+        file can pin caching off; *not* part of the fingerprint, because
+        it does not change what is computed.
+    """
+
+    map: MapConfig = field(default_factory=MapConfig)
+    sim: SimConfig = field(default_factory=SimConfig)
+    analyze: AnalyzeConfig = field(default_factory=AnalyzeConfig)
+    stages: tuple[str, ...] = DEFAULT_STAGES
+    cache: bool = True
+
+    def __post_init__(self):
+        # Tolerate lists from JSON/TOML; normalise to a hashable tuple.
+        if not isinstance(self.stages, tuple):
+            object.__setattr__(self, "stages", tuple(self.stages))
+        if not self.stages:
+            raise ValueError("a pipeline run needs at least one stage")
+
+    def to_dict(self) -> dict:
+        """JSON-compatible nested dict (inverse of :meth:`from_dict`)."""
+        return {
+            "map": self.map.to_dict(),
+            "sim": self.sim.to_dict(),
+            "analyze": self.analyze.to_dict(),
+            "stages": list(self.stages),
+            "cache": self.cache,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunConfig":
+        """Build from a (possibly partial) nested dict; unknown keys raise.
+
+        This is the entry point for JSON/TOML config files: every section
+        is optional and defaults apply, but misspelt keys raise
+        :class:`ValueError` rather than silently running defaults.
+        """
+        _check_unknown(cls, data)
+        kwargs: dict = {}
+        if "map" in data:
+            kwargs["map"] = MapConfig.from_dict(data["map"])
+        if "sim" in data:
+            kwargs["sim"] = SimConfig.from_dict(data["sim"])
+        if "analyze" in data:
+            kwargs["analyze"] = AnalyzeConfig.from_dict(data["analyze"])
+        if "stages" in data:
+            kwargs["stages"] = tuple(data["stages"])
+        if "cache" in data:
+            kwargs["cache"] = bool(data["cache"])
+        return cls(**kwargs)
+
+    def fingerprint(self) -> str:
+        """A stable digest of everything that changes the computed result.
+
+        The ``cache`` flag is excluded: two configs differing only in it
+        compute identical artifacts and should share cache entries.
+        """
+        payload = self.to_dict()
+        del payload["cache"]
+        payload["kind"] = "runconfig"
+        return stable_digest(payload)

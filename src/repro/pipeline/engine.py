@@ -1,0 +1,237 @@
+"""``run_pipeline`` -- the single execution path for every mapping run.
+
+Every caller in the stack (``map_computation``, the portfolio, the
+resilience layer, the CLI, the benchmarks) funnels through this function:
+it executes the stage list a :class:`~repro.pipeline.RunConfig` declares,
+times each stage, validates the result, and -- when caching is on --
+serves repeat runs from the content-addressed artifact cache instead of
+recomputing them.
+
+The cache key is a digest over the *content* of all four inputs
+(``TaskGraph.fingerprint()``, ``Topology.fingerprint()``, optional
+``FaultSet.fingerprint()``, ``RunConfig.fingerprint()``), so two
+differently-constructed but equal instances share one entry, and any
+semantic change -- a task weight, an edge, a dead link, a config knob --
+misses cleanly.  When caching is off no fingerprinting happens at all,
+keeping the legacy shims' hot path free of hashing overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.arch.topology import Topology
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import Mapping
+from repro.pipeline.cache import CACHE_SCHEMA, ArtifactCache, default_cache
+from repro.pipeline.config import RunConfig
+from repro.pipeline.stages import PipelineContext, get_stage
+from repro.util import perf
+from repro.util.fingerprint import stable_digest
+
+__all__ = ["PipelineResult", "run_pipeline", "pipeline_key"]
+
+#: The ``repro run`` JSON output format tag.
+RESULT_FORMAT = "oregami-pipeline-result-v1"
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline run produced.
+
+    ``sim``/``metrics``/``routing_rounds`` are ``None`` when the config's
+    stage list skipped the producing stage.  ``cache_hit``/``cache_tier``
+    describe how *this* result was obtained; ``stage_seconds`` always
+    describes the original computation (it rides along on cache hits, so
+    provenance of a served artifact is never lost).
+    """
+
+    mapping: Mapping
+    config: RunConfig
+    stages: tuple[str, ...]
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    strategy: str | None = None
+    routing_rounds: int | None = None
+    sim: Any | None = None
+    metrics: Any | None = None
+    fingerprints: dict[str, str] = field(default_factory=dict)
+    cache_key: str | None = None
+    cache_hit: bool = False
+    cache_tier: str | None = None
+
+    @property
+    def completion_time(self) -> float | None:
+        """Simulated completion time (``None`` without a simulate stage)."""
+        return self.sim.total_time if self.sim is not None else None
+
+    def _served_from(self, tier: str) -> "PipelineResult":
+        """A hit wrapper: shared artifacts, fresh mutable surfaces.
+
+        The mapping is copied so a caller that annotates it (the
+        resilience layer rewrites provenance) cannot corrupt the cached
+        original for the next caller.
+        """
+        return replace(
+            self,
+            mapping=self.mapping.copy(),
+            stage_seconds=dict(self.stage_seconds),
+            cache_hit=True,
+            cache_tier=tier,
+        )
+
+    def to_dict(self) -> dict:
+        """A JSON-compatible dict (the ``repro run`` output format)."""
+        from repro import io
+        from repro.metrics.analysis import metrics_to_dict
+
+        sim_summary = None
+        if self.sim is not None:
+            sim_summary = {
+                "total_time": self.sim.total_time,
+                "steps": len(self.sim.step_times),
+                "messages": self.sim.messages,
+            }
+        return {
+            "format": RESULT_FORMAT,
+            "config": self.config.to_dict(),
+            "stages": list(self.stages),
+            "stage_seconds": dict(self.stage_seconds),
+            "strategy": self.strategy,
+            "routing_rounds": self.routing_rounds,
+            "fingerprints": dict(self.fingerprints),
+            "cache": {
+                "key": self.cache_key,
+                "hit": self.cache_hit,
+                "tier": self.cache_tier,
+            },
+            "mapping": io.mapping_to_dict(self.mapping),
+            "sim": sim_summary,
+            "metrics": (
+                metrics_to_dict(self.metrics, self.mapping)
+                if self.metrics is not None
+                else None
+            ),
+        }
+
+
+def pipeline_key(
+    tg: TaskGraph,
+    topology: Topology,
+    config: RunConfig,
+    faults=None,
+) -> tuple[str, dict[str, str]]:
+    """The cache key for a run, plus the per-input fingerprints.
+
+    Content-addressed: equal content gives equal keys in every process
+    under every ``PYTHONHASHSEED``, which is what makes the disk tier
+    shareable across runs and machines.
+    """
+    fingerprints = {
+        "task_graph": tg.fingerprint(),
+        "topology": topology.fingerprint(),
+        "config": config.fingerprint(),
+    }
+    if faults is not None:
+        fingerprints["faults"] = faults.fingerprint()
+    key = stable_digest({
+        "kind": "pipeline-run",
+        "schema": CACHE_SCHEMA,
+        **fingerprints,
+        "faults": fingerprints.get("faults"),
+    })
+    return key, fingerprints
+
+
+def run_pipeline(
+    tg: TaskGraph,
+    topology: Topology,
+    config: RunConfig | None = None,
+    *,
+    faults=None,
+    cache: ArtifactCache | None = None,
+) -> PipelineResult:
+    """Execute (or serve from cache) one staged mapping run.
+
+    Parameters
+    ----------
+    tg, topology:
+        The instance to map.  With *faults*, the run targets
+        ``topology.degrade(faults)`` and the fault set joins the cache
+        key, so pristine and degraded runs never collide.
+    config:
+        The :class:`RunConfig` (defaults to a full-pipeline default run).
+    cache:
+        An explicit :class:`ArtifactCache` to use, overriding both the
+        process default and ``config.cache``.  ``None`` (default) uses
+        the process-wide default cache when ``config.cache`` is true.
+
+    Returns
+    -------
+    A :class:`PipelineResult`.  Cache hits return a copy whose ``mapping``
+    is safe to mutate; ``cache_hit``/``cache_tier`` say where it came from.
+    """
+    config = config if config is not None else RunConfig()
+    if faults is not None and not faults.is_empty:
+        target = topology.degrade(faults)
+    else:
+        target = topology
+
+    store = cache if cache is not None else (
+        default_cache() if config.cache else None
+    )
+
+    key: str | None = None
+    fingerprints: dict[str, str] = {}
+    if store is not None:
+        key, fingerprints = pipeline_key(tg, topology, config, faults)
+        hit = store.get(key)
+        if hit is not None:
+            result, tier = hit
+            return result._served_from(tier)
+
+    with perf.span("pipeline.run"):
+        tg.validate()
+        ctx = PipelineContext(tg=tg, topology=target, config=config)
+        stage_seconds: dict[str, float] = {}
+        executed: list[str] = []
+        for name in config.stages:
+            stage = get_stage(name)
+            missing = [r for r in stage.requires if getattr(ctx, r) is None]
+            if missing:
+                raise ValueError(
+                    f"stage {name!r} requires {missing!r} but no earlier "
+                    f"stage produced them; stage order was {config.stages!r}"
+                )
+            with perf.span(f"pipeline.{name}"):
+                start = time.perf_counter()
+                stage.run(ctx)
+                stage_seconds[name] = time.perf_counter() - start
+            executed.append(name)
+        if ctx.mapping is None:
+            raise ValueError(
+                f"stage list {config.stages!r} never built a mapping "
+                f"(include 'contract' and 'embed')"
+            )
+        ctx.mapping.validate(require_routes="route" in executed)
+
+    result = PipelineResult(
+        mapping=ctx.mapping,
+        config=config,
+        stages=tuple(executed),
+        stage_seconds=stage_seconds,
+        strategy=ctx.provenance,
+        routing_rounds=ctx.routing_rounds,
+        sim=ctx.sim,
+        metrics=ctx.metrics,
+        fingerprints=fingerprints,
+        cache_key=key,
+    )
+    if store is not None and key is not None:
+        # The cache keeps its own mapping copy: the caller owns the
+        # returned one and may annotate it (provenance tags) without
+        # corrupting the stored artifact.
+        store.put(key, replace(result, mapping=result.mapping.copy(),
+                               stage_seconds=dict(stage_seconds)))
+    return result

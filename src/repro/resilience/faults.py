@@ -23,6 +23,7 @@ from collections.abc import Hashable, Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.arch.topology import Topology
+from repro.util.fingerprint import encode_label, sort_encoded, stable_digest
 
 __all__ = ["FaultSet"]
 
@@ -168,6 +169,32 @@ class FaultSet:
                 f"fault set names links not in topology {topology.name!r}: "
                 f"{sorted(tuple(sorted(l, key=repr)) for l in bad)!r}"
             )
+
+    def fingerprint(self) -> str:
+        """A stable content digest of the fault set (hash-seed independent).
+
+        Frozensets iterate in hash order, which varies with
+        ``PYTHONHASHSEED``, so every collection is canonically sorted by
+        its encoded form before digesting.  Equal fault sets -- however
+        constructed, in whatever process -- digest equally; adding,
+        removing, or re-weighting any fault changes the digest.  Keys the
+        pipeline's content-addressed artifact cache next to the graph and
+        topology fingerprints.
+        """
+        return stable_digest({
+            "kind": "faultset",
+            "failed_procs": sort_encoded(
+                encode_label(p) for p in self.failed_procs
+            ),
+            "failed_links": sort_encoded(
+                sort_encoded(encode_label(p) for p in link)
+                for link in self.failed_links
+            ),
+            "degraded_links": sort_encoded(
+                [sort_encoded(encode_label(p) for p in link), factor]
+                for link, factor in self.degraded_links
+            ),
+        })
 
     def union(self, other: "FaultSet") -> "FaultSet":
         """The combined fault set (conflicting slowdowns raise)."""

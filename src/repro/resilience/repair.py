@@ -34,7 +34,6 @@ from dataclasses import dataclass, field
 
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
-from repro.mapper.dispatch import map_computation
 from repro.mapper.mapping import Mapping
 from repro.mapper.migration import migration_time
 from repro.mapper.routing.mm_route import route_edges
@@ -231,7 +230,31 @@ def _repair_full(
     reason: str | None,
     **map_kwargs,
 ) -> RepairReport:
-    remapped = map_computation(tg, degraded, **map_kwargs)
+    # A full remap is a fresh pipeline run on the degraded machine -- and
+    # a *cached* one when this machine state was repaired before (failure
+    # sweeps re-derive the same degraded topologies constantly).  The
+    # engine hands back a private mapping copy, so tagging its provenance
+    # below never corrupts the cached artifact.
+    from repro.pipeline.config import MapConfig, RunConfig
+    from repro.pipeline.engine import run_pipeline
+
+    unknown = set(map_kwargs) - {"strategy", "load_bound", "refine", "route"}
+    if unknown:
+        raise TypeError(
+            f"unexpected map_computation arguments: {sorted(unknown)!r}"
+        )
+    stages = ("contract", "embed", "refine")
+    if map_kwargs.get("route", True):
+        stages += ("route",)
+    config = RunConfig(
+        map=MapConfig(
+            strategy=map_kwargs.get("strategy", "auto"),
+            load_bound=map_kwargs.get("load_bound"),
+            refine=map_kwargs.get("refine", False),
+        ),
+        stages=stages,
+    )
+    remapped = run_pipeline(tg, degraded, config).mapping
     remapped.provenance += "+full-repair"
     moved = {
         t: (mapping.assignment[t], p)

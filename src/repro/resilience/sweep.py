@@ -25,7 +25,6 @@ from dataclasses import dataclass, field
 
 from repro.arch.topology import DisconnectedTopologyError, Topology
 from repro.graph.taskgraph import TaskGraph
-from repro.mapper.dispatch import map_computation
 from repro.mapper.mapping import Mapping
 from repro.sim.engine import simulate
 from repro.sim.model import CostModel
@@ -215,7 +214,17 @@ def failure_sweep(
     model = model or CostModel()
     with perf.span("resilience.failure_sweep"):
         if mapping is None:
-            mapping = map_computation(tg, topology)
+            # A cached pipeline run: repeated sweeps of the same instance
+            # (or a sweep after a portfolio already mapped it) reuse the
+            # stored mapping instead of re-contracting.
+            from repro.pipeline.config import RunConfig
+            from repro.pipeline.engine import run_pipeline
+
+            mapping = run_pipeline(
+                tg,
+                topology,
+                RunConfig(stages=("contract", "embed", "refine", "route")),
+            ).mapping
         baseline = simulate(mapping, model).total_time
 
         targets: list[tuple[str, object]] = []

@@ -1,0 +1,73 @@
+"""Stable content fingerprints for cache keys (hash-seed independent).
+
+Python's built-in ``hash`` is salted per process (``PYTHONHASHSEED``), so it
+cannot key a cache that must survive process restarts or agree across the
+workers of a process pool.  This module provides the one primitive the
+pipeline's content-addressed artifact cache needs: a deterministic digest of
+a *canonical payload* -- a JSON-able structure in which every ordering is
+either semantically meaningful (and therefore preserved) or canonicalised
+(sets sorted by their encoded form, never by iteration order).
+
+The digest is a plain SHA-256 over compact canonical JSON, so equal payloads
+produce equal hex strings in any process, on any platform, under any hash
+seed -- which is what lets ``~/.cache/repro`` serve results computed by an
+earlier process (see :mod:`repro.pipeline.cache`).
+
+Producers of canonical payloads (``TaskGraph.fingerprint``,
+``Topology.fingerprint``, ``FaultSet.fingerprint``,
+``RunConfig.fingerprint``) build them from these helpers:
+
+* :func:`encode_label` -- task/processor labels (ints, strings, nested
+  tuples) into JSON-able values;
+* :func:`sort_encoded` -- canonical order for collections whose iteration
+  order is an implementation detail (frozensets, cost dicts);
+* :func:`stable_digest` -- the payload into its hex digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["encode_label", "sort_encoded", "canonical_json", "stable_digest"]
+
+
+def encode_label(label) -> Any:
+    """A task/processor label as a JSON-able value (tuples become lists).
+
+    Labels in this codebase are ints, strings, or (nested) tuples of them
+    -- the same contract as :mod:`repro.io`'s serialisation, so a label and
+    its round-tripped form encode identically.
+    """
+    if isinstance(label, (tuple, list)):
+        return [encode_label(x) for x in label]
+    return label
+
+
+def canonical_json(payload) -> str:
+    """Compact JSON with sorted object keys -- the canonical text form."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def sort_encoded(items) -> list:
+    """Encoded items in canonical (JSON-text) order.
+
+    Use this for any collection whose iteration order depends on the hash
+    seed (sets, frozensets) or is an artefact of construction order rather
+    than semantics (per-task cost dicts): the result is the same list in
+    every process.
+    """
+    return sorted(items, key=canonical_json)
+
+
+def stable_digest(payload) -> str:
+    """The SHA-256 hex digest of a canonical payload.
+
+    *payload* must be JSON-able (use :func:`encode_label` /
+    :func:`sort_encoded` first); equal payloads digest equally under every
+    ``PYTHONHASHSEED``.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()

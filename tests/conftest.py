@@ -1,0 +1,23 @@
+"""Shared test fixtures.
+
+The pipeline's artifact cache persists results on disk (by default under
+``~/.cache/repro``) precisely so new processes can reuse old work -- which
+is the last thing a test run wants: a stale artifact computed by
+yesterday's code could mask today's bug.  Every test therefore gets a
+private cache directory, and the process-wide default cache is rebuilt
+around it.  Tests that exercise the cache itself construct their own
+:class:`repro.pipeline.ArtifactCache` or set the env knobs explicitly.
+"""
+
+import pytest
+
+from repro.pipeline import cache as pipeline_cache
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    pipeline_cache.reset_default_cache()
+    yield
+    pipeline_cache.reset_default_cache()

@@ -1,0 +1,68 @@
+"""Capture golden outputs of map_computation/run_portfolio/analyze for the
+PR 4 equivalence grid.  Run once against the PRE-refactor code; the committed
+JSON pins the refactored shims to bit-identical behaviour.
+
+    PYTHONPATH=src python tests/data/capture_equivalence.py
+"""
+import json
+from pathlib import Path
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper import map_computation, run_portfolio
+from repro.metrics import analyze, metrics_to_dict
+from repro.sim import CostModel
+
+GRAPHS = {
+    "ring16": lambda: families.ring(16),
+    "torus4x4": lambda: families.torus(4, 4),
+    "hypercube4": lambda: families.hypercube(4),
+    "butterfly16": lambda: families.fft_butterfly(16),
+    "binomial_tree4": lambda: families.binomial_tree(4),
+}
+TOPOLOGIES = {
+    "mesh2x4": lambda: networks.mesh(2, 4),
+    "hypercube3": lambda: networks.hypercube(3),
+}
+MODEL = CostModel(hop_latency=1.0, byte_time=0.5, exec_time=0.25)
+
+
+def enc(x):
+    if isinstance(x, tuple):
+        return "|".join(str(e) for e in x)
+    return str(x)
+
+
+def capture():
+    out = {}
+    for gname, gfn in GRAPHS.items():
+        for tname, tfn in TOPOLOGIES.items():
+            tg, topo = gfn(), tfn()
+            m = map_computation(tg, topo)
+            pf = run_portfolio(gfn(), tfn(), model=MODEL)
+            metrics = analyze(m, MODEL)
+            out[f"{gname}/{tname}"] = {
+                "provenance": m.provenance,
+                "assignment": {enc(t): enc(p) for t, p in m.assignment.items()},
+                "routes": {
+                    f"{ph}#{i}": [enc(p) for p in r]
+                    for (ph, i), r in sorted(m.routes.items())
+                },
+                "routing_rounds": m.routing_rounds,
+                "portfolio": {
+                    "winner": pf.winner,
+                    "completion_time": pf.completion_time,
+                    "candidates": [
+                        [c.strategy, c.completion_time, c.ok]
+                        for c in pf.candidates
+                    ],
+                },
+                "metrics": metrics_to_dict(metrics, m),
+            }
+    return out
+
+
+if __name__ == "__main__":
+    path = Path(__file__).with_name("equivalence_pr4.json")
+    path.write_text(json.dumps(capture(), indent=1, sort_keys=True) + "\n")
+    print(f"wrote {path}")

@@ -261,3 +261,66 @@ class TestResilienceCommand:
              "--topology", "linear:4", "--fail-link", "1-2"]
         ) == 2
         assert "not connected" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    """The `repro run` subcommand: config files in, result JSON out."""
+
+    _BASE = ["run", "nbody", "--bind", "n=15", "--topology", "hypercube:3"]
+
+    def _result(self, capsys):
+        import json
+
+        return json.loads(capsys.readouterr().out)
+
+    def test_default_config_full_pipeline(self, capsys):
+        assert main(self._BASE + ["--no-cache"]) == 0
+        out = self._result(capsys)
+        assert out["format"] == "oregami-pipeline-result-v1"
+        assert out["stages"] == [
+            "contract", "embed", "refine", "route", "simulate", "analyze"
+        ]
+        assert out["sim"]["total_time"] > 0
+        assert out["metrics"]["overall"]
+        assert out["mapping"]["format"] == "oregami-mapping-v1"
+        assert out["cache"] == {"key": None, "hit": False, "tier": None}
+
+    def test_json_config_file(self, tmp_path, capsys):
+        import json
+
+        cfg = tmp_path / "run.json"
+        cfg.write_text(json.dumps({
+            "map": {"strategy": "mwm", "refine": True},
+            "sim": {"hop_latency": 2.0},
+            "stages": ["contract", "embed", "refine", "route", "simulate"],
+        }))
+        assert main(self._BASE + ["--config", str(cfg)]) == 0
+        out = self._result(capsys)
+        assert out["strategy"] == "mwm+refined"
+        assert out["config"]["sim"]["hop_latency"] == 2.0
+        assert out["metrics"] is None  # analyze stage not requested
+
+    def test_toml_config_file(self, tmp_path, capsys):
+        tomllib = pytest.importorskip("tomllib")  # Python 3.11+
+        del tomllib
+        cfg = tmp_path / "run.toml"
+        cfg.write_text('[map]\nstrategy = "mwm"\n')
+        assert main(self._BASE + ["--config", str(cfg)]) == 0
+        assert self._result(capsys)["strategy"] == "mwm"
+
+    def test_repeat_run_hits_the_cache(self, capsys):
+        assert main(self._BASE) == 0
+        first = self._result(capsys)
+        assert first["cache"]["hit"] is False
+        assert main(self._BASE) == 0
+        second = self._result(capsys)
+        assert second["cache"]["hit"] is True
+        assert second["cache"]["key"] == first["cache"]["key"]
+        assert second["mapping"] == first["mapping"]
+        assert second["stage_seconds"] == first["stage_seconds"]
+
+    def test_unknown_config_key_is_an_error(self, tmp_path, capsys):
+        cfg = tmp_path / "run.json"
+        cfg.write_text('{"mapp": {}}')
+        assert main(self._BASE + ["--config", str(cfg)]) == 2
+        assert "unknown RunConfig keys" in capsys.readouterr().err

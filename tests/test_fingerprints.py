@@ -1,0 +1,187 @@
+"""Stable content fingerprints (repro.util.fingerprint + the three inputs).
+
+The artifact cache is only sound if fingerprints are (a) identical across
+processes regardless of ``PYTHONHASHSEED`` -- otherwise the disk tier
+never hits after a restart -- and (b) sensitive to every semantic change
+-- otherwise it serves wrong answers.  Both properties are tested here,
+(a) by spawning subprocesses under forced different hash seeds.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.graph.taskgraph import TaskGraph
+from repro.pipeline import AnalyzeConfig, MapConfig, RunConfig, SimConfig
+from repro.resilience import FaultSet
+from repro.util.fingerprint import canonical_json, sort_encoded, stable_digest
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+# Emits one JSON line of fingerprints for a representative input set:
+# tuple-labelled graphs and topologies (torus/mesh), plain-int ones
+# (ring/hypercube), a fault set mixing procs/links/degradations, and a
+# non-default RunConfig.
+_FINGERPRINT_SCRIPT = """
+import json
+from repro.arch import networks
+from repro.graph import families
+from repro.pipeline import MapConfig, RunConfig, run_pipeline, pipeline_key
+from repro.resilience import FaultSet
+
+tg = families.torus(4, 4)
+topo = networks.mesh(2, 4)
+faults = FaultSet(
+    failed_procs=[(0, 1)],
+    failed_links=[((0, 0), (1, 0))],
+    degraded_links={((0, 2), (1, 2)): 2.5},
+)
+config = RunConfig(map=MapConfig(strategy="mwm", load_bound=3, refine=True))
+key, _ = pipeline_key(families.ring(16), networks.hypercube(3), RunConfig())
+print(json.dumps({
+    "graph_tuple": tg.fingerprint(),
+    "graph_int": families.ring(16).fingerprint(),
+    "topo_tuple": topo.fingerprint(),
+    "topo_int": networks.hypercube(3).fingerprint(),
+    "faults": faults.fingerprint(),
+    "config": config.fingerprint(),
+    "pipeline_key": key,
+}))
+"""
+
+
+def _fingerprints_under_seed(seed: str) -> dict:
+    proc = subprocess.run(
+        [sys.executable, "-c", _FINGERPRINT_SCRIPT],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        check=True,
+    )
+    return json.loads(proc.stdout)
+
+
+def test_fingerprints_identical_across_hash_seeds():
+    a = _fingerprints_under_seed("1")
+    b = _fingerprints_under_seed("4242")
+    assert a == b
+    # And the current process (whatever its seed) agrees too.
+    assert a["graph_int"] == families.ring(16).fingerprint()
+    assert a["topo_int"] == networks.hypercube(3).fingerprint()
+
+
+def test_fingerprint_equal_content_equal_digest():
+    assert families.ring(16).fingerprint() == families.ring(16).fingerprint()
+    assert networks.mesh(2, 4).fingerprint() == networks.mesh(2, 4).fingerprint()
+    f1 = FaultSet(failed_links=[(0, 1)], degraded_links={(2, 3): 2.0})
+    f2 = FaultSet(failed_links=[(1, 0)], degraded_links=[((3, 2), 2.0)])
+    assert f1.fingerprint() == f2.fingerprint()
+
+
+def test_taskgraph_fingerprint_sensitivity():
+    base = families.ring(16).fingerprint()
+
+    light = TaskGraph("g")
+    heavy = TaskGraph("g")
+    light.add_node("x", 1.0)
+    heavy.add_node("x", 7.0)
+    assert light.fingerprint() != heavy.fingerprint()
+
+    renamed = families.ring(16)
+    renamed.name = "other"
+    assert renamed.fingerprint() != base
+
+    extra_edge = families.ring(16)
+    extra_edge.comm_phase("ring").add(0, 8, 1.0)
+    assert extra_edge.fingerprint() != base
+
+    assert families.ring(15).fingerprint() != base
+
+
+def test_taskgraph_fingerprint_tracks_mutation_after_caching():
+    tg = families.ring(16)
+    before = tg.fingerprint()
+    tg.comm_phase("ring").add(0, 8, 1.0)
+    assert tg.fingerprint() != before
+
+
+def test_taskgraph_fingerprint_tracks_phase_expr():
+    tg = families.ring(16)
+    before = tg.fingerprint()
+    tg.phase_expr = None
+    assert tg.fingerprint() != before
+
+
+def test_taskgraph_fingerprint_volume_and_cost_sensitivity():
+    a = TaskGraph("g")
+    b = TaskGraph("g")
+    for g in (a, b):
+        g.add_node("x")
+        g.add_node("y")
+    a.add_comm_phase("p").add("x", "y", 1.0)
+    b.add_comm_phase("p").add("x", "y", 2.0)
+    assert a.fingerprint() != b.fingerprint()
+
+    c = TaskGraph("g")
+    d = TaskGraph("g")
+    for g in (c, d):
+        g.add_node("x")
+        g.add_node("y")
+        g.add_comm_phase("p").add("x", "y", 1.0)
+    c.add_exec_phase("e", 1.0)
+    d.add_exec_phase("e", 1.0, {"x": 5.0})
+    assert c.fingerprint() != d.fingerprint()
+
+
+def test_topology_fingerprint_sensitivity():
+    base = networks.hypercube(3).fingerprint()
+    assert networks.hypercube(2).fingerprint() != base
+    assert networks.mesh(2, 4).fingerprint() != base
+
+    # A degraded machine fingerprints differently from the pristine one,
+    # and differently per slowdown factor.
+    topo = networks.hypercube(3)
+    cut = topo.degrade(FaultSet(degraded_links={(0, 1): 2.0}))
+    worse = topo.degrade(FaultSet(degraded_links={(0, 1): 4.0}))
+    assert cut.fingerprint() != topo.fingerprint()
+    assert cut.fingerprint() != worse.fingerprint()
+
+
+def test_faultset_fingerprint_sensitivity():
+    base = FaultSet(failed_procs=[1]).fingerprint()
+    assert FaultSet(failed_procs=[2]).fingerprint() != base
+    assert FaultSet(failed_procs=[1, 2]).fingerprint() != base
+    assert FaultSet(failed_links=[(1, 2)]).fingerprint() != base
+    assert FaultSet().fingerprint() != base
+    assert (
+        FaultSet(degraded_links={(1, 2): 2.0}).fingerprint()
+        != FaultSet(degraded_links={(1, 2): 3.0}).fingerprint()
+    )
+
+
+def test_runconfig_fingerprint_sensitivity_and_cache_neutrality():
+    base = RunConfig().fingerprint()
+    assert RunConfig(map=MapConfig(strategy="mwm")).fingerprint() != base
+    assert RunConfig(sim=SimConfig(hop_latency=2.0)).fingerprint() != base
+    assert RunConfig(analyze=AnalyzeConfig(kernel="reference")).fingerprint() != base
+    assert RunConfig(stages=("contract", "embed")).fingerprint() != base
+    # The cache switch changes what is *stored*, not what is computed.
+    assert RunConfig(cache=False).fingerprint() == base
+
+
+def test_fingerprint_helpers():
+    assert canonical_json({"b": 1, "a": (1,)}) == canonical_json({"a": [1], "b": 1})
+    # Order is by canonical JSON text -- deterministic is what matters,
+    # not numeric ("[10]" < "[1]" because "0" < "]").
+    assert sort_encoded([[2], [10], [1]]) == [[10], [1], [2]]
+    assert sort_encoded([[2], [10], [1]]) == sort_encoded([[1], [2], [10]])
+    d1 = stable_digest({"a": 1})
+    assert d1 == stable_digest({"a": 1})
+    assert d1 != stable_digest({"a": 2})
+    with pytest.raises(ValueError):
+        stable_digest(float("nan"))

@@ -1,0 +1,339 @@
+"""The staged pipeline: configs, stage registry, engine, artifact cache."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.arch import networks
+from repro.graph import families
+from repro.mapper import NotApplicableError
+from repro.pipeline import (
+    AnalyzeConfig,
+    ArtifactCache,
+    MapConfig,
+    RunConfig,
+    SimConfig,
+    all_stages,
+    default_portfolio,
+    get_stage,
+    get_strategy,
+    run_pipeline,
+    stage_names,
+    strategy_names,
+)
+from repro.resilience import FaultSet
+from repro.sim import CostModel
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ----------------------------------------------------------------------
+# configs
+# ----------------------------------------------------------------------
+
+def test_runconfig_roundtrip():
+    config = RunConfig(
+        map=MapConfig(strategy="mwm", load_bound=3, refine=True),
+        sim=SimConfig(hop_latency=2.0, byte_time=0.5, switching="cut_through"),
+        analyze=AnalyzeConfig(kernel="reference"),
+        stages=("contract", "embed", "route"),
+        cache=False,
+    )
+    assert RunConfig.from_dict(config.to_dict()) == config
+    assert RunConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+    assert RunConfig.from_dict({}) == RunConfig()
+
+
+def test_configs_hashable():
+    assert len({RunConfig(), RunConfig(), RunConfig(cache=False)}) == 2
+    assert MapConfig() == MapConfig(strategy="auto")
+
+
+def test_config_unknown_keys_raise():
+    with pytest.raises(ValueError, match="unknown RunConfig keys"):
+        RunConfig.from_dict({"mapp": {}})
+    with pytest.raises(ValueError, match="unknown MapConfig keys"):
+        RunConfig.from_dict({"map": {"strat": "mwm"}})
+    with pytest.raises(ValueError, match="unknown SimConfig keys"):
+        SimConfig.from_dict({"hop": 1})
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MapConfig(load_bound=0)
+    with pytest.raises(ValueError):
+        SimConfig(switching="wormhole")
+    with pytest.raises(ValueError):
+        SimConfig(hop_latency=-1.0)
+    with pytest.raises(ValueError):
+        AnalyzeConfig(kernel="gpu")
+    with pytest.raises(ValueError):
+        RunConfig(stages=())
+
+
+def test_simconfig_model_roundtrip():
+    model = CostModel(hop_latency=2.0, byte_time=0.25, exec_time=0.5,
+                      switching="cut_through")
+    assert SimConfig.from_model(model).cost_model() == model
+
+
+# ----------------------------------------------------------------------
+# registries
+# ----------------------------------------------------------------------
+
+def test_stage_registry_contents():
+    assert stage_names() == (
+        "contract", "embed", "refine", "route", "simulate", "analyze"
+    )
+    assert all(s.description for s in all_stages())
+    with pytest.raises(ValueError, match="unknown pipeline stage"):
+        get_stage("compile")
+
+
+def test_strategy_registry_is_single_source_of_truth():
+    from repro.mapper.portfolio import DEFAULT_STRATEGIES
+
+    assert strategy_names() == ("canned", "group", "mwm")
+    assert default_portfolio() == ("canned", "group", "mwm", "mwm+refine")
+    # The portfolio's strategy list is derived from the registry, not
+    # hard-coded in a second place.
+    assert DEFAULT_STRATEGIES == default_portfolio()
+    assert get_strategy("mwm").refinable
+    with pytest.raises(ValueError, match="unknown strategy"):
+        get_strategy("anneal")
+
+
+# ----------------------------------------------------------------------
+# engine
+# ----------------------------------------------------------------------
+
+def test_run_pipeline_full_run():
+    result = run_pipeline(
+        families.ring(16), networks.hypercube(3), RunConfig(cache=False)
+    )
+    assert result.strategy == "canned"
+    assert result.stages == (
+        "contract", "embed", "refine", "route", "simulate", "analyze"
+    )
+    assert set(result.stage_seconds) == set(result.stages)
+    assert result.sim.total_time > 0
+    assert result.completion_time == result.sim.total_time
+    assert result.metrics.estimated_completion_time == result.sim.total_time
+    assert result.routing_rounds == result.mapping.routing_rounds
+    assert result.routing_rounds  # per-phase rounds, non-empty
+    assert not result.cache_hit
+
+
+def test_run_pipeline_partial_stages():
+    result = run_pipeline(
+        families.ring(16),
+        networks.hypercube(3),
+        RunConfig(stages=("contract", "embed"), cache=False),
+    )
+    assert result.mapping.routes == {}
+    assert result.sim is None and result.metrics is None
+    assert result.completion_time is None
+
+
+def test_run_pipeline_rejects_ill_ordered_stages():
+    with pytest.raises(ValueError, match="requires"):
+        run_pipeline(
+            families.ring(16),
+            networks.hypercube(3),
+            RunConfig(stages=("route", "contract"), cache=False),
+        )
+    with pytest.raises(ValueError, match="never built a mapping"):
+        run_pipeline(
+            families.ring(16),
+            networks.hypercube(3),
+            RunConfig(stages=("contract",), cache=False),
+        )
+
+
+def test_run_pipeline_forced_strategy_propagates_not_applicable():
+    from repro.graph.taskgraph import TaskGraph
+
+    tg = TaskGraph("irregular")  # no family -> no canned entry
+    for i in range(5):
+        tg.add_node(i)
+    phase = tg.add_comm_phase("p")
+    for src, dst in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)]:
+        phase.add(src, dst, 1.0)
+    with pytest.raises(NotApplicableError):
+        run_pipeline(
+            tg,
+            networks.hypercube(3),
+            RunConfig(map=MapConfig(strategy="canned"), cache=False),
+        )
+
+
+def test_run_pipeline_with_faults_targets_degraded_machine():
+    faults = FaultSet.proc(5)
+    result = run_pipeline(
+        families.ring(16),
+        networks.hypercube(3),
+        RunConfig(stages=("contract", "embed", "refine", "route"), cache=False),
+        faults=faults,
+    )
+    assert 5 not in result.mapping.used_procs()
+    assert result.mapping.topology.n_processors == 7
+
+
+# ----------------------------------------------------------------------
+# artifact cache
+# ----------------------------------------------------------------------
+
+def test_cache_memory_and_disk_tiers(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "store"))
+    tg, topo = families.ring(16), networks.hypercube(3)
+    config = RunConfig()
+
+    cold = run_pipeline(tg, topo, config, cache=cache)
+    assert not cold.cache_hit
+
+    warm = run_pipeline(tg, topo, config, cache=cache)
+    assert warm.cache_hit and warm.cache_tier == "memory"
+    assert warm.mapping.assignment == cold.mapping.assignment
+    assert warm.sim.total_time == cold.sim.total_time
+    assert warm.cache_key == cold.cache_key
+
+    # Evict the memory tier: the disk tier serves, then re-promotes.
+    cache.clear()
+    disk = run_pipeline(tg, topo, config, cache=cache)
+    assert disk.cache_hit and disk.cache_tier == "disk"
+    assert disk.mapping.assignment == cold.mapping.assignment
+    again = run_pipeline(tg, topo, config, cache=cache)
+    assert again.cache_tier == "memory"
+
+
+def test_cache_distinguishes_inputs(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "store"))
+    base = run_pipeline(
+        families.ring(16), networks.hypercube(3), RunConfig(), cache=cache
+    )
+    for tg, topo, config, faults in [
+        (families.ring(15), networks.hypercube(3), RunConfig(), None),
+        (families.ring(16), networks.mesh(2, 4), RunConfig(), None),
+        (families.ring(16), networks.hypercube(3),
+         RunConfig(map=MapConfig(strategy="mwm")), None),
+        (families.ring(16), networks.hypercube(3), RunConfig(),
+         FaultSet.proc(0)),
+    ]:
+        result = run_pipeline(tg, topo, config, faults=faults, cache=cache)
+        assert not result.cache_hit
+        assert result.cache_key != base.cache_key
+
+
+def test_cache_hit_returns_mutation_safe_mapping(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "store"))
+    tg, topo = families.ring(16), networks.hypercube(3)
+    run_pipeline(tg, topo, RunConfig(), cache=cache)
+
+    first = run_pipeline(tg, topo, RunConfig(), cache=cache)
+    first.mapping.provenance += "+vandalised"
+    first.mapping.assignment[0] = 999
+
+    second = run_pipeline(tg, topo, RunConfig(), cache=cache)
+    assert second.cache_hit
+    assert second.mapping.provenance == "canned"
+    assert second.mapping.assignment[0] != 999
+
+
+def test_cache_survives_process_restart(tmp_path):
+    """A second *process* gets a disk hit for work done by the first."""
+    store = str(tmp_path / "store")
+    script = (
+        "import json\n"
+        "from repro.arch import networks\n"
+        "from repro.graph import families\n"
+        "from repro.pipeline import ArtifactCache, RunConfig, run_pipeline\n"
+        f"cache = ArtifactCache({store!r})\n"
+        "r = run_pipeline(families.ring(16), networks.hypercube(3),"
+        " RunConfig(), cache=cache)\n"
+        "print(json.dumps({'hit': r.cache_hit, 'tier': r.cache_tier,"
+        " 'time': r.sim.total_time}))\n"
+    )
+
+    def run(seed):
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": SRC, "PYTHONHASHSEED": seed,
+                 "PATH": "/usr/bin:/bin"},
+        )
+        return json.loads(proc.stdout)
+
+    first = run("11")
+    second = run("7777")  # different process AND different hash seed
+    assert first == {"hit": False, "tier": None, "time": first["time"]}
+    assert second == {"hit": True, "tier": "disk", "time": first["time"]}
+
+
+def test_cache_corrupted_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(str(tmp_path / "store"))
+    tg, topo = families.ring(16), networks.hypercube(3)
+    cold = run_pipeline(tg, topo, RunConfig(), cache=cache)
+    cache.clear()  # drop memory so the disk file is the only copy
+    for entry in (tmp_path / "store").glob("*.pkl"):
+        entry.write_bytes(b"not a pickle")
+    recomputed = run_pipeline(tg, topo, RunConfig(), cache=cache)
+    assert not recomputed.cache_hit
+    assert recomputed.mapping.assignment == cold.mapping.assignment
+
+
+def test_cache_lru_eviction():
+    cache = ArtifactCache(capacity=2)  # memory-only
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == (1, "memory")  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert cache.get("b") is None
+    assert cache.get("a") == (1, "memory")
+    assert cache.get("c") == (3, "memory")
+
+
+def test_cache_env_knobs(tmp_path, monkeypatch):
+    from repro.pipeline import cache_dir, default_cache, reset_default_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "knob"))
+    reset_default_cache()
+    assert cache_dir() == str(tmp_path / "knob")
+    assert default_cache().directory == str(tmp_path / "knob")
+
+    monkeypatch.setenv("REPRO_CACHE", "off")
+    reset_default_cache()
+    assert default_cache() is None
+    # Disabled default cache -> every run recomputes.
+    r1 = run_pipeline(families.ring(16), networks.hypercube(3), RunConfig())
+    r2 = run_pipeline(families.ring(16), networks.hypercube(3), RunConfig())
+    assert not r1.cache_hit and not r2.cache_hit
+    assert r1.cache_key is None
+
+    reset_default_cache()
+
+
+def test_default_cache_used_between_runs():
+    r1 = run_pipeline(families.ring(16), networks.hypercube(3), RunConfig())
+    r2 = run_pipeline(families.ring(16), networks.hypercube(3), RunConfig())
+    assert not r1.cache_hit and r2.cache_hit
+    # config.cache=False opts a run out without touching the store.
+    r3 = run_pipeline(
+        families.ring(16), networks.hypercube(3), RunConfig(cache=False)
+    )
+    assert not r3.cache_hit
+
+
+def test_result_to_dict_is_json_compatible():
+    result = run_pipeline(
+        families.ring(16), networks.hypercube(3), RunConfig(cache=False)
+    )
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert payload["format"] == "oregami-pipeline-result-v1"
+    assert payload["strategy"] == "canned"
+    assert payload["sim"]["total_time"] == result.sim.total_time
+    assert payload["mapping"]["format"] == "oregami-mapping-v1"
+    assert payload["config"]["map"]["strategy"] == "auto"
+    assert set(payload["stage_seconds"]) == set(result.stages)
