@@ -4,8 +4,8 @@ JSON (``BENCH_PR<n>.json``) that future PRs regress against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR4.json]
-    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR4.json
+    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR5.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR5.json
 
 Measured sections
 -----------------
@@ -27,6 +27,10 @@ Measured sections
 * ``cache``       -- cold vs. warm ``run_pipeline`` on jacobi8x8 against
   an explicit tempdir :class:`~repro.pipeline.ArtifactCache`: the memory-
   and disk-tier hit latencies vs. a full pipeline run (PR 4 headline).
+* ``runtime``     -- the supervised runtime (PR 5): per-task supervision
+  overhead vs. a bare loop, a chaos-injected failure sweep (crashes +
+  transients with retries) vs. its clean run, and checkpoint-resume
+  (cold sweep vs. journal-served re-invocation).
 * ``perf_spans``  -- the repro.util.perf span totals recorded while the
   suite ran, so per-stage attribution lands in the trajectory too.
 
@@ -403,6 +407,92 @@ def bench_cache() -> dict:
     }
 
 
+def _square(x: int) -> int:
+    return x * x
+
+
+def bench_runtime() -> dict:
+    """Supervision overhead, chaos resilience, and checkpoint resume (PR 5).
+
+    Overhead: 64 trivial tasks through ``run_supervised`` (serial) vs. a
+    bare Python loop -- the per-task cost of specs, attempt accounting,
+    and result boxing.  Chaos: the 64-fault jacobi sweep under a seeded
+    plan (~10% crashes, ~10% transients, one retry) must complete with
+    explicit failed rows and rank survivors exactly like the clean sweep
+    ranks them.  Resume: the same sweep with ``resume="auto"`` against a
+    tempdir cache, cold vs. journal-served re-invocation, bit-identical.
+    """
+    from repro.resilience import failure_sweep
+    from repro.runtime import ChaosPlan, RetryPolicy, run_supervised
+
+    payloads = list(range(64))
+    bare_s = best_of(lambda: [_square(x) for x in payloads])
+    supervised_s = best_of(lambda: run_supervised(_square, payloads))
+    out: dict = {
+        "overhead": {
+            "tasks": len(payloads),
+            "bare_loop_s": bare_s,
+            "supervised_serial_s": supervised_s,
+            "per_task_overhead_us": (supervised_s - bare_s) / len(payloads) * 1e6,
+        },
+    }
+
+    tg = stdlib.load("jacobi", rows=8, cols=8, msize=4)
+    topo = networks.hypercube(6)
+    mapping = map_computation(tg, topo)
+    clean = failure_sweep(tg, topo, mapping=mapping, model=MODEL)
+    chaos = ChaosPlan.random(
+        seed=5, n_tasks=len(clean.entries), crash=0.1, transient=0.1,
+        attempts=2,
+    )
+    retry = RetryPolicy(max_attempts=2, backoff=0.001)
+    start = time.perf_counter()
+    chaotic = failure_sweep(
+        tg, topo, mapping=mapping, model=MODEL, chaos=chaos, retry=retry
+    )
+    chaos_s = time.perf_counter() - start
+    survivors_match = [
+        (e.label, e.ratio) for e in chaotic.ranking() if e.status == "ok"
+    ] == [
+        (e.label, e.ratio) for e in clean.ranking()
+        if e.status == "ok" and e.label not in
+        {x.label for x in chaotic.entries if x.status == "failed"}
+    ]
+    dist = chaotic.distribution()
+    out["chaos_sweep"] = {
+        "workload": "jacobi8x8_hcube6",
+        "faults": dist["faults"],
+        "injected_crashes": len(chaos.crashes),
+        "injected_transients": len(chaos.transients),
+        "failed_rows": dist["failed"],
+        "chaotic_s": chaos_s,
+        "survivor_ranking_matches_clean": survivors_match,
+    }
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ArtifactCache(tmp)
+        start = time.perf_counter()
+        cold = failure_sweep(
+            tg, topo, mapping=mapping, model=MODEL, resume="auto", cache=cache
+        )
+        cold_s = time.perf_counter() - start
+        restarted = ArtifactCache(tmp)  # a "new process": disk tier only
+        start = time.perf_counter()
+        resumed = failure_sweep(
+            tg, topo, mapping=mapping, model=MODEL, resume="auto",
+            cache=restarted,
+        )
+        resumed_s = time.perf_counter() - start
+    out["checkpoint"] = {
+        "workload": "jacobi8x8_hcube6",
+        "cold_s": cold_s,
+        "resumed_s": resumed_s,
+        "speedup": cold_s / resumed_s,
+        "results_identical": resumed.to_dict() == cold.to_dict(),
+    }
+    return out
+
+
 def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
     """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
     out: dict[str, float] = {}
@@ -440,8 +530,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR4.json"),
-        help="trajectory file to write (default: BENCH_PR4.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR5.json"),
+        help="trajectory file to write (default: BENCH_PR5.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -473,9 +563,9 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 4,
-            "description": "staged pipeline engine, typed run configs, "
-                           "content-addressed result caching",
+            "pr": 5,
+            "description": "supervised execution runtime: deadlines, "
+                           "retries, crash-safe checkpointing, chaos testing",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -490,6 +580,7 @@ def main(argv=None) -> int:
         "portfolio": bench_portfolio(),
         "resilience": bench_resilience(),
         "cache": bench_cache(),
+        "runtime": bench_runtime(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -538,6 +629,19 @@ def main(argv=None) -> int:
           f"({ca['speedup_memory']:.0f}x) / disk "
           f"{ca['warm_disk_s'] * 1e3:.3f}ms ({ca['speedup_disk']:.0f}x, "
           f"identical={ca['results_identical']})")
+    rt = payload["runtime"]
+    print(f"runtime overhead ({rt['overhead']['tasks']} tasks): "
+          f"{rt['overhead']['per_task_overhead_us']:.1f}us/task supervised")
+    cs = rt["chaos_sweep"]
+    print(f"runtime chaos sweep ({cs['faults']} faults, "
+          f"{cs['injected_crashes']} crashes + {cs['injected_transients']} "
+          f"transients): {cs['failed_rows']} failed rows in "
+          f"{cs['chaotic_s'] * 1e3:.0f}ms, survivors match clean="
+          f"{cs['survivor_ranking_matches_clean']}")
+    ck = rt["checkpoint"]
+    print(f"runtime checkpoint: cold {ck['cold_s'] * 1e3:.0f}ms -> resumed "
+          f"{ck['resumed_s'] * 1e3:.0f}ms ({ck['speedup']:.1f}x, "
+          f"identical={ck['results_identical']})")
     print(f"wrote {args.output}")
 
     if args.check and args.check.exists():

@@ -26,8 +26,9 @@ from pathlib import Path
 
 from repro.arch import networks
 from repro.arch.topology import Topology
+from repro.errors import SupervisionError, exit_code_for
 from repro.larcs import compile_larcs, stdlib
-from repro.mapper import map_computation
+from repro.mapper import NotApplicableError, map_computation
 from repro.metrics import analyze, render_report
 from repro.metrics.display import (
     render_link_traffic,
@@ -225,6 +226,23 @@ def _load_runconfig(path: str) -> RunConfig:
     return RunConfig.from_dict(data)
 
 
+def _retry_policy(args):
+    """The :class:`RetryPolicy` for ``--retries N`` (``None`` = default)."""
+    if args.retries is None:
+        return None
+    from repro.runtime import RetryPolicy
+
+    if args.retries < 0:
+        raise ValueError(f"--retries must be >= 0, got {args.retries}")
+    return RetryPolicy(max_attempts=args.retries + 1)
+
+
+def _pipeline_task(payload):
+    """Top-level supervised single-run worker (picklable)."""
+    tg, topology, config = payload
+    return run_pipeline(tg, topology, config)
+
+
 def _cmd_run(args) -> int:
     """Run the staged pipeline from a config file; emit the result as JSON.
 
@@ -232,17 +250,60 @@ def _cmd_run(args) -> int:
     ``oregami-pipeline-result-v1`` JSON document on stdout, carrying the
     mapping, metrics, per-stage timings, fingerprints, and cache
     provenance.  Repeat invocations of the same instance are served from
-    the on-disk artifact cache (see ``--no-cache`` and the
-    ``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment knobs).
+    the on-disk artifact cache (see ``--no-cache``/``--resume off`` and
+    the ``REPRO_CACHE``/``REPRO_CACHE_DIR`` environment knobs).
+
+    ``--portfolio`` runs the full strategy portfolio instead (one
+    ``oregami-portfolio-result-v1`` document; winner among survivors).
+    ``--deadline``/``--retries`` put the run under the supervised
+    runtime: hung workers are killed (exit 3), and a run whose every
+    strategy/attempt failed exits 4 -- errors go to stderr, never into
+    the stdout JSON.
     """
     import dataclasses
     import json
 
     tg, topology = _compile_instance(args)
+
+    if args.portfolio:
+        from repro.mapper import run_portfolio
+
+        result = run_portfolio(
+            tg,
+            topology,
+            executor=args.executor,
+            max_workers=args.workers,
+            deadline=args.deadline,
+            retry=_retry_policy(args),
+            resume=args.resume,
+        )
+        print(json.dumps(
+            {"format": "oregami-portfolio-result-v1", **result.to_dict()},
+            indent=1,
+        ))
+        return 0
+
     config = _load_runconfig(args.config) if args.config else RunConfig()
-    if args.no_cache:
+    if args.no_cache or args.resume == "off":
         config = dataclasses.replace(config, cache=False)
-    result = run_pipeline(tg, topology, config)
+    if args.deadline is not None or args.retries is not None:
+        # A killable worker process: a hung stage cannot wedge the CLI.
+        from repro.runtime import plan_from_env, run_supervised
+
+        supervised = run_supervised(
+            _pipeline_task,
+            [(tg, topology, config)],
+            executor="process",
+            keys=[f"{tg.name}->{topology.name}"],
+            deadline=args.deadline,
+            retry=_retry_policy(args),
+            chaos=plan_from_env(),
+        )[0]
+        if not supervised.ok:
+            raise supervised.error
+        result = supervised.value
+    else:
+        result = run_pipeline(tg, topology, config)
     print(json.dumps(result.to_dict(), indent=1))
     return 0
 
@@ -319,6 +380,9 @@ def _cmd_resilience(args) -> int:
             elements=args.sweep,
             executor=args.executor,
             max_workers=args.workers,
+            deadline=args.deadline,
+            retry=_retry_policy(args),
+            resume=args.resume,
         )
         if args.json:
             print(json.dumps(sweep.to_dict(), indent=1))
@@ -384,6 +448,20 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _add_supervision_flags(sub: argparse.ArgumentParser, *, resume_default: str):
+    """The supervised-runtime flags shared by ``run`` and ``resilience``."""
+    sub.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                     help="per-task wall-clock budget; a hung worker is "
+                          "killed, not awaited (exit code 3)")
+    sub.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="re-run a crashed/failed task up to N extra times "
+                          "with deterministic backoff (default: 0)")
+    sub.add_argument("--resume", default=resume_default,
+                     choices=["auto", "off"],
+                     help="'auto' checkpoints finished tasks so a killed run "
+                          f"resumes bit-identically (default: {resume_default})")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -436,6 +514,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: full pipeline, auto strategy)")
     p_run.add_argument("--no-cache", action="store_true",
                        help="bypass the artifact cache for this run")
+    p_run.add_argument("--portfolio", action="store_true",
+                       help="race the full strategy portfolio and report the "
+                            "winner among survivors (JSON)")
+    p_run.add_argument("--executor", default="serial",
+                       choices=["serial", "thread", "process"],
+                       help="portfolio fan-out executor")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="portfolio worker count (winner identical at any)")
+    _add_supervision_flags(p_run, resume_default="auto")
 
     p_analyze = sub.add_parser("analyze", help="analyse a saved mapping")
     p_analyze.add_argument("mapping", help="JSON file from 'map --save'")
@@ -473,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep fan-out executor")
     p_res.add_argument("--workers", type=int, default=None,
                        help="sweep worker count (results are identical at any)")
+    _add_supervision_flags(p_res, resume_default="off")
     p_res.add_argument("--top", type=int, default=10,
                        help="rows of the criticality ranking to print")
     p_res.add_argument("--json", action="store_true",
@@ -499,6 +587,19 @@ def main(argv: list[str] | None = None) -> int:
         return handlers[args.command](args)
     except BrokenPipeError:
         return 0  # output piped into a pager/head that closed early
-    except (ValueError, KeyError) as exc:
+    except SupervisionError as exc:
+        # Structured toolchain failures: stderr only (stdout stays pure
+        # JSON), with the attempt history, and a distinct exit code --
+        # 3 for deadline kills, 4 when every strategy/attempt failed.
+        print(f"error [{type(exc).__name__}]: {exc}", file=sys.stderr)
+        for att in exc.attempts:
+            line = f"  attempt {att.number}: {att.outcome}"
+            if att.detail:
+                line += f" ({att.detail})"
+            if att.backoff_s:
+                line += f" [backoff {att.backoff_s:.3f}s]"
+            print(line, file=sys.stderr)
+        return exit_code_for(exc)
+    except (ValueError, KeyError, NotApplicableError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

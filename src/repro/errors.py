@@ -1,0 +1,167 @@
+"""The structured error taxonomy of the supervised execution runtime.
+
+The toolchain's fan-out entry points (the mapping portfolio, the failure
+sweep, batched pipeline runs) treat individual task failures as *values*,
+not control flow: a worker that hangs, crashes, or keeps raising produces
+a typed error carrying the task's payload key and its full attempt
+history, and the surviving tasks still complete.  These classes are that
+vocabulary -- raised only when a caller asked for strict semantics, when
+*every* task of a fan-out failed, or when the CLI turns a failed result
+into an exit code.
+
+Every error pickles cleanly (supervised results cross process boundaries
+and land in the checkpoint journal), and :func:`exit_code_for` maps the
+taxonomy onto the CLI's exit-code contract in exactly one place:
+
+========================  ====
+condition                 code
+========================  ====
+invalid input             2
+task/deadline timeout     3
+all strategies failed     4
+other supervision error   4
+========================  ====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Attempt",
+    "SupervisionError",
+    "TaskTimeout",
+    "WorkerCrash",
+    "RetriesExhausted",
+    "AllStrategiesFailed",
+    "exit_code_for",
+    "EXIT_INVALID_INPUT",
+    "EXIT_TIMEOUT",
+    "EXIT_ALL_FAILED",
+]
+
+#: CLI exit codes (see :func:`exit_code_for`).
+EXIT_INVALID_INPUT = 2
+EXIT_TIMEOUT = 3
+EXIT_ALL_FAILED = 4
+
+
+@dataclass(frozen=True)
+class Attempt:
+    """One attempt of one supervised task.
+
+    Attributes
+    ----------
+    number:
+        1-based attempt counter.
+    outcome:
+        ``"ok"``, ``"timeout"``, ``"crash"``, or ``"exception"``.
+    detail:
+        Human-readable failure detail (exception repr, exit code, ...).
+    backoff_s:
+        The deterministic backoff slept *after* this attempt before the
+        next one (0 for the final attempt).  Same retry seed and task key
+        give the same trace in every executor at every worker count.
+    """
+
+    number: int
+    outcome: str
+    detail: str = ""
+    backoff_s: float = 0.0
+
+
+class SupervisionError(RuntimeError):
+    """Base of the runtime taxonomy; carries the task key and attempts.
+
+    ``key`` is the payload fingerprint/label the supervisor ran the task
+    under; ``attempts`` is the full :class:`Attempt` history, so an error
+    that bubbles out of a multi-hour sweep says exactly which payload
+    failed, how many times, and how.
+    """
+
+    def __init__(self, message: str, *, key: str = "", attempts=()):
+        super().__init__(message)
+        self.key = key
+        self.attempts = tuple(attempts)
+
+    def __reduce__(self):
+        # BaseException's default reduce keeps args; re-attach the
+        # structured fields so journal/pipe round-trips lose nothing.
+        return (_rebuild_error, (type(self), self.args[0], dict(self.__dict__)))
+
+
+def _rebuild_error(cls, message, state):
+    err = cls(message)
+    err.__dict__.update(state)
+    return err
+
+
+class TaskTimeout(SupervisionError):
+    """A task attempt exceeded its wall-clock deadline.
+
+    Thread workers are abandoned (daemon threads; the result is
+    discarded), process workers are killed and replaced -- a hung worker
+    is never awaited forever.  ``deadline`` is the per-attempt budget in
+    seconds.
+    """
+
+    def __init__(self, message: str, *, key: str = "", attempts=(),
+                 deadline: float | None = None):
+        super().__init__(message, key=key, attempts=attempts)
+        self.deadline = deadline
+
+
+class WorkerCrash(SupervisionError):
+    """A worker died without producing a result.
+
+    For process executors this is a real process death (non-zero exit,
+    signal, ``os._exit``) detected by the result pipe closing early;
+    ``exitcode`` carries the exit status when known.  Thread and serial
+    executors surface chaos-simulated crashes the same way so the
+    taxonomy is executor-independent.
+    """
+
+    def __init__(self, message: str, *, key: str = "", attempts=(),
+                 exitcode: int | None = None):
+        super().__init__(message, key=key, attempts=attempts)
+        self.exitcode = exitcode
+
+
+class RetriesExhausted(SupervisionError):
+    """Every allowed attempt of a task failed.
+
+    ``last_outcome`` is the failure kind of the final attempt
+    (``"timeout"``/``"crash"``/``"exception"``); the per-attempt details
+    live in ``attempts``.
+    """
+
+    def __init__(self, message: str, *, key: str = "", attempts=(),
+                 last_outcome: str = "exception"):
+        super().__init__(message, key=key, attempts=attempts)
+        self.last_outcome = last_outcome
+
+
+class AllStrategiesFailed(SupervisionError):
+    """Every strategy of a portfolio fan-out failed (none survived).
+
+    Raised only when at least one strategy actually *failed* -- a
+    portfolio where every strategy is merely inapplicable still raises
+    :class:`repro.mapper.NotApplicableError`, which is an input problem,
+    not a runtime one.
+    """
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """The CLI exit code for an error (the one mapping, used everywhere).
+
+    Timeouts (including retries exhausted by timeouts) exit 3; any other
+    supervision failure -- crashes, exhausted retries, a portfolio with no
+    survivors -- exits 4; invalid input exits 2.
+    """
+    if isinstance(exc, TaskTimeout):
+        return EXIT_TIMEOUT
+    if isinstance(exc, RetriesExhausted) and exc.last_outcome == "timeout":
+        return EXIT_TIMEOUT
+    if isinstance(exc, SupervisionError):
+        return EXIT_ALL_FAILED
+    return EXIT_INVALID_INPUT

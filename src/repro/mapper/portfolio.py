@@ -3,7 +3,8 @@
 Fast static-mapping toolkits get robustness the same way: run a portfolio
 of heuristics on the same (task graph, topology) instance and keep the
 winner by the objective.  This module does that on top of MAPPER's
-strategies, with ``concurrent.futures`` supplying the parallelism:
+strategies, with the supervised runtime (:mod:`repro.runtime`) supplying
+the parallelism:
 
 * :func:`run_portfolio` maps one (graph, topology) pair with every
   applicable strategy, simulates each candidate mapping, and selects the
@@ -17,14 +18,25 @@ Strategy names are :func:`repro.mapper.map_computation` strategies, with
 an optional ``+refine`` suffix enabling the Kernighan-Lin-style
 post-passes (``"mwm+refine"`` contracts with MWM then refines).
 Strategies that raise :class:`~repro.mapper.NotApplicableError` are
-recorded as skipped, not errors; a portfolio where *every* strategy is
-inapplicable raises.
+recorded as skipped, not errors.
+
+Supervision: a per-strategy ``deadline`` bounds wall-clock (hung process
+workers are killed), a :class:`~repro.runtime.RetryPolicy` retries
+crashed/transiently-failing workers with deterministic backoff, and a
+strategy that still fails becomes a first-class failed
+:class:`Candidate` -- the portfolio picks its winner among the
+*survivors* and raises only when nothing survived
+(:class:`~repro.errors.AllStrategiesFailed` if anything actually failed,
+:class:`NotApplicableError` when every strategy was merely
+inapplicable).  With ``resume="auto"`` finished strategies checkpoint
+into the artifact cache's disk tier and a re-invoked portfolio resumes
+from the journal.
 
 Determinism: each candidate's completion time comes from the deterministic
 simulator, and the winner is ``min((time, strategy_rank))`` over the
 declared strategy order -- never over completion order -- so serial,
 thread-backed, and process-backed runs of the same inputs pick the same
-winner.
+winner, with or without injected chaos.
 """
 
 from __future__ import annotations
@@ -33,13 +45,14 @@ from dataclasses import dataclass, field
 from collections.abc import Iterable, Sequence
 
 from repro.arch.topology import Topology
+from repro.errors import AllStrategiesFailed
 from repro.graph.taskgraph import TaskGraph
 from repro.mapper.mapping import Mapping, NotApplicableError
 from repro.pipeline.stages import default_portfolio
 from repro.sim.model import CostModel
 from repro.util import perf
+from repro.util.fingerprint import stable_digest
 from repro.util.pools import EXECUTORS as _EXECUTORS
-from repro.util.pools import run_ordered
 
 __all__ = [
     "Candidate",
@@ -55,19 +68,25 @@ __all__ = [
 #: automatically instead of requiring edits here and in ``dispatch``.
 DEFAULT_STRATEGIES: tuple[str, ...] = default_portfolio()
 
+_RESUME_MODES = ("auto", "off")
+
 
 @dataclass
 class Candidate:
     """One strategy's outcome inside a portfolio run.
 
-    ``mapping`` is ``None`` when the strategy was inapplicable; ``skipped``
-    then holds the :class:`NotApplicableError` message.
+    ``mapping`` is ``None`` when the strategy produced nothing:
+    ``skipped`` holds the :class:`NotApplicableError` message when it was
+    inapplicable, ``failed`` the supervision failure summary (timeout,
+    worker crash, retries exhausted -- see ``error_kind``) when it died.
     """
 
     strategy: str
     mapping: Mapping | None = None
     completion_time: float = float("inf")
     skipped: str | None = None
+    failed: str | None = None
+    error_kind: str | None = None
 
     @property
     def ok(self) -> bool:
@@ -99,6 +118,24 @@ class PortfolioResult:
         """Simulated completion time of the winning mapping."""
         assert self.best is not None
         return self.best.completion_time
+
+    def to_dict(self) -> dict:
+        """JSON-compatible summary (the CLI's ``run --portfolio`` output)."""
+        return {
+            "winner": self.winner,
+            "completion_time": self.completion_time,
+            "candidates": [
+                {
+                    "strategy": c.strategy,
+                    "ok": c.ok,
+                    "completion_time": None if not c.ok else c.completion_time,
+                    "skipped": c.skipped,
+                    "failed": c.failed,
+                    "error_kind": c.error_kind,
+                }
+                for c in self.candidates
+            ],
+        }
 
 
 def _run_strategy(
@@ -135,18 +172,35 @@ def _run_strategy(
 
 
 def _select_best(candidates: Sequence[Candidate]) -> Candidate:
-    """The winner: min completion time, ties broken by strategy order."""
+    """The winner among survivors: min time, ties by strategy order.
+
+    No survivor at all raises :class:`AllStrategiesFailed` when at least
+    one strategy genuinely failed (a runtime problem), and
+    :class:`NotApplicableError` when every strategy was merely
+    inapplicable (an input problem).
+    """
     viable = [
         (c.completion_time, rank, c)
         for rank, c in enumerate(candidates)
         if c.ok
     ]
     if not viable:
+        summary = "; ".join(
+            f"{c.strategy}: {c.failed or c.skipped}" for c in candidates
+        )
+        if any(c.failed for c in candidates):
+            raise AllStrategiesFailed(
+                f"no portfolio strategy survived: {summary}"
+            )
         raise NotApplicableError(
-            "no portfolio strategy produced a mapping: "
-            + "; ".join(f"{c.strategy}: {c.skipped}" for c in candidates)
+            "no portfolio strategy produced a mapping: " + summary
         )
     return min(viable, key=lambda v: (v[0], v[1]))[2]
+
+
+def _failure_kind(result) -> str:
+    """The taxonomy label of a failed TaskResult (its last attempt)."""
+    return result.attempts[-1].outcome if result.attempts else "exception"
 
 
 def run_portfolio(
@@ -158,6 +212,11 @@ def run_portfolio(
     load_bound: int | None = None,
     executor: str = "serial",
     max_workers: int | None = None,
+    deadline: float | None = None,
+    retry=None,
+    chaos=None,
+    resume: str = "off",
+    cache=None,
 ) -> PortfolioResult:
     """Map one (graph, topology) pair with every strategy; keep the best.
 
@@ -170,42 +229,85 @@ def run_portfolio(
         ``<base>``.
     executor:
         ``"serial"`` (default) runs strategies in-process; ``"thread"`` /
-        ``"process"`` fan them out over ``concurrent.futures``.  The
+        ``"process"`` fan them out under the supervised runtime.  The
         winner is identical for every executor and worker count.
     max_workers:
-        Pool size for the parallel executors (default: one per strategy).
+        Concurrency bound for the parallel executors (default: one per
+        strategy).
+    deadline:
+        Per-strategy wall-clock budget in seconds; a strategy that blows
+        it becomes a failed candidate instead of stalling the portfolio.
+    retry:
+        A :class:`~repro.runtime.RetryPolicy` for crashed / transiently
+        failing strategy workers (default: single attempt).
+    chaos:
+        A :class:`~repro.runtime.ChaosPlan` for tests/drills; defaults to
+        the ``REPRO_CHAOS`` environment knob (normally unset -> none).
+    resume:
+        ``"auto"`` checkpoints finished strategies into the artifact
+        cache and serves them back on re-invocation (crash-safe);
+        ``"off"`` (default) always recomputes.
+    cache:
+        Explicit :class:`~repro.pipeline.ArtifactCache` for the journal
+        (default: the process-wide cache).
     """
+    from repro.runtime import journal_for, plan_from_env, run_supervised
+
     if strategies is None:
         strategies = default_portfolio()
+    strategies = tuple(strategies)
     if not strategies:
         raise ValueError("portfolio needs at least one strategy")
+    if resume not in _RESUME_MODES:
+        raise ValueError(
+            f"unknown resume mode {resume!r}; choose from {_RESUME_MODES}"
+        )
     model = model or CostModel()
+    if chaos is None:
+        chaos = plan_from_env()
+
+    journal = None
+    if resume == "auto":
+        from repro.pipeline.config import SimConfig
+
+        run_key = stable_digest({
+            "kind": "portfolio-run",
+            "task_graph": tg.fingerprint(),
+            "topology": topology.fingerprint(),
+            "strategies": list(strategies),
+            "model": SimConfig.from_model(model).to_dict(),
+            "load_bound": load_bound,
+        })
+        journal = journal_for(run_key, cache)
+
     with perf.span("mapper.portfolio"):
-        candidates = _map_batch(
+        results = run_supervised(
+            _portfolio_task,
             [(tg, topology, s, model, load_bound) for s in strategies],
             executor=executor,
             max_workers=max_workers or len(strategies),
+            keys=strategies,
+            deadline=deadline,
+            retry=retry,
+            chaos=chaos,
+            journal=journal,
         )
+        candidates = [
+            r.value if r.ok else Candidate(
+                strategy,
+                failed=str(r.error),
+                error_kind=_failure_kind(r),
+            )
+            for strategy, r in zip(strategies, results)
+        ]
         best = _select_best(candidates)
     perf.count(f"mapper.portfolio.winner.{best.strategy}")
-    return PortfolioResult(list(candidates), best)
+    return PortfolioResult(candidates, best)
 
 
 def _portfolio_task(payload) -> Candidate:
     """Top-level worker (picklable for process pools)."""
     return _run_strategy(*payload)
-
-
-def _map_batch(
-    payloads: list[tuple],
-    *,
-    executor: str,
-    max_workers: int,
-) -> list[Candidate]:
-    """Run ``_run_strategy`` payloads under the chosen executor, in order."""
-    return run_ordered(
-        _portfolio_task, payloads, executor=executor, max_workers=max_workers
-    )
 
 
 def _pair_task(payload) -> PortfolioResult:
@@ -229,6 +331,11 @@ def map_many(
     load_bound: int | None = None,
     executor: str = "process",
     max_workers: int | None = None,
+    deadline: float | None = None,
+    retry=None,
+    chaos=None,
+    resume: str = "off",
+    cache=None,
 ) -> list[PortfolioResult]:
     """Run a strategy portfolio over many (graph, topology) pairs.
 
@@ -239,6 +346,14 @@ def map_many(
     are bit-identical for ``executor="serial"``, ``"thread"``, and
     ``"process"`` at any worker count.
 
+    Supervision: ``deadline``/``retry`` bound each pair's wall-clock and
+    retry crashed workers; a pair that still fails raises its typed error
+    (first failing pair in input order).  With ``resume="auto"``,
+    finished pairs checkpoint into the artifact cache, so a killed batch
+    re-invoked with the same inputs resumes instead of restarting -- the
+    raise-on-failure contract is what keeps the return type a plain
+    ``list[PortfolioResult]``.
+
     Parameters
     ----------
     pairs:
@@ -247,20 +362,54 @@ def map_many(
         ``"process"`` (default; best for CPU-bound batches), ``"thread"``,
         or ``"serial"``.
     max_workers:
-        Pool size (default: ``concurrent.futures`` chooses).
+        Concurrency bound (default: sized to the batch/CPU count).
     """
+    from repro.runtime import journal_for, plan_from_env, run_supervised
+
     if executor not in _EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {_EXECUTORS}")
+    if resume not in _RESUME_MODES:
+        raise ValueError(
+            f"unknown resume mode {resume!r}; choose from {_RESUME_MODES}"
+        )
     if strategies is None:
         strategies = default_portfolio()
     model = model or CostModel()
+    if chaos is None:
+        chaos = plan_from_env()
     payloads = [
         (tg, topology, tuple(strategies), model, load_bound)
         for tg, topology in pairs
     ]
+
+    journal = None
+    if resume == "auto" and payloads:
+        from repro.pipeline.config import SimConfig
+
+        run_key = stable_digest({
+            "kind": "map-many-run",
+            "pairs": [
+                [tg.fingerprint(), topology.fingerprint()]
+                for tg, topology, *_ in payloads
+            ],
+            "strategies": list(strategies),
+            "model": SimConfig.from_model(model).to_dict(),
+            "load_bound": load_bound,
+        })
+        journal = journal_for(run_key, cache)
+
     with perf.span("mapper.portfolio.map_many"):
-        results = run_ordered(
-            _pair_task, payloads, executor=executor, max_workers=max_workers
+        results = run_supervised(
+            _pair_task,
+            payloads,
+            executor=executor,
+            max_workers=max_workers,
+            keys=[f"pair:{i}" for i in range(len(payloads))],
+            deadline=deadline,
+            retry=retry,
+            chaos=chaos,
+            journal=journal,
+            strict=True,
         )
     perf.count("mapper.portfolio.pairs", len(payloads))
-    return results
+    return [r.value for r in results]

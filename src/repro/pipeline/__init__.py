@@ -32,7 +32,12 @@ from repro.pipeline.config import (
     RunConfig,
     SimConfig,
 )
-from repro.pipeline.engine import PipelineResult, pipeline_key, run_pipeline
+from repro.pipeline.engine import (
+    PipelineResult,
+    pipeline_key,
+    run_pipeline,
+    run_pipeline_batch,
+)
 from repro.pipeline.stages import (
     Contraction,
     MappingStrategy,
@@ -55,6 +60,7 @@ __all__ = [
     "RunConfig",
     "DEFAULT_STAGES",
     "run_pipeline",
+    "run_pipeline_batch",
     "PipelineResult",
     "pipeline_key",
     "ArtifactCache",

@@ -7,15 +7,30 @@ output is a **criticality ranking** -- which hardware the computation can
 least afford to lose -- and a **degradation distribution** summarising how
 gracefully the mapping absorbs single faults.
 
-The per-fault work is embarrassingly parallel, so the sweep fans out over
-the same serial/thread/process executors as the mapping portfolio
-(:mod:`repro.util.pools`); entries come back in element order and the
-ranking is bit-identical at any worker count.
+The per-fault work is embarrassingly parallel, so the sweep fans out
+through the supervised runtime (:mod:`repro.runtime`) over the same
+serial/thread/process executors as the mapping portfolio; entries come
+back in element order and the ranking is bit-identical at any worker
+count.
 
-Elements whose loss disconnects the machine (an articulation processor, a
-bridge link -- every link of a tree) are maximally critical: they are
-reported with ``status="disconnects"`` and rank above every survivable
-fault.
+Two kinds of "fault" meet here and stay distinct:
+
+* **Modeled-machine faults** are the sweep's subject: the injected
+  processor/link losses.  Elements whose loss disconnects the machine
+  (an articulation processor, a bridge link -- every link of a tree) are
+  maximally critical and reported with ``status="disconnects"``.
+* **Toolchain faults** are worker problems while *measuring* an element:
+  a hung repair (deadline blown), a crashed worker, exhausted retries.
+  These become explicit ``status="failed"`` rows carrying the error --
+  the sweep completes and ranks instead of aborting, and failed rows sit
+  between the disconnecting and the survivable faults (unmeasured is
+  treated as worse than any measured degradation).
+
+With ``resume="auto"``, every finished entry checkpoints into the
+artifact cache's disk tier keyed by the sweep's content fingerprint; a
+sweep killed at fault 900/1000 re-invoked with the same inputs resumes
+from the journal and its ranking is bit-identical to an uninterrupted
+run's.
 """
 
 from __future__ import annotations
@@ -29,7 +44,8 @@ from repro.mapper.mapping import Mapping
 from repro.sim.engine import simulate
 from repro.sim.model import CostModel
 from repro.util import perf
-from repro.util.pools import EXECUTORS, run_ordered
+from repro.util.fingerprint import stable_digest
+from repro.util.pools import EXECUTORS
 
 from repro.resilience.faults import FaultSet
 from repro.resilience.repair import repair_mapping
@@ -37,6 +53,10 @@ from repro.resilience.repair import repair_mapping
 __all__ = ["FaultImpact", "SweepResult", "failure_sweep"]
 
 _ELEMENTS = ("processors", "links", "both")
+_RESUME_MODES = ("auto", "off")
+
+#: Ranking order of the status classes (lower sorts first).
+_STATUS_RANK = {"disconnects": 0, "failed": 1, "ok": 2}
 
 
 @dataclass
@@ -50,13 +70,17 @@ class FaultImpact:
     element:
         The processor label, or the ``(u, v)`` link tuple.
     status:
-        ``"ok"`` (repaired and re-simulated) or ``"disconnects"`` (the
-        fault splits the machine; no repair exists).
+        ``"ok"`` (repaired and re-simulated), ``"disconnects"`` (the
+        fault splits the machine; no repair exists), or ``"failed"``
+        (the measurement's worker timed out/crashed/kept failing --
+        a toolchain fault, not a machine one; see ``error``).
     repaired_time / ratio:
         Simulated completion time of the repaired mapping and its ratio to
-        the pristine baseline (``inf`` when disconnecting).
+        the pristine baseline (``inf`` when disconnecting or failed).
     moved_tasks / rerouted / kept_routes / migration_cost / strategy:
         The repair report's touch summary.
+    error:
+        The supervision failure summary for ``status="failed"`` rows.
     """
 
     kind: str
@@ -69,6 +93,7 @@ class FaultImpact:
     kept_routes: int = 0
     migration_cost: float = 0.0
     strategy: str = "none"
+    error: str | None = None
 
     @property
     def label(self) -> str:
@@ -87,14 +112,15 @@ class SweepResult:
     entries: list[FaultImpact] = field(default_factory=list)
 
     def ranking(self) -> list[FaultImpact]:
-        """Entries by criticality: disconnecting faults first, then by
+        """Entries by criticality: disconnecting faults first, then
+        unmeasured (``failed``) rows, then survivable faults by
         degradation ratio descending; ties keep element order (stable)."""
         order = {id(e): i for i, e in enumerate(self.entries)}
         return sorted(
             self.entries,
             key=lambda e: (
-                0 if e.status == "disconnects" else 1,
-                -e.ratio if e.status != "disconnects" else 0.0,
+                _STATUS_RANK.get(e.status, 3),
+                -e.ratio if e.status == "ok" else 0.0,
                 order[id(e)],
             ),
         )
@@ -103,10 +129,12 @@ class SweepResult:
         """Summary statistics of the degradation ratios of survivable faults."""
         ratios = sorted(e.ratio for e in self.entries if e.status == "ok")
         n = len(ratios)
+        failed = sum(1 for e in self.entries if e.status == "failed")
         out = {
             "faults": len(self.entries),
             "survivable": n,
-            "disconnecting": len(self.entries) - n,
+            "disconnecting": len(self.entries) - n - failed,
+            "failed": failed,
         }
         if n:
             out.update(
@@ -136,6 +164,7 @@ class SweepResult:
                     "kept_routes": e.kept_routes,
                     "migration_cost": e.migration_cost,
                     "strategy": e.strategy,
+                    "error": e.error,
                 }
                 for e in self.ranking()
             ],
@@ -179,6 +208,11 @@ def failure_sweep(
     state_volume: float = 1.0,
     executor: str = "serial",
     max_workers: int | None = None,
+    deadline: float | None = None,
+    retry=None,
+    chaos=None,
+    resume: str = "off",
+    cache=None,
 ) -> SweepResult:
     """Measure the single-fault impact of every processor and/or link.
 
@@ -197,12 +231,32 @@ def failure_sweep(
         Fan-out control (``"serial"`` / ``"thread"`` / ``"process"``).
         Entries, rankings and every number in them are identical for every
         executor and worker count.
+    deadline:
+        Per-fault wall-clock budget in seconds; a trial that blows it is
+        killed and recorded as a ``failed`` row.
+    retry:
+        A :class:`~repro.runtime.RetryPolicy` for crashed / transiently
+        failing trial workers (default: single attempt).
+    chaos:
+        A :class:`~repro.runtime.ChaosPlan` for tests/drills; defaults to
+        the ``REPRO_CHAOS`` environment knob (normally unset -> none).
+    resume:
+        ``"auto"`` checkpoints every finished entry into the artifact
+        cache so a killed sweep re-invoked with the same inputs resumes
+        bit-identically; ``"off"`` (default) always recomputes.
+    cache:
+        Explicit :class:`~repro.pipeline.ArtifactCache` for the journal
+        (default: the process-wide cache).
 
     Returns
     -------
     A :class:`SweepResult`; ``ranking()`` gives the criticality order and
-    ``distribution()`` the degradation statistics.
+    ``distribution()`` the degradation statistics.  Toolchain failures
+    never abort the sweep -- they are explicit ``failed`` rows.
     """
+    from repro import io
+    from repro.runtime import journal_for, plan_from_env, run_supervised
+
     if elements not in _ELEMENTS:
         raise ValueError(
             f"unknown elements {elements!r}; choose from {_ELEMENTS}"
@@ -211,7 +265,13 @@ def failure_sweep(
         raise ValueError(
             f"unknown executor {executor!r}; choose from {EXECUTORS}"
         )
+    if resume not in _RESUME_MODES:
+        raise ValueError(
+            f"unknown resume mode {resume!r}; choose from {_RESUME_MODES}"
+        )
     model = model or CostModel()
+    if chaos is None:
+        chaos = plan_from_env()
     with perf.span("resilience.failure_sweep"):
         if mapping is None:
             # A cached pipeline run: repeated sweeps of the same instance
@@ -239,8 +299,43 @@ def failure_sweep(
             (tg, mapping, topology, kind, element, model, state_volume, baseline)
             for kind, element in targets
         ]
-        entries = run_ordered(
-            _impact_task, payloads, executor=executor, max_workers=max_workers
+        keys = [
+            f"proc {element}" if kind == "proc"
+            else f"link {element[0]}-{element[1]}"
+            for kind, element in targets
+        ]
+
+        journal = None
+        if resume == "auto":
+            from repro.pipeline.config import SimConfig
+
+            run_key = stable_digest({
+                "kind": "failure-sweep-run",
+                "task_graph": tg.fingerprint(),
+                "topology": topology.fingerprint(),
+                "mapping": io.mapping_to_dict(mapping),
+                "elements": elements,
+                "model": SimConfig.from_model(model).to_dict(),
+                "state_volume": state_volume,
+            })
+            journal = journal_for(run_key, cache)
+
+        results = run_supervised(
+            _impact_task,
+            payloads,
+            executor=executor,
+            max_workers=max_workers,
+            keys=keys,
+            deadline=deadline,
+            retry=retry,
+            chaos=chaos,
+            journal=journal,
         )
+        entries = [
+            r.value if r.ok else FaultImpact(
+                kind=kind, element=element, status="failed", error=str(r.error)
+            )
+            for (kind, element), r in zip(targets, results)
+        ]
     perf.count("resilience.sweep.faults", len(entries))
     return SweepResult(baseline_time=baseline, entries=entries)

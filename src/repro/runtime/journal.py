@@ -1,0 +1,96 @@
+"""Crash-safe checkpointing for supervised fan-outs.
+
+A multi-hour sweep that dies at fault 900/1000 must not restart from
+zero.  The :class:`Journal` streams every finished
+:class:`~repro.runtime.supervisor.TaskResult` into the PR 4
+:class:`~repro.pipeline.cache.ArtifactCache` disk tier as it completes
+(one atomic pickle per task -- a kill can lose at most the in-flight
+tasks, never corrupt a recorded one), and a re-invoked run serves the
+recorded tasks from the journal and executes only the remainder.
+Because recorded results carry the original values and attempt
+histories, a resumed run's winners and rankings are bit-identical to an
+uninterrupted run's.
+
+Checkpoint format
+-----------------
+Each entry is one cache artifact whose key is::
+
+    stable_digest({"kind": "runtime-journal", "schema": JOURNAL_SCHEMA,
+                   "run": <run key>, "task": <task key>})
+
+The **run key** is a content fingerprint of the whole fan-out (inputs,
+configuration, task list) computed by the entry point -- so two different
+sweeps sharing one cache directory can never serve each other's entries,
+and any input change invalidates the journal wholesale.  The **task key**
+is the per-payload label within that run (a strategy name, ``proc 5``).
+Entries live in the same schema-versioned envelopes as every other
+artifact: corrupted or stale files read as "not journalled yet" and the
+task simply re-runs.  Deleting the cache directory is always safe.
+
+Failed results are journalled too: a resumed run reports the same
+explicit failures instead of silently retrying them (delete the cache
+entry -- or run with ``resume="off"`` -- to retry deliberately).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.supervisor import TaskResult
+from repro.util.fingerprint import stable_digest
+
+__all__ = ["Journal", "JOURNAL_SCHEMA", "journal_for"]
+
+#: Bump when the journalled TaskResult layout changes incompatibly.
+JOURNAL_SCHEMA = 1
+
+
+class Journal:
+    """A per-run checkpoint log over an :class:`ArtifactCache`.
+
+    Parameters
+    ----------
+    cache:
+        Any object with the :class:`~repro.pipeline.cache.ArtifactCache`
+        ``get``/``put`` surface.  A cache without a disk tier still
+        checkpoints within the process (useful in tests); crash safety
+        needs the disk tier.
+    run_key:
+        The fan-out's content fingerprint (see module docs).
+    """
+
+    def __init__(self, cache, run_key: str):
+        self.cache = cache
+        self.run_key = run_key
+
+    def _key(self, task_key: str) -> str:
+        return stable_digest({
+            "kind": "runtime-journal",
+            "schema": JOURNAL_SCHEMA,
+            "run": self.run_key,
+            "task": task_key,
+        })
+
+    def load(self, task_key: str) -> TaskResult | None:
+        """The recorded result for *task_key*, or ``None`` when absent."""
+        hit = self.cache.get(self._key(task_key))
+        if hit is None:
+            return None
+        value, _tier = hit
+        return value if isinstance(value, TaskResult) else None
+
+    def record(self, task_key: str, result: TaskResult) -> None:
+        """Checkpoint one finished result (atomic on the disk tier)."""
+        self.cache.put(self._key(task_key), result)
+
+
+def journal_for(run_key: str, cache=None) -> Journal | None:
+    """A journal over *cache* or the process-default artifact cache.
+
+    Returns ``None`` when caching is disabled (``REPRO_CACHE=off``) and
+    no explicit cache was given -- callers then run without resumability
+    instead of failing.
+    """
+    if cache is None:
+        from repro.pipeline.cache import default_cache
+
+        cache = default_cache()
+    return Journal(cache, run_key) if cache is not None else None

@@ -1,12 +1,20 @@
 """Deterministic executor fan-out shared by the parallel entry points.
 
-The portfolio (:mod:`repro.mapper.portfolio`) and the failure sweep
-(:mod:`repro.resilience.sweep`) both follow the same pattern: a list of
-independent payloads runs through a top-level picklable worker under a
-caller-chosen executor (``"serial"`` / ``"thread"`` / ``"process"``), and
-results must come back **in input order** so downstream selection never
-observes completion order -- that is what makes winners and rankings
-bit-identical at any worker count.
+The portfolio (:mod:`repro.mapper.portfolio`), the failure sweep
+(:mod:`repro.resilience.sweep`), and batched pipeline runs all follow the
+same pattern: a list of independent payloads runs through a top-level
+picklable worker under a caller-chosen executor (``"serial"`` /
+``"thread"`` / ``"process"``), and results must come back **in input
+order** so downstream selection never observes completion order -- that
+is what makes winners and rankings bit-identical at any worker count.
+
+Since PR 5 the execution itself lives in :mod:`repro.runtime`:
+:func:`run_ordered` is the strict, unsupervised veneer (no deadlines, no
+retries, the first failure raises) over
+:func:`repro.runtime.run_supervised`, kept for callers that want the
+bare contract.  Entry points that need supervision -- deadlines, retry
+policies, failures as values, checkpoint resume -- call the runtime
+directly.
 """
 
 from __future__ import annotations
@@ -52,25 +60,24 @@ def run_ordered(
     """Apply *fn* to every payload under *executor*; results in input order.
 
     *fn* must be a module-level callable (picklable) for the process
-    executor.  ``max_workers=None`` lets ``concurrent.futures`` pick the
-    pool size; a single payload or ``max_workers <= 1`` short-circuits to
-    the serial path.
+    executor.  ``max_workers=None`` sizes the pool to the batch/CPU
+    count; ``max_workers=1`` means serial (one in-process worker, no
+    pool); non-positive values raise ``ValueError``.  A worker exception
+    propagates to the caller (first failing payload in input order) --
+    use :func:`repro.runtime.run_supervised` directly for deadlines,
+    retries, or failure-as-value semantics.
     """
+    from repro.runtime import run_supervised
+
     if executor not in EXECUTORS:
         raise ValueError(f"unknown executor {executor!r}; choose from {EXECUTORS}")
-    if (
-        executor == "serial"
-        or len(payloads) <= 1
-        or (max_workers is not None and max_workers <= 1)
-    ):
-        return [fn(p) for p in payloads]
-    workers = min(max_workers, len(payloads)) if max_workers else None
-    pool = (
-        concurrent.futures.ThreadPoolExecutor(max_workers=workers)
-        if executor == "thread"
-        else process_pool(workers)
+    if max_workers is not None and max_workers <= 0:
+        raise ValueError(
+            f"max_workers must be >= 1, got {max_workers} (1 means serial)"
+        )
+    if len(payloads) <= 1 or max_workers == 1:
+        executor = "serial"
+    results = run_supervised(
+        fn, payloads, executor=executor, max_workers=max_workers, strict=True
     )
-    with pool:
-        # Executor.map preserves input order, so downstream selection never
-        # sees completion order and stays deterministic.
-        return list(pool.map(fn, payloads))
+    return [r.value for r in results]

@@ -9,15 +9,47 @@ around it.  Tests that exercise the cache itself construct their own
 :class:`repro.pipeline.ArtifactCache` or set the env knobs explicitly.
 """
 
+import signal
+import threading
+
 import pytest
 
 from repro.pipeline import cache as pipeline_cache
+
+#: Per-test wall-clock ceiling (seconds).  The supervised runtime is in
+#: the business of hangs -- a regression there would otherwise wedge the
+#: whole suite.  ``pytest-timeout`` is not a dependency, so a plain
+#: SIGALRM guard stands in for it where the platform has one.
+_TEST_ALARM_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _hang_guard():
+    use_alarm = (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if use_alarm:
+        def _blow(signum, frame):
+            raise TimeoutError(
+                f"test exceeded the {_TEST_ALARM_S}s hang guard"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _blow)
+        signal.setitimer(signal.ITIMER_REAL, _TEST_ALARM_S)
+    try:
+        yield
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(autouse=True)
 def _isolated_artifact_cache(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
     monkeypatch.delenv("REPRO_CACHE", raising=False)
+    monkeypatch.delenv("REPRO_CHAOS", raising=False)
     pipeline_cache.reset_default_cache()
     yield
     pipeline_cache.reset_default_cache()

@@ -324,3 +324,107 @@ class TestRunCommand:
         cfg.write_text('{"mapp": {}}')
         assert main(self._BASE + ["--config", str(cfg)]) == 2
         assert "unknown RunConfig keys" in capsys.readouterr().err
+
+
+class TestSupervisionCLI:
+    """The supervised-runtime surface: exit codes, stderr hygiene, flags."""
+
+    _BASE = ["run", "nbody", "--bind", "n=15", "--topology", "hypercube:3"]
+
+    def _result(self, capsys):
+        import json
+
+        captured = capsys.readouterr()
+        return json.loads(captured.out), captured.err
+
+    def test_deadline_blown_exits_3_with_structured_stderr(self, capsys):
+        code = main(self._BASE + ["--deadline", "0.000001", "--resume", "off"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert captured.out == ""  # stdout stays pure JSON territory
+        assert "error [TaskTimeout]" in captured.err
+        assert "attempt 1: timeout" in captured.err
+
+    def test_chaos_crash_exits_4(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", '{"crash": [[0, 1]]}')
+        code = main(self._BASE + ["--retries", "0", "--resume", "off"])
+        captured = capsys.readouterr()
+        assert code == 4
+        assert captured.out == ""
+        assert "error [WorkerCrash]" in captured.err
+
+    def test_retries_recover_a_transient_crash(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", '{"crash": [[0, 1]]}')
+        assert main(self._BASE + ["--retries", "2", "--resume", "off"]) == 0
+        out, _err = self._result(capsys)
+        assert out["format"] == "oregami-pipeline-result-v1"
+        assert out["sim"]["total_time"] > 0
+
+    def test_negative_retries_is_invalid_input(self, capsys):
+        assert main(self._BASE + ["--retries", "-1"]) == 2
+        assert "--retries must be >= 0" in capsys.readouterr().err
+
+    def test_portfolio_reports_winner_and_candidates(self, capsys):
+        assert main(self._BASE + ["--portfolio", "--resume", "off"]) == 0
+        out, err = self._result(capsys)
+        assert out["format"] == "oregami-portfolio-result-v1"
+        assert out["winner"]
+        assert out["completion_time"] > 0
+        assert any(c["ok"] for c in out["candidates"])
+        assert err == ""
+
+    def test_portfolio_survives_a_crashed_strategy(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", '{"crash": [[0, 1]]}')
+        assert main(self._BASE + ["--portfolio", "--resume", "off"]) == 0
+        out, _err = self._result(capsys)
+        crashed = out["candidates"][0]
+        assert not crashed["ok"]
+        assert crashed["error_kind"] == "crash"
+        assert out["winner"] != crashed["strategy"]
+
+    def test_portfolio_all_strategies_failed_exits_4(self, capsys, monkeypatch):
+        import json
+
+        from repro.mapper.portfolio import DEFAULT_STRATEGIES
+
+        plan = {"crash": [[i, 1] for i in range(len(DEFAULT_STRATEGIES))]}
+        monkeypatch.setenv("REPRO_CHAOS", json.dumps(plan))
+        code = main(self._BASE + ["--portfolio", "--resume", "off"])
+        captured = capsys.readouterr()
+        assert code == 4
+        assert captured.out == ""
+        assert "error [AllStrategiesFailed]" in captured.err
+
+    def test_resume_serves_the_supervised_rerun(self, capsys):
+        args = self._BASE + ["--portfolio", "--resume", "auto"]
+        assert main(args) == 0
+        first, _ = self._result(capsys)
+        assert main(args) == 0
+        second, _ = self._result(capsys)
+        assert second == first
+
+    def test_sweep_accepts_supervision_flags(self, capsys):
+        assert main(
+            ["resilience", "jacobi", "--bind", "rows=4", "cols=4",
+             "--topology", "hypercube:3", "--sweep", "processors", "--json",
+             "--deadline", "120", "--retries", "1", "--resume", "auto"]
+        ) == 0
+        out, _err = self._result(capsys)
+        assert out["distribution"]["faults"] == 8
+        assert all(row["error"] is None for row in out["ranking"])
+
+    def test_sweep_chaos_crash_becomes_failed_row(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", '{"crash": [[2, 1]]}')
+        assert main(
+            ["resilience", "jacobi", "--bind", "rows=4", "cols=4",
+             "--topology", "hypercube:3", "--sweep", "processors", "--json"]
+        ) == 0
+        out, _err = self._result(capsys)
+        assert out["distribution"]["failed"] == 1
+        failed = [r for r in out["ranking"] if r["status"] == "failed"]
+        assert len(failed) == 1 and failed[0]["error"]
+
+    def test_malformed_chaos_env_is_invalid_input(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "{definitely not json")
+        assert main(self._BASE + ["--retries", "0", "--resume", "off"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Property-based tests for the supervised runtime's determinism claims.
+
+The runtime promises that everything *semantic* -- values, statuses,
+attempt traces, and therefore winners and rankings -- is a pure function
+of (payloads, retry policy, chaos plan): never of the executor, the
+worker count, scheduling, or whether the run was interrupted and
+resumed.  Hypothesis drives randomly generated chaos schedules and retry
+policies through those claims.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import ArtifactCache
+from repro.runtime import ChaosPlan, Journal, RetryPolicy, run_supervised
+
+_MAX_TASKS = 5
+_MAX_ATTEMPTS = 3
+
+
+def _work(x):
+    return x * x + 1
+
+
+def _projection(results):
+    """Everything that must be identical across executors/workers/resume."""
+    return [
+        (r.index, r.key, r.status, r.value, r.trace(),
+         None if r.error is None else (type(r.error).__name__, str(r.error)))
+        for r in results
+    ]
+
+
+@st.composite
+def _schedules(draw):
+    """(payloads, retry policy, chaos plan) for one supervised fan-out."""
+    n = draw(st.integers(min_value=1, max_value=_MAX_TASKS))
+    max_attempts = draw(st.integers(min_value=1, max_value=_MAX_ATTEMPTS))
+    pair = st.tuples(
+        st.integers(min_value=0, max_value=n - 1),
+        st.integers(min_value=1, max_value=max_attempts),
+    )
+    pairs = st.sets(pair, max_size=n)
+    chaos = ChaosPlan(
+        crashes=draw(pairs), transients=draw(pairs), hang_s=0.0
+    )
+    retry = RetryPolicy(
+        max_attempts=max_attempts,
+        backoff=0.0005,
+        seed=draw(st.integers(min_value=0, max_value=3)),
+    )
+    return list(range(n)), retry, chaos
+
+
+@settings(max_examples=25, deadline=None)
+@given(_schedules())
+def test_outcomes_identical_across_executors_and_worker_counts(schedule):
+    payloads, retry, chaos = schedule
+    reference = _projection(
+        run_supervised(_work, payloads, retry=retry, chaos=chaos)
+    )
+    for max_workers in (1, 2, len(payloads)):
+        got = run_supervised(
+            _work, payloads, executor="thread", max_workers=max_workers,
+            retry=retry, chaos=chaos,
+        )
+        assert _projection(got) == reference
+
+
+@settings(max_examples=25, deadline=None)
+@given(_schedules(), st.data())
+def test_interrupted_and_resumed_equals_uninterrupted(schedule, data):
+    payloads, retry, chaos = schedule
+    uninterrupted = _projection(
+        run_supervised(_work, payloads, retry=retry, chaos=chaos)
+    )
+
+    # "Kill" the run after the first k tasks: journal only those, then
+    # re-invoke over the full payload list with the same journal.
+    k = data.draw(
+        st.integers(min_value=0, max_value=len(payloads)), label="kill_after"
+    )
+    journal = Journal(ArtifactCache(), "property-run")
+    run_supervised(
+        _work, payloads[:k], keys=[f"task:{i}" for i in range(k)],
+        retry=retry, chaos=chaos, journal=journal,
+    )
+    resumed = run_supervised(
+        _work, payloads, retry=retry, chaos=chaos, journal=journal
+    )
+    assert [r.journal_hit for r in resumed] == [i < k for i in range(len(payloads))]
+    assert _projection(resumed) == uninterrupted
