@@ -4,14 +4,17 @@ JSON (``BENCH_PR<n>.json``) that future PRs regress against.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR5.json]
-    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/run_bench.py [-o BENCH_PR6.json]
+    PYTHONPATH=src python benchmarks/run_bench.py --quick --check BENCH_PR6.json
 
 Measured sections
 -----------------
 * ``sim_micro``   -- the repeated-phase microbenchmark (jacobi 8x8, the
   compute/comm sweep repeated 100x) with the step cache on and off; the
   ratio is the PR 1 memoization speedup.
+* ``sim_kernel``  -- the batched numpy step kernel vs. the per-step event
+  loop (memoization off) on jacobi8x8 x100, a 64-cluster torus, and a
+  1k-task synthetic stencil; the ratio is the PR 6 headline.
 * ``e2e``         -- map_computation + simulate wall-clock on the paper's
   benchmark workloads (nbody63, jacobi8x8, fft64).
 * ``contraction`` -- MWM-Contract on the n-body 63-task graph and a scaled
@@ -145,6 +148,57 @@ def bench_sim_micro() -> dict:
         "speedup": uncached / memoized,
         "results_identical": identical,
     }
+
+
+#: (name, task-graph factory, topology factory, phase-expr repetitions)
+#: for the kernel face-off.  Repetitions keep the reference event loop in
+#: its realistic regime (sweeps and portfolios simulate long expressions).
+SIM_KERNEL_WORKLOADS = [
+    ("jacobi8x8_x100", lambda: stdlib.load("jacobi", rows=8, cols=8, msize=4),
+     lambda: networks.mesh(4, 4), 100),
+    ("torus64_x100", lambda: families.torus(8, 8),
+     lambda: networks.torus(4, 4), 100),
+    ("jacobi32x32_x50", lambda: stdlib.load("jacobi", rows=32, cols=32, msize=4),
+     lambda: networks.mesh(8, 8), 50),
+]
+
+
+def bench_sim_kernel() -> dict:
+    """Vector vs. reference step kernel, memoization off (the PR 6 headline).
+
+    Memoization is disabled so both engines honestly recompute every step
+    -- the regime of portfolio candidates and sweep rows, where each
+    mapping is simulated once and the step cache starts cold.  Identity is
+    checked field-by-field on the full :class:`SimulationResult`.
+    """
+    out = {}
+    for name, tg_fn, topo_fn, reps in SIM_KERNEL_WORKLOADS:
+        tg = tg_fn()
+        tg.phase_expr = Rep(tg.phase_expr, reps)
+        mapping = map_computation(tg, topo_fn())
+        ref = simulate(mapping, MODEL, memoize=False, kernel="reference")
+        vec = simulate(mapping, MODEL, memoize=False, kernel="vector")
+        identical = (
+            vec.total_time == ref.total_time
+            and vec.step_times == ref.step_times
+            and vec.link_busy == ref.link_busy
+            and vec.proc_busy == ref.proc_busy
+            and vec.phase_time == ref.phase_time
+            and vec.messages == ref.messages
+        )
+        reference_s = best_of(
+            lambda: simulate(mapping, MODEL, memoize=False, kernel="reference"), 3
+        )
+        vector_s = best_of(
+            lambda: simulate(mapping, MODEL, memoize=False, kernel="vector"), 3
+        )
+        out[name] = {
+            "reference_s": reference_s,
+            "vector_s": vector_s,
+            "speedup": reference_s / vector_s,
+            "results_identical": identical,
+        }
+    return out
 
 
 def bench_e2e() -> dict:
@@ -530,8 +584,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR5.json"),
-        help="trajectory file to write (default: BENCH_PR5.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR6.json"),
+        help="trajectory file to write (default: BENCH_PR6.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -563,15 +617,16 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 5,
-            "description": "supervised execution runtime: deadlines, "
-                           "retries, crash-safe checkpointing, chaos testing",
+            "pr": 6,
+            "description": "vectorized numpy simulator core: batched step "
+                           "kernels for store-and-forward and cut-through",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
             "quick": args.quick,
         },
         "sim_micro": bench_sim_micro(),
+        "sim_kernel": bench_sim_kernel(),
         "e2e": bench_e2e(),
         "contraction": bench_contraction(),
         "embed": bench_embed(),
@@ -595,6 +650,10 @@ def main(argv=None) -> int:
     print(f"sim micro ({micro['workload']}): "
           f"{micro['uncached_s'] * 1e3:.2f}ms -> {micro['memoized_s'] * 1e3:.2f}ms "
           f"({micro['speedup']:.1f}x, identical={micro['results_identical']})")
+    for name, row in payload["sim_kernel"].items():
+        print(f"sim kernel {name}: reference {row['reference_s'] * 1e3:.2f}ms "
+              f"-> vector {row['vector_s'] * 1e3:.2f}ms "
+              f"({row['speedup']:.1f}x, identical={row['results_identical']})")
     for name, row in payload["e2e"].items():
         print(f"e2e {name}: map {row['map_s'] * 1e3:.2f}ms, "
               f"simulate {row['simulate_s'] * 1e3:.2f}ms")

@@ -180,7 +180,7 @@ def evaluate_migration(
 
 def _single_step_time(mapping: Mapping, step, model: CostModel) -> float:
     """Duration of one synchronous step under a given mapping."""
-    from repro.sim.engine import _CompiledSim
+    from repro.sim import step_cost
 
     tg = mapping.task_graph
     # Segment mappings only carry routes for their own phases; a step can
@@ -192,7 +192,7 @@ def _single_step_time(mapping: Mapping, step, model: CostModel) -> float:
         and all((n, i) in mapping.routes for i in range(len(tg.comm_phase(n).edges)))
     }
     execs = {n for n in step if n in tg.exec_phase_names}
-    return _CompiledSim(mapping, model).run_step(frozenset(routable | execs)).duration
+    return step_cost(mapping, model, routable | execs)
 
 
 def migration_time(

@@ -72,6 +72,10 @@ class MappingMetrics:
     estimated_completion_time: float = 0.0
     #: Simulated critical-path time attributed to each phase.
     phase_critical_time: dict[str, float] = field(default_factory=dict)
+    #: Which simulator step kernel produced the completion time
+    #: (``"reference"`` or ``"vector"`` -- provenance only, the kernels
+    #: are pinned identical).
+    sim_kernel: str = "reference"
 
     @property
     def max_tasks(self) -> int:
@@ -175,6 +179,7 @@ def analyze(
     memoize: bool = True,
     sim: SimulationResult | None = None,
     kernel: str = "vector",
+    sim_kernel: str = "auto",
 ) -> MappingMetrics:
     """Compute the METRICS suite for a routed mapping.
 
@@ -197,6 +202,11 @@ def analyze(
         ``"vector"`` (default) accumulates per-link volume/message counts
         with ``np.bincount`` over route link-id arrays; ``"reference"`` is
         the per-hop dict loop.  Results are identical.
+    sim_kernel:
+        Forwarded to :func:`repro.sim.simulate` as its ``kernel``
+        argument when the simulation is run here (ignored when *sim* is
+        supplied).  The kernel that actually ran is recorded on
+        :attr:`MappingMetrics.sim_kernel`.
     """
     if kernel not in _KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
@@ -228,9 +238,10 @@ def analyze(
     if sim is None:
         from repro.sim.engine import simulate
 
-        sim = simulate(mapping, model, memoize=memoize)
+        sim = simulate(mapping, model, memoize=memoize, kernel=sim_kernel)
     metrics.estimated_completion_time = sim.total_time
     metrics.phase_critical_time = dict(sim.phase_time)
+    metrics.sim_kernel = sim.kernel
     return metrics
 
 
@@ -275,6 +286,7 @@ def metrics_to_dict(metrics: MappingMetrics, mapping: Mapping | None = None) -> 
             "average_dilation": metrics.average_dilation,
             "max_contention": metrics.max_contention,
             "phase_critical_time": dict(metrics.phase_critical_time),
+            "sim_kernel": metrics.sim_kernel,
         },
     }
     if mapping is not None:

@@ -36,6 +36,7 @@ DEFAULT_STAGES: tuple[str, ...] = (
 )
 
 _METRICS_KERNELS = ("vector", "reference")
+_SIM_KERNELS = ("auto", "vector", "reference")
 _SWITCHING_MODES = ("store_and_forward", "cut_through")
 
 
@@ -94,8 +95,10 @@ class SimConfig:
     """The simulated machine's parameters plus the memoization switch.
 
     The first four fields mirror :class:`repro.sim.CostModel` exactly;
-    :meth:`cost_model` converts.  ``memoize`` toggles the PR 1 step cache,
-    which changes wall-clock time only, never results.
+    :meth:`cost_model` converts.  ``memoize`` toggles the PR 1 step cache
+    and ``kernel`` selects the step engine (``"auto"``/``"vector"``/
+    ``"reference"``, see :func:`repro.sim.simulate`); both change
+    wall-clock time only, never results.
     """
 
     hop_latency: float = 1.0
@@ -103,12 +106,17 @@ class SimConfig:
     exec_time: float = 1.0
     switching: str = "store_and_forward"
     memoize: bool = True
+    kernel: str = "auto"
 
     def __post_init__(self):
         if self.switching not in _SWITCHING_MODES:
             raise ValueError(
                 f"switching must be one of {_SWITCHING_MODES}, "
                 f"got {self.switching!r}"
+            )
+        if self.kernel not in _SIM_KERNELS:
+            raise ValueError(
+                f"kernel must be one of {_SIM_KERNELS}, got {self.kernel!r}"
             )
         if min(self.hop_latency, self.byte_time, self.exec_time) < 0:
             raise ValueError("cost-model parameters must be non-negative")
@@ -123,7 +131,9 @@ class SimConfig:
         )
 
     @classmethod
-    def from_model(cls, model: CostModel, *, memoize: bool = True) -> "SimConfig":
+    def from_model(
+        cls, model: CostModel, *, memoize: bool = True, kernel: str = "auto"
+    ) -> "SimConfig":
         """Wrap an existing cost model (the legacy entry points' shims)."""
         return cls(
             hop_latency=model.hop_latency,
@@ -131,6 +141,7 @@ class SimConfig:
             exec_time=model.exec_time,
             switching=model.switching,
             memoize=memoize,
+            kernel=kernel,
         )
 
     def to_dict(self) -> dict:

@@ -396,6 +396,7 @@ def _run_simulate(ctx: PipelineContext) -> None:
         ctx.mapping,
         ctx.config.sim.cost_model(),
         memoize=ctx.config.sim.memoize,
+        kernel=ctx.config.sim.kernel,
     )
 
 
@@ -409,6 +410,7 @@ def _run_analyze(ctx: PipelineContext) -> None:
         memoize=ctx.config.sim.memoize,
         sim=ctx.sim,
         kernel=ctx.config.analyze.kernel,
+        sim_kernel=ctx.config.sim.kernel,
     )
 
 

@@ -9,6 +9,6 @@ phase expression drives the synchronous step structure.
 """
 
 from repro.sim.model import CostModel
-from repro.sim.engine import SimulationResult, simulate
+from repro.sim.engine import SimulationResult, simulate, step_cost
 
-__all__ = ["CostModel", "simulate", "SimulationResult"]
+__all__ = ["CostModel", "simulate", "step_cost", "SimulationResult"]

@@ -35,13 +35,29 @@ in it -- not on when it runs.  :func:`simulate` exploits this two ways:
 from __future__ import annotations
 
 import heapq
+import weakref
 from dataclasses import dataclass, field
 
 from repro.mapper.mapping import Mapping
 from repro.sim.model import CostModel
 from repro.util import perf
 
-__all__ = ["simulate", "SimulationResult"]
+__all__ = ["simulate", "step_cost", "SimulationResult"]
+
+#: Valid values for the ``kernel`` argument of :func:`simulate`.
+_KERNELS = ("auto", "vector", "reference")
+
+#: ``kernel="auto"`` switches to the batched numpy kernel once the run's
+#: effective store-and-forward hop count (deduplicated under memoization)
+#: crosses this threshold; below it the per-step event loop wins on
+#: constant factors.  Tuned on the ``sim_micro`` benchmarks.
+_AUTO_MIN_HOPS = 2048
+
+#: Memoized runs dedupe the kernel work, so hop count alone undersells the
+#: batch path: past this many steps the per-step Python loop of the
+#: reference engine costs more than one batched gather even when every
+#: step is a cache hit.
+_AUTO_MIN_STEPS = 256
 
 
 @dataclass
@@ -71,6 +87,10 @@ class SimulationResult:
     #: several phases in parallel charge the full step to each of them, so
     #: the values answer "how long was this phase on the critical path".
     phase_time: dict[str, float] = field(default_factory=dict)
+    #: Which step kernel produced this result (``"reference"`` or
+    #: ``"vector"``).  Provenance only -- excluded from equality, since the
+    #: kernels are pinned to produce identical results.
+    kernel: str = field(default="reference", compare=False)
 
     def max_link_utilization(self) -> float:
         """Busiest link's busy time as a fraction of total time."""
@@ -120,6 +140,17 @@ class _CompiledSim:
         self.link_slowdowns = dict(link_slowdowns or {})
         self._comm_msgs: dict[str, list[tuple[tuple[int, ...], float]]] = {}
         self._exec_busy: dict[str, dict[object, float]] = {}
+        #: Per-step compiled arrays for the vector kernel (see
+        #: :mod:`repro.sim.vector`), keyed by phase set.
+        self.vector_steps: dict[frozenset[str], object] = {}
+        self._step_tables: dict[
+            tuple[str, ...],
+            tuple[
+                list[tuple[int, tuple[int, ...], float]],
+                dict[int, tuple[int, ...]],
+                dict[int, float],
+            ],
+        ] = {}
 
     def comm_table(self, name: str) -> list[tuple[tuple[int, ...], float]]:
         """The phase's message table, compiled on first access."""
@@ -148,34 +179,61 @@ class _CompiledSim:
             self._exec_busy[name] = per_proc
         return per_proc
 
+    def step_table(
+        self, comms: tuple[str, ...]
+    ) -> tuple[
+        list[tuple[int, tuple[int, ...], float]],
+        dict[int, tuple[int, ...]],
+        dict[int, float],
+    ]:
+        """The combined ``(msgs, route_of, volume_of)`` tables for a step's
+        communication phases, compiled (and cached) per phase combination.
+
+        Phases running in parallel (``r || s``) share the physical links,
+        so all their messages enter a single FIFO event pool with ids
+        assigned in sorted-phase, edge order.  Hoisting the id -> route /
+        volume lookup dicts here keeps :func:`_store_and_forward` from
+        rebuilding them on every step.
+        """
+        cached = self._step_tables.get(comms)
+        if cached is None:
+            msgs: list[tuple[int, tuple[int, ...], float]] = []
+            for name in comms:
+                for links, volume in self.comm_table(name):
+                    msgs.append((len(msgs), links, volume))
+            route_of = {m: links for m, links, _ in msgs}
+            volume_of = {m: v for m, _, v in msgs}
+            cached = self._step_tables[comms] = (msgs, route_of, volume_of)
+        return cached
+
+    def comm_outcome(
+        self, comms: tuple[str, ...]
+    ) -> tuple[float, dict[int, float], int]:
+        """Event-loop result of a step's communication side only:
+        ``(duration, link_busy, message count)``."""
+        msgs, route_of, volume_of = self.step_table(comms)
+        link_busy: dict[int, float] = {}
+        if not msgs:
+            return 0.0, link_busy, 0
+        if self.model.switching == "cut_through":
+            duration = _cut_through(msgs, self.model, link_busy, self.link_slowdowns)
+        else:
+            duration = _store_and_forward(
+                msgs, route_of, volume_of, self.model, link_busy, self.link_slowdowns
+            )
+        return duration, link_busy, len(msgs)
+
     def run_step(self, step: frozenset[str]) -> _StepOutcome:
         """Simulate one synchronous step from the compiled tables."""
-        comms = sorted(n for n in step if n in self.comm_names)
+        comms = tuple(sorted(n for n in step if n in self.comm_names))
         execs = sorted(n for n in step if n in self.exec_names)
         unknown = set(step) - self.comm_names - self.exec_names
         if unknown:  # pragma: no cover - validate() prevents this
             raise ValueError(f"phases {sorted(unknown)!r} not declared")
 
-        link_busy: dict[int, float] = {}
+        duration, link_busy, n_msgs = self.comm_outcome(comms)
+
         proc_busy: dict[object, float] = {}
-        duration = 0.0
-
-        # Phases running in parallel (``r || s``) share the physical links,
-        # so all their messages enter a single FIFO event pool.
-        msgs: list[tuple[int, tuple[int, ...], float]] = []
-        for name in comms:
-            for links, volume in self.comm_table(name):
-                msgs.append((len(msgs), links, volume))
-        if msgs:
-            if self.model.switching == "cut_through":
-                duration = _cut_through(
-                    msgs, self.model, link_busy, self.link_slowdowns
-                )
-            else:
-                duration = _store_and_forward(
-                    msgs, self.model, link_busy, self.link_slowdowns
-                )
-
         for name in execs:
             per_proc = self.exec_table(name)
             for proc, busy in per_proc.items():
@@ -183,19 +241,23 @@ class _CompiledSim:
             if per_proc:
                 duration = max(duration, max(per_proc.values()))
 
-        return _StepOutcome(duration, link_busy, proc_busy, len(msgs))
+        return _StepOutcome(duration, link_busy, proc_busy, n_msgs)
 
 
 def _store_and_forward(
     msgs: list[tuple[int, tuple[int, ...], float]],
+    route_of: dict[int, tuple[int, ...]],
+    volume_of: dict[int, float],
     model: CostModel,
     link_busy: dict[int, float],
     slowdowns: dict[int, float] | None = None,
 ) -> float:
     """NCUBE-style hop-by-hop forwarding; links are FIFO one-message servers.
 
-    *slowdowns* (1-based link id -> factor >= 1) scales the per-hop
-    transfer time of degraded links -- the failure-injection hook.
+    *route_of* / *volume_of* are the message-id lookup tables compiled by
+    :meth:`_CompiledSim.step_table`.  *slowdowns* (1-based link id ->
+    factor >= 1) scales the per-hop transfer time of degraded links -- the
+    failure-injection hook.
     """
     slowdowns = slowdowns or {}
     link_free: dict[int, float] = {}
@@ -204,8 +266,6 @@ def _store_and_forward(
     # deterministic tie-break on message id.
     events: list[tuple[float, int, int]] = [(0.0, m, 0) for m, _, _ in msgs]
     heapq.heapify(events)
-    route_of = {m: links for m, links, _ in msgs}
-    volume_of = {m: v for m, _, v in msgs}
     while events:
         arrival, m, hop = heapq.heappop(events)
         links = route_of[m]
@@ -241,7 +301,8 @@ def _cut_through(
     slowdowns = slowdowns or {}
     link_free: dict[int, float] = {}
     finish_time = 0.0
-    for m, links, volume in sorted(msgs):
+    # msgs is already built in ascending id order -- no sort needed.
+    for m, links, volume in msgs:
         start = max((link_free.get(l, 0.0) for l in links), default=0.0)
         duration = model.cut_through_time(volume, len(links))
         if slowdowns:
@@ -261,6 +322,7 @@ def simulate(
     max_steps: int = 100_000,
     memoize: bool = True,
     link_slowdowns: dict[int, float] | None = None,
+    kernel: str = "auto",
 ) -> SimulationResult:
     """Run the mapped computation through its phase expression.
 
@@ -280,17 +342,51 @@ def simulate(
     so simulating a mapping repaired onto a degraded machine
     (:func:`repro.resilience.repair_mapping`) charges its slow links with
     no extra plumbing.
+
+    *kernel* selects the step engine: ``"reference"`` is the per-step
+    event loop, ``"vector"`` the batched numpy kernel
+    (:mod:`repro.sim.vector`), and ``"auto"`` (the default) picks by
+    workload size.  The kernels produce identical results -- the choice
+    is recorded on :attr:`SimulationResult.kernel` and in the
+    ``sim.kernel_vector`` / ``sim.kernel_reference`` perf counters.
     """
+    if kernel not in _KERNELS:
+        raise ValueError(f"kernel must be one of {_KERNELS}, got {kernel!r}")
     model = model or CostModel()
     tg = mapping.task_graph
     with perf.span("sim.simulate"):
-        mapping.validate(require_routes=True)
+        # Structural validation is pure for an unmutated mapping, so its
+        # success is memoized on the object; the size token catches the
+        # add/delete mutations (missing routes, dangling tasks) that the
+        # failure-injection paths exercise.
+        token = (len(mapping.assignment), len(mapping.routes))
+        if getattr(mapping, "_sim_validated", None) != token:
+            mapping.validate(require_routes=True)
+            mapping._sim_validated = token
         if tg.phase_expr is not None:
             steps = tg.phase_expr.linearize(max_steps=max_steps)
         else:
             steps = [frozenset(tg.phase_names)]
 
-        compiled = _CompiledSim(mapping, model, link_slowdowns)
+        compiled = _compiled_for(mapping, model, link_slowdowns)
+        plan = None
+        if kernel != "reference":
+            from repro.sim import vector
+
+            plan = vector.plan_batch(compiled, steps, memoize)
+            if (
+                kernel == "auto"
+                and plan.effective_hops < _AUTO_MIN_HOPS
+                and not (memoize and len(steps) >= _AUTO_MIN_STEPS)
+            ):
+                plan = None
+        if plan is not None:
+            perf.count("sim.kernel_vector")
+            result = plan.run()
+            result.kernel = "vector"
+            return result
+
+        perf.count("sim.kernel_reference")
         result = SimulationResult()
         cache: dict[frozenset[str], _StepOutcome] = {}
         for step in steps:
@@ -315,3 +411,71 @@ def simulate(
             for name in step:
                 phase_time[name] = phase_time.get(name, 0.0) + outcome.duration
         return result
+
+
+#: Per-mapping cache of compiled phase tables, keyed by (model, slowdowns).
+#: Weak keys keep discarded candidate mappings collectable.  Mappings are
+#: treated as immutable once routed (the pipeline's content-addressed
+#: caching already relies on this), so compiled tables never go stale.
+_COMPILED_CACHE: "weakref.WeakKeyDictionary[Mapping, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _compiled_for(
+    mapping: Mapping,
+    model: CostModel,
+    link_slowdowns: dict[int, float] | None,
+) -> _CompiledSim:
+    """The (weakly) cached compiled tables for a (mapping, model) pair.
+
+    The cache key includes the *resolved* slowdown map, so passing
+    ``link_slowdowns=None`` after degrading the topology in place still
+    compiles fresh tables for the new factors.
+    """
+    resolved = link_slowdowns
+    if resolved is None:
+        resolved = getattr(mapping.topology, "link_slowdowns", {})
+    key = (model, tuple(sorted((resolved or {}).items())))
+    try:
+        per_mapping = _COMPILED_CACHE.setdefault(mapping, {})
+    except TypeError:  # mapping not weak-referenceable
+        return _CompiledSim(mapping, model, link_slowdowns)
+    compiled = per_mapping.get(key)
+    if compiled is None:
+        compiled = per_mapping[key] = _CompiledSim(mapping, model, link_slowdowns)
+    return compiled
+
+
+def step_cost(
+    mapping: Mapping,
+    model: CostModel | None = None,
+    phases: "frozenset[str] | set[str] | tuple[str, ...] | None" = None,
+    *,
+    link_slowdowns: dict[int, float] | None = None,
+) -> float:
+    """Duration of one synchronous step running *phases* concurrently.
+
+    The public, cached face of the step engine for callers that price
+    single steps instead of whole phase expressions -- migration planning
+    (:mod:`repro.mapper.migration`) being the main one.  Compiled phase
+    tables are cached per mapping (weakly) and per (model, slowdowns), so
+    repeated quotes against the same mapping skip recompilation; large
+    steps are dispatched to the batched numpy kernel automatically.
+
+    *phases* defaults to every phase of the mapping's task graph (one
+    fully-parallel step).  Phases must have routes on the mapping -- pass
+    only the routable subset for segment mappings.
+    """
+    model = model or CostModel()
+    if phases is None:
+        phases = mapping.task_graph.phase_names
+    step = frozenset(phases)
+    compiled = _compiled_for(mapping, model, link_slowdowns)
+    comms = tuple(sorted(n for n in step if n in compiled.comm_names))
+    msgs, _, _ = compiled.step_table(comms)
+    if sum(len(links) for _, links, _ in msgs) >= _AUTO_MIN_HOPS:
+        from repro.sim import vector
+
+        return vector.plan_batch(compiled, [step], True).run().total_time
+    return compiled.run_step(step).duration

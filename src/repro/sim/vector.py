@@ -1,0 +1,582 @@
+"""Batched numpy step kernels for the discrete-event simulator.
+
+The reference simulator (:mod:`repro.sim.engine`) walks every synchronous
+step through a per-message ``heapq`` event loop.  Because the simulation
+state resets at each step boundary, the steps of a run are *independent*:
+this module exploits that by compiling each **distinct** step (phase set)
+once into flat CSR-style arrays -- ``(msg id, hop index, link id,
+volume)`` message tables with a per-link slowdown vector, plus dense
+per-processor busy vectors for the execution phases -- and then solving
+every instance of the step as one **row** of a 2-D batch: state arrays
+are shaped ``(instances, links)``, so instances can never interact and a
+whole ``r^100`` repetition advances in lock-step numpy operations.
+Distinct steps with the same instance count are additionally merged
+column-wise (each step gets its own virtual block of link columns), so
+one pass of array operations drives every step of the run at once.
+
+* **store-and-forward** runs as a round-major frontier relaxation: round
+  ``r`` serves every message's hop ``r``.  The per-round structure --
+  which messages participate, their links, the link-grouped column order,
+  segment boundaries -- is *static* per distinct step and precomputed
+  once; only arrival times are dynamic.  Per-link FIFO order is restored
+  with a row-wise stable ``np.lexsort`` over (segment, arrival), whose
+  stability reproduces the reference's message-id tie-break, and the FIFO
+  service chains ``done_i = max(arrival_i, done_{i-1}) + dur_i`` are
+  evaluated with ``k`` relaxation passes over the link-grouped segments
+  (``k`` = the longest queue, so each pass finalises one more queue
+  position).  Round 0 is fully static -- every arrival is 0.0, so the
+  id-ordered grouping *is* the sorted order and the service chain is a
+  plain segmented prefix sum.  Round-major order is only a *candidate*
+  schedule: a link can legally serve a high-hop-index message before a
+  low-hop-index one (a short message overtaking a long one).  Every
+  service is therefore checked against the FIFO contract -- per link, the
+  executed ``(arrival, id)`` sequence must be non-decreasing -- and any
+  step whose schedule violates it is recomputed with the reference event
+  loop (``sim.vector_fallback`` counts these).  A hazard-free schedule is
+  the unique FIFO fixpoint the event loop computes, evaluated with the
+  same scalar operations, so results are identical.
+
+* **cut-through** launches messages in ascending id order, greedily as
+  paths free up (the reference semantics).  The batch kernel commits, per
+  wave, every message that holds the minimum unfinished id on *all* its
+  links -- such messages are pairwise link-disjoint and every lower-id
+  link-sharer is already committed, so each wave's starts are final and
+  per-link service happens exactly in id order.  The wave schedule *is*
+  the reference schedule; no fallback is needed.
+
+Result accumulation (total time, per-link/per-processor busy, per-phase
+critical time) folds per-step values with ``np.add.accumulate``, which is
+strictly sequential -- the same left-to-right float additions the
+reference accumulation loop performs.  (``np.sum`` would *not* do: it
+sums pairwise.)  The equivalence contract is pinned by
+``tests/test_sim_vector.py``: for every field of
+:class:`~repro.sim.SimulationResult`, ``kernel="vector"`` equals
+``kernel="reference"`` exactly under ``==``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util import perf
+
+__all__ = ["plan_batch"]
+
+#: Row-chunk bound: a batch's rows are solved in blocks so the 2-D state
+#: (``rows x columns`` floats) stays memory-friendly for very long phase
+#: expressions over large machines.
+_MAX_CHUNK_CELLS = 1 << 21
+
+
+class _Round:
+    """Static structure of one store-and-forward round of a step batch."""
+
+    __slots__ = (
+        "ids_g", "links_g", "durs_g", "seg_id", "heads", "ends",
+        "seg_links", "k", "sel_final",
+    )
+
+
+class _KernelTables:
+    """Flat message tables plus lazily-built static schedule structure.
+
+    Shared by :class:`_UniqueStep` (one distinct step) and
+    :class:`_MergedGroup` (several distinct steps side by side in disjoint
+    link-column blocks); the kernels only ever see these arrays.
+    """
+
+    __slots__ = (
+        "n_msgs", "nhops", "ptr", "hop_link", "hop_msg", "hop_dur",
+        "ct_dur", "msg_ptr", "_saf_rounds", "_ct_static",
+    )
+
+    def saf_rounds(self) -> list[_Round]:
+        """Per-round static structure for the store-and-forward kernel."""
+        if self._saf_rounds is None:
+            rounds = []
+            max_hops = int(self.nhops.max()) if self.n_msgs else 0
+            for r in range(max_hops):
+                rd = _Round()
+                sel = np.flatnonzero(self.nhops > r)
+                pos = self.ptr[sel] + r
+                links = self.hop_link[pos]
+                durs = self.hop_dur[pos]
+                # Group columns by link; stable sort keeps id order within
+                # a link, which is the reference's FIFO tie-break.
+                lorder = np.argsort(links, kind="stable")
+                rd.ids_g = sel[lorder]
+                rd.links_g = links[lorder]
+                rd.durs_g = durs[lorder]
+                segstart = np.empty(lorder.size, dtype=bool)
+                segstart[0] = True
+                np.not_equal(rd.links_g[1:], rd.links_g[:-1], out=segstart[1:])
+                rd.heads = np.flatnonzero(segstart)
+                rd.ends = np.concatenate((rd.heads[1:] - 1, [lorder.size - 1]))
+                rd.seg_id = np.cumsum(segstart) - 1
+                rd.seg_links = rd.links_g[rd.heads]
+                rd.k = int((rd.ends - rd.heads).max()) + 1
+                rd.sel_final = sel[self.nhops[sel] == r + 1]
+                rounds.append(rd)
+            self._saf_rounds = rounds
+        return self._saf_rounds
+
+    def ct_static(self):
+        """Static link grouping of hops for the cut-through kernel."""
+        if self._ct_static is None:
+            lorder = np.argsort(self.hop_link, kind="stable")
+            hl_sorted = self.hop_link[lorder]
+            segstart = np.empty(lorder.size, dtype=bool)
+            segstart[0] = True
+            np.not_equal(hl_sorted[1:], hl_sorted[:-1], out=segstart[1:])
+            heads = np.flatnonzero(segstart)
+            linkseg = np.zeros(int(self.hop_link.max()) + 1, dtype=np.int64)
+            linkseg[hl_sorted[heads]] = np.arange(heads.size)
+            cand_base = self.hop_msg[lorder]
+            self._ct_static = (heads, linkseg[self.hop_link], cand_base)
+        return self._ct_static
+
+
+class _UniqueStep(_KernelTables):
+    """Compiled flat arrays for one distinct step (phase set) of a run."""
+
+    __slots__ = (
+        "names", "comms", "execs", "n_hops", "vols", "exec_busy",
+        "exec_max", "exec_row",
+    )
+
+    def __init__(self, compiled, step):
+        self.names = step
+        self.comms = tuple(sorted(n for n in step if n in compiled.comm_names))
+        self.execs = tuple(sorted(n for n in step if n in compiled.exec_names))
+        unknown = set(step) - compiled.comm_names - compiled.exec_names
+        if unknown:
+            raise ValueError(f"phases {sorted(unknown)!r} not declared")
+
+        model = compiled.model
+        topo = compiled.mapping.topology
+        msgs, _, _ = compiled.step_table(self.comms)
+        self.n_msgs = len(msgs)
+        vols = np.array([v for _, _, v in msgs], dtype=np.float64)
+        nhops = np.array([len(l) for _, l, _ in msgs], dtype=np.int64)
+        self.vols = vols
+        self.nhops = nhops
+        self.ptr = np.concatenate(([0], np.cumsum(nhops)))
+        self.n_hops = int(self.ptr[-1]) if self.n_msgs else 0
+        self.msg_ptr = np.array([0, self.n_msgs], dtype=np.int64)
+        # 0-based link indices, hop-major in message-id order.
+        self.hop_link = np.array(
+            [lid - 1 for _, links, _ in msgs for lid in links], dtype=np.int64
+        )
+        self.hop_msg = np.repeat(np.arange(self.n_msgs, dtype=np.int64), nhops)
+        # Per-hop store-and-forward durations, the same scalar operations
+        # as the reference: (hop_latency + byte_time * volume) * slowdown.
+        slow = _slowdown_vector(compiled, topo)
+        base = model.hop_latency + model.byte_time * vols
+        self.hop_dur = base[self.hop_msg] * slow[self.hop_link]
+        # Per-message cut-through durations.  The reference multiplies by
+        # the route's worst slowdown only when the map is non-empty, so
+        # the gate is replicated exactly.
+        ct = model.hop_latency * nhops.astype(np.float64) + model.byte_time * vols
+        if compiled.link_slowdowns and self.n_msgs:
+            ct = ct * np.maximum.reduceat(slow[self.hop_link], self.ptr[:-1])
+        self.ct_dur = ct
+
+        # Execution side: the reference folds each phase's per-processor
+        # busy table into the step outcome with dict adds in sorted-name
+        # order; replicate that exact fold once per unique step.
+        per_proc: dict = {}
+        duration = 0.0
+        for name in self.execs:
+            table = compiled.exec_table(name)
+            for proc, busy in table.items():
+                per_proc[proc] = per_proc.get(proc, 0.0) + busy
+            if table:
+                duration = max(duration, max(table.values()))
+        self.exec_busy = per_proc
+        self.exec_max = duration
+        row = np.zeros(topo.n_processors, dtype=np.float64)
+        for proc, busy in per_proc.items():
+            row[topo.index_of(proc)] = busy
+        self.exec_row = row
+        self._saf_rounds = None
+        self._ct_static = None
+
+
+class _MergedGroup(_KernelTables):
+    """Several distinct steps laid side by side in one batch.
+
+    Member ``i``'s links live in columns ``[i * n_links, (i+1) * n_links)``
+    and its messages get contiguous ids after member ``i-1``'s, so the
+    merged tables describe one big step whose members can never contend
+    with each other -- one kernel invocation solves all of them, which is
+    what keeps the per-numpy-call overhead off the critical path.
+    """
+
+    __slots__ = ("members", "n_cols")
+
+    def __init__(self, members: list[_UniqueStep], n_links: int):
+        self.members = members
+        self.n_cols = len(members) * n_links
+        self.n_msgs = sum(u.n_msgs for u in members)
+        self.nhops = np.concatenate([u.nhops for u in members])
+        self.ptr = np.concatenate(([0], np.cumsum(self.nhops)))
+        self.hop_link = np.concatenate(
+            [u.hop_link + i * n_links for i, u in enumerate(members)]
+        )
+        self.hop_msg = np.repeat(
+            np.arange(self.n_msgs, dtype=np.int64), self.nhops
+        )
+        self.hop_dur = np.concatenate([u.hop_dur for u in members])
+        self.ct_dur = np.concatenate([u.ct_dur for u in members])
+        self.msg_ptr = np.concatenate(
+            ([0], np.cumsum([u.n_msgs for u in members]))
+        )
+        self._saf_rounds = None
+        self._ct_static = None
+
+
+def _slowdown_vector(compiled, topo) -> np.ndarray:
+    slow = np.ones(topo.n_links, dtype=np.float64)
+    for lid, factor in compiled.link_slowdowns.items():
+        if 1 <= lid <= topo.n_links:
+            slow[lid - 1] = factor
+    return slow
+
+
+def plan_batch(compiled, steps, memoize: bool):
+    """Compile the run's steps into a batch plan (see :class:`_BatchPlan`)."""
+    return _BatchPlan(compiled, steps, memoize)
+
+
+class _BatchPlan:
+    """One simulate() call's steps, compiled to unique-step flat tables.
+
+    ``effective_hops`` is the total store-and-forward hop count the batch
+    kernel would process (deduplicated when *memoize* is on, since equal
+    steps are then solved once) -- the size signal ``kernel="auto"`` uses
+    to decide whether array batching will beat the event loop.
+    """
+
+    def __init__(self, compiled, steps, memoize: bool):
+        self.compiled = compiled
+        self.steps = steps
+        self.memoize = memoize
+        self.unique: list[_UniqueStep] = []
+        index: dict = {}
+        cache = compiled.vector_steps
+        uid = np.empty(len(steps), dtype=np.int64)
+        for i, step in enumerate(steps):
+            j = index.get(step)
+            if j is None:
+                u = cache.get(step)
+                if u is None:
+                    u = cache[step] = _UniqueStep(compiled, step)
+                j = index[step] = len(self.unique)
+                self.unique.append(u)
+            uid[i] = j
+        self.uid = uid
+
+    @property
+    def effective_hops(self) -> int:
+        if self.memoize:
+            return sum(u.n_hops for u in self.unique)
+        counts = np.bincount(self.uid, minlength=len(self.unique))
+        return int(sum(u.n_hops * int(c) for u, c in zip(self.unique, counts)))
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(self):
+        """Solve the batch and assemble a SimulationResult."""
+        from repro.sim.engine import SimulationResult
+
+        compiled = self.compiled
+        topo = compiled.mapping.topology
+        n_links = topo.n_links
+        n_steps = len(self.steps)
+        uid = self.uid
+        unique = self.unique
+
+        result = SimulationResult()
+        if n_steps == 0:
+            return result
+
+        # --- communication: batch every comm-bearing step instance -----
+        has_msgs = np.array([u.n_msgs > 0 for u in unique], dtype=bool)
+        comm_steps = np.flatnonzero(has_msgs[uid])
+        if self.memoize:
+            inst_uids = np.flatnonzero(has_msgs)
+        else:
+            inst_uids = uid[comm_steps]
+        inst_dur, inst_busy = self._solve_instances(inst_uids, n_links)
+
+        durations = np.zeros(n_steps, dtype=np.float64)
+        if comm_steps.size:
+            if self.memoize:
+                # One solved row per unique id -> per-step rows by gather.
+                row_of = np.full(len(unique), -1, dtype=np.int64)
+                row_of[inst_uids] = np.arange(inst_uids.size)
+                step_rows = row_of[uid[comm_steps]]
+            else:
+                step_rows = np.arange(comm_steps.size, dtype=np.int64)
+            durations[comm_steps] = inst_dur[step_rows]
+
+        exec_max = np.array([u.exec_max for u in unique], dtype=np.float64)
+        durations = np.maximum(durations, exec_max[uid])
+
+        # --- totals: sequential folds, identical to the reference loop -
+        result.step_times = durations.tolist()
+        result.total_time = float(np.add.accumulate(durations)[-1])
+        n_msgs = np.array([u.n_msgs for u in unique], dtype=np.int64)
+        result.messages = int(n_msgs[uid].sum())
+
+        if comm_steps.size:
+            busy_total = self._accumulate_rows(inst_busy, step_rows)
+            touched = np.zeros(n_links, dtype=bool)
+            for j in set(uid[comm_steps].tolist()):
+                touched[unique[j].hop_link] = True
+            result.link_busy = {
+                int(l) + 1: float(busy_total[l]) for l in np.flatnonzero(touched)
+            }
+
+        exec_steps = np.flatnonzero(
+            np.array([bool(u.execs) for u in unique], dtype=bool)[uid]
+        )
+        if exec_steps.size:
+            exec_rows = np.stack([u.exec_row for u in unique])
+            totals = self._accumulate_rows(exec_rows, uid[exec_steps])
+            procs: dict = {}
+            for j in sorted(set(uid[exec_steps].tolist())):
+                for proc in unique[j].exec_busy:
+                    procs.setdefault(proc, topo.index_of(proc))
+            result.proc_busy = {
+                proc: float(totals[i]) for proc, i in procs.items()
+            }
+
+        names: dict = {}
+        for u in unique:
+            for name in u.names:
+                names.setdefault(name, None)
+        for name in names:
+            mask = np.array([name in u.names for u in unique], dtype=bool)
+            sel = durations[mask[uid]]
+            result.phase_time[name] = (
+                float(np.add.accumulate(sel)[-1]) if sel.size else 0.0
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    def _solve_instances(self, inst_uids: np.ndarray, n_links: int):
+        """Per-instance comm durations and (instances, n_links) busy rows.
+
+        Instances group by unique step (identical statics -> rows of one
+        2-D batch); groups with equal instance counts merge column-wise
+        into a single kernel invocation.
+        """
+        n_inst = inst_uids.size
+        inst_dur = np.zeros(n_inst, dtype=np.float64)
+        inst_busy = np.zeros((n_inst, n_links), dtype=np.float64)
+        if n_inst == 0:
+            return inst_dur, inst_busy
+
+        cut_through = self.compiled.model.switching == "cut_through"
+        order = np.argsort(inst_uids, kind="stable")
+        sorted_uids = inst_uids[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], sorted_uids[1:] != sorted_uids[:-1]))
+        )
+        buckets: dict[int, list[tuple[int, np.ndarray]]] = {}
+        for g, lo in enumerate(bounds):
+            hi = bounds[g + 1] if g + 1 < bounds.size else order.size
+            rows = order[lo:hi]
+            buckets.setdefault(rows.size, []).append(
+                (int(sorted_uids[lo]), rows)
+            )
+
+        for copies, members in buckets.items():
+            if len(members) == 1:
+                tables = self.unique[members[0][0]]
+                n_cols = n_links
+            else:
+                key = tuple(self.unique[uv].names for uv, _ in members)
+                cache = self.compiled.vector_steps
+                tables = cache.get(key)
+                if tables is None:
+                    tables = cache[key] = _MergedGroup(
+                        [self.unique[uv] for uv, _ in members], n_links
+                    )
+                n_cols = tables.n_cols
+            block = max(
+                1,
+                _MAX_CHUNK_CELLS
+                // max(n_cols, int(tables.ptr[-1]), tables.n_msgs, 1),
+            )
+            for b in range(0, copies, block):
+                rows_b = min(block, copies - b)
+                if cut_through:
+                    msg_done, busy = _run_cut_through(tables, rows_b, n_cols)
+                    hazard = False
+                else:
+                    msg_done, busy, hazard = _run_store_and_forward(
+                        tables, rows_b, n_cols
+                    )
+                if hazard:
+                    # The candidate schedule broke FIFO order somewhere:
+                    # recompute with the reference event loop (identical
+                    # copies, so one recomputation serves all rows).
+                    perf.count("sim.vector_fallback")
+                    for uv, rows in members:
+                        u = self.unique[uv]
+                        duration, link_busy, _ = self.compiled.comm_outcome(
+                            u.comms
+                        )
+                        rb = rows[b:b + rows_b]
+                        inst_dur[rb] = duration
+                        for lid, bsy in link_busy.items():
+                            inst_busy[rb, lid - 1] = bsy
+                    continue
+                dur = np.maximum.reduceat(msg_done, tables.msg_ptr[:-1], axis=1)
+                for i, (uv, rows) in enumerate(members):
+                    rb = rows[b:b + rows_b]
+                    inst_dur[rb] = dur[:, i]
+                    inst_busy[rb] = busy[:, i * n_links:(i + 1) * n_links]
+        return inst_dur, inst_busy
+
+    @staticmethod
+    def _accumulate_rows(rows: np.ndarray, step_rows: np.ndarray):
+        """Sequential per-column sums over steps, in step order (chunked)."""
+        n_cols = rows.shape[1]
+        carry = np.zeros(n_cols, dtype=np.float64)
+        block = max(1, _MAX_CHUNK_CELLS // max(n_cols, 1))
+        for lo in range(0, step_rows.size, block):
+            chunk = rows[step_rows[lo:lo + block]]
+            stacked = np.concatenate((carry[None, :], chunk), axis=0)
+            carry = np.add.accumulate(stacked, axis=0)[-1]
+        return carry
+
+
+def _run_store_and_forward(u: _KernelTables, c: int, n_cols: int):
+    """Round-major FIFO relaxation: *c* independent rows of batch *u*.
+
+    Returns ``(msg finish times (c, n_msgs), busy (c, n_cols), hazard)``.
+    """
+    arr = np.zeros((c, u.n_msgs), dtype=np.float64)
+    msg_done = np.zeros((c, u.n_msgs), dtype=np.float64)
+    link_free = np.zeros((c, n_cols), dtype=np.float64)
+    busy = np.zeros((c, n_cols), dtype=np.float64)
+    last_a = np.full((c, n_cols), -np.inf, dtype=np.float64)
+    last_i = np.full((c, n_cols), -1, dtype=np.int64)
+    hazard = False
+
+    for ri, rd in enumerate(u.saf_rounds()):
+        if ri == 0:
+            # Round 0 is static: every arrival is 0.0, the id-ordered
+            # grouping is already the FIFO order (and trivially
+            # hazard-free), and the service chain collapses to a
+            # segmented prefix sum that is also the busy total.
+            if rd.k == 1:
+                link_free[:, rd.links_g] = rd.durs_g
+                busy[:, rd.links_g] = rd.durs_g
+                arr[:, rd.ids_g] = rd.durs_g
+            else:
+                n = rd.durs_g.size
+                done = np.zeros((c, n), dtype=np.float64)
+                shifted = np.empty((c, n), dtype=np.float64)
+                for _ in range(rd.k):
+                    shifted[:, 1:] = done[:, :-1]
+                    shifted[:, rd.heads] = 0.0
+                    done = shifted + rd.durs_g
+                link_free[:, rd.seg_links] = done[:, rd.ends]
+                busy[:, rd.seg_links] = done[:, rd.ends]
+                arr[:, rd.ids_g] = done
+            last_a[:, rd.links_g] = 0.0
+            last_i[:, rd.links_g] = rd.ids_g
+            last_i[:, rd.seg_links] = rd.ids_g[rd.ends]
+        elif rd.k == 1:
+            # Contention-free round: every link serves one message.
+            ag = arr[:, rd.ids_g]
+            pa = last_a[:, rd.links_g]
+            if np.any(
+                (ag < pa) | ((ag == pa) & (rd.ids_g < last_i[:, rd.links_g]))
+            ):
+                hazard = True
+            done = np.maximum(ag, link_free[:, rd.links_g]) + rd.durs_g
+            link_free[:, rd.links_g] = done
+            busy[:, rd.links_g] += rd.durs_g
+            last_a[:, rd.links_g] = ag
+            last_i[:, rd.links_g] = rd.ids_g
+            arr[:, rd.ids_g] = done
+        else:
+            # Sort within link segments by (arrival, id): the static
+            # grouping already has id order, so a stable sort on
+            # (segment, arrival) reproduces the reference tie-break.
+            ag = arr[:, rd.ids_g]
+            seg_b = np.broadcast_to(rd.seg_id, ag.shape)
+            ord2 = np.lexsort((ag, seg_b))
+            rows_c = np.arange(c)[:, None]
+            a_s = ag[rows_c, ord2]
+            d_s = rd.durs_g[ord2]
+            ids2 = rd.ids_g[ord2]
+            heads, ends = rd.heads, rd.ends
+            free_h = link_free[:, rd.seg_links]
+            busy_h = busy[:, rd.seg_links]
+            done = np.zeros_like(a_s)
+            bus = np.zeros_like(a_s)
+            shifted = np.empty_like(a_s)
+            shifted_b = np.empty_like(a_s)
+            # k relaxation passes: pass p finalises queue position p of
+            # every segment (done_i = max(arr_i, done_{i-1}) + dur_i).
+            for _ in range(rd.k):
+                shifted[:, 1:] = done[:, :-1]
+                shifted[:, heads] = free_h
+                done = np.maximum(a_s, shifted) + d_s
+                shifted_b[:, 1:] = bus[:, :-1]
+                shifted_b[:, heads] = busy_h
+                bus = shifted_b + d_s
+            a0 = a_s[:, heads]
+            pa = last_a[:, rd.seg_links]
+            if np.any(
+                (a0 < pa)
+                | ((a0 == pa) & (ids2[:, heads] < last_i[:, rd.seg_links]))
+            ):
+                hazard = True
+            link_free[:, rd.seg_links] = done[:, ends]
+            busy[:, rd.seg_links] = bus[:, ends]
+            last_a[:, rd.seg_links] = a_s[:, ends]
+            last_i[:, rd.seg_links] = ids2[:, ends]
+            arr[rows_c, ids2] = done
+        if rd.sel_final.size:
+            msg_done[:, rd.sel_final] = arr[:, rd.sel_final]
+
+    return msg_done, busy, hazard
+
+
+def _run_cut_through(u: _KernelTables, c: int, n_cols: int):
+    """Id-order greedy path launches, committed in link-disjoint waves."""
+    heads, hop_seg, cand_base = u.ct_static()
+    n_msgs = u.n_msgs
+    link_free = np.zeros((c, n_cols), dtype=np.float64)
+    busy = np.zeros((c, n_cols), dtype=np.float64)
+    msg_done = np.zeros((c, n_msgs), dtype=np.float64)
+    committed = np.zeros((c, n_msgs), dtype=bool)
+
+    while not committed.all():
+        # A message commits when it is the minimum uncommitted id on all
+        # its links: its lower-id link-sharers are then all committed, so
+        # its start is final and each link is served in id order.
+        cand = np.where(committed[:, cand_base], n_msgs, cand_base)
+        linkmin = np.minimum.reduceat(cand, heads, axis=1)
+        ok = linkmin[:, hop_seg] == u.hop_msg
+        allok = np.logical_and.reduceat(ok, u.ptr[:-1], axis=1)
+        commit = allok & ~committed
+        start = np.maximum.reduceat(link_free[:, u.hop_link], u.ptr[:-1], axis=1)
+        done = start + u.ct_dur
+        chop = commit[:, u.hop_msg]
+        rows, hops = np.nonzero(chop)
+        cols = u.hop_link[hops]
+        link_free[rows, cols] = done[rows, u.hop_msg[hops]]
+        busy[rows, cols] += u.ct_dur[u.hop_msg[hops]]
+        msg_done[commit] = done[commit]
+        committed |= commit
+
+    return msg_done, busy
