@@ -34,6 +34,11 @@ Measured sections
   overhead vs. a bare loop, a chaos-injected failure sweep (crashes +
   transients with retries) vs. its clean run, and checkpoint-resume
   (cold sweep vs. journal-served re-invocation).
+* ``mapping_scale`` -- the PR 7 headline: the multilevel strategy
+  (CSR coarsening + vectorized delta-gain uncoarsening) against the
+  BFS-block baseline -- and, at the kilotask size where it is still
+  tractable, MWM-Contract with and without refinement -- on 1k/10k/100k
+  task graphs, recording wall-clock and aggregate comm cost for each.
 * ``perf_spans``  -- the repro.util.perf span totals recorded while the
   suite ran, so per-stage attribution lands in the trajectory too.
 
@@ -217,6 +222,11 @@ def bench_e2e() -> dict:
 def bench_contraction() -> dict:
     nbody = families.nbody(63, volume=4.0)
     big = communities(64)
+    # Warm each graph's cached static views (CSR bundle + nx graph) so the
+    # timings measure the matching itself, not one-off cache builds --
+    # with --quick's single repeat a cold first call would dominate.
+    mwm_contract(nbody, 16)
+    mwm_contract(big, 64, load_bound=4)
     return {
         "mwm_nbody63_p16_s": best_of(lambda: mwm_contract(nbody, 16)),
         "mwm_communities256_p64_s": best_of(
@@ -547,6 +557,78 @@ def bench_runtime() -> dict:
     return out
 
 
+#: (name, tasks, graph factory, topology factory, strategies) for the
+#: scale benchmark.  MWM-Contract is quadratic-ish in candidate pairs, so
+#: it only runs at the kilotask size; the BFS-block baseline and the
+#: multilevel path run everywhere.
+SCALE_WORKLOADS = [
+    ("mesh32x32/hcube6", 1024, lambda: families.mesh(32, 32),
+     lambda: networks.hypercube(6), ("mwm", "mwm+delta_gain", "multilevel")),
+    ("rgg10k/torus16x16", 10_000,
+     lambda: families.random_geometric(10_000, seed=1),
+     lambda: networks.torus(16, 16), ("multilevel",)),
+    ("rgg100k/torus16x16", 100_000,
+     lambda: families.random_geometric(100_000, seed=1),
+     lambda: networks.torus(16, 16), ("multilevel",)),
+]
+
+
+def bench_mapping_scale() -> dict:
+    """Multilevel vs. the existing strategies at 1k/10k/100k (PR 7).
+
+    Quality is the aggregate comm cost (sum of volume x hop-distance over
+    the folded static graph); routing is skipped so the timing is pure
+    contraction + embedding + refinement.  The BFS-block baseline
+    (bfs_contract + nn_embed) anchors every size; at 100k tasks it is the
+    only other path that still finishes in seconds.
+    """
+    import math
+
+    from repro.mapper.contraction import bfs_contract
+    from repro.mapper.mapping import Mapping
+    from repro.metrics import comm_cost
+
+    out: dict = {}
+    for name, n_tasks, tg_fn, topo_fn, strategies in SCALE_WORKLOADS:
+        tg, topo = tg_fn(), topo_fn()
+        tg.csr()  # warm the shared CSR bundle outside the timed regions
+        bound = math.ceil(n_tasks / topo.n_processors)
+        row: dict = {"tasks": n_tasks, "procs": topo.n_processors}
+
+        def bfs_map():
+            clusters = bfs_contract(tg, topo.n_processors, load_bound=bound)
+            placement = nn_embed(tg, clusters, topo)
+            return Mapping(
+                tg, topo, assignment_from_clusters(clusters, placement), {}
+            )
+
+        row["bfs_baseline"] = {
+            "map_s": best_of(bfs_map, 1 if n_tasks > 1024 else 3),
+            "comm_cost": comm_cost(bfs_map()),
+        }
+        for strat in strategies:
+            base, _, refined = strat.partition("+")
+            kwargs = {"strategy": base, "route": False}
+            if refined:
+                kwargs["refine"] = refined
+            row[strat] = {
+                "map_s": best_of(
+                    lambda: map_computation(tg, topo, **kwargs),
+                    1 if n_tasks > 1024 else 3,
+                ),
+                "comm_cost": comm_cost(map_computation(tg, topo, **kwargs)),
+            }
+        best_other = min(
+            v["comm_cost"] for k, v in row.items()
+            if isinstance(v, dict) and k != "multilevel"
+        )
+        row["multilevel"]["vs_best_other"] = (
+            best_other / row["multilevel"]["comm_cost"]
+        )
+        out[name] = row
+    return out
+
+
 def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
     """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
     out: dict[str, float] = {}
@@ -584,8 +666,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR6.json"),
-        help="trajectory file to write (default: BENCH_PR6.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR7.json"),
+        help="trajectory file to write (default: BENCH_PR7.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -617,9 +699,10 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 6,
-            "description": "vectorized numpy simulator core: batched step "
-                           "kernels for store-and-forward and cut-through",
+            "pr": 7,
+            "description": "scale mapping to 10^5-task graphs: CSR graph "
+                           "core, multilevel contraction, and vectorized "
+                           "delta-gain refinement",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -636,6 +719,7 @@ def main(argv=None) -> int:
         "resilience": bench_resilience(),
         "cache": bench_cache(),
         "runtime": bench_runtime(),
+        "mapping_scale": bench_mapping_scale(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -701,6 +785,13 @@ def main(argv=None) -> int:
     print(f"runtime checkpoint: cold {ck['cold_s'] * 1e3:.0f}ms -> resumed "
           f"{ck['resumed_s'] * 1e3:.0f}ms ({ck['speedup']:.1f}x, "
           f"identical={ck['results_identical']})")
+    for name, row in payload["mapping_scale"].items():
+        ml = row["multilevel"]
+        print(f"mapping scale {name} ({row['tasks']} tasks): multilevel "
+              f"{ml['map_s']:.2f}s cost {ml['comm_cost']:.0f} "
+              f"({ml['vs_best_other']:.1f}x better than next best); bfs "
+              f"{row['bfs_baseline']['map_s']:.2f}s cost "
+              f"{row['bfs_baseline']['comm_cost']:.0f}")
     print(f"wrote {args.output}")
 
     if args.check and args.check.exists():

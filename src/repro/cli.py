@@ -486,8 +486,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_map.add_argument("--strategy", default="auto",
                        choices=["auto", *strategy_names()])
     p_map.add_argument("--load-bound", type=int, default=None)
-    p_map.add_argument("--refine", action="store_true",
-                       help="run the KL-style refinement post-passes")
+    p_map.add_argument("--refine", nargs="?", const=True, default=False,
+                       choices=["none", "kl", "delta_gain"], metavar="METHOD",
+                       help="refinement post-pass: 'kl' (the default when the "
+                            "flag is given bare) or 'delta_gain' (the "
+                            "vectorized large-graph kernel)")
     p_map.add_argument("--report", action="store_true")
     p_map.add_argument("--ascii", action="store_true")
     p_map.add_argument("--simulate", action="store_true")

@@ -13,8 +13,10 @@ path when they happen to be Cayley graphs.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.graph.phase_expr import PhaseRef, Rep, Seq, parse_phase_expr
-from repro.graph.taskgraph import TaskGraph
+from repro.graph.taskgraph import CommEdge, TaskGraph
 from repro.util.validation import check_positive_int, check_power_of_two
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "fft_butterfly",
     "complete",
     "star",
+    "random_geometric",
+    "kron",
 ]
 
 
@@ -274,4 +278,139 @@ def star(n: int, *, volume: float = 1.0) -> TaskGraph:
         gather.add(i, 0, volume)
     tg.add_exec_phase("work")
     tg.phase_expr = parse_phase_expr("broadcast; work; gather")
+    return tg
+
+
+# ----------------------------------------------------------------------
+# large synthetic families (the multilevel mapper's scaling inputs)
+# ----------------------------------------------------------------------
+
+def _radius_pairs(points: np.ndarray, radius: float) -> np.ndarray:
+    """All point-index pairs ``(i, j)``, ``i < j``, within *radius* (sorted).
+
+    scipy's k-d tree when available; otherwise an x-sorted sliding-window
+    sweep (quadratic only within a radius-wide strip, fine as a fallback).
+    """
+    try:
+        from scipy.spatial import cKDTree
+    except ImportError:  # pragma: no cover - scipy ships with the toolchain
+        order = np.argsort(points[:, 0], kind="stable").astype(np.intp)
+        xs = points[order]
+        stop = np.searchsorted(xs[:, 0], xs[:, 0] + radius, side="right")
+        counts = np.maximum(stop - np.arange(len(xs)) - 1, 0)
+        left = np.repeat(np.arange(len(xs), dtype=np.intp), counts)
+        offs = np.arange(counts.sum(), dtype=np.intp) - np.repeat(
+            np.concatenate([[0], np.cumsum(counts)[:-1]]), counts
+        )
+        right = left + 1 + offs
+        close = (
+            np.square(xs[left] - xs[right]).sum(axis=1) <= radius * radius
+        )
+        pairs = np.stack([order[left[close]], order[right[close]]], axis=1)
+        pairs = np.sort(pairs, axis=1)
+    else:
+        pairs = cKDTree(points).query_pairs(radius, output_type="ndarray")
+        pairs = np.sort(pairs.astype(np.intp), axis=1)
+    order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+    return pairs[order]
+
+
+def random_geometric(
+    n: int,
+    radius: float | None = None,
+    *,
+    seed: int = 0,
+    volume: float = 1.0,
+) -> TaskGraph:
+    """A random geometric graph: *n* tasks at seeded uniform points in the
+    unit square, one message per pair closer than *radius*.
+
+    The standard model for spatially-local irregular workloads
+    (unstructured meshes, particle codes) and a scaling input for the
+    multilevel mapper -- unlike the nameable families it has no canned
+    mapping and no group structure.  The default radius targets an
+    expected degree of ~8, keeping edge counts linear in *n*.
+
+    Deterministic for a given ``(n, radius, seed)``: points come from
+    ``numpy``'s seeded PCG64 stream and the pair list is sorted, so the
+    same graph (same fingerprint) is built on any platform.
+    """
+    check_positive_int(n, "n")
+    if radius is None:
+        radius = float(np.sqrt(8.0 / (np.pi * n)))
+    if radius <= 0:
+        raise ValueError(f"radius must be positive, got {radius}")
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    pairs = _radius_pairs(points, radius)
+    tg = TaskGraph(
+        f"rgg{n}", family=("random_geometric", (n, radius, seed))
+    )
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("exchange")
+    # Bulk extend: one CommEdge per pair, declaration order = sorted pair
+    # order.  (The derived-structure caches key on the edge count, so
+    # appends outside add_edge are picked up.)
+    ph.edges.extend(
+        CommEdge(int(u), int(v), volume)
+        for u, v in zip(pairs[:, 0].tolist(), pairs[:, 1].tolist())
+    )
+    tg.add_exec_phase("interact")
+    tg.phase_expr = parse_phase_expr("(exchange; interact)^1")
+    return tg
+
+
+def kron(
+    scale: int,
+    edge_factor: int = 16,
+    *,
+    seed: int = 0,
+    volume: float = 1.0,
+) -> TaskGraph:
+    """A Kronecker (R-MAT) power-law graph: ``2**scale`` tasks,
+    ``edge_factor * 2**scale`` directed message samples.
+
+    The Graph500 generator with the reference initiator
+    ``(A, B, C) = (0.57, 0.19, 0.19)``: each edge picks its endpoint bits
+    top-down with those quadrant probabilities, yielding the heavy-tailed
+    degree distribution that stresses a mapper very differently from
+    meshes -- a few hub tasks touch thousands of partners.  Self-loops
+    are dropped and parallel samples fold into one edge whose volume is
+    the sample count (times *volume*), so the static graph is weighted.
+
+    Deterministic for a given ``(scale, edge_factor, seed)``.
+    """
+    if scale < 0:
+        raise ValueError(f"scale must be >= 0, got {scale}")
+    check_positive_int(edge_factor, "edge_factor")
+    n = 1 << scale
+    m = edge_factor * n
+    a, b, c = 0.57, 0.19, 0.19
+    ab = a + b
+    c_norm = c / (1.0 - ab)
+    a_norm = a / ab
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    for bit in range(scale):
+        src_bit = rng.random(m) > ab
+        dst_bit = rng.random(m) > np.where(src_bit, c_norm, a_norm)
+        src += src_bit.astype(np.int64) << bit
+        dst += dst_bit.astype(np.int64) << bit
+    keep = src != dst
+    key = src[keep] * np.int64(n) + dst[keep]
+    uniq, counts = np.unique(key, return_counts=True)
+    tg = TaskGraph(
+        f"kron{scale}", family=("kron", (scale, edge_factor, seed))
+    )
+    tg.add_nodes(range(n))
+    ph = tg.add_comm_phase("exchange")
+    ph.edges.extend(
+        CommEdge(int(u), int(v), volume * cnt)
+        for u, v, cnt in zip(
+            (uniq // n).tolist(), (uniq % n).tolist(), counts.tolist()
+        )
+    )
+    tg.add_exec_phase("process")
+    tg.phase_expr = parse_phase_expr("(exchange; process)^1")
     return tg

@@ -109,6 +109,8 @@ class TaskGraph:
         # structures (static graph, phase-name sets) can cache behind it.
         self._version = 0
         self._static_cache: tuple[tuple[int, int], nx.Graph] | None = None
+        self._csr_cache: tuple[tuple[int, int], object] | None = None
+        self._index_cache: tuple[int, dict[Node, int]] | None = None
         self._name_cache: tuple[int, frozenset[str], frozenset[str]] | None = None
         self._fingerprint_cache: tuple[tuple, str] | None = None
 
@@ -270,6 +272,38 @@ class TaskGraph:
                     g.add_edge(e.src, e.dst, weight=e.volume)
         self._static_cache = (key, g)
         return g
+
+    def task_index(self) -> dict[Node, int]:
+        """Task label -> dense index, in declaration order (cached).
+
+        The stable task<->index bijection shared by every array kernel --
+        the task-side twin of the Topology vector core's
+        :meth:`~repro.arch.topology.Topology.proc_indices`.
+        """
+        cached = self._index_cache
+        if cached is not None and cached[0] == self._version:
+            return cached[1]
+        index = {t: i for i, t in enumerate(self._nodes)}
+        self._index_cache = (self._version, index)
+        return index
+
+    def csr(self):
+        """Array-native static view: the cached :class:`~repro.graph.csr.CSRGraph`.
+
+        The flat-array twin of :meth:`static_graph` -- same undirected
+        aggregate weights (accumulated in the same declaration order, so
+        the floats are bit-identical), plus the raw directed edge stream,
+        as numpy arrays over :meth:`task_index`.  Cached and invalidated
+        exactly like the nx view; treat the bundle as read-only.
+        """
+        from repro.graph.csr import build_csr
+
+        key = (self._version, self.n_edges)
+        if self._csr_cache is not None and self._csr_cache[0] == key:
+            return self._csr_cache[1]
+        bundle = build_csr(self)
+        self._csr_cache = (key, bundle)
+        return bundle
 
     def phase_digraph(self, phase: str) -> nx.DiGraph:
         """Directed graph of a single communication phase."""

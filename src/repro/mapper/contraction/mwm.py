@@ -26,21 +26,26 @@ an *optimal* symmetric contraction ([Lo88]'s theorem); beyond that the
 result is heuristic (Fig 5's example happens to reach the optimum IPC 6).
 
 Implementation note: the cluster graph is maintained *incrementally* by
-:class:`_ClusterState` -- the task-level graph is scanned once, and every
-merge folds the absorbed cluster's neighbour-weight map into the survivor's
--- so each greedy pass and matching round costs O(cluster edges) instead of
+:class:`_ClusterState` -- the task-level structure (the CSR bundle's folded
+pair stream, see :meth:`TaskGraph.csr`) is scanned once, and every merge
+folds the absorbed cluster's neighbour-weight map into the survivor's --
+so each greedy pass and matching round costs O(cluster edges) instead of
 re-aggregating all O(E) task edges.  Stage 2 candidates are likewise
 restricted to *adjacent* cluster pairs, falling back to the dense
 zero-weight pair set only when adjacency alone cannot pair the clusters
-down to the processor count.
+down to the processor count.  The CSR pair stream lists pairs in exactly
+the order ``static_graph().edges`` iterates and carries the same
+declaration-order accumulated weights, so contractions are bit-identical
+to the previous nx-based scan (pinned by the equivalence goldens) while
+candidate generation no longer materialises a dict-of-dicts graph.
 """
 
 from __future__ import annotations
 
 import math
-from collections.abc import Hashable
+from collections.abc import Hashable, Iterable
 
-import networkx as nx
+import numpy as np
 
 from repro.graph.taskgraph import TaskGraph
 from repro.util import perf
@@ -61,49 +66,65 @@ def _owner_map(clusters) -> dict[Task, int]:
 
 
 def total_ipc(tg: TaskGraph, clusters: list[list[Task]]) -> float:
-    """Total inter-cluster communication volume under a contraction."""
-    owner = _owner_map(clusters)
-    ipc = 0.0
-    for _, edge in tg.all_edges():
-        if edge.src != edge.dst and owner[edge.src] != owner[edge.dst]:
-            ipc += edge.volume
-    return ipc
+    """Total inter-cluster communication volume under a contraction.
+
+    Vectorized over the CSR directed stream; the cut volumes accumulate
+    left-to-right in declaration order (``np.add.accumulate``), matching
+    the reference Python fold bit for bit.
+    """
+    csr = tg.csr()
+    owner_by_task = _owner_map(clusters)
+    owner = np.array(
+        [owner_by_task[t] for t in csr.tasks], dtype=np.intp
+    ) if csr.n else np.empty(0, dtype=np.intp)
+    cut = (csr.src != csr.dst) & (owner[csr.src] != owner[csr.dst])
+    vols = csr.vol[cut]
+    if not vols.size:
+        return 0.0
+    return float(np.add.accumulate(vols)[-1])
 
 
-def _cluster_graph(
-    static: nx.Graph, clusters: list[set[Task]]
-) -> dict[tuple[int, int], float]:
-    """Aggregate inter-cluster weights: ``(i, j) -> total volume``, i < j."""
-    owner = _owner_map(clusters)
-    weights: dict[tuple[int, int], float] = {}
-    for u, v, data in static.edges(data=True):
-        cu, cv = owner[u], owner[v]
-        if cu == cv:
-            continue
-        key = (min(cu, cv), max(cu, cv))
-        weights[key] = weights.get(key, 0.0) + data["weight"]
-    return weights
+def _pair_stream(
+    csr, owner: list[int] | None = None
+) -> Iterable[tuple[int, int, float]]:
+    """The folded pair stream as cluster-index triples ``(ci, cj, w)``.
+
+    Without *owner* the clusters are the singleton tasks (cluster index ==
+    task index); with it, each task index maps through ``owner``.  Order
+    and weights are exactly the nx static graph's edge iteration.
+    """
+    if owner is None:
+        yield from zip(
+            csr.edge_u.tolist(), csr.edge_v.tolist(), csr.edge_w.tolist()
+        )
+    else:
+        for u, v, w in zip(
+            csr.edge_u.tolist(), csr.edge_v.tolist(), csr.edge_w.tolist()
+        ):
+            yield owner[u], owner[v], w
 
 
 class _ClusterState:
     """Clusters plus an incrementally maintained inter-cluster weight map.
 
     ``clusters[i]`` is a (possibly emptied) task set and ``nbr[i]`` its
-    symmetric neighbour map ``{j: weight}`` over *live* cluster indices.
-    :meth:`merge` folds one cluster into another in O(degree) and
-    :meth:`compact` re-indexes after a round of merges, so no operation
-    ever re-scans the task-level graph.
+    symmetric neighbour map ``{j: weight}`` over *live* cluster indices,
+    folded from a ``(ci, cj, weight)`` pair stream (see
+    :func:`_pair_stream`).  :meth:`merge` folds one cluster into another
+    in O(degree) and :meth:`compact` re-indexes after a round of merges,
+    so no operation ever re-scans the task-level graph.
     """
 
-    def __init__(self, static: nx.Graph, clusters: list[set[Task]]):
+    def __init__(
+        self,
+        pairs: Iterable[tuple[int, int, float]],
+        clusters: list[set[Task]],
+    ):
         self.clusters = clusters
         self.nbr: list[dict[int, float]] = [{} for _ in clusters]
-        owner = _owner_map(clusters)
-        for u, v, data in static.edges(data=True):
-            cu, cv = owner[u], owner[v]
+        for cu, cv, w in pairs:
             if cu == cv:
                 continue
-            w = data["weight"]
             self.nbr[cu][cv] = self.nbr[cu].get(cv, 0.0) + w
             self.nbr[cv][cu] = self.nbr[cv].get(cu, 0.0) + w
 
@@ -208,18 +229,6 @@ def _greedy_premerge_state(
         state.compact()
 
 
-def _greedy_premerge(
-    static: nx.Graph,
-    clusters: list[set[Task]],
-    target: int,
-    size_cap: float,
-) -> list[set[Task]]:
-    """Stage 1 on a raw cluster list (see :func:`_greedy_premerge_state`)."""
-    state = _ClusterState(static, clusters)
-    _greedy_premerge_state(state, target, size_cap)
-    return state.clusters
-
-
 def _match_round(
     state: _ClusterState, n_procs: int, bound: int
 ) -> set[tuple[int, int]] | None:
@@ -299,8 +308,8 @@ def mwm_contract(
         )
 
     with perf.span("mapper.mwm_contract"):
-        static = tg.static_graph()
-        state = _ClusterState(static, [{t} for t in tasks])
+        csr = tg.csr()
+        state = _ClusterState(_pair_stream(csr), [{t} for t in tasks])
 
         # Stage 1: greedy pre-merge down to 2P clusters of size <= B/2.
         if len(state.clusters) > 2 * n_procs:
@@ -328,13 +337,20 @@ def mwm_contract(
         # edge the earlier stages internalised in it, so the cheapest one
         # to break is the one holding the least communication.  Feasible
         # whenever B * P >= n, which was checked above.
+        index = csr.index
+        wmap = csr.pair_weight_map()
+
+        def pair_weight(a: Task, b: Task) -> float | None:
+            ia, ib = index[a], index[b]
+            return wmap.get((ia, ib) if ia < ib else (ib, ia))
+
         def internal_weight(cluster: set) -> float:
             members = sorted(cluster, key=repr)
             return sum(
-                static[a][b]["weight"]
+                w
                 for k, a in enumerate(members)
                 for b in members[k + 1:]
-                if static.has_edge(a, b)
+                if (w := pair_weight(a, b)) is not None
             )
 
         while len(state.clusters) > n_procs:
@@ -363,11 +379,15 @@ def mwm_contract(
                     target = max(
                         (j for j in range(len(rest)) if len(rest[j]) < bound),
                         key=lambda j: sum(
-                            static[t][u]["weight"]
+                            w
                             for u in rest[j]
-                            if static.has_edge(t, u)
+                            if (w := pair_weight(t, u)) is not None
                         ),
                     )
                     rest[target].add(t)
-                state = _ClusterState(static, rest)
+                owner = [0] * csr.n
+                for cj, members in enumerate(rest):
+                    for t in members:
+                        owner[index[t]] = cj
+                state = _ClusterState(_pair_stream(csr, owner), rest)
         return [sorted(c, key=repr) for c in state.clusters]

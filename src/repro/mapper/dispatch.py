@@ -11,6 +11,11 @@ implementations, and importing this module populates the registry:
    cosets, then NN-Embed places the quotient graph.
 3. **mwm** (rank 2, refinable) -- everything else: Algorithm MWM-Contract
    + Algorithm NN-Embed.
+4. **multilevel** (rank 3, opt-in) -- matching-based coarsening +
+   NN-Embed + per-level delta-gain refinement for 10^5..10^6-task
+   graphs.  Never chosen by ``auto`` and excluded from the default
+   portfolio: at blossom-matching scales MWM-Contract is the quality
+   reference, and the pinned golden results must not shift.
 
 The rank order is the ``auto`` fall-through order *and* the portfolio
 tie-break order -- declared once, read everywhere.
@@ -77,9 +82,25 @@ def _mwm(
     return Contraction(provenance="mwm", clusters=clusters)
 
 
+def _multilevel(
+    tg: TaskGraph, topology: Topology, load_bound: int | None
+) -> Contraction:
+    # Lazy import: the multilevel module pulls in the refinement kernel,
+    # which most runs never touch.
+    from repro.mapper.contraction.multilevel import multilevel_assignment
+
+    assignment, stats = multilevel_assignment(
+        tg, topology, load_bound=load_bound
+    )
+    return Contraction(
+        provenance="multilevel", assignment=assignment, stats=stats
+    )
+
+
 register_strategy("canned", _canned, rank=0)
 register_strategy("group", _group, rank=1)
 register_strategy("mwm", _mwm, rank=2, refinable=True)
+register_strategy("multilevel", _multilevel, rank=3, auto=False, portfolio=False)
 
 
 # ----------------------------------------------------------------------
@@ -93,7 +114,7 @@ def map_computation(
     strategy: str = "auto",
     load_bound: int | None = None,
     route: bool = True,
-    refine: bool = False,
+    refine: bool | str = False,
 ) -> Mapping:
     """Map a task graph onto a topology: contraction, embedding, routing.
 
@@ -121,10 +142,12 @@ def map_computation(
     route:
         When true (default), run Algorithm MM-Route and attach routes.
     refine:
-        When true, run the Kernighan-Lin-style post-passes
+        ``True`` or ``"kl"`` runs the Kernighan-Lin-style post-passes
         (:mod:`repro.mapper.refine`) on heuristic mappings -- task moves
-        between clusters, then placement 2-opt.  Canned mappings are left
-        untouched (their structure is the point).
+        between clusters, then placement 2-opt.  ``"delta_gain"`` runs
+        the vectorized delta-gain kernel instead (the large-graph path).
+        Canned mappings are left untouched (their structure is the
+        point).  Default ``False``/``"none"``: no refinement.
 
     Returns
     -------

@@ -100,7 +100,7 @@ class Mapping:
             self.routes,
             provenance=self.provenance,
         )
-        for attr in ("routing_rounds", "group_contraction"):
+        for attr in ("routing_rounds", "group_contraction", "map_stats"):
             if hasattr(self, attr):
                 setattr(dup, attr, getattr(self, attr))
         return dup

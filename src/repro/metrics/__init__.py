@@ -15,13 +15,21 @@ reproduction provides the same substance in library + text form:
   with undo.
 """
 
-from repro.metrics.analysis import MappingMetrics, analyze, metrics_to_dict
+from repro.metrics.analysis import (
+    MappingMetrics,
+    analyze,
+    comm_cost,
+    dilation_summary,
+    metrics_to_dict,
+)
 from repro.metrics.report import render_report, focus_link, focus_processor
 from repro.metrics.session import MappingSession
 
 __all__ = [
     "analyze",
     "MappingMetrics",
+    "comm_cost",
+    "dilation_summary",
     "metrics_to_dict",
     "render_report",
     "focus_processor",

@@ -36,6 +36,7 @@ DEFAULT_STAGES: tuple[str, ...] = (
 )
 
 _METRICS_KERNELS = ("vector", "reference")
+_REFINE_VALUES = ("none", "kl", "delta_gain")
 _SIM_KERNELS = ("auto", "vector", "reference")
 _SWITCHING_MODES = ("store_and_forward", "cut_through")
 
@@ -65,12 +66,18 @@ class MapConfig:
     load_bound:
         Optional balance constraint ``B`` (max tasks per processor).
     refine:
-        Run the Kernighan-Lin-style post-passes on heuristic mappings.
+        Which refinement post-pass to run on heuristic mappings:
+        ``"none"`` (or ``False``, the default) skips it, ``"kl"`` (or
+        legacy ``True``) runs the Kernighan-Lin-style passes, and
+        ``"delta_gain"`` runs the vectorized delta-gain kernel.  The
+        boolean forms are accepted everywhere a string is (configs
+        written before the knob widened keep working, and their
+        fingerprints are unchanged).
     """
 
     strategy: str = "auto"
     load_bound: int | None = None
-    refine: bool = False
+    refine: bool | str = False
 
     def __post_init__(self):
         if not isinstance(self.strategy, str) or not self.strategy:
@@ -78,6 +85,11 @@ class MapConfig:
                              f"got {self.strategy!r}")
         if self.load_bound is not None and self.load_bound < 1:
             raise ValueError(f"load_bound must be >= 1, got {self.load_bound}")
+        if not isinstance(self.refine, bool) and self.refine not in _REFINE_VALUES:
+            raise ValueError(
+                f"refine must be a bool or one of {_REFINE_VALUES}, "
+                f"got {self.refine!r}"
+            )
 
     def to_dict(self) -> dict:
         """JSON-compatible form (inverse of :meth:`from_dict`)."""

@@ -72,6 +72,7 @@ class PipelineContext:
     provenance: str | None = None
     clusters: list | None = None
     group_contraction: Any | None = None
+    map_stats: dict | None = None
     # embed (also set directly by contract for pre-placed strategies)
     assignment: dict | None = None
     mapping: Mapping | None = None
@@ -89,13 +90,16 @@ class Contraction:
     Either ``clusters`` (a task partition still needing placement by
     NN-Embed) or ``assignment`` (a strategy that places directly, like the
     canned registry) -- exactly one is set.  ``group_contraction`` carries
-    the group-theoretic diagnostics METRICS displays.
+    the group-theoretic diagnostics METRICS displays; ``stats`` carries
+    strategy counters (multilevel's coarsening levels and refinement
+    moves/gain) that flow through the mapping into the metrics JSON.
     """
 
     provenance: str
     clusters: list | None = None
     assignment: dict | None = None
     group_contraction: Any | None = None
+    stats: dict | None = None
 
     def __post_init__(self):
         if (self.clusters is None) == (self.assignment is None):
@@ -197,6 +201,12 @@ class MappingStrategy:
     refinable:
         Whether the KL-style post-passes apply, i.e. whether the default
         portfolio also tries ``"<name>+refine"``.
+    portfolio:
+        Whether :func:`default_portfolio` includes this strategy.
+        Opt-in strategies (multilevel, which targets graphs far beyond
+        the portfolio benchmarks) register with ``portfolio=False`` so
+        the pinned portfolio winners stay untouched while the strategy
+        remains addressable by name everywhere else.
     """
 
     name: str
@@ -204,6 +214,7 @@ class MappingStrategy:
     rank: int
     auto: bool = True
     refinable: bool = False
+    portfolio: bool = True
 
 
 _STRATEGY_REGISTRY: dict[str, MappingStrategy] = {}
@@ -216,9 +227,10 @@ def register_strategy(
     rank: int,
     auto: bool = True,
     refinable: bool = False,
+    portfolio: bool = True,
 ) -> MappingStrategy:
     """Register a mapping strategy (last registration wins)."""
-    strategy = MappingStrategy(name, run, rank, auto, refinable)
+    strategy = MappingStrategy(name, run, rank, auto, refinable, portfolio)
     _STRATEGY_REGISTRY[name] = strategy
     return strategy
 
@@ -259,11 +271,13 @@ def strategy_names() -> tuple[str, ...]:
 def default_portfolio() -> tuple[str, ...]:
     """The portfolio's default strategy list, derived from the registry.
 
-    Every strategy in rank order, followed by ``"<name>+refine"`` for each
-    refinable one -- today ``("canned", "group", "mwm", "mwm+refine")``.
-    Registering a new strategy extends the portfolio automatically.
+    Every portfolio-eligible strategy in rank order, followed by
+    ``"<name>+refine"`` for each refinable one -- today
+    ``("canned", "group", "mwm", "mwm+refine")``.  Registering a new
+    strategy extends the portfolio automatically unless it opts out with
+    ``portfolio=False``.
     """
-    ranked = _ranked()
+    ranked = [s for s in _ranked() if s.portfolio]
     base = tuple(s.name for s in ranked)
     refined = tuple(f"{s.name}+refine" for s in ranked if s.refinable)
     return base + refined
@@ -305,6 +319,7 @@ def _run_contract(ctx: PipelineContext) -> None:
     ctx.clusters = result.clusters
     ctx.assignment = result.assignment
     ctx.group_contraction = result.group_contraction
+    ctx.map_stats = result.stats
 
 
 def _run_embed(ctx: PipelineContext) -> None:
@@ -326,19 +341,36 @@ def _run_embed(ctx: PipelineContext) -> None:
     )
     if ctx.group_contraction is not None:
         mapping.group_contraction = ctx.group_contraction  # METRICS diagnostics
+    if ctx.map_stats is not None:
+        mapping.map_stats = ctx.map_stats  # strategy counters for METRICS
     ctx.mapping = mapping
 
 
 def _run_refine(ctx: PipelineContext) -> None:
-    """KL-style post-pass: refine the contraction, re-embed, 2-opt.
+    """Refinement post-pass, selected by ``MapConfig.refine``.
 
-    No-ops unless ``MapConfig.refine`` is set; canned mappings are left
-    untouched (their structure is the point), as are empty graphs.
+    ``False``/``"none"`` no-ops; ``True``/``"kl"`` runs the
+    Kernighan-Lin-style contraction/embedding passes; ``"delta_gain"``
+    runs the vectorized delta-gain kernel on the finished mapping.
+    Canned mappings are left untouched (their structure is the point),
+    as are empty graphs.
     """
-    if not ctx.config.map.refine:
+    method = ctx.config.map.refine
+    if not method or method == "none":
         return
     mapping = ctx.mapping
     if mapping.provenance == "canned" or ctx.tg.n_tasks == 0:
+        return
+    if method == "delta_gain":
+        from repro.mapper.refine import refine
+
+        refined = refine(
+            mapping, "delta_gain", load_bound=ctx.config.map.load_bound
+        )
+        ctx.assignment = refined.assignment
+        ctx.mapping = refined
+        ctx.provenance = refined.provenance
+        ctx.map_stats = refined.map_stats
         return
     import math
 

@@ -178,3 +178,72 @@ class TestOthers:
         for tg in graphs:
             tg.validate()
             assert tg.family is not None
+
+
+class TestRandomGeometric:
+    def test_deterministic_for_seed(self):
+        a = families.random_geometric(120, seed=5)
+        b = families.random_geometric(120, seed=5)
+        assert a.family == b.family == ("random_geometric", (120, a.family[1][1], 5))
+        assert a.comm_phase("exchange").pairs() == b.comm_phase("exchange").pairs()
+
+    def test_seed_changes_edges(self):
+        a = families.random_geometric(120, seed=1)
+        b = families.random_geometric(120, seed=2)
+        assert a.comm_phase("exchange").pairs() != b.comm_phase("exchange").pairs()
+
+    def test_structure_and_validation(self):
+        tg = families.random_geometric(200, seed=0)
+        tg.validate()
+        assert tg.n_tasks == 200
+        assert set(tg.comm_phases) == {"exchange"}
+        # default radius targets expected degree ~8; allow wide slack
+        mean_deg = 2 * tg.n_edges / tg.n_tasks
+        assert 3.0 < mean_deg < 16.0
+
+    def test_explicit_radius_and_volume(self):
+        tg = families.random_geometric(50, 0.3, seed=4, volume=2.5)
+        assert tg.family == ("random_geometric", (50, 0.3, 4))
+        assert all(e.volume == 2.5 for e in tg.comm_phase("exchange").edges)
+
+    def test_edges_sorted_and_unique(self):
+        tg = families.random_geometric(150, seed=9)
+        pairs = tg.comm_phase("exchange").pairs()
+        assert all(u < v for u, v in pairs)
+        assert pairs == sorted(pairs)
+        assert len(set(pairs)) == len(pairs)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            families.random_geometric(0)
+
+
+class TestKron:
+    def test_deterministic_for_seed(self):
+        a = families.kron(7, seed=3)
+        b = families.kron(7, seed=3)
+        assert a.comm_phase("exchange").pairs() == b.comm_phase("exchange").pairs()
+        assert a.family == ("kron", (7, 16, 3))
+
+    def test_shape(self):
+        tg = families.kron(8, edge_factor=8, seed=0)
+        tg.validate()
+        assert tg.n_tasks == 256
+        # duplicates fold, self-loops drop: fewer pairs than raw samples
+        assert 0 < tg.n_edges <= 8 * 256
+
+    def test_duplicate_samples_fold_into_volume(self):
+        tg = families.kron(5, edge_factor=32, seed=1, volume=1.0)
+        vols = [e.volume for e in tg.comm_phase("exchange").edges]
+        assert any(v > 1.0 for v in vols)  # R-MAT repeats hub edges
+        assert all(float(v).is_integer() for v in vols)
+
+    def test_no_self_loops(self):
+        tg = families.kron(6, seed=2)
+        assert all(u != v for u, v in tg.comm_phase("exchange").pairs())
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            families.kron(-1)
+        with pytest.raises(ValueError):
+            families.kron(4, edge_factor=0)
