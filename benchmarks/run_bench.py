@@ -39,6 +39,10 @@ Measured sections
   BFS-block baseline -- and, at the kilotask size where it is still
   tractable, MWM-Contract with and without refinement -- on 1k/10k/100k
   task graphs, recording wall-clock and aggregate comm cost for each.
+* ``serving``     -- the PR 8 headline: a real ``repro serve`` subprocess
+  under a concurrent ``repro.serve.loadgen`` stream -- cold computes vs.
+  warm cache hits (p50/p99/throughput), repeat-burst bit-determinism, a
+  thundering herd that must compute exactly once, and a graceful drain.
 * ``perf_spans``  -- the repro.util.perf span totals recorded while the
   suite ran, so per-stage attribution lands in the trajectory too.
 
@@ -629,6 +633,96 @@ def bench_mapping_scale() -> dict:
     return out
 
 
+def bench_serving() -> dict:
+    """The PR 8 headline: the HTTP serving tier under concurrent load.
+
+    Spawns a real ``repro serve`` subprocess over a fresh cache directory
+    and drives it with :mod:`repro.serve.loadgen`:
+
+    * ``cold``   -- the unique instances, sequentially, all computed.
+    * ``warm``   -- the full request stream (each unique instance repeated
+      many times) at high concurrency: every repeat must be a cache hit,
+      and the warm p50 is the headline against the cold p50.
+    * ``repeat`` -- the same stream again; its result hashes must equal
+      the warm pass's exactly (bit-identical payload determinism).
+    * ``herd``   -- a thundering herd on one brand-new fingerprint,
+      barrier-released; the server must compute it exactly once.
+
+    Latencies land as ``*_ms`` (load-dependent, exempt from the
+    regression gate); only phase wall-clocks are gated.
+    """
+    from repro.serve import loadgen
+
+    quick = REPEATS == 1
+    unique = 8
+    total = 240 if quick else 1024
+    herd_size = 100 if quick else 1000
+    concurrency = 32
+
+    env = {**os.environ, "PYTHONPATH": "src"}
+    env.pop("REPRO_CACHE", None)  # the serving tier must cache
+    env.pop("REPRO_CHAOS", None)
+    with tempfile.TemporaryDirectory() as cache_dir:
+        env["REPRO_CACHE_DIR"] = cache_dir
+        process, host, port = loadgen.spawn_server(env=env)
+        try:
+            bodies = loadgen.default_bodies(
+                total, unique,
+                program="jacobi", bind={"rows": 16, "cols": 16, "msize": 4},
+                topology="mesh:4x4",
+            )
+            cold = loadgen.fire(host, port, bodies[:unique], concurrency=1,
+                                timeout=120)
+            # like-for-like p50: the same instances, again sequentially,
+            # now all cache hits (the concurrent burst below measures
+            # throughput, where queueing dominates individual latency)
+            warm_seq = loadgen.fire(host, port, bodies[:unique],
+                                    concurrency=1, timeout=120)
+            warm = loadgen.fire(host, port, bodies, concurrency=concurrency,
+                                timeout=120)
+            repeat = loadgen.fire(host, port, bodies, concurrency=concurrency,
+                                  timeout=120)
+            herd_body = loadgen.default_bodies(
+                unique + 1, unique + 1,
+                program="jacobi", bind={"rows": 16, "cols": 16, "msize": 4},
+                topology="mesh:4x4",
+            )[unique]
+            herd = loadgen.fire(host, port, [herd_body] * herd_size,
+                                concurrency=herd_size, barrier=True,
+                                timeout=300)
+            _, stats = loadgen.request_once(host, port, "GET", "/v1/stats",
+                                            timeout=60)
+        finally:
+            drain_rc = loadgen.drain_server(process)
+
+    return {
+        "workload": f"jacobi16x16/mesh:4x4, {unique} unique instances, "
+                    f"{total} requests at concurrency {concurrency}, "
+                    f"herd of {herd_size}",
+        "cold": cold.to_dict(),
+        "warm_sequential": warm_seq.to_dict(),
+        "warm": warm.to_dict(),
+        "repeat": repeat.to_dict(),
+        "herd": herd.to_dict(),
+        "warm_over_cold_p50": (
+            cold.p50_s / warm_seq.p50_s if warm_seq.p50_s > 0 else 0.0
+        ),
+        "deterministic": (
+            cold.result_hashes == warm_seq.result_hashes
+            and warm_seq.result_hashes == warm.result_hashes
+            and warm.result_hashes == repeat.result_hashes
+            and len(herd.result_hashes) == 1
+        ),
+        "herd_computed_once": herd.computed == 1,
+        "server_cache": {
+            key: stats["cache"][key]
+            for key in ("hits_memory", "hits_disk", "misses", "computed",
+                        "singleflight_waits", "crossprocess_waits")
+        },
+        "drain_rc": drain_rc,
+    }
+
+
 def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
     """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
     out: dict[str, float] = {}
@@ -666,8 +760,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR7.json"),
-        help="trajectory file to write (default: BENCH_PR7.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR8.json"),
+        help="trajectory file to write (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -699,10 +793,10 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 7,
-            "description": "scale mapping to 10^5-task graphs: CSR graph "
-                           "core, multilevel contraction, and vectorized "
-                           "delta-gain refinement",
+            "pr": 8,
+            "description": "mapping-as-a-service: repro serve, a batched "
+                           "HTTP front-end over the pipeline with a "
+                           "shared single-flight artifact cache",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -720,6 +814,7 @@ def main(argv=None) -> int:
         "cache": bench_cache(),
         "runtime": bench_runtime(),
         "mapping_scale": bench_mapping_scale(),
+        "serving": bench_serving(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -792,6 +887,14 @@ def main(argv=None) -> int:
               f"({ml['vs_best_other']:.1f}x better than next best); bfs "
               f"{row['bfs_baseline']['map_s']:.2f}s cost "
               f"{row['bfs_baseline']['comm_cost']:.0f}")
+    sv = payload["serving"]
+    print(f"serving ({sv['workload']}): cold p50 {sv['cold']['p50_ms']:.1f}ms "
+          f"-> warm p50 {sv['warm_sequential']['p50_ms']:.1f}ms "
+          f"({sv['warm_over_cold_p50']:.1f}x), warm "
+          f"{sv['warm']['throughput_rps']:.0f} req/s, hit rate "
+          f"{sv['warm']['hit_rate']:.2f}, herd computed once="
+          f"{sv['herd_computed_once']}, deterministic={sv['deterministic']}, "
+          f"drain rc={sv['drain_rc']}")
     print(f"wrote {args.output}")
 
     if args.check and args.check.exists():

@@ -24,6 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import __version__
 from repro.arch import networks
 from repro.arch.topology import Topology
 from repro.errors import SupervisionError, exit_code_for
@@ -448,6 +449,66 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Boot the long-lived mapping service (see ``docs/service.md``)."""
+    from repro.pipeline.cache import ArtifactCache, cache_dir, default_cache
+    from repro.serve.server import serve
+
+    if args.no_cache:
+        cache = None
+        use_default = False
+    elif args.cache_dir is not None or args.max_cache_mb is not None:
+        directory = args.cache_dir if args.cache_dir is not None else cache_dir()
+        max_bytes = (
+            max(0, int(args.max_cache_mb * 1024 * 1024))
+            if args.max_cache_mb is not None else None
+        )
+        cache = ArtifactCache(directory, max_disk_bytes=max_bytes)
+        use_default = False
+    else:
+        cache = default_cache()  # honours REPRO_CACHE* knobs; may be None
+        use_default = False
+    return serve(
+        args.host,
+        args.port,
+        workers=args.workers,
+        batch_window_ms=args.batch_window_ms,
+        executor=args.executor,
+        deadline=args.deadline,
+        retry=_retry_policy(args),
+        cache=cache,
+        use_default_cache=use_default,
+        quiet=not args.verbose,
+    )
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or empty the shared on-disk artifact cache."""
+    import json
+
+    from repro.pipeline.cache import ArtifactCache, cache_dir, disk_stats
+
+    directory = args.dir if args.dir is not None else cache_dir()
+    if args.cache_command == "stats":
+        stats = disk_stats(directory)
+        if args.json:
+            print(json.dumps(stats, indent=1))
+        else:
+            print(f"cache directory: {stats['directory']}")
+            print(f"entries:         {stats['entries']}")
+            print(f"bytes:           {stats['bytes']} "
+                  f"({stats['bytes'] / (1024 * 1024):.2f} MiB)")
+            print(f"index present:   {stats['index_present']}")
+        return 0
+    # clear: delete only cache artifacts (*.pkl + the index), never the
+    # directory itself or anything else that happens to live in it.
+    before = disk_stats(directory)
+    ArtifactCache(directory).clear(disk=True)
+    print(f"cleared {before['entries']} entries "
+          f"({before['bytes']} bytes) from {directory}")
+    return 0
+
+
 def _add_supervision_flags(sub: argparse.ArgumentParser, *, resume_default: str):
     """The supervised-runtime flags shared by ``run`` and ``resilience``."""
     sub.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
@@ -468,6 +529,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="OREGAMI: map parallel computations to parallel architectures",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("stdlib", help="list the LaRCS standard library")
@@ -573,6 +636,65 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit machine-readable JSON")
     p_res.add_argument("--save", metavar="FILE", default=None,
                        help="write the repaired mapping to a JSON file")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the mapping pipeline as a long-lived HTTP service",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8000,
+                         help="0 binds an ephemeral port (named in the "
+                              "ready line on stdout)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="supervised fan-out width per batch")
+    p_serve.add_argument("--batch-window-ms", type=float, default=2.0,
+                         help="micro-batching window: concurrent requests "
+                              "arriving within it share one supervised "
+                              "fan-out (0 disables the wait)")
+    p_serve.add_argument("--executor", default="thread",
+                         choices=["serial", "thread", "process"],
+                         help="batch executor ('process' gives kill-hard "
+                              "worker isolation at fork cost)")
+    p_serve.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-request wall-clock budget "
+                              "(requests may override via 'deadline_s'; "
+                              "a blown budget answers 504)")
+    p_serve.add_argument("--retries", type=int, default=None, metavar="N",
+                         help="re-run a crashed request up to N extra times")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="shared artifact cache directory "
+                              "(default: REPRO_CACHE_DIR or the platform "
+                              "cache home)")
+    p_serve.add_argument("--max-cache-mb", type=float, default=None,
+                         metavar="MB",
+                         help="disk-tier byte budget; least-recently-used "
+                              "entries are evicted beyond it")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="serve without a shared cache (every request "
+                              "computes)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log each request to stderr")
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect or empty the shared on-disk artifact cache",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    p_cache_stats = cache_sub.add_parser(
+        "stats", help="entry count / byte footprint of the disk tier"
+    )
+    p_cache_stats.add_argument("--dir", default=None, metavar="DIR",
+                               help="cache directory (default: "
+                                    "REPRO_CACHE_DIR or the platform home)")
+    p_cache_stats.add_argument("--json", action="store_true",
+                               help="machine-readable output")
+    p_cache_clear = cache_sub.add_parser(
+        "clear", help="delete every cached entry and the index"
+    )
+    p_cache_clear.add_argument("--dir", default=None, metavar="DIR",
+                               help="cache directory (default: "
+                                    "REPRO_CACHE_DIR or the platform home)")
     return parser
 
 
@@ -588,6 +710,8 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "analyze": _cmd_analyze,
         "resilience": _cmd_resilience,
+        "serve": _cmd_serve,
+        "cache": _cmd_cache,
     }
     try:
         return handlers[args.command](args)

@@ -1,35 +1,53 @@
-"""The two-tier content-addressed artifact cache behind ``run_pipeline``.
+"""The shared content-addressed artifact store behind ``run_pipeline``.
 
 Mapping a production workload re-solves the same instances constantly --
 the same (task graph, topology, config) triple arrives from sweeps,
-portfolios, repair loops, and repeated CLI invocations.  Because every
-input carries a stable content fingerprint (hash-seed independent; see
+portfolios, repair loops, repeated CLI invocations, and (since PR 8)
+thousands of concurrent ``repro serve`` requests.  Because every input
+carries a stable content fingerprint (hash-seed independent; see
 :mod:`repro.util.fingerprint`), a finished :class:`PipelineResult` can be
 addressed purely by what was computed:
 
 * **memory tier** -- a bounded LRU of live results, for the inner loops of
   one process;
 * **disk tier** -- pickled results under a cache directory, so a *new*
-  process (tomorrow's CLI run, another pool worker) reuses yesterday's
-  work.
+  process (tomorrow's CLI run, another pool worker, a restarted server)
+  reuses yesterday's work.  The tier is **size-bounded**: an index file
+  tracks per-entry sizes and recency, and the least recently used entries
+  are evicted once the byte budget is exceeded.
+* **single-flight** -- :meth:`ArtifactCache.get_or_compute` deduplicates
+  concurrent computations of one key: a thundering herd of identical
+  requests elects one leader to compute while every other caller waits
+  and shares the result (or the leader's error).
 
 Layout and knobs
 ----------------
 The default directory is ``$XDG_CACHE_HOME/repro`` (usually
 ``~/.cache/repro``); override with ``REPRO_CACHE_DIR``, disable every
-default cache with ``REPRO_CACHE=off`` (``0``/``false``/``no`` also work).
+default cache with ``REPRO_CACHE=off`` (``0``/``false``/``no`` also
+work), and bound the default disk tier with ``REPRO_CACHE_MAX_MB``.
 Entries are one pickle per key, wrapped in a schema-versioned envelope --
 a corrupted, truncated, or schema-mismatched file is a silent miss, and
-invalidation is automatic because any input change changes the key.
-Deleting the directory is always safe.
+invalidation is automatic because any input change changes the key.  The
+index file (``index.json``) is rewritten atomically and is self-healing:
+a corrupt or stale index is rebuilt from the directory listing, so
+deleting the directory (or any file in it) is always safe.
+
+Every cache instance keeps its own monotonic counters (hits per tier,
+misses, puts, evictions, single-flight leaders/waiters) exposed by
+:meth:`ArtifactCache.stats` and mirrored into the process-wide
+:mod:`repro.util.perf` registry; ``repro serve`` surfaces them at
+``/v1/stats`` and ``repro cache stats`` prints the on-disk view.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import threading
+import time
 from collections import OrderedDict
-from typing import Any
+from typing import Any, Callable
 
 from repro import io
 from repro.util import perf
@@ -39,6 +57,7 @@ __all__ = [
     "default_cache",
     "reset_default_cache",
     "cache_dir",
+    "disk_stats",
 ]
 
 #: Bump when the pickled result layout changes incompatibly; envelopes
@@ -46,9 +65,36 @@ __all__ = [
 #: to wrong answers.
 CACHE_SCHEMA = 1
 
+#: Bump when the disk-tier index layout changes; an unknown schema is
+#: simply rebuilt from the directory listing.
+INDEX_SCHEMA = 1
+
+#: The disk tier's recency/size index, one per cache directory.
+INDEX_NAME = "index.json"
+
 _ENV_DIR = "REPRO_CACHE_DIR"
 _ENV_SWITCH = "REPRO_CACHE"
+_ENV_MAX_MB = "REPRO_CACHE_MAX_MB"
 _OFF_VALUES = ("off", "0", "false", "no")
+
+_STAT_KEYS = (
+    "hits_memory",
+    "hits_disk",
+    "misses",
+    "puts",
+    "computed",
+    "evictions_memory",
+    "evictions_disk",
+    "singleflight_leaders",
+    "singleflight_waits",
+    "crossprocess_waits",
+    "disk_write_errors",
+)
+
+#: Cross-process single-flight: a ``<key>.pkl.lock`` older than this is
+#: considered abandoned by a crashed leader and broken by waiters.
+_LOCK_STALE_S = 120.0
+_LOCK_POLL_S = 0.005
 
 
 def cache_dir() -> str:
@@ -65,12 +111,24 @@ def cache_dir() -> str:
     return os.path.join(base, "repro")
 
 
-class ArtifactCache:
-    """A bounded in-process LRU over a shared on-disk pickle store.
+class _Flight:
+    """One in-flight computation; waiters block on the event."""
 
-    Thread-safe for the in-memory tier (portfolio thread pools share one
-    default cache); the disk tier relies on :func:`repro.io.save_artifact`'s
-    atomic replace for cross-process safety.
+    __slots__ = ("event", "value", "error")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+
+
+class ArtifactCache:
+    """A bounded in-process LRU over a shared, size-bounded disk store.
+
+    Thread-safe throughout (serve handler threads, portfolio pools, and
+    the batcher all share one instance); the disk tier relies on
+    :func:`repro.io.save_artifact`'s atomic replace for cross-process
+    safety, and the recency index is likewise rewritten atomically.
 
     Parameters
     ----------
@@ -79,31 +137,69 @@ class ArtifactCache:
     capacity:
         Memory-tier entry bound; the least recently used entry is evicted
         (it stays on disk).
+    max_disk_bytes:
+        Disk-tier byte budget, or ``None`` for unbounded.  On overflow the
+        least recently *used* entries (reads count) are deleted; an entry
+        larger than the whole budget is dropped immediately after the
+        write (the memory tier still holds it).
     """
 
-    def __init__(self, directory: str | None = None, *, capacity: int = 128):
+    def __init__(self, directory: str | None = None, *, capacity: int = 128,
+                 max_disk_bytes: int | None = None):
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if max_disk_bytes is not None and max_disk_bytes < 0:
+            raise ValueError(
+                f"max_disk_bytes must be >= 0, got {max_disk_bytes}"
+            )
         self.directory = directory
         self.capacity = capacity
+        self.max_disk_bytes = max_disk_bytes
         self._memory: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.Lock()
+        # disk-tier index: key -> [size_bytes, last_used_unix]; loaded
+        # lazily, merged with a directory scan so it self-heals.
+        self._index: dict[str, list[float]] | None = None
+        self._disk_lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._flight_lock = threading.Lock()
+        self._stats = {name: 0 for name in _STAT_KEYS}
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.pkl")
 
-    def get(self, key: str) -> tuple[Any, str] | None:
+    def _count(self, name: str, amount: int = 1) -> None:
+        # callers hold self._lock (the serve layer hammers these from
+        # many threads; a bare += would drop increments)
+        self._stats[name] += amount
+
+    def get(self, key: str, *, count_miss: bool = True) -> tuple[Any, str] | None:
         """The cached value as ``(value, tier)``, or ``None`` on a miss.
 
         ``tier`` is ``"memory"`` or ``"disk"``; a disk hit is promoted
-        into the memory tier.
+        into the memory tier and its recency refreshed in the index.
+        ``count_miss=False`` is for internal re-checks (the single-flight
+        leader looks again before computing) so one logical lookup never
+        counts two misses.
         """
+        found = False
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
-                perf.count("pipeline.cache.memory_hit")
-                return self._memory[key], "memory"
+                self._count("hits_memory")
+                value = self._memory[key]
+                found = True
+        if found:
+            perf.count("pipeline.cache.memory_hit")
+            # A memory hit is still a *use*: refresh the disk tier's
+            # recency too, or a hot entry would look cold to eviction.
+            if self.directory is not None:
+                with self._disk_lock:
+                    entry = self._load_index_locked().get(key)
+                    if entry is not None:
+                        entry[1] = time.time()
+            return value, "memory"
         if self.directory is not None:
             envelope = io.load_artifact(self._path(key))
             if (
@@ -114,23 +210,43 @@ class ArtifactCache:
                 value = envelope["result"]
                 with self._lock:
                     self._remember(key, value)
+                    self._count("hits_disk")
+                with self._disk_lock:
+                    index = self._load_index_locked()
+                    entry = index.get(key)
+                    if entry is not None:
+                        entry[1] = time.time()
                 perf.count("pipeline.cache.disk_hit")
                 return value, "disk"
-        perf.count("pipeline.cache.miss")
+        if count_miss:
+            with self._lock:
+                self._count("misses")
+            perf.count("pipeline.cache.miss")
         return None
 
     def put(self, key: str, value: Any) -> None:
         """Store a value in both tiers (disk failures are non-fatal)."""
         with self._lock:
             self._remember(key, value)
+            self._count("puts")
         if self.directory is not None:
             envelope = {"schema": CACHE_SCHEMA, "key": key, "result": value}
+            path = self._path(key)
             try:
-                io.save_artifact(envelope, self._path(key))
+                io.save_artifact(envelope, path)
+                size = os.path.getsize(path)
             except OSError:
                 # A read-only or full cache directory degrades the disk
                 # tier to a no-op; results still flow.
+                with self._lock:
+                    self._count("disk_write_errors")
                 perf.count("pipeline.cache.disk_write_error")
+                return
+            with self._disk_lock:
+                index = self._load_index_locked()
+                index[key] = [float(size), time.time()]
+                self._evict_disk_locked(index)
+                self._write_index_locked(index)
 
     def _remember(self, key: str, value: Any) -> None:
         # caller holds the lock
@@ -138,19 +254,281 @@ class ArtifactCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.capacity:
             self._memory.popitem(last=False)
+            self._count("evictions_memory")
+            perf.count("pipeline.cache.memory_eviction")
+
+    # ------------------------------------------------------------------
+    # single-flight
+    # ------------------------------------------------------------------
+    def get_or_compute(
+        self, key: str, compute: Callable[[], Any]
+    ) -> tuple[Any, str]:
+        """Serve *key* from cache, or compute it exactly once.
+
+        Returns ``(value, tier)`` where ``tier`` is ``"memory"``/``"disk"``
+        for cache hits, ``"computed"`` when this caller was elected the
+        single-flight leader and ran *compute*, and ``"singleflight"``
+        when the caller joined an in-flight computation and shared its
+        result.  A leader's exception is re-raised in every waiter (and
+        nothing is cached), so a herd of identical bad requests also
+        fails exactly once.
+        """
+        hit = self.get(key)
+        if hit is not None:
+            return hit
+        with self._flight_lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = self._flights[key] = _Flight()
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            with self._lock:
+                self._count("singleflight_waits")
+            perf.count("pipeline.cache.singleflight_wait")
+            flight.event.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, "singleflight"
+        # Double-check after election: a previous leader may have finished
+        # (put + flight removed) between this caller's miss and now --
+        # without the re-check a thundering herd could compute twice.
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                hit = (self._memory[key], "memory")
+        if hit is not None:
+            flight.value = hit[0]
+            with self._flight_lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+            return hit
+        with self._lock:
+            self._count("singleflight_leaders")
+        perf.count("pipeline.cache.singleflight_leader")
+        try:
+            value, tier = self._compute_as_leader(key, compute)
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        else:
+            flight.value = value
+            return value, tier
+        finally:
+            with self._flight_lock:
+                self._flights.pop(key, None)
+            flight.event.set()
+
+    def _compute_and_store(self, key: str, compute: Callable[[], Any]) -> Any:
+        value = compute()
+        self.put(key, value)
+        with self._lock:
+            self._count("computed")
+        return value
+
+    def _compute_as_leader(
+        self, key: str, compute: Callable[[], Any]
+    ) -> tuple[Any, str]:
+        """Run *compute* under the disk tier's cross-process arbitration.
+
+        The in-process single-flight leader still competes with *other
+        processes* sharing the cache directory.  An ``O_EXCL`` lock file
+        next to the entry elects exactly one process-wide leader; every
+        other process waits for the lock to vanish and then reads the
+        winner's artifact from disk, so N threads x M processes hammering
+        one key still compute it once.  A lock abandoned by a crashed
+        leader is broken after :data:`_LOCK_STALE_S`; a leader that fails
+        releases the lock without an artifact, and one waiter takes over.
+        """
+        if self.directory is None:
+            return self._compute_and_store(key, compute), "computed"
+        lock_path = self._path(key) + ".lock"
+        while True:
+            fd = None
+            try:
+                os.makedirs(self.directory, exist_ok=True)
+                fd = os.open(lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pass
+            except OSError:
+                # Unwritable cache directory: the disk tier is already a
+                # no-op here, so fall back to in-process dedup only.
+                return self._compute_and_store(key, compute), "computed"
+            if fd is not None:
+                try:
+                    os.write(fd, str(os.getpid()).encode())
+                finally:
+                    os.close(fd)
+                try:
+                    # Another process may have finished while this one was
+                    # electing: serve its artifact instead of recomputing.
+                    hit = self.get(key, count_miss=False)
+                    if hit is not None:
+                        return hit
+                    return self._compute_and_store(key, compute), "computed"
+                finally:
+                    try:
+                        os.unlink(lock_path)
+                    except OSError:
+                        pass
+            with self._lock:
+                self._count("crossprocess_waits")
+            perf.count("pipeline.cache.crossprocess_wait")
+            while True:
+                try:
+                    age = time.time() - os.path.getmtime(lock_path)
+                except OSError:
+                    break  # released
+                if age > _LOCK_STALE_S:
+                    try:
+                        os.unlink(lock_path)
+                    except OSError:
+                        pass
+                    break
+                time.sleep(_LOCK_POLL_S)
+            hit = self.get(key, count_miss=False)
+            if hit is not None:
+                return hit
+            # The other process's leader failed without writing: loop and
+            # try to take the lock ourselves.
+
+    # ------------------------------------------------------------------
+    # the disk-tier index
+    # ------------------------------------------------------------------
+    def _index_path(self) -> str:
+        return os.path.join(self.directory, INDEX_NAME)
+
+    def _load_index_locked(self) -> dict[str, list[float]]:
+        """The live index; built lazily, self-healing against drift.
+
+        Merges the persisted ``index.json`` with a directory scan: files
+        another process wrote are adopted (mtime as recency), index rows
+        whose file vanished are dropped, and a corrupt or schema-strange
+        index degrades to the scan alone -- never to an error.
+        """
+        if self._index is not None:
+            return self._index
+        persisted: dict[str, list[float]] = {}
+        try:
+            with open(self._index_path()) as fh:
+                data = json.load(fh)
+            if (
+                isinstance(data, dict)
+                and data.get("schema") == INDEX_SCHEMA
+                and isinstance(data.get("entries"), dict)
+            ):
+                for key, row in data["entries"].items():
+                    if (
+                        isinstance(row, list) and len(row) == 2
+                        and all(isinstance(x, (int, float)) for x in row)
+                    ):
+                        persisted[key] = [float(row[0]), float(row[1])]
+        except (OSError, ValueError):
+            pass  # missing or corrupt index: rebuild from the scan below
+        index: dict[str, list[float]] = {}
+        try:
+            with os.scandir(self.directory) as entries:
+                for entry in entries:
+                    if not entry.name.endswith(".pkl"):
+                        continue
+                    key = entry.name[:-4]
+                    try:
+                        st = entry.stat()
+                    except OSError:
+                        continue
+                    known = persisted.get(key)
+                    index[key] = (
+                        [float(st.st_size), known[1]]
+                        if known is not None
+                        else [float(st.st_size), st.st_mtime]
+                    )
+        except OSError:
+            pass  # directory not created yet: empty tier
+        self._index = index
+        return index
+
+    def _evict_disk_locked(self, index: dict[str, list[float]]) -> None:
+        if self.max_disk_bytes is None:
+            return
+        total = sum(size for size, _ in index.values())
+        while total > self.max_disk_bytes and index:
+            victim = min(index, key=lambda k: (index[k][1], k))
+            size, _ = index.pop(victim)
+            total -= size
+            try:
+                os.unlink(self._path(victim))
+            except OSError:
+                pass
+            with self._lock:
+                self._count("evictions_disk")
+            perf.count("pipeline.cache.disk_eviction")
+
+    def _write_index_locked(self, index: dict[str, list[float]]) -> None:
+        payload = json.dumps(
+            {"schema": INDEX_SCHEMA, "entries": index}, sort_keys=True
+        )
+        tmp = self._index_path() + ".tmp"
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._index_path())
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """A snapshot of this instance's counters plus the disk tier.
+
+        ``hit_rate`` counts both cache tiers *and* single-flight waits as
+        hits (a waiter never computed anything), over all ``get``/
+        ``get_or_compute`` lookups.
+        """
+        with self._lock:
+            snap: dict[str, Any] = dict(self._stats)
+            snap["memory_entries"] = len(self._memory)
+        snap["memory_capacity"] = self.capacity
+        hits = (
+            snap["hits_memory"] + snap["hits_disk"] + snap["singleflight_waits"]
+        )
+        # misses counts every get() that fell through, including the ones
+        # get_or_compute then turned into a computation or a shared wait,
+        # so tier hits + misses covers every lookup exactly once.
+        lookups = snap["hits_memory"] + snap["hits_disk"] + snap["misses"]
+        snap["hit_rate"] = hits / lookups if lookups else 0.0
+        disk: dict[str, Any] = {
+            "directory": self.directory,
+            "max_bytes": self.max_disk_bytes,
+            "entries": 0,
+            "bytes": 0,
+        }
+        if self.directory is not None:
+            with self._disk_lock:
+                index = self._load_index_locked()
+                disk["entries"] = len(index)
+                disk["bytes"] = int(sum(s for s, _ in index.values()))
+        snap["disk"] = disk
+        return snap
 
     # ------------------------------------------------------------------
     def clear(self, *, disk: bool = False) -> None:
         """Drop the memory tier; with ``disk=True`` also delete disk entries."""
         with self._lock:
             self._memory.clear()
-        if disk and self.directory is not None and os.path.isdir(self.directory):
-            for name in os.listdir(self.directory):
-                if name.endswith(".pkl"):
-                    try:
-                        os.unlink(os.path.join(self.directory, name))
-                    except OSError:
-                        pass
+        if disk and self.directory is not None:
+            with self._disk_lock:
+                self._index = {}
+                if os.path.isdir(self.directory):
+                    for name in os.listdir(self.directory):
+                        if (name.endswith(".pkl") or name.endswith(".lock")
+                                or name == INDEX_NAME):
+                            try:
+                                os.unlink(os.path.join(self.directory, name))
+                            except OSError:
+                                pass
 
     def __len__(self) -> int:
         with self._lock:
@@ -163,6 +541,42 @@ class ArtifactCache:
         )
 
 
+def disk_stats(directory: str) -> dict:
+    """The on-disk view of a cache directory (for ``repro cache stats``).
+
+    Scans the directory directly -- authoritative even when several
+    processes share the store and their in-memory indexes have drifted.
+    """
+    entries = 0
+    total = 0
+    index_ok = False
+    try:
+        with os.scandir(directory) as it:
+            for entry in it:
+                if entry.name.endswith(".pkl"):
+                    entries += 1
+                    try:
+                        total += entry.stat().st_size
+                    except OSError:
+                        pass
+                elif entry.name == INDEX_NAME:
+                    try:
+                        with open(entry.path) as fh:
+                            index_ok = (
+                                json.load(fh).get("schema") == INDEX_SCHEMA
+                            )
+                    except (OSError, ValueError):
+                        index_ok = False
+    except OSError:
+        pass
+    return {
+        "directory": directory,
+        "entries": entries,
+        "bytes": total,
+        "index_present": index_ok,
+    }
+
+
 # ----------------------------------------------------------------------
 # the process-wide default
 # ----------------------------------------------------------------------
@@ -172,18 +586,32 @@ _default_made = False
 _default_lock = threading.Lock()
 
 
+def _max_bytes_from_env() -> int | None:
+    raw = os.environ.get(_ENV_MAX_MB, "").strip()
+    if not raw:
+        return None
+    try:
+        mb = float(raw)
+    except ValueError:
+        return None
+    return max(0, int(mb * 1024 * 1024))
+
+
 def default_cache() -> ArtifactCache | None:
     """The process-wide cache ``run_pipeline`` uses when none is passed.
 
     Built lazily from the environment; ``None`` when ``REPRO_CACHE`` is
-    set to an off value.  The environment is read once -- call
-    :func:`reset_default_cache` after changing it (tests do).
+    set to an off value, byte-bounded when ``REPRO_CACHE_MAX_MB`` is set.
+    The environment is read once -- call :func:`reset_default_cache` after
+    changing it (tests do).
     """
     global _default, _default_made
     with _default_lock:
         if not _default_made:
             switch = os.environ.get(_ENV_SWITCH, "").strip().lower()
-            _default = None if switch in _OFF_VALUES else ArtifactCache(cache_dir())
+            _default = None if switch in _OFF_VALUES else ArtifactCache(
+                cache_dir(), max_disk_bytes=_max_bytes_from_env()
+            )
             _default_made = True
         return _default
 

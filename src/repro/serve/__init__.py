@@ -1,0 +1,44 @@
+"""Mapping-as-a-service: the pipeline behind a long-lived HTTP front-end.
+
+``repro serve`` turns the batch toolchain into a shared service: a
+stdlib thread-per-connection HTTP server (:mod:`repro.serve.server`)
+that parses typed mapping requests (:mod:`repro.serve.protocol`),
+micro-batches concurrent arrivals into single supervised fan-outs
+(:mod:`repro.serve.batcher`), and answers repeats from the shared
+:class:`~repro.pipeline.ArtifactCache` by content fingerprint -- with
+single-flight deduplication so a thundering herd of identical requests
+computes exactly once.  :mod:`repro.serve.loadgen` is the matching load
+harness.  See ``docs/service.md``.
+"""
+
+from repro.serve.batcher import MicroBatcher, PendingRequest
+from repro.serve.protocol import (
+    HEALTH_FORMAT,
+    MAP_FORMAT,
+    STATS_FORMAT,
+    MapRequest,
+    ProtocolError,
+    error_response,
+    map_response,
+    parse_map_request,
+    render_result,
+    request_key,
+)
+from repro.serve.server import MappingServer, serve
+
+__all__ = [
+    "serve",
+    "MappingServer",
+    "MicroBatcher",
+    "PendingRequest",
+    "MapRequest",
+    "ProtocolError",
+    "parse_map_request",
+    "request_key",
+    "render_result",
+    "map_response",
+    "error_response",
+    "MAP_FORMAT",
+    "HEALTH_FORMAT",
+    "STATS_FORMAT",
+]

@@ -1,0 +1,408 @@
+"""Load generator for ``repro serve``: concurrent bursts, latency, hit rate.
+
+The acceptance bar for the serving subsystem is behavioural, not
+aesthetic: a locally booted server must sustain ~1000 concurrent mapping
+requests, answer repeats bit-identically, and collapse a thundering herd
+of identical requests onto one computation.  This module is the
+instrument that measures all three:
+
+* :func:`fire` -- N worker threads, each with its own keep-alive
+  connection, pushing a request list through the server and recording
+  per-request latency, HTTP status, cache tier, and a hash of the
+  ``result`` member (so determinism is checkable across runs).
+  ``barrier=True`` lines every worker up behind a
+  :class:`threading.Barrier` first, which is how a herd is simulated.
+* :func:`spawn_server` -- boots ``python -m repro serve --port 0`` as a
+  subprocess and parses the ready line for the ephemeral port; used by
+  the e2e tests, the benchmark's serving section, and the CI smoke job.
+* ``python -m repro.serve.loadgen`` -- the CLI harness the CI smoke job
+  runs: spawn, burst, assert warm hits, drain, report JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import http.client
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["LoadResult", "fire", "request_once", "spawn_server", "main"]
+
+_READY_RE = re.compile(r"listening on http://([^\s:]+):(\d+)")
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+@dataclass
+class LoadResult:
+    """Aggregated outcome of one :func:`fire` burst."""
+
+    requests: int = 0
+    errors: int = 0
+    elapsed_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list)
+    statuses: dict[int, int] = field(default_factory=dict)
+    hits: int = 0
+    deduplicated: int = 0
+    computed: int = 0
+    #: sha256 of each canonicalised ``result`` member, for determinism
+    #: comparisons across bursts (identical workload => identical set).
+    result_hashes: set = field(default_factory=set)
+
+    def _quantile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        ordered = sorted(self.latencies_s)
+        index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+        return ordered[index]
+
+    @property
+    def p50_s(self) -> float:
+        return self._quantile(0.50)
+
+    @property
+    def p99_s(self) -> float:
+        return self._quantile(0.99)
+
+    @property
+    def mean_s(self) -> float:
+        return (
+            sum(self.latencies_s) / len(self.latencies_s)
+            if self.latencies_s else 0.0
+        )
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.hits + self.deduplicated + self.computed
+        return self.hits / served if served else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_s": self.elapsed_s,
+            "throughput_rps": self.throughput_rps,
+            "p50_ms": self.p50_s * 1e3,
+            "p99_ms": self.p99_s * 1e3,
+            "mean_ms": self.mean_s * 1e3,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "hits": self.hits,
+            "deduplicated": self.deduplicated,
+            "computed": self.computed,
+            "hit_rate": self.hit_rate,
+            "distinct_results": len(self.result_hashes),
+        }
+
+
+def _hash_result(doc: dict) -> str:
+    canonical = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# client
+# ----------------------------------------------------------------------
+def request_once(host: str, port: int, method: str, path: str,
+                 body: dict | None = None, *,
+                 timeout: float = 60.0) -> tuple[int, dict]:
+    """One standalone request (fresh connection); returns (status, doc)."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"}
+                     if payload else {})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def fire(
+    host: str,
+    port: int,
+    bodies: list[dict],
+    *,
+    concurrency: int = 8,
+    timeout: float = 60.0,
+    barrier: bool = False,
+) -> LoadResult:
+    """Send ``bodies`` to ``POST /v1/map`` from ``concurrency`` threads.
+
+    Requests are dealt round-robin; each worker keeps one persistent
+    connection (HTTP/1.1 keep-alive) and runs its share sequentially,
+    so the in-flight request count equals ``concurrency``.  With
+    ``barrier=True`` every worker blocks until all are connected and
+    ready, then fires simultaneously -- the thundering-herd shape.
+    """
+    if not bodies:
+        return LoadResult()
+    concurrency = max(1, min(concurrency, len(bodies)))
+    shares: list[list[dict]] = [[] for _ in range(concurrency)]
+    for index, body in enumerate(bodies):
+        shares[index % concurrency].append(body)
+
+    result = LoadResult()
+    lock = threading.Lock()
+    gate = threading.Barrier(concurrency) if barrier and concurrency > 1 else None
+
+    def worker(share: list[dict]) -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        local_latencies: list[float] = []
+        local_statuses: dict[int, int] = {}
+        local = {"errors": 0, "hits": 0, "dedup": 0, "computed": 0}
+        local_hashes = set()
+        try:
+            if gate is not None:
+                gate.wait(timeout=timeout)
+            for body in share:
+                payload = json.dumps(body).encode()
+                begin = time.perf_counter()
+                try:
+                    conn.request(
+                        "POST", "/v1/map", body=payload,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = conn.getresponse()
+                    doc = json.loads(response.read())
+                    status = response.status
+                except (OSError, http.client.HTTPException, ValueError):
+                    local["errors"] += 1
+                    conn.close()
+                    conn = http.client.HTTPConnection(
+                        host, port, timeout=timeout
+                    )
+                    continue
+                local_latencies.append(time.perf_counter() - begin)
+                local_statuses[status] = local_statuses.get(status, 0) + 1
+                if status == 200:
+                    serving = doc.get("serving", {}).get("cache", {})
+                    if serving.get("hit"):
+                        local["hits"] += 1
+                    elif serving.get("deduplicated"):
+                        local["dedup"] += 1
+                    else:
+                        local["computed"] += 1
+                    local_hashes.add(_hash_result(doc.get("result", {})))
+                else:
+                    local["errors"] += 1
+        finally:
+            conn.close()
+        with lock:
+            result.latencies_s.extend(local_latencies)
+            for status, count in local_statuses.items():
+                result.statuses[status] = result.statuses.get(status, 0) + count
+            result.errors += local["errors"]
+            result.hits += local["hits"]
+            result.deduplicated += local["dedup"]
+            result.computed += local["computed"]
+            result.result_hashes |= local_hashes
+
+    threads = [
+        threading.Thread(target=worker, args=(share,), daemon=True)
+        for share in shares if share
+    ]
+    begin = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    result.elapsed_s = time.perf_counter() - begin
+    result.requests = len(bodies)
+    return result
+
+
+# ----------------------------------------------------------------------
+# server process management
+# ----------------------------------------------------------------------
+def spawn_server(
+    extra_args: list[str] | None = None,
+    *,
+    env: dict | None = None,
+    timeout: float = 30.0,
+) -> tuple[subprocess.Popen, str, int]:
+    """Boot ``python -m repro serve --port 0`` and wait for the ready line.
+
+    Returns ``(process, host, port)``.  The caller owns the process;
+    terminate it with SIGTERM for a graceful drain.  Stdout stays
+    attached to a pipe -- read it after exit to see the drain line.
+    """
+    command = [sys.executable, "-m", "repro", "serve", "--port", "0"]
+    command += list(extra_args or [])
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    deadline = time.monotonic() + timeout
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if line:
+            match = _READY_RE.search(line)
+            if match:
+                return process, match.group(1), int(match.group(2))
+        if process.poll() is not None:
+            raise RuntimeError(
+                f"server exited with {process.returncode} before becoming "
+                f"ready: {line!r}"
+            )
+        if time.monotonic() > deadline:
+            process.kill()
+            raise RuntimeError("server did not print its ready line in time")
+
+
+def drain_server(process: subprocess.Popen, *, timeout: float = 30.0) -> int:
+    """SIGTERM the server and wait for its graceful exit; returns rc."""
+    if process.poll() is None:
+        process.send_signal(signal.SIGTERM)
+    try:
+        process.wait(timeout=timeout)
+    except subprocess.TimeoutExpired:
+        process.kill()
+        process.wait(timeout=5)
+    if process.stdout is not None:
+        process.stdout.read()
+        process.stdout.close()
+    return process.returncode
+
+
+# ----------------------------------------------------------------------
+# CLI harness (the CI serve-smoke job)
+# ----------------------------------------------------------------------
+def default_bodies(count: int, unique: int, *, program: str = "dnc",
+                   bind: dict | None = None,
+                   topology: str = "mesh:2x2") -> list[dict]:
+    """``count`` request bodies cycling over ``unique`` distinct instances.
+
+    Variants differ only in a cost-model parameter, so each has its own
+    pipeline fingerprint (its own cache entry) but identical compile cost.
+    """
+    unique = max(1, unique)
+    variants = [
+        {
+            "program": program,
+            "bind": dict(bind) if bind is not None else {"m": 3},
+            "topology": topology,
+            "config": {"map": {"strategy": "auto"},
+                       "sim": {"hop_latency": 1.0 + index * 0.001}},
+        }
+        for index in range(unique)
+    ]
+    return [variants[index % unique] for index in range(count)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.loadgen",
+        description="Fire a concurrent burst of /v1/map requests at a "
+                    "repro serve instance and report latency and hit rate.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8000)
+    parser.add_argument("--spawn", action="store_true",
+                        help="boot a throwaway server on an ephemeral port, "
+                             "drain it with SIGTERM afterwards")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--concurrency", type=int, default=32)
+    parser.add_argument("--unique", type=int, default=8,
+                        help="distinct request bodies to cycle over")
+    parser.add_argument("--program", default="dnc")
+    parser.add_argument("--bind", nargs="*", default=["m=3"],
+                        metavar="NAME=INT")
+    parser.add_argument("--topology", default="mesh:2x2")
+    parser.add_argument("--herd", action="store_true",
+                        help="barrier-start all workers simultaneously")
+    parser.add_argument("--check-hits", action="store_true",
+                        help="exit non-zero unless the warm phase saw "
+                             "cache hits and zero request errors")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the full report as JSON on stdout")
+    args = parser.parse_args(argv)
+
+    process = None
+    host, port = args.host, args.port
+    try:
+        if args.spawn:
+            process, host, port = spawn_server()
+        bind = {}
+        for pair in args.bind:
+            name, _, value = pair.partition("=")
+            bind[name] = int(value)
+        bodies = default_bodies(
+            args.requests, args.unique,
+            program=args.program, bind=bind, topology=args.topology,
+        )
+        # Cold pass seeds the cache; warm pass measures the steady state.
+        cold = fire(host, port, bodies, concurrency=args.concurrency,
+                    barrier=args.herd)
+        warm = fire(host, port, bodies, concurrency=args.concurrency,
+                    barrier=args.herd)
+        _, stats_doc = request_once(host, port, "GET", "/v1/stats")
+        clean_exit = None
+        if process is not None:
+            clean_exit = drain_server(process)
+            process = None
+        report = {
+            "cold": cold.to_dict(),
+            "warm": warm.to_dict(),
+            "deterministic": cold.result_hashes == warm.result_hashes,
+            "server_stats": stats_doc,
+            "server_exit": clean_exit,
+        }
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(
+                f"cold: {cold.throughput_rps:8.1f} req/s  "
+                f"p50 {cold.p50_s * 1e3:7.2f} ms  p99 {cold.p99_s * 1e3:7.2f} ms  "
+                f"hit rate {cold.hit_rate:5.1%}  errors {cold.errors}"
+            )
+            print(
+                f"warm: {warm.throughput_rps:8.1f} req/s  "
+                f"p50 {warm.p50_s * 1e3:7.2f} ms  p99 {warm.p99_s * 1e3:7.2f} ms  "
+                f"hit rate {warm.hit_rate:5.1%}  errors {warm.errors}"
+            )
+            print(f"deterministic across bursts: {report['deterministic']}")
+            if clean_exit is not None:
+                print(f"server drained with exit code {clean_exit}")
+        if args.check_hits:
+            problems = []
+            if warm.hits == 0:
+                problems.append("warm phase saw zero cache hits")
+            if cold.errors or warm.errors:
+                problems.append(
+                    f"request errors (cold={cold.errors}, warm={warm.errors})"
+                )
+            if not report["deterministic"]:
+                problems.append("bursts disagreed on result payloads")
+            if clean_exit not in (None, 0):
+                problems.append(f"server exit code {clean_exit}")
+            if problems:
+                print("loadgen check FAILED: " + "; ".join(problems),
+                      file=sys.stderr)
+                return 1
+        return 0
+    finally:
+        if process is not None and process.poll() is None:
+            process.kill()
+            process.wait(timeout=5)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,336 @@
+"""The ``repro serve`` wire protocol: request parsing and response shaping.
+
+One JSON document in, one JSON document out.  A ``POST /v1/map`` body
+names the instance to map -- a stdlib program (plus integer bindings) or
+an inline ``repro.io`` task-graph dict -- a topology spec, and optionally
+a :class:`~repro.pipeline.RunConfig` dict, a fault set, and a per-request
+deadline:
+
+.. code-block:: json
+
+    {
+      "program": "jacobi",
+      "bind": {"rows": 4, "cols": 4, "msize": 4},
+      "topology": "mesh:2x2",
+      "config": {"map": {"strategy": "auto"}},
+      "deadline_s": 10.0
+    }
+
+Responses wrap the ordinary ``oregami-pipeline-result-v1`` document in a
+``serving`` envelope.  Crucially, the per-request cache provenance (hit,
+tier, key) lives **only** in the envelope: the ``result`` member is
+byte-identical whether it was computed cold, served from a cache tier,
+or shared through single-flight -- which is what makes repeated load-test
+runs bit-comparable.
+
+Errors map onto the structured taxonomy of :mod:`repro.errors`: malformed
+requests are 400 with the offending detail, a blown per-request deadline
+is 504 (the supervised runtime's :class:`~repro.errors.TaskTimeout`), and
+worker crashes / exhausted retries are 500 -- each carrying the error
+type, message, CLI-equivalent exit code, and the full attempt history.
+
+Security note: the server never touches the filesystem on behalf of a
+request -- ``program`` must be a stdlib name (no paths), and arbitrary
+graphs arrive inline as ``task_graph``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro import __version__, io
+from repro.arch.topology import Topology
+from repro.errors import (
+    EXIT_TIMEOUT,
+    RetriesExhausted,
+    SupervisionError,
+    TaskTimeout,
+    exit_code_for,
+)
+from repro.graph.taskgraph import TaskGraph
+from repro.larcs import stdlib
+from repro.pipeline import RunConfig
+from repro.pipeline.engine import PipelineResult
+
+__all__ = [
+    "MAP_FORMAT",
+    "HEALTH_FORMAT",
+    "STATS_FORMAT",
+    "MAX_BODY_BYTES",
+    "ProtocolError",
+    "MapRequest",
+    "request_key",
+    "parse_map_request",
+    "render_result",
+    "map_response",
+    "error_response",
+]
+
+#: Response format tags (mirroring the CLI's document formats).
+MAP_FORMAT = "oregami-serve-map-v1"
+HEALTH_FORMAT = "oregami-serve-health-v1"
+STATS_FORMAT = "oregami-serve-stats-v1"
+
+#: Request-body ceiling; a graph bigger than this should arrive through
+#: the batch CLI, not one HTTP request.
+MAX_BODY_BYTES = 32 * 1024 * 1024
+
+_ALLOWED_KEYS = frozenset(
+    {"program", "bind", "task_graph", "topology", "config", "faults",
+     "deadline_s"}
+)
+
+
+def request_key(body: dict) -> str:
+    """A stable digest of one request body's canonical JSON form.
+
+    Whitespace- and key-order-insensitive.  The server memoizes
+    ``request_key -> pipeline key`` so a *repeated* request skips the
+    compile/fingerprint work entirely on the warm path; it is only ever
+    an alias for a body that already parsed successfully, never a
+    substitute for validation.
+    """
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+class ProtocolError(ValueError):
+    """A malformed or unserviceable request, with its HTTP status."""
+
+    def __init__(self, message: str, *, status: int = 400,
+                 kind: str = "BadRequest"):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+@dataclass
+class MapRequest:
+    """One parsed ``/v1/map`` request, ready for the pipeline."""
+
+    tg: TaskGraph
+    topology: Topology
+    config: RunConfig
+    faults: Any | None
+    deadline_s: float | None
+    use_cache: bool
+
+
+def _parse_bind(raw: Any) -> dict[str, int]:
+    if raw is None:
+        return {}
+    if not isinstance(raw, dict):
+        raise ProtocolError(f"'bind' must be an object, got {type(raw).__name__}")
+    bind: dict[str, int] = {}
+    for name, value in raw.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ProtocolError(
+                f"binding {name!r} must be an integer, got {value!r}"
+            )
+        bind[str(name)] = value
+    return bind
+
+
+def _parse_graph(body: dict) -> TaskGraph:
+    program = body.get("program")
+    inline = body.get("task_graph")
+    if (program is None) == (inline is None):
+        raise ProtocolError(
+            "exactly one of 'program' (a stdlib name) or 'task_graph' "
+            "(an inline oregami task-graph object) is required"
+        )
+    if program is not None:
+        if not isinstance(program, str):
+            raise ProtocolError("'program' must be a string")
+        if program not in stdlib.PROGRAMS:
+            raise ProtocolError(
+                f"unknown stdlib program {program!r}; available: "
+                f"{', '.join(sorted(stdlib.PROGRAMS))} (the server never "
+                f"reads files; send an inline 'task_graph' instead)"
+            )
+        try:
+            return stdlib.load(program, **_parse_bind(body.get("bind")))
+        except ProtocolError:
+            raise
+        except (ValueError, KeyError) as exc:
+            raise ProtocolError(f"compiling {program!r} failed: {exc}") from exc
+    if body.get("bind") is not None:
+        raise ProtocolError("'bind' only applies to 'program' requests")
+    if not isinstance(inline, dict):
+        raise ProtocolError("'task_graph' must be an object")
+    try:
+        return io.taskgraph_from_dict(inline)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise ProtocolError(f"bad 'task_graph': {exc}") from exc
+
+
+def _parse_topology(raw: Any) -> Topology:
+    from repro.cli import parse_topology  # late: repro.cli imports serve lazily
+
+    if not isinstance(raw, str):
+        raise ProtocolError(
+            "'topology' must be a spec string like 'mesh:4x4' or "
+            "'hypercube:3'"
+        )
+    try:
+        return parse_topology(raw)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def parse_map_request(raw: bytes) -> MapRequest:
+    """Parse and validate one ``POST /v1/map`` body.
+
+    Raises :class:`ProtocolError` (HTTP 400) on anything malformed --
+    undecodable JSON, unknown keys, a bad program/topology/config/fault
+    spec, or a non-positive deadline.
+    """
+    if len(raw) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            f"request body of {len(raw)} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit",
+            status=413, kind="PayloadTooLarge",
+        )
+    try:
+        body = json.loads(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(body).__name__}"
+        )
+    unknown = set(body) - _ALLOWED_KEYS
+    if unknown:
+        raise ProtocolError(
+            f"unknown request keys {sorted(unknown)!r}; "
+            f"choose from {sorted(_ALLOWED_KEYS)!r}"
+        )
+    tg = _parse_graph(body)
+    if "topology" not in body:
+        raise ProtocolError("'topology' is required")
+    topology = _parse_topology(body["topology"])
+
+    config = RunConfig()
+    if body.get("config") is not None:
+        if not isinstance(body["config"], dict):
+            raise ProtocolError("'config' must be an object")
+        try:
+            config = RunConfig.from_dict(body["config"])
+        except (ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad 'config': {exc}") from exc
+    # The request's cache flag picks server-side semantics (compute fresh
+    # vs. shared store); the worker itself never consults a second store,
+    # so the stored result's config is identical either way.
+    use_cache = config.cache
+    config = replace(config, cache=False)
+
+    faults = None
+    if body.get("faults") is not None:
+        if not isinstance(body["faults"], dict):
+            raise ProtocolError("'faults' must be an object")
+        try:
+            faults = io.faultset_from_dict(body["faults"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ProtocolError(f"bad 'faults': {exc}") from exc
+
+    deadline_s = body.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or isinstance(deadline_s, bool) \
+                or deadline_s <= 0:
+            raise ProtocolError(
+                f"'deadline_s' must be a positive number, got {deadline_s!r}"
+            )
+        deadline_s = float(deadline_s)
+
+    return MapRequest(
+        tg=tg, topology=topology, config=config, faults=faults,
+        deadline_s=deadline_s, use_cache=use_cache,
+    )
+
+
+def render_result(
+    result: PipelineResult, *, fingerprints: dict[str, str]
+) -> bytes:
+    """The serialized ``result`` member of a ``/v1/map`` response.
+
+    The pipeline document with its per-request ``cache`` member lifted
+    out (request-dependent provenance lives in the ``serving`` envelope
+    instead), so identical instances always render byte-identically --
+    which also lets the server cache these bytes per pipeline key and
+    skip re-serializing a large mapping on every warm hit.
+    """
+    doc = result.to_dict()
+    doc.pop("cache", None)
+    doc["fingerprints"] = dict(fingerprints)
+    return json.dumps(doc).encode()
+
+
+def map_response(
+    rendered_result: bytes,
+    *,
+    key: str,
+    tier: str,
+    elapsed_s: float,
+) -> bytes:
+    """The full ``/v1/map`` success body: envelope spliced around the
+    pre-rendered (and possibly cached) ``result`` member."""
+    serving = json.dumps({
+        "cache": {
+            "key": key,
+            "tier": tier,
+            "hit": tier in ("memory", "disk"),
+            "deduplicated": tier == "singleflight",
+        },
+        "elapsed_ms": elapsed_s * 1e3,
+        "version": __version__,
+    }).encode()
+    return (
+        b'{"format": ' + json.dumps(MAP_FORMAT).encode()
+        + b', "result": ' + rendered_result
+        + b', "serving": ' + serving + b"}"
+    )
+
+
+def _http_status_for(exc: BaseException) -> int:
+    if isinstance(exc, ProtocolError):
+        return exc.status
+    if isinstance(exc, TaskTimeout):
+        return 504
+    if isinstance(exc, RetriesExhausted) and exc.last_outcome == "timeout":
+        return 504
+    if isinstance(exc, SupervisionError):
+        return 500
+    if isinstance(exc, (ValueError, KeyError, TypeError)):
+        return 400
+    return 500
+
+
+def error_response(exc: BaseException) -> tuple[int, dict]:
+    """Map any failure onto ``(http_status, structured error body)``.
+
+    The body carries the taxonomy type, the message, the exit code the
+    CLI would have used (so scripted clients can share one switch), and
+    -- for supervised failures -- the full deterministic attempt history.
+    """
+    status = _http_status_for(exc)
+    error: dict[str, Any] = {
+        "type": exc.kind if isinstance(exc, ProtocolError) else type(exc).__name__,
+        "message": str(exc),
+        "exit_code": (
+            EXIT_TIMEOUT if status == 504 else exit_code_for(exc)
+        ),
+    }
+    if isinstance(exc, SupervisionError) and exc.attempts:
+        error["attempts"] = [
+            {
+                "number": a.number,
+                "outcome": a.outcome,
+                "detail": a.detail,
+                "backoff_s": a.backoff_s,
+            }
+            for a in exc.attempts
+        ]
+    return status, {"format": MAP_FORMAT, "error": error}

@@ -1,0 +1,365 @@
+"""``repro serve`` -- the mapping pipeline as a long-lived HTTP service.
+
+A thread-per-connection stdlib HTTP server (no new dependencies) exposing
+the staged pipeline under heavy concurrent traffic:
+
+* ``POST /v1/map``   -- map one instance (see :mod:`repro.serve.protocol`
+  for the body).  Repeat queries are answered straight from the shared
+  :class:`~repro.pipeline.ArtifactCache` by content fingerprint; a
+  thundering herd of identical cold requests computes **once** through
+  single-flight; distinct cold requests arriving inside the batching
+  window share a single supervised fan-out.
+* ``GET /v1/health`` -- liveness, version, uptime (``"draining"`` while a
+  graceful shutdown drains in-flight work).
+* ``GET /v1/stats``  -- request counters, cache hit/miss/eviction and
+  single-flight counters, batcher stats, and the process perf counters.
+
+Graceful shutdown: SIGTERM (or SIGINT) stops the accept loop, lets every
+in-flight handler finish and respond, then closes the batcher.  Keep-alive
+connections are asked to close after their current response and idle ones
+are bounded by the handler's socket timeout, so the drain always
+terminates.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+import time
+from collections import OrderedDict
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro import __version__
+from repro.pipeline.cache import ArtifactCache, default_cache
+from repro.pipeline.engine import pipeline_key
+from repro.serve import protocol
+from repro.serve.batcher import MicroBatcher
+from repro.util import perf
+
+__all__ = ["MappingServer", "serve"]
+
+
+class _LRUStore:
+    """A small thread-safe bounded LRU for the server's warm fast paths.
+
+    Two instances per server: ``aliases`` maps a request body's digest to
+    its pipeline key (a repeated body skips recompiling the program and
+    re-fingerprinting the graph), and ``rendered`` maps a pipeline key to
+    the serialized ``result`` member (a repeated instance skips
+    re-serializing a large mapping).  Both are pure memoization over
+    content-addressed values, so eviction is always safe.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self.capacity = capacity
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, key: str):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: str, entry) -> None:
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _ServerStats:
+    """Thread-safe request counters for ``/v1/stats``."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started = time.time()
+        self._counts: dict[str, int] = {}
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + amount
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return dict(self._counts)
+
+
+class MappingServer(ThreadingHTTPServer):
+    """The serving socket plus everything the handlers share."""
+
+    allow_reuse_address = True
+    daemon_threads = False   # server_close() joins in-flight handlers
+    block_on_close = True
+    # The stdlib default listen backlog (5) resets simultaneous connects
+    # under bursts; a herd of ~1000 clients must all get through.
+    request_queue_size = 1024
+
+    def __init__(self, address, *, cache: ArtifactCache | None,
+                 batcher: MicroBatcher, quiet: bool = True):
+        super().__init__(address, _Handler)
+        self.cache = cache
+        self.batcher = batcher
+        self.quiet = quiet
+        self.draining = False
+        self.stats = _ServerStats()
+        self.aliases = _LRUStore()
+        self.rendered = _LRUStore(capacity=128)
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"       # keep-alive: load clients reuse sockets
+    server_version = f"repro/{__version__}"
+    sys_version = ""                    # no Python version leak in Server:
+    timeout = 30                        # idle keep-alive connections expire
+
+    server: MappingServer  # narrowed for the attribute accesses below
+
+    def version_string(self) -> str:
+        # the default joins server_version and sys_version with a space,
+        # leaving a trailing space when sys_version is suppressed
+        return self.server_version
+
+    # ------------------------------------------------------------------
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+        if not self.server.quiet:
+            sys.stderr.write(
+                f"{self.address_string()} - {fmt % args}\n"
+            )
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        self._send_body(status, json.dumps(payload).encode())
+
+    def _send_body(self, status: int, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.server.draining:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+        self.server.stats.bump(f"responses_{status // 100}xx")
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        self.server.stats.bump("requests")
+        if self.path == "/v1/health":
+            self.server.stats.bump("health")
+            self._send_json(200, {
+                "format": protocol.HEALTH_FORMAT,
+                "status": "draining" if self.server.draining else "ok",
+                "version": __version__,
+                "uptime_s": time.time() - self.server.stats.started,
+            })
+            return
+        if self.path == "/v1/stats":
+            self.server.stats.bump("stats")
+            cache = self.server.cache
+            self._send_json(200, {
+                "format": protocol.STATS_FORMAT,
+                "version": __version__,
+                "uptime_s": time.time() - self.server.stats.started,
+                "server": self.server.stats.snapshot(),
+                "aliases": len(self.server.aliases),
+                "cache": cache.stats() if cache is not None else None,
+                "batcher": self.server.batcher.stats(),
+                "perf_counters": perf.counters(),
+            })
+            return
+        self._send_json(404, {
+            "format": protocol.MAP_FORMAT,
+            "error": {"type": "NotFound",
+                      "message": f"no such endpoint {self.path!r}",
+                      "exit_code": 2},
+        })
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self.server.stats.bump("requests")
+        if self.path != "/v1/map":
+            self._send_json(404, {
+                "format": protocol.MAP_FORMAT,
+                "error": {"type": "NotFound",
+                          "message": f"no such endpoint {self.path!r}",
+                          "exit_code": 2},
+            })
+            return
+        if self.server.draining:
+            self._send_json(503, {
+                "format": protocol.MAP_FORMAT,
+                "error": {"type": "Draining",
+                          "message": "server is draining for shutdown",
+                          "exit_code": 4},
+            })
+            return
+        self.server.stats.bump("map_requests")
+        start = time.perf_counter()
+        try:
+            with perf.span("serve.request"):
+                length = int(self.headers.get("Content-Length") or 0)
+                if length > protocol.MAX_BODY_BYTES:
+                    raise protocol.ProtocolError(
+                        f"request body of {length} bytes exceeds the "
+                        f"{protocol.MAX_BODY_BYTES}-byte limit",
+                        status=413, kind="PayloadTooLarge",
+                    )
+                payload = self._serve_map(self.rfile.read(length), start)
+        except BaseException as exc:  # every failure becomes a typed body
+            if isinstance(exc, (SystemExit, KeyboardInterrupt)):
+                raise
+            status, body = protocol.error_response(exc)
+            self.server.stats.bump("map_errors")
+            self._send_json(status, body)
+            return
+        self._send_body(200, payload)
+
+    def _serve_map(self, raw: bytes, start: float) -> dict:
+        cache = self.server.cache
+
+        # Warm fast path: a body seen before resolves straight to its
+        # pipeline key -- no recompile, no re-fingerprint.  Aliases are
+        # only written after a body parsed successfully, so the fast path
+        # never skips validation of anything new.
+        rkey = None
+        alias = None
+        if cache is not None:
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                body = None
+            if isinstance(body, dict):
+                rkey = protocol.request_key(body)
+                alias = self.server.aliases.get(rkey)
+
+        if alias is not None and alias[2]:  # (key, fingerprints, use_cache, deadline)
+            key, fingerprints, use_cache, deadline_s = alias
+            self.server.stats.bump("alias_hits")
+
+            def compute():
+                request = protocol.parse_map_request(raw)
+                pending = self.server.batcher.submit(
+                    request.tg, request.topology, request.config,
+                    request.faults, key=key, deadline=request.deadline_s,
+                )
+                return pending.wait()
+
+            result, tier = cache.get_or_compute(key, compute)
+        else:
+            request = protocol.parse_map_request(raw)
+            key, fingerprints = pipeline_key(
+                request.tg, request.topology, request.config, request.faults
+            )
+            if rkey is not None:
+                self.server.aliases.put(
+                    rkey,
+                    (key, fingerprints, request.use_cache, request.deadline_s),
+                )
+
+            def compute():
+                pending = self.server.batcher.submit(
+                    request.tg, request.topology, request.config,
+                    request.faults, key=key, deadline=request.deadline_s,
+                )
+                return pending.wait()
+
+            if cache is None or not request.use_cache:
+                result = compute()
+                tier = "computed"
+            else:
+                result, tier = cache.get_or_compute(key, compute)
+        # Rendering a large mapping dominates warm latency; the serialized
+        # result member is content-addressed by the same pipeline key, so
+        # repeats reuse the bytes instead of re-serializing.
+        rendered = self.server.rendered.get(key) if cache is not None else None
+        if rendered is None:
+            rendered = protocol.render_result(result, fingerprints=fingerprints)
+            if cache is not None:
+                self.server.rendered.put(key, rendered)
+        return protocol.map_response(
+            rendered,
+            key=key,
+            tier=tier,
+            elapsed_s=time.perf_counter() - start,
+        )
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8000,
+    *,
+    workers: int | None = None,
+    batch_window_ms: float = 2.0,
+    executor: str = "thread",
+    deadline: float | None = None,
+    retry=None,
+    cache: ArtifactCache | None = None,
+    use_default_cache: bool = True,
+    quiet: bool = True,
+    ready_line: bool = True,
+) -> int:
+    """Run the mapping service until SIGTERM/SIGINT; returns the exit code.
+
+    The shared store defaults to the process-wide default cache (honouring
+    ``REPRO_CACHE``/``REPRO_CACHE_DIR``/``REPRO_CACHE_MAX_MB``); pass an
+    explicit :class:`~repro.pipeline.ArtifactCache` to override, or
+    ``use_default_cache=False`` for a cacheless server.  ``port=0`` binds
+    an ephemeral port -- the ready line printed to stdout names the real
+    one, which is how the load generator and the tests find it.
+    """
+    from repro.runtime import plan_from_env
+
+    if cache is None and use_default_cache:
+        cache = default_cache()
+    batcher = MicroBatcher(
+        window_ms=batch_window_ms,
+        executor=executor,
+        max_workers=workers,
+        retry=retry,
+        chaos=plan_from_env(),
+        default_deadline=deadline,
+    )
+    server = MappingServer((host, port), cache=cache, batcher=batcher,
+                           quiet=quiet)
+
+    def _begin_drain(signum, frame):
+        server.draining = True
+        # shutdown() blocks until the accept loop exits; never call it
+        # from the signal frame of the thread running serve_forever.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _begin_drain)
+    try:
+        if ready_line:
+            where = cache.directory if cache is not None else "off"
+            print(
+                f"repro serve listening on http://{host}:{server.port} "
+                f"(version {__version__}, executor {executor}, "
+                f"window {batch_window_ms:g}ms, cache {where})",
+                flush=True,
+            )
+        server.serve_forever(poll_interval=0.05)
+        # Drain: joins every in-flight handler thread, so each pending
+        # request gets its response before the process exits.
+        server.server_close()
+        batcher.close()
+        if ready_line:
+            print("repro serve drained, shutting down", flush=True)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    return 0

@@ -24,6 +24,7 @@ registry (``perf.disable()``) turns spans and counters into no-ops.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -79,6 +80,10 @@ class PerfRegistry:
         self.enabled = enabled
         self._spans: dict[str, SpanStats] = {}
         self._counters: dict[str, float] = {}
+        # The serving layer records spans/counters from many handler
+        # threads at once; unsynchronised ``dict.get`` + assign would
+        # silently drop increments.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # recording
@@ -94,27 +99,31 @@ class PerfRegistry:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            stats = self._spans.get(name)
-            if stats is None:
-                stats = self._spans[name] = SpanStats()
-            stats.record(elapsed)
+            with self._lock:
+                stats = self._spans.get(name)
+                if stats is None:
+                    stats = self._spans[name] = SpanStats()
+                stats.record(elapsed)
 
     def count(self, name: str, amount: float = 1) -> None:
-        """Increment counter *name* by *amount*."""
+        """Increment counter *name* by *amount* (thread-safe)."""
         if not self.enabled:
             return
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, SpanStats]:
         """Snapshot of all span statistics, keyed by span name."""
-        return dict(self._spans)
+        with self._lock:
+            return dict(self._spans)
 
     def counters(self) -> dict[str, float]:
         """Snapshot of all counter values."""
-        return dict(self._counters)
+        with self._lock:
+            return dict(self._counters)
 
     def total(self, name: str) -> float:
         """Total seconds recorded under span *name* (0.0 if never entered)."""
@@ -148,8 +157,9 @@ class PerfRegistry:
     # ------------------------------------------------------------------
     def reset(self) -> None:
         """Drop all recorded spans and counters."""
-        self._spans.clear()
-        self._counters.clear()
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
 
     def enable(self) -> None:
         """Start recording (the default state)."""

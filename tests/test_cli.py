@@ -428,3 +428,47 @@ class TestSupervisionCLI:
         monkeypatch.setenv("REPRO_CHAOS", "{definitely not json")
         assert main(self._BASE + ["--retries", "0", "--resume", "off"]) == 2
         assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestVersionAndCacheCLI:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as info:
+            main(["--version"])
+        assert info.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_cache_stats_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "0" in out
+
+    def test_cache_stats_json_then_clear(self, tmp_path, capsys):
+        import json
+
+        from repro.pipeline.cache import ArtifactCache
+
+        ArtifactCache(str(tmp_path)).put("k", {"v": 1})
+        assert main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 1
+        assert stats["bytes"] > 0
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--dir", str(tmp_path), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 0
+
+    def test_cache_clear_preserves_foreign_files(self, tmp_path, capsys):
+        from repro.pipeline.cache import ArtifactCache
+
+        ArtifactCache(str(tmp_path)).put("k", {"v": 1})
+        keep = tmp_path / "notes.txt"
+        keep.write_text("precious")
+        assert main(["cache", "clear", "--dir", str(tmp_path)]) == 0
+        assert keep.read_text() == "precious"
+        assert not list(tmp_path.glob("*.pkl"))
+
+    def test_serve_rejects_bad_window(self, capsys):
+        assert main(["serve", "--batch-window-ms", "-1"]) == 2
+        assert "error" in capsys.readouterr().err.lower()

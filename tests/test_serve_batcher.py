@@ -1,0 +1,129 @@
+"""Micro-batching: concurrent requests share one supervised fan-out."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cli import parse_topology
+from repro.errors import SupervisionError, TaskTimeout
+from repro.larcs import stdlib
+from repro.pipeline import RunConfig, run_pipeline
+from repro.serve.batcher import MicroBatcher, PendingRequest
+
+
+@pytest.fixture
+def instance():
+    tg = stdlib.load("dnc", m=3)
+    return tg, parse_topology("mesh:2x2"), RunConfig(cache=False)
+
+
+@pytest.fixture
+def batcher():
+    b = MicroBatcher(window_ms=40.0, executor="thread")
+    yield b
+    b.close()
+
+
+class TestBatching:
+    def test_single_request_round_trips(self, batcher, instance):
+        tg, topology, config = instance
+        pending = batcher.submit(tg, topology, config, key="one")
+        result = pending.wait(timeout=60)
+        direct = run_pipeline(tg, topology, config)
+        assert result.mapping.assignment == direct.mapping.assignment
+
+    def test_concurrent_burst_shares_one_batch(self, batcher, instance):
+        tg, topology, config = instance
+        gate = threading.Barrier(6)
+        handles = []
+        lock = threading.Lock()
+
+        def submit():
+            gate.wait()
+            pending = batcher.submit(tg, topology, config)
+            with lock:
+                handles.append(pending)
+
+        threads = [threading.Thread(target=submit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        results = [h.wait(timeout=60) for h in handles]
+        assert len(results) == 6
+        first = results[0].mapping.assignment
+        assert all(r.mapping.assignment == first for r in results)
+        stats = batcher.stats()
+        assert stats["requests"] == 6
+        # the whole burst fit inside the 40ms window
+        assert stats["batches"] == 1
+        assert stats["max_batch"] == 6
+
+    def test_distinct_deadlines_form_sub_batches(self, batcher, instance):
+        tg, topology, config = instance
+        a = batcher.submit(tg, topology, config, deadline=30.0)
+        b = batcher.submit(tg, topology, config, deadline=60.0)
+        a.wait(timeout=60)
+        b.wait(timeout=60)
+        stats = batcher.stats()
+        assert stats["sub_batches"] >= 2
+
+    def test_poisoned_request_does_not_take_down_neighbours(
+        self, batcher, instance
+    ):
+        tg, topology, config = instance
+        good = batcher.submit(tg, topology, config)
+        bad = batcher.submit(None, topology, config)  # unmappable payload
+        assert good.wait(timeout=60).mapping is not None
+        # the failure surfaces on the poisoned handle only (the worker's
+        # own exception, or a supervision wrapper after retries)
+        with pytest.raises((SupervisionError, AttributeError)):
+            bad.wait(timeout=60)
+
+    def test_deadline_timeout_is_typed(self, instance):
+        tg, topology, config = instance
+        slow = MicroBatcher(window_ms=0.0, executor="thread")
+        try:
+            tg_big = stdlib.load("jacobi", rows=16, cols=16, msize=4)
+            pending = slow.submit(
+                tg_big, parse_topology("mesh:4x4"), config, deadline=0.001
+            )
+            with pytest.raises((TaskTimeout, SupervisionError)):
+                pending.wait(timeout=60)
+        finally:
+            slow.close()
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, instance):
+        tg, topology, config = instance
+        batcher = MicroBatcher(window_ms=0.0)
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(tg, topology, config)
+
+    def test_close_drains_queued_work(self, instance):
+        tg, topology, config = instance
+        batcher = MicroBatcher(window_ms=50.0)
+        pending = batcher.submit(tg, topology, config)
+        batcher.close()
+        assert pending.wait(timeout=60).mapping is not None
+
+    def test_wait_timeout_raises(self):
+        pending = PendingRequest(payload=(), key="never", deadline=None)
+        begin = time.monotonic()
+        with pytest.raises(TimeoutError, match="never"):
+            pending.wait(timeout=0.05)
+        assert time.monotonic() - begin < 5
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError, match="window_ms"):
+            MicroBatcher(window_ms=-1.0)
+
+    def test_stats_shape(self, batcher):
+        stats = batcher.stats()
+        assert set(stats) == {
+            "batches", "requests", "sub_batches", "max_batch",
+            "queued", "mean_batch",
+        }

@@ -1,0 +1,219 @@
+"""End-to-end tests against a real ``repro serve`` subprocess.
+
+Boots ``python -m repro serve --port 0`` exactly as a user would, talks
+to it over real sockets, and asserts the serving contract: versioned
+health, cold-compute vs warm-hit with byte-identical ``result`` members,
+structured 400/404/504 errors, thundering-herd deduplication observable
+in ``/v1/stats``, and a graceful SIGTERM drain that answers every
+in-flight request before exiting 0.
+"""
+
+import http.client
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro import __version__
+from repro.serve import loadgen
+
+BODY = {
+    "program": "dnc",
+    "bind": {"m": 3},
+    "topology": "mesh:2x2",
+}
+# distinct cost-model values give distinct pipeline fingerprints
+_uniq = iter(range(10_000))
+
+
+def unique_body(**overrides) -> dict:
+    body = dict(BODY)
+    body["config"] = {"sim": {"hop_latency": 2.0 + next(_uniq) * 0.001}}
+    body.update(overrides)
+    return body
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("serve-cache"))
+    env = {**os.environ, "REPRO_CACHE_DIR": cache_dir}
+    env.pop("REPRO_CACHE", None)
+    env.pop("REPRO_CHAOS", None)
+    process, host, port = loadgen.spawn_server(env=env)
+    yield host, port
+    loadgen.drain_server(process)
+
+
+class TestEndpoints:
+    def test_health_reports_version(self, server):
+        host, port = server
+        status, doc = loadgen.request_once(host, port, "GET", "/v1/health")
+        assert status == 200
+        assert doc["format"] == "oregami-serve-health-v1"
+        assert doc["status"] == "ok"
+        assert doc["version"] == __version__
+
+    def test_server_header_names_the_version(self, server):
+        host, port = server
+        conn = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            conn.request("GET", "/v1/health")
+            response = conn.getresponse()
+            response.read()
+            assert response.getheader("Server") == f"repro/{__version__}"
+        finally:
+            conn.close()
+
+    def test_unknown_route_is_404(self, server):
+        host, port = server
+        for method, path in [("GET", "/nope"), ("POST", "/v1/nope")]:
+            status, doc = loadgen.request_once(host, port, method, path,
+                                               body={} if method == "POST"
+                                               else None)
+            assert status == 404
+            assert doc["error"]["type"] == "NotFound"
+
+    def test_stats_shape(self, server):
+        host, port = server
+        status, doc = loadgen.request_once(host, port, "GET", "/v1/stats")
+        assert status == 200
+        assert doc["format"] == "oregami-serve-stats-v1"
+        assert {"server", "cache", "batcher", "perf_counters"} <= set(doc)
+        assert doc["cache"]["disk"]["directory"]
+
+
+class TestMapping:
+    def test_cold_then_warm_bit_identical(self, server):
+        host, port = server
+        body = unique_body()
+        s1, cold = loadgen.request_once(host, port, "POST", "/v1/map", body)
+        s2, warm = loadgen.request_once(host, port, "POST", "/v1/map", body)
+        assert (s1, s2) == (200, 200)
+        assert cold["serving"]["cache"]["hit"] is False
+        assert cold["serving"]["cache"]["tier"] == "computed"
+        assert warm["serving"]["cache"]["hit"] is True
+        assert warm["serving"]["cache"]["tier"] in ("memory", "disk")
+        assert cold["result"] == warm["result"]
+        assert cold["serving"]["cache"]["key"] == warm["serving"]["cache"]["key"]
+        assert "cache" not in cold["result"]
+
+    def test_no_cache_config_always_computes(self, server):
+        host, port = server
+        body = unique_body()
+        body["config"]["cache"] = False
+        for _ in range(2):
+            status, doc = loadgen.request_once(host, port, "POST", "/v1/map",
+                                               body)
+            assert status == 200
+            assert doc["serving"]["cache"]["tier"] == "computed"
+
+    def test_malformed_json_is_400(self, server):
+        host, port = server
+        conn = http.client.HTTPConnection(*server, timeout=30)
+        try:
+            conn.request("POST", "/v1/map", body=b"{broken",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            doc = json.loads(response.read())
+            assert response.status == 400
+            assert doc["error"]["type"] == "BadRequest"
+            assert doc["error"]["exit_code"] == 2
+            assert "JSON" in doc["error"]["message"]
+        finally:
+            conn.close()
+
+    def test_unknown_program_is_400(self, server):
+        host, port = server
+        status, doc = loadgen.request_once(
+            host, port, "POST", "/v1/map",
+            {"program": "nonesuch", "topology": "ring:4"},
+        )
+        assert status == 400
+        assert "unknown stdlib program" in doc["error"]["message"]
+
+    def test_blown_deadline_is_504(self, server):
+        host, port = server
+        body = unique_body(
+            program="jacobi",
+            bind={"rows": 16, "cols": 16, "msize": 4},
+            topology="mesh:4x4",
+        )
+        body["deadline_s"] = 0.001
+        status, doc = loadgen.request_once(host, port, "POST", "/v1/map",
+                                           body, timeout=60)
+        assert status == 504
+        assert doc["error"]["exit_code"] == 3
+
+    def test_herd_computes_once(self, server):
+        host, port = server
+        _, before = loadgen.request_once(host, port, "GET", "/v1/stats")
+        herd_body = unique_body()
+        result = loadgen.fire(host, port, [herd_body] * 40, concurrency=40,
+                              barrier=True, timeout=120)
+        assert result.errors == 0
+        assert len(result.result_hashes) == 1
+        _, after = loadgen.request_once(host, port, "GET", "/v1/stats")
+        computed = after["cache"]["computed"] - before["cache"]["computed"]
+        assert computed == 1
+        assert result.computed == 1  # exactly one "computed" tier response
+
+    def test_repeat_burst_is_deterministic(self, server):
+        host, port = server
+        bodies = [unique_body() for _ in range(6)] * 3
+        first = loadgen.fire(host, port, bodies, concurrency=6)
+        second = loadgen.fire(host, port, bodies, concurrency=6)
+        assert first.errors == 0 and second.errors == 0
+        assert first.result_hashes == second.result_hashes
+        assert second.hits == len(bodies)
+
+
+class TestGracefulDrain:
+    def test_sigterm_drains_in_flight_request(self, tmp_path):
+        env = {**os.environ, "REPRO_CACHE_DIR": str(tmp_path)}
+        env.pop("REPRO_CACHE", None)
+        process, host, port = loadgen.spawn_server(env=env)
+        slow_body = {
+            "program": "jacobi",
+            "bind": {"rows": 32, "cols": 32, "msize": 4},
+            "topology": "mesh:8x8",
+        }
+        outcome = {}
+
+        def post():
+            outcome["response"] = loadgen.request_once(
+                host, port, "POST", "/v1/map", slow_body, timeout=120
+            )
+
+        poster = threading.Thread(target=post)
+        poster.start()
+        time.sleep(0.5)  # request is in flight (compute takes seconds)
+        process.send_signal(signal.SIGTERM)
+        poster.join(timeout=120)
+        assert not poster.is_alive()
+        status, doc = outcome["response"]
+        assert status == 200
+        assert doc["result"]["mapping"]
+        assert process.wait(timeout=60) == 0
+        output = process.stdout.read()
+        process.stdout.close()
+        assert "drained" in output
+
+    def test_loadgen_check_passes_end_to_end(self, tmp_path):
+        """The CI smoke entry point: spawn, burst, check hits, drain."""
+        env = {**os.environ, "REPRO_CACHE_DIR": str(tmp_path)}
+        env.pop("REPRO_CACHE", None)
+        old = dict(os.environ)
+        os.environ.clear()
+        os.environ.update(env)
+        try:
+            rc = loadgen.main([
+                "--spawn", "--requests", "24", "--concurrency", "8",
+                "--unique", "4", "--check-hits",
+            ])
+        finally:
+            os.environ.clear()
+            os.environ.update(old)
+        assert rc == 0

@@ -1,0 +1,233 @@
+"""The ``/v1/map`` wire protocol: parsing, shaping, and error mapping."""
+
+import json
+
+import pytest
+
+from repro import __version__, io
+from repro.errors import RetriesExhausted, TaskTimeout, WorkerCrash
+from repro.larcs import stdlib
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MapRequest,
+    ProtocolError,
+    error_response,
+    map_response,
+    parse_map_request,
+    render_result,
+    request_key,
+)
+
+
+def _body(**overrides) -> bytes:
+    body = {"program": "dnc", "bind": {"m": 3}, "topology": "mesh:2x2"}
+    body.update(overrides)
+    return json.dumps(body).encode()
+
+
+class TestParseMapRequest:
+    def test_minimal_program_request(self):
+        request = parse_map_request(_body())
+        assert isinstance(request, MapRequest)
+        assert request.tg.n_tasks == 8
+        assert request.topology.n_processors == 4
+        assert request.faults is None
+        assert request.deadline_s is None
+        assert request.use_cache is True
+        # the worker-side config never double-caches
+        assert request.config.cache is False
+
+    def test_config_cache_flag_becomes_use_cache(self):
+        request = parse_map_request(_body(config={"cache": False}))
+        assert request.use_cache is False
+        assert request.config.cache is False
+
+    def test_inline_task_graph(self):
+        tg = stdlib.load("dnc", m=3)
+        raw = json.dumps({
+            "task_graph": io.taskgraph_to_dict(tg),
+            "topology": "mesh:2x2",
+        }).encode()
+        request = parse_map_request(raw)
+        assert request.tg.n_tasks == tg.n_tasks
+
+    def test_program_and_task_graph_together_rejected(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_map_request(_body(task_graph={"tasks": []}))
+
+    def test_neither_program_nor_graph_rejected(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            parse_map_request(json.dumps({"topology": "ring:4"}).encode())
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown stdlib program"):
+            parse_map_request(_body(program="nonesuch"))
+
+    def test_path_traversal_is_not_a_program(self):
+        """The server must never read files on behalf of a request."""
+        with pytest.raises(ProtocolError, match="unknown stdlib program"):
+            parse_map_request(_body(program="../../etc/passwd"))
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request keys"):
+            parse_map_request(_body(shellcode="x"))
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_map_request(b"{nope")
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            parse_map_request(b"[1, 2]")
+
+    def test_non_integer_binding_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            parse_map_request(_body(bind={"m": "three"}))
+
+    def test_boolean_binding_rejected(self):
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            parse_map_request(_body(bind={"m": True}))
+
+    def test_missing_topology_rejected(self):
+        raw = json.dumps({"program": "dnc", "bind": {"m": 3}}).encode()
+        with pytest.raises(ProtocolError, match="'topology' is required"):
+            parse_map_request(raw)
+
+    def test_bad_topology_spec_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown topology"):
+            parse_map_request(_body(topology="dragonfly:8"))
+
+    def test_unknown_config_key_rejected(self):
+        with pytest.raises(ProtocolError, match="bad 'config'"):
+            parse_map_request(_body(config={"warp_speed": 9}))
+
+    def test_bad_deadline_rejected(self):
+        for bad in (0, -1, "soon", True):
+            with pytest.raises(ProtocolError, match="deadline_s"):
+                parse_map_request(_body(deadline_s=bad))
+
+    def test_valid_deadline_accepted(self):
+        request = parse_map_request(_body(deadline_s=2))
+        assert request.deadline_s == 2.0
+
+    def test_faults_parsed(self):
+        request = parse_map_request(_body(
+            topology="mesh:2x2",
+            faults={"format": "oregami-faultset-v1",
+                    "failed_procs": [0], "failed_links": [],
+                    "degraded_links": []},
+        ))
+        assert request.faults is not None
+
+    def test_bad_faults_rejected(self):
+        with pytest.raises(ProtocolError, match="bad 'faults'"):
+            parse_map_request(_body(faults={"failed_procs": [0]}))
+
+    def test_oversized_body_is_413(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_BODY_BYTES", 64)
+        with pytest.raises(ProtocolError) as info:
+            parse_map_request(b"x" * 65)
+        assert info.value.status == 413
+        assert info.value.kind == "PayloadTooLarge"
+
+
+class TestRequestKey:
+    def test_whitespace_and_order_insensitive(self):
+        a = {"program": "dnc", "bind": {"m": 3}, "topology": "ring:4"}
+        b = {"topology": "ring:4", "bind": {"m": 3}, "program": "dnc"}
+        assert request_key(a) == request_key(b)
+
+    def test_different_bodies_differ(self):
+        a = {"program": "dnc", "bind": {"m": 3}, "topology": "ring:4"}
+        b = {"program": "dnc", "bind": {"m": 4}, "topology": "ring:4"}
+        assert request_key(a) != request_key(b)
+
+
+class TestMapResponse:
+    def _result(self):
+        from repro.cli import parse_topology
+        from repro.pipeline import RunConfig, run_pipeline
+
+        tg = stdlib.load("dnc", m=3)
+        return run_pipeline(tg, parse_topology("mesh:2x2"),
+                            RunConfig(cache=False))
+
+    def test_result_member_has_no_request_provenance(self):
+        result = self._result()
+        rendered = render_result(result, fingerprints={"pipeline": "abc"})
+        doc = json.loads(rendered)
+        assert "cache" not in doc
+        assert doc["fingerprints"] == {"pipeline": "abc"}
+        assert "mapping" in doc
+
+    def test_envelope_is_request_scoped(self):
+        result = self._result()
+        rendered = render_result(result, fingerprints={})
+        body = json.loads(map_response(
+            rendered, key="k1", tier="memory", elapsed_s=0.01,
+        ))
+        assert body["format"] == protocol.MAP_FORMAT
+        assert body["serving"]["cache"] == {
+            "key": "k1", "tier": "memory",
+            "hit": True, "deduplicated": False,
+        }
+        assert body["serving"]["version"] == __version__
+
+    def test_rendering_is_deterministic_across_tiers(self):
+        result = self._result()
+        rendered = render_result(result, fingerprints={"pipeline": "abc"})
+        cold = json.loads(map_response(rendered, key="k", tier="computed",
+                                       elapsed_s=1.0))
+        warm = json.loads(map_response(rendered, key="k", tier="disk",
+                                       elapsed_s=0.001))
+        assert cold["result"] == warm["result"]
+        assert cold["serving"]["cache"]["hit"] is False
+        assert warm["serving"]["cache"]["hit"] is True
+
+
+class TestErrorResponse:
+    def test_protocol_error_is_400(self):
+        status, body = error_response(ProtocolError("bad"))
+        assert status == 400
+        assert body["error"]["type"] == "BadRequest"
+        assert body["error"]["exit_code"] == 2
+
+    def test_payload_too_large_is_413(self):
+        status, body = error_response(
+            ProtocolError("big", status=413, kind="PayloadTooLarge")
+        )
+        assert status == 413
+        assert body["error"]["type"] == "PayloadTooLarge"
+
+    def test_task_timeout_is_504_exit_3(self):
+        status, body = error_response(TaskTimeout("too slow"))
+        assert status == 504
+        assert body["error"]["exit_code"] == 3
+
+    def test_retries_exhausted_by_timeout_is_504(self):
+        status, _ = error_response(
+            RetriesExhausted("gone", last_outcome="timeout")
+        )
+        assert status == 504
+
+    def test_worker_crash_is_500_with_attempts(self):
+        from repro.errors import Attempt
+
+        exc = WorkerCrash("boom", attempts=[
+            Attempt(number=1, outcome="crash", detail="exit 9", backoff_s=0.1)
+        ])
+        status, body = error_response(exc)
+        assert status == 500
+        assert body["error"]["attempts"] == [
+            {"number": 1, "outcome": "crash", "detail": "exit 9",
+             "backoff_s": 0.1}
+        ]
+
+    def test_value_error_is_400(self):
+        status, _ = error_response(ValueError("nope"))
+        assert status == 400
+
+    def test_unexpected_error_is_500(self):
+        status, body = error_response(RuntimeError("???"))
+        assert status == 500
+        assert body["error"]["type"] == "RuntimeError"
