@@ -39,6 +39,11 @@ Measured sections
   BFS-block baseline -- and, at the kilotask size where it is still
   tractable, MWM-Contract with and without refinement -- on 1k/10k/100k
   task graphs, recording wall-clock and aggregate comm cost for each.
+* ``machines``    -- the PR 9 headline: the multilevel strategy on a
+  two-level fat tree (10k tasks, 256 processors) vs. the flat torus of
+  the same size, and a capacity-tight node x core cluster where the
+  capacity-aware mapper must land feasible while the scalar-bound
+  escape hatch (``capacity_mode="ignore"``) overflows.
 * ``serving``     -- the PR 8 headline: a real ``repro serve`` subprocess
   under a concurrent ``repro.serve.loadgen`` stream -- cold computes vs.
   warm cache hits (p50/p99/throughput), repeat-burst bit-determinism, a
@@ -80,7 +85,13 @@ from repro.mapper.contraction import mwm_contract
 from repro.mapper.embedding.nn_embed import assignment_from_clusters, nn_embed
 from repro.mapper.routing.mm_route import mm_route
 from repro.metrics.analysis import analyze
-from repro.pipeline import ArtifactCache, RunConfig, SimConfig, run_pipeline
+from repro.pipeline import (
+    ArtifactCache,
+    MapConfig,
+    RunConfig,
+    SimConfig,
+    run_pipeline,
+)
 from repro.pipeline.cache import reset_default_cache
 from repro.sim import CostModel, simulate
 from repro.util import perf
@@ -633,6 +644,92 @@ def bench_mapping_scale() -> dict:
     return out
 
 
+def bench_machines() -> dict:
+    """The PR 9 headline: hierarchical machines and capacity vectors.
+
+    Two scenarios:
+
+    * ``rgg10k_fat_tree`` -- the 10k-task random geometric graph mapped
+      by the multilevel strategy onto a two-level ``fat_tree([16, 16])``
+      (256 processors, thin leaf links under a 2x spine), timed against
+      the flat ``torus16x16`` machine of the same size: the hierarchy
+      lowers to ordinary links + slowdowns, so the mapping cost should
+      stay in the same regime.
+    * ``hotspot1024_capacity`` -- a 32x32 stencil with an 8x8 corner
+      block of weight-8 tasks onto a ``node_core_tree(8, 4)`` whose
+      32 processors each hold 96 units of weight-rule memory.  The
+      capacity-aware run (``capacity_mode="strict"``) must land with
+      zero overflows; the scalar-bound escape hatch
+      (``capacity_mode="ignore"``) packs by task count and must
+      overflow -- the feasibility gap the multi-resource model closes.
+    """
+    from repro.arch.hierarchy import fat_tree, node_core_tree
+    from repro.metrics import comm_cost
+
+    out: dict = {}
+
+    rgg = families.random_geometric(10_000, seed=1)
+    rgg.csr()
+    tree = fat_tree([16, 16])
+    flat = networks.torus(16, 16)
+    row: dict = {"tasks": 10_000, "procs": tree.n_processors}
+    for label, machine in (("fat_tree16x16", tree), ("torus16x16", flat)):
+        machine.distance_matrix()
+        run = lambda: map_computation(  # noqa: E731
+            rgg, machine, strategy="multilevel", route=False
+        )
+        row[label] = {"map_s": best_of(run, 1), "comm_cost": comm_cost(run())}
+    out["rgg10k_fat_tree"] = row
+
+    side, block = 32, 8
+    hotspot = TaskGraph(f"hotspot{side}x{side}")
+    for r in range(side):
+        for c in range(side):
+            hotspot.add_node(
+                r * side + c, 8.0 if r < block and c < block else 1.0
+            )
+    ph = hotspot.add_comm_phase("stencil")
+    for r in range(side):
+        for c in range(side):
+            i = r * side + c
+            if c + 1 < side:
+                ph.add(i, i + 1, 1.0)
+            if r + 1 < side:
+                ph.add(i, i + side, 1.0)
+    hotspot.add_exec_phase("work", 1.0)
+    machine = node_core_tree(
+        8, 4, capacities={"memory": {"demand": "weight", "cap": 96.0}}
+    )
+    ctx = machine.capacities.context(hotspot, machine)
+    stages = ("contract", "embed", "refine")
+    results = {}
+    for mode in ("strict", "ignore"):
+        config = RunConfig(
+            map=MapConfig(strategy="multilevel", capacity_mode=mode),
+            stages=stages, cache=False,
+        )
+        elapsed = best_of(lambda: run_pipeline(hotspot, machine, config), 3)
+        mapping = run_pipeline(hotspot, machine, config).mapping
+        overflows = ctx.overflows(mapping.assignment)
+        results[mode] = {
+            "map_s": elapsed,
+            "overflowing_procs": len(overflows),
+            "worst_overflow": max(
+                (o["demand"] / o["capacity"] for o in overflows), default=0.0
+            ),
+        }
+    out["hotspot1024_capacity"] = {
+        "tasks": 1024,
+        "procs": 32,
+        "capacity": "memory(weight) 96/processor",
+        "strict": results["strict"],
+        "ignore": results["ignore"],
+        "capacity_aware_feasible": results["strict"]["overflowing_procs"] == 0,
+        "scalar_bound_overflows": results["ignore"]["overflowing_procs"] > 0,
+    }
+    return out
+
+
 def bench_serving() -> dict:
     """The PR 8 headline: the HTTP serving tier under concurrent load.
 
@@ -760,8 +857,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR8.json"),
-        help="trajectory file to write (default: BENCH_PR8.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR9.json"),
+        help="trajectory file to write (default: BENCH_PR9.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -793,10 +890,11 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 8,
-            "description": "mapping-as-a-service: repro serve, a batched "
-                           "HTTP front-end over the pipeline with a "
-                           "shared single-flight artifact cache",
+            "pr": 9,
+            "description": "heterogeneous machine model: hierarchical "
+                           "topologies lowered to link slowdowns and "
+                           "multi-resource capacity vectors threaded "
+                           "through every mapping layer",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -814,6 +912,7 @@ def main(argv=None) -> int:
         "cache": bench_cache(),
         "runtime": bench_runtime(),
         "mapping_scale": bench_mapping_scale(),
+        "machines": bench_machines(),
         "serving": bench_serving(),
     }
     payload["perf_spans"] = {
@@ -887,6 +986,22 @@ def main(argv=None) -> int:
               f"({ml['vs_best_other']:.1f}x better than next best); bfs "
               f"{row['bfs_baseline']['map_s']:.2f}s cost "
               f"{row['bfs_baseline']['comm_cost']:.0f}")
+    mc = payload["machines"]
+    rg = mc["rgg10k_fat_tree"]
+    print(f"machines rgg10k: fat_tree16x16 "
+          f"{rg['fat_tree16x16']['map_s']:.2f}s cost "
+          f"{rg['fat_tree16x16']['comm_cost']:.0f} vs torus16x16 "
+          f"{rg['torus16x16']['map_s']:.2f}s cost "
+          f"{rg['torus16x16']['comm_cost']:.0f}")
+    hs = mc["hotspot1024_capacity"]
+    print(f"machines hotspot1024 ({hs['capacity']}): strict "
+          f"{hs['strict']['map_s'] * 1e3:.0f}ms, "
+          f"{hs['strict']['overflowing_procs']} overflows; ignore "
+          f"{hs['ignore']['map_s'] * 1e3:.0f}ms, "
+          f"{hs['ignore']['overflowing_procs']} overflows (worst "
+          f"{hs['ignore']['worst_overflow']:.1f}x) -- capacity-aware "
+          f"feasible={hs['capacity_aware_feasible']}, scalar overflows="
+          f"{hs['scalar_bound_overflows']}")
     sv = payload["serving"]
     print(f"serving ({sv['workload']}): cold p50 {sv['cold']['p50_ms']:.1f}ms "
           f"-> warm p50 {sv['warm_sequential']['p50_ms']:.1f}ms "

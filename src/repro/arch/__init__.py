@@ -6,9 +6,26 @@ topology" (iPSC/2, NCUBE, INMOS Transputer are the named candidates).  A
 infrastructure MAPPER needs: all-pairs distances, the shortest-path next-hop
 sets MM-Route draws candidate links from, and the paper's Fig-6-style link
 numbering.
+
+Beyond the paper's flat machines, :mod:`repro.arch.hierarchy` generates
+hierarchical machines (fat-tree, dragonfly, node x core trees) lowered
+onto the same ``Topology`` core, and :mod:`repro.arch.capacity` attaches
+per-processor multi-resource budgets the mapping layers respect.
 """
 
 from repro.arch.topology import DisconnectedTopologyError, Topology
+from repro.arch.capacity import Capacities, CapacityContext
+from repro.arch.hierarchy import (
+    MachineSpec,
+    describe_machine,
+    dragonfly,
+    fat_tree,
+    load_machine,
+    machine_from_dict,
+    node_core_tree,
+    parse_machine,
+    with_capacities,
+)
 from repro.arch import networks
 from repro.arch.networks import (
     butterfly,
@@ -27,6 +44,17 @@ from repro.arch.cayley_networks import cayley_topology, pancake, transposition_s
 __all__ = [
     "DisconnectedTopologyError",
     "Topology",
+    "Capacities",
+    "CapacityContext",
+    "MachineSpec",
+    "fat_tree",
+    "dragonfly",
+    "node_core_tree",
+    "with_capacities",
+    "machine_from_dict",
+    "load_machine",
+    "parse_machine",
+    "describe_machine",
     "networks",
     "ring",
     "linear",

@@ -31,11 +31,27 @@ raise :class:`DisconnectedTopologyError` with the component structure, and
 :meth:`Topology.distance_matrix` refuses to hand out matrices containing
 unreachable pairs rather than letting ``inf`` entries poison downstream
 cost arithmetic.
+
+Heterogeneous machines (PR 9): a topology may carry
+:attr:`Topology.capacities` (per-processor multi-resource budgets, see
+:class:`repro.arch.capacity.Capacities`) and :attr:`Topology.hierarchy`
+(level metadata written by the :mod:`repro.arch.hierarchy` generators,
+whose per-level bandwidth factors lower into :attr:`link_slowdowns`).
+Both are ``None`` on the flat homogeneous machines the paper describes,
+and both widen the content fingerprint *only when present*, so every
+pre-existing digest -- and every golden fixture keyed by one -- is
+unchanged.  Hop distances never depend on capacities or bandwidth
+factors, so all-pairs work is shared two ways: the BFS distance dicts are
+built lazily (a capacity-only ``degrade`` never triggers them), and the
+numpy distance matrix is additionally memoized in a module-level cache
+keyed by the machine's *structural* digest (processors + links only) --
+degrading bandwidth or capacity, or regenerating the same hierarchy
+shape, reuses the matrix instead of re-running all-pairs BFS.
 """
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from collections.abc import Hashable, Iterable
 
 import networkx as nx
@@ -47,6 +63,13 @@ __all__ = ["Topology", "DisconnectedTopologyError"]
 
 Proc = Hashable
 Link = frozenset  # frozenset({u, v})
+
+#: Module-level structural-digest -> all-pairs distance matrix cache.
+#: Keyed on processors + links only (hop distances are independent of
+#: capacities, slowdown factors, names, and hierarchy metadata), bounded
+#: LRU so sweeps over many machine shapes can't grow it without limit.
+_DIST_MATRIX_CACHE: OrderedDict[str, np.ndarray] = OrderedDict()
+_DIST_MATRIX_CACHE_MAX = 32
 
 
 class DisconnectedTopologyError(ValueError):
@@ -71,6 +94,16 @@ class Topology:
     family:
         Optional ``(family_name, params)`` tag used by the canned-mapping
         registry, mirroring :class:`repro.graph.TaskGraph.family`.
+    capacities:
+        Optional :class:`repro.arch.capacity.Capacities` declaring
+        per-processor multi-resource budgets; must cover exactly this
+        machine's processors.  ``None`` (the default) is the paper's
+        homogeneous machine.
+    hierarchy:
+        Optional JSON-compatible level metadata written by the
+        :mod:`repro.arch.hierarchy` generators (kind, levels, bandwidth
+        classes); purely descriptive -- the structural consequences are
+        already lowered into ``edges`` and :attr:`link_slowdowns`.
     """
 
     def __init__(
@@ -81,9 +114,13 @@ class Topology:
         nodes: Iterable[Proc] = (),
         family: tuple[str, tuple] | None = None,
         allow_disconnected: bool = False,
+        capacities=None,
+        hierarchy: dict | None = None,
     ):
         self.name = name
         self.family = family
+        self.capacities = capacities
+        self.hierarchy = hierarchy
         g = nx.Graph()
         g.add_nodes_from(nodes)
         for u, v in edges:
@@ -116,10 +153,11 @@ class Topology:
             self._link_id_pairs[(u, v)] = i + 1
             self._link_id_pairs[(v, u)] = i + 1
         self._route_links_cache: dict[tuple[Proc, ...], tuple[int, ...]] = {}
-        self._dist: dict[Proc, dict[Proc, int]] = {
-            src: dict(lengths)
-            for src, lengths in nx.all_pairs_shortest_path_length(g)
-        }
+        # All-pairs BFS distance dicts, built lazily on first label-based
+        # distance query: construction stays O(P + L), so lowering a
+        # hierarchy or degrading capacities never pays for all-pairs work
+        # it may not need.
+        self._dist: dict[Proc, dict[Proc, int]] | None = None
         # Vectorized-kernel support: a stable processor <-> index bijection
         # (insertion order, matching self._procs) plus lazily built numpy
         # distance matrix and per-(src, dst) next-hop link-id tables.
@@ -129,6 +167,9 @@ class Topology:
         self._nbr_links: list[tuple[tuple[int, int], ...]] | None = None
         self._next_hop_table: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
         self._fingerprint: str | None = None
+        self._structural_key: str | None = None
+        if capacities is not None:
+            capacities.validate_against(self._procs)
 
     # ------------------------------------------------------------------
     # basic structure
@@ -210,7 +251,7 @@ class Topology:
         :meth:`repro.graph.TaskGraph.fingerprint`.
         """
         if self._fingerprint is None:
-            self._fingerprint = stable_digest({
+            payload = {
                 "kind": "topology",
                 "name": self.name,
                 "family": [self.family[0],
@@ -228,8 +269,35 @@ class Topology:
                 "link_slowdowns": sorted(
                     (lid, factor) for lid, factor in self.link_slowdowns.items()
                 ),
-            })
+            }
+            # Heterogeneous-machine keys are added only when present, so
+            # every capacity-free topology keeps its pre-PR-9 digest (and
+            # with it every golden fixture and warm cache entry).
+            if self.capacities is not None:
+                payload["capacities"] = self.capacities.fingerprint_payload()
+            if self.hierarchy is not None:
+                payload["hierarchy"] = self.hierarchy
+            self._fingerprint = stable_digest(payload)
         return self._fingerprint
+
+    def structural_key(self) -> str:
+        """A digest of processors + links only (the distance-cache key).
+
+        Two machines with the same processor list and the same link list
+        (in numbering order) have identical hop distances whatever their
+        names, bandwidth factors, capacities, or hierarchy metadata -- so
+        this narrower digest keys the shared all-pairs distance cache.
+        """
+        if self._structural_key is None:
+            self._structural_key = stable_digest({
+                "kind": "topology-structure",
+                "processors": [encode_label(p) for p in self._procs],
+                "links": [
+                    sort_encoded(encode_label(p) for p in link)
+                    for link in self._links
+                ],
+            })
+        return self._structural_key
 
     # ------------------------------------------------------------------
     # integer indexing (vectorized-kernel support)
@@ -271,13 +339,23 @@ class Topology:
                 "unreachable processors before asking for a distance matrix"
             )
         if self._dist_matrix is None:
+            # Distances depend on structure only, so identical shapes --
+            # a degraded-bandwidth copy, a capacity variant, the same
+            # hierarchy regenerated -- share one matrix via the module
+            # cache instead of re-running all-pairs BFS.
+            skey = self.structural_key()
+            cached = _DIST_MATRIX_CACHE.get(skey)
+            if cached is not None:
+                _DIST_MATRIX_CACHE.move_to_end(skey)
+                self._dist_matrix = cached
+                return cached
             n = len(self._procs)
             try:
                 from scipy.sparse import csr_matrix
                 from scipy.sparse.csgraph import shortest_path
             except ImportError:
                 mat = np.zeros((n, n), dtype=np.int64)
-                for u, row in self._dist.items():
+                for u, row in self._dist_map().items():
                     ui = self._proc_index[u]
                     for v, d in row.items():
                         mat[ui, self._proc_index[v]] = d
@@ -295,6 +373,9 @@ class Topology:
                     np.int64
                 )
             self._dist_matrix = mat
+            _DIST_MATRIX_CACHE[skey] = mat
+            while len(_DIST_MATRIX_CACHE) > _DIST_MATRIX_CACHE_MAX:
+                _DIST_MATRIX_CACHE.popitem(last=False)
         return self._dist_matrix
 
     def degree_array(self) -> np.ndarray:
@@ -351,12 +432,22 @@ class Topology:
     # ------------------------------------------------------------------
     # distances and shortest routes
     # ------------------------------------------------------------------
+    def _dist_map(self) -> dict[Proc, dict[Proc, int]]:
+        """The all-pairs BFS distance dicts, built on first use."""
+        if self._dist is None:
+            self._dist = {
+                src: dict(lengths)
+                for src, lengths in nx.all_pairs_shortest_path_length(self._graph)
+            }
+        return self._dist
+
     def distance(self, u: Proc, v: Proc) -> int:
         """Hop distance between two processors."""
+        dist = self._dist_map()
         try:
-            return self._dist[u][v]
+            return dist[u][v]
         except KeyError:
-            if u in self._dist and v in self._proc_index:
+            if u in dist and v in self._proc_index:
                 raise DisconnectedTopologyError(
                     f"no path between {u!r} and {v!r} in topology "
                     f"{self.name!r}"
@@ -366,7 +457,7 @@ class Topology:
     @property
     def diameter(self) -> int:
         """Maximum hop distance over all processor pairs."""
-        return max(max(row.values()) for row in self._dist.values())
+        return max(max(row.values()) for row in self._dist_map().values())
 
     def next_hops(self, here: Proc, dest: Proc) -> list[Proc]:
         """Neighbours of *here* lying on some shortest path to *dest*.
@@ -376,9 +467,10 @@ class Topology:
         """
         if here == dest:
             return []
-        d = self._dist[here][dest]
+        dist = self._dist_map()
+        d = dist[here][dest]
         return [
-            nb for nb in self._graph.neighbors(here) if self._dist[nb][dest] == d - 1
+            nb for nb in self._graph.neighbors(here) if dist[nb][dest] == d - 1
         ]
 
     def shortest_routes(
@@ -490,6 +582,15 @@ class Topology:
         land in the result's :attr:`link_slowdowns`, keyed by the *new*
         link numbering.
 
+        On a machine with :attr:`capacities`, the survivors keep their
+        capacity vectors and the failed processors' capacity disappears
+        with them -- the degraded machine's aggregate budget genuinely
+        shrinks.  When the fault set touches no processor and no link
+        (slowdown-only degradation), the machine's *structure* is
+        unchanged, so the result shares the parent's distance and
+        next-hop caches instead of recomputing all-pairs BFS -- hop
+        distances do not depend on bandwidth factors.
+
         Raises
         ------
         ValueError
@@ -533,12 +634,32 @@ class Topology:
             for link in self._links
             if link not in failed_links and not (link & failed_procs)
         ]
+        structural_same = not failed_procs and not failed_links
         sub = Topology(
             name or f"{self.name}~degraded",
             [tuple(link) for link in live_links],
             nodes=survivors,
             allow_disconnected=allow_disconnected,
+            capacities=(
+                self.capacities.restrict(survivors)
+                if self.capacities is not None
+                else None
+            ),
+            hierarchy=self.hierarchy if structural_same else None,
         )
+        if structural_same:
+            # Identical processor and link lists (and therefore identical
+            # numbering): hop distances, adjacency tables, and route-link
+            # memos are all valid for the child, so share them by
+            # reference rather than re-deriving.  Entries memoized through
+            # either object stay correct for both.
+            sub._dist = self._dist
+            sub._dist_matrix = self._dist_matrix
+            sub._degree_array = self._degree_array
+            sub._nbr_links = self._nbr_links
+            sub._next_hop_table = self._next_hop_table
+            sub._route_links_cache = self._route_links_cache
+            sub._structural_key = self._structural_key
         if not sub.is_connected and not allow_disconnected:
             # Unreachable: the Topology constructor already raised.  Kept as
             # a guard for future constructor changes.

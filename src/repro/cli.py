@@ -145,6 +145,23 @@ def _cmd_compile(args) -> int:
     return 0
 
 
+def _resolve_machine(args) -> Topology:
+    """The target machine from ``--topology`` or ``--machine`` (exactly one).
+
+    ``--machine`` accepts a hierarchy generator spec (``fat_tree:4x8``,
+    ``dragonfly:6x4``, ``node_core_tree:8x4``), a JSON machine file path,
+    or any flat ``--topology`` spec.
+    """
+    machine = getattr(args, "machine", None)
+    if (machine is None) == (args.topology is None):
+        raise ValueError("give exactly one of --topology and --machine")
+    if machine is not None:
+        from repro.arch.hierarchy import parse_machine
+
+        return parse_machine(machine)
+    return parse_topology(args.topology)
+
+
 def _compile_instance(args) -> tuple:
     """The (task graph, topology) pair a mapping subcommand operates on."""
     source = _load_source(args.program)
@@ -154,7 +171,7 @@ def _compile_instance(args) -> tuple:
         # Nameable stdlib computations get their family tag so the canned
         # lookup fires, same as stdlib.load().
         tg.family = stdlib.family_tag(args.program, tg)
-    return tg, parse_topology(args.topology)
+    return tg, _resolve_machine(args)
 
 
 def _cmd_map(args) -> int:
@@ -332,8 +349,15 @@ def _cmd_analyze(args) -> int:
 
 
 def _parse_proc(text: str):
-    """A processor label from the command line (int where it looks like one)."""
+    """A processor label from the command line.
+
+    ``3`` is the int label 3, ``0,1`` is the tuple label ``(0, 1)`` (mesh
+    and hierarchy-generator machines label processors with coordinate
+    tuples), anything else is a string label.
+    """
     text = text.strip()
+    if "," in text:
+        return tuple(_parse_proc(part) for part in text.split(","))
     try:
         return int(text)
     except ValueError:
@@ -482,6 +506,16 @@ def _cmd_serve(args) -> int:
     )
 
 
+def _cmd_machine(args) -> int:
+    """Describe a machine spec: levels, bandwidth classes, capacities."""
+    import json
+
+    from repro.arch.hierarchy import describe_machine, parse_machine
+
+    print(json.dumps(describe_machine(parse_machine(args.spec)), indent=1))
+    return 0
+
+
 def _cmd_cache(args) -> int:
     """Inspect or empty the shared on-disk artifact cache."""
     import json
@@ -544,8 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_map = sub.add_parser("map", help="compile, map, analyse")
     p_map.add_argument("program", help="stdlib name or .larcs file path")
     p_map.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
-    p_map.add_argument("--topology", required=True, metavar="SPEC",
+    p_map.add_argument("--topology", default=None, metavar="SPEC",
                        help="e.g. hypercube:3, mesh:4x4, ring:8")
+    p_map.add_argument("--machine", default=None, metavar="SPEC",
+                       help="hierarchical machine spec (fat_tree:4x8, "
+                            "dragonfly:6x4, node_core_tree:8x4) or a JSON "
+                            "machine file; give this or --topology")
     p_map.add_argument("--strategy", default="auto",
                        choices=["auto", *strategy_names()])
     p_map.add_argument("--load-bound", type=int, default=None)
@@ -576,8 +614,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument("program", help="stdlib name or .larcs file path")
     p_run.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
-    p_run.add_argument("--topology", required=True, metavar="SPEC",
+    p_run.add_argument("--topology", default=None, metavar="SPEC",
                        help="e.g. hypercube:3, mesh:4x4, ring:8")
+    p_run.add_argument("--machine", default=None, metavar="SPEC",
+                       help="hierarchical machine spec or JSON machine "
+                            "file; give this or --topology")
     p_run.add_argument("--config", metavar="FILE", default=None,
                        help="RunConfig as JSON or TOML "
                             "(default: full pipeline, auto strategy)")
@@ -605,8 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_res.add_argument("program", help="stdlib name or .larcs file path")
     p_res.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
-    p_res.add_argument("--topology", required=True, metavar="SPEC",
+    p_res.add_argument("--topology", default=None, metavar="SPEC",
                        help="e.g. hypercube:6, mesh:8x8")
+    p_res.add_argument("--machine", default=None, metavar="SPEC",
+                       help="hierarchical machine spec or JSON machine "
+                            "file; give this or --topology")
     p_res.add_argument("--strategy", default="auto",
                        choices=["auto", *strategy_names()])
     p_res.add_argument("--fail-proc", action="append", default=[],
@@ -676,6 +720,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verbose", action="store_true",
                          help="log each request to stderr")
 
+    p_machine = sub.add_parser(
+        "machine",
+        help="inspect hierarchical machine specs",
+    )
+    machine_sub = p_machine.add_subparsers(dest="machine_command", required=True)
+    p_machine_show = machine_sub.add_parser(
+        "show",
+        help="print a machine's levels, bandwidth classes, and "
+             "aggregate capacities as JSON",
+    )
+    p_machine_show.add_argument(
+        "spec",
+        help="generator spec (fat_tree:4x8, dragonfly:6x4, "
+             "node_core_tree:8x4), flat topology spec, or JSON machine file",
+    )
+
     p_cache = sub.add_parser(
         "cache",
         help="inspect or empty the shared on-disk artifact cache",
@@ -711,6 +771,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "resilience": _cmd_resilience,
         "serve": _cmd_serve,
+        "machine": _cmd_machine,
         "cache": _cmd_cache,
     }
     try:

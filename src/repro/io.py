@@ -114,20 +114,35 @@ def taskgraph_from_dict(data: dict) -> TaskGraph:
 
 
 def mapping_to_dict(mapping: Mapping) -> dict:
-    """Serialise a complete mapping (graph + topology shape + routes)."""
+    """Serialise a complete mapping (graph + topology shape + routes).
+
+    Heterogeneous-machine attributes -- link slowdown factors, capacity
+    vectors, hierarchy metadata -- are emitted only when present, so
+    mappings of plain homogeneous machines serialise exactly as before
+    (and files written before PR 9 load unchanged).
+    """
     topo = mapping.topology
+    tdoc = {
+        "name": topo.name,
+        "family": [topo.family[0], list(topo.family[1])] if topo.family else None,
+        "processors": [_encode_label(p) for p in topo.processors],
+        "links": [
+            sorted((_encode_label(u), _encode_label(v)), key=repr)
+            for u, v in (tuple(l) for l in topo.links)
+        ],
+    }
+    if topo.link_slowdowns:
+        tdoc["link_slowdowns"] = sorted(
+            [lid, factor] for lid, factor in topo.link_slowdowns.items()
+        )
+    if topo.capacities is not None:
+        tdoc["capacities"] = topo.capacities.to_dict()
+    if topo.hierarchy is not None:
+        tdoc["hierarchy"] = topo.hierarchy
     return {
         "format": "oregami-mapping-v1",
         "task_graph": taskgraph_to_dict(mapping.task_graph),
-        "topology": {
-            "name": topo.name,
-            "family": [topo.family[0], list(topo.family[1])] if topo.family else None,
-            "processors": [_encode_label(p) for p in topo.processors],
-            "links": [
-                sorted((_encode_label(u), _encode_label(v)), key=repr)
-                for u, v in (tuple(l) for l in topo.links)
-            ],
-        },
+        "topology": tdoc,
         "provenance": mapping.provenance,
         "assignment": [
             [_encode_label(t), _encode_label(p)]
@@ -154,12 +169,21 @@ def mapping_from_dict(data: dict) -> Mapping:
     if tdata.get("family"):
         name, params = tdata["family"]
         family = (name, tuple(params))
+    capacities = None
+    if tdata.get("capacities") is not None:
+        from repro.arch.capacity import Capacities
+
+        capacities = Capacities.from_dict(tdata["capacities"])
     topo = Topology(
         tdata["name"],
         [( _decode_label(u), _decode_label(v)) for u, v in tdata["links"]],
         nodes=[_decode_label(p) for p in tdata["processors"]],
         family=family,
+        capacities=capacities,
+        hierarchy=tdata.get("hierarchy"),
     )
+    for lid, factor in tdata.get("link_slowdowns", []):
+        topo.link_slowdowns[int(lid)] = float(factor)
     assignment = {
         _decode_label(t): _decode_label(p) for t, p in data["assignment"]
     }

@@ -17,6 +17,15 @@ Entry point: :func:`multilevel_assignment`, registered as the
 ``"multilevel"`` strategy (rank 3, opt-in -- it never runs under
 ``strategy="auto"`` and is excluded from the default portfolio so the
 small-graph golden results stay untouched).
+
+Capacity awareness (PR 9): with a
+:class:`~repro.arch.capacity.CapacityContext` the per-task demand matrix
+is folded up the hierarchy alongside the node sizes (one ``np.add.at``
+per level), so matching, packing, rebalance, and the per-level
+delta-gain refiner all see exact coarse demand vectors.  Matching only
+merges pairs whose combined demand still fits on at least one processor;
+packing and rebalance keep every group/processor within its capacity
+vector.  Capacity-free machines take the exact pre-PR 9 code paths.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from collections.abc import Hashable
 
 import numpy as np
 
+from repro.arch.capacity import _TOL as _CAP_TOL
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
 from repro.util import perf
@@ -34,6 +44,16 @@ __all__ = ["multilevel_assignment"]
 
 Task = Hashable
 Proc = Hashable
+
+
+def _fits_some(cap: np.ndarray, need: np.ndarray) -> np.ndarray:
+    """Exists-fit: for each demand row, does any processor hold it all?
+
+    *cap* is ``(P, R)``, *need* ``(K, R)``; returns a boolean ``(K,)``.
+    """
+    return (cap[None, :, :] + _CAP_TOL >= need[:, None, :]).all(axis=2).any(
+        axis=1
+    )
 
 
 # ----------------------------------------------------------------------
@@ -68,7 +88,12 @@ class _Level:
         self.indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.intp)
 
 
-def _match(level: _Level, bound: int) -> np.ndarray:
+def _match(
+    level: _Level,
+    bound: int,
+    dem: np.ndarray | None = None,
+    cap: np.ndarray | None = None,
+) -> np.ndarray:
     """Greedy heavy-edge matching; returns the partner per node.
 
     Folded pairs are visited in ``(weight desc, u, v)`` order; a pair
@@ -77,7 +102,9 @@ def _match(level: _Level, bound: int) -> np.ndarray:
     lowest-index proposals look tempting to vectorize but chain on
     uniform weights -- on a path graph they match exactly one pair per
     round -- so the sequential sweep, which halves a path in one round,
-    wins outright.)
+    wins outright.)  With *dem*/*cap* a pair additionally requires its
+    merged demand vector to fit on at least one processor, so coarse
+    nodes never outgrow the machine.
     """
     n = level.n
     partner = np.arange(n, dtype=np.intp)
@@ -86,11 +113,18 @@ def _match(level: _Level, bound: int) -> np.ndarray:
     order = np.lexsort((level.pv, level.pu, -level.pw))
     us = level.pu[order].tolist()
     vs = level.pv[order].tolist()
+    okpair = None
+    if dem is not None:
+        okpair = _fits_some(
+            cap, dem[level.pu[order]] + dem[level.pv[order]]
+        ).tolist()
     sizes = level.sizes.tolist()
     matched = bytearray(n)
     out = partner.tolist()
-    for u, v in zip(us, vs):
+    for k, (u, v) in enumerate(zip(us, vs)):
         if matched[u] or matched[v] or sizes[u] + sizes[v] > bound:
+            continue
+        if okpair is not None and not okpair[k]:
             continue
         matched[u] = matched[v] = 1
         out[u] = v
@@ -128,7 +162,13 @@ def _coarsen(level: _Level, partner: np.ndarray) -> tuple[_Level, np.ndarray]:
     return _Level(n_c, pu, pv, pw, sizes), parent
 
 
-def _pack(level: _Level, n_procs: int, bound: int) -> np.ndarray:
+def _pack(
+    level: _Level,
+    n_procs: int,
+    bound: int,
+    dem: np.ndarray | None = None,
+    cap: np.ndarray | None = None,
+) -> np.ndarray:
     """Group a stalled level into at most *n_procs* groups, aiming at
     size <= bound.
 
@@ -141,10 +181,15 @@ def _pack(level: _Level, n_procs: int, bound: int) -> np.ndarray:
     reach an odd bound, so capacity quantises below the task count), and
     the uncoarsening rebalance repairs the small overflow at finer
     granularity -- guaranteed at level 0, where sizes are all 1.
+
+    With *dem*/*cap*, joining an existing group also requires the grown
+    group's demand vector to keep an exists-fit; the scalar overflow
+    fallback stays best-effort (rebalance repairs it placement-aware).
     """
     n = level.n
     group = np.full(n, -1, dtype=np.intp)
     load = np.zeros(n_procs, dtype=np.int64)
+    gload = None if dem is None else np.zeros((n_procs, dem.shape[1]))
     n_groups = 0
     order = np.lexsort((np.arange(n), -level.sizes))
     for v in order.tolist():
@@ -159,6 +204,8 @@ def _pack(level: _Level, n_procs: int, bound: int) -> np.ndarray:
                 minlength=n_groups,
             )
             fits = load[:n_groups] + level.sizes[v] <= bound
+            if gload is not None:
+                fits &= _fits_some(cap, gload[:n_groups] + dem[v])
             cand = np.flatnonzero(fits & (attach > 0))
             if cand.size:
                 best = int(cand[np.argmax(attach[cand])])
@@ -172,11 +219,73 @@ def _pack(level: _Level, n_procs: int, bound: int) -> np.ndarray:
                 best = int(fits[0]) if fits.size else int(np.argmin(load))
         group[v] = best
         load[best] += level.sizes[v]
+        if gload is not None:
+            gload[best] += dem[v]
     return group
 
 
+def _capacity_spread(
+    level: _Level,
+    group: np.ndarray,
+    bound: int,
+    dem: np.ndarray,
+    cap: np.ndarray,
+) -> None:
+    """Repair packed groups whose demand vector fits no processor.
+
+    ``_pack``'s overflow fallback is capacity-blind by design (the scalar
+    overflow it leaves is repaired placement-aware during uncoarsening),
+    but a group that *exists-fits nowhere* would stop NN-Embed cold
+    before any rebalance runs.  Nodes are moved out of such groups,
+    largest demand first, into the least-loaded group that stays
+    exists-fit -- preferring targets with count room, relaxing the count
+    bound when feasibility demands it.  Raises
+    :class:`~repro.mapper.mapping.NotApplicableError` when no sequence
+    of single-node moves restores an exists-fit.
+    """
+    n_groups = int(group.max()) + 1
+    gdem = np.zeros((n_groups, dem.shape[1]))
+    np.add.at(gdem, group, dem)
+    load = np.zeros(n_groups, dtype=np.int64)
+    np.add.at(load, group, level.sizes)
+    others = np.arange(n_groups)
+    for g in range(n_groups):
+        while not _fits_some(cap, gdem[g][None, :])[0]:
+            order = sorted(
+                np.flatnonzero(group == g).tolist(),
+                key=lambda v: (-float(dem[v].sum()), v),
+            )
+            moved = False
+            for v in order:
+                ok = _fits_some(cap, gdem + dem[v]) & (others != g)
+                roomy = np.flatnonzero(ok & (load + level.sizes[v] <= bound))
+                targets = roomy if roomy.size else np.flatnonzero(ok)
+                if not targets.size:
+                    continue
+                q = int(targets[np.argmin(load[targets])])
+                group[v] = q
+                gdem[g] -= dem[v]
+                gdem[q] += dem[v]
+                load[g] -= level.sizes[v]
+                load[q] += level.sizes[v]
+                moved = True
+                break
+            if not moved:
+                from repro.mapper.mapping import NotApplicableError
+
+                raise NotApplicableError(
+                    f"packed cluster {g} overflows every processor's "
+                    "capacity vectors and no single-node move repairs it"
+                )
+
+
 def _rebalance(
-    level: _Level, proc: np.ndarray, D: np.ndarray, cap: int
+    level: _Level,
+    proc: np.ndarray,
+    D: np.ndarray,
+    cap: int,
+    dem: np.ndarray | None = None,
+    capv: np.ndarray | None = None,
 ) -> int:
     """Repair load-bound violations left by relaxed packing; returns moves.
 
@@ -186,15 +295,35 @@ def _rebalance(
     can move.  Best-effort at coarse levels -- granularity may leave
     residual overflow -- and guaranteed to reach feasibility at level 0,
     where all sizes are 1 and ``n <= P * cap``.
+
+    With *dem*/*capv*, a processor exceeding any capacity vector counts
+    as overloaded too, and a relocation target must hold the moved
+    node's demand on top of its current vector load.
     """
     n_procs = int(D.shape[0])
     load = np.zeros(n_procs, dtype=np.int64)
     np.add.at(load, proc, level.sizes)
+    loadv = None
+    if dem is not None:
+        loadv = np.zeros((n_procs, dem.shape[1]))
+        np.add.at(loadv, proc, dem)
+
+    def over(p: int) -> bool:
+        if load[p] > cap:
+            return True
+        return loadv is not None and bool(
+            np.any(loadv[p] > capv[p] + _CAP_TOL)
+        )
+
     Df = D.astype(np.float64, copy=False)
     proc_ids = np.arange(n_procs)
     moves = 0
-    for p in np.flatnonzero(load > cap).tolist():
-        while load[p] > cap:
+    if loadv is None:
+        overloaded = np.flatnonzero(load > cap).tolist()
+    else:
+        overloaded = [p for p in range(n_procs) if over(p)]
+    for p in overloaded:
+        while over(p):
             best: tuple[float, int, int] | None = None
             for v in np.flatnonzero(proc == p).tolist():
                 s, e = level.indptr[v], level.indptr[v + 1]
@@ -204,9 +333,12 @@ def _rebalance(
                     costs -= costs[p]
                 else:
                     costs = np.zeros(n_procs)
-                feas = np.flatnonzero(
-                    (load + level.sizes[v] <= cap) & (proc_ids != p)
-                )
+                feas_mask = (load + level.sizes[v] <= cap) & (proc_ids != p)
+                if loadv is not None:
+                    feas_mask &= np.all(
+                        loadv + dem[v] <= capv + _CAP_TOL, axis=1
+                    )
+                feas = np.flatnonzero(feas_mask)
                 if not feas.size:
                     continue
                 q = int(feas[np.argmin(costs[feas])])
@@ -219,6 +351,9 @@ def _rebalance(
             proc[v] = q
             load[p] -= level.sizes[v]
             load[q] += level.sizes[v]
+            if loadv is not None:
+                loadv[p] -= dem[v]
+                loadv[q] += dem[v]
             moves += 1
     return moves
 
@@ -233,12 +368,16 @@ def multilevel_assignment(
     *,
     load_bound: int | None = None,
     refine_passes: int = 2,
+    capacity=None,
 ) -> tuple[dict[Task, Proc], dict[str, float]]:
     """Map *tg* onto *topology* with the multilevel scheme.
 
     Returns ``(assignment, stats)`` where *stats* carries the counters the
     METRICS layer surfaces (``map.coarsen_levels``, ``map.refine_moves``,
-    ``map.refine_gain``).  Deterministic for a fixed input.
+    ``map.refine_gain``).  Deterministic for a fixed input.  *capacity*
+    (a :class:`~repro.arch.capacity.CapacityContext`) threads the
+    machine's resource vectors through every stage -- see the module
+    docstring.
     """
     n_procs = topology.n_processors
     csr = tg.csr()
@@ -250,6 +389,16 @@ def multilevel_assignment(
         raise ValueError(
             f"load bound {bound} cannot fit {n} tasks on {n_procs} processors"
         )
+    dem0 = capv = None
+    if capacity is not None and n:
+        dem0, capv = capacity.dem, capacity.cap
+        if not _fits_some(capv, dem0).all():
+            from repro.mapper.mapping import NotApplicableError
+
+            raise NotApplicableError(
+                "some task's demand vector fits no processor of "
+                f"{topology.name!r}"
+            )
     stats: dict[str, float] = {
         "map.coarsen_levels": 0,
         "map.refine_moves": 0,
@@ -276,13 +425,20 @@ def multilevel_assignment(
             )
         ]
         parents: list[np.ndarray] = []
+        dems: list[np.ndarray | None] = [dem0]
         while levels[-1].n > n_procs:
-            partner = _match(levels[-1], match_bound)
+            partner = _match(levels[-1], match_bound, dems[-1], capv)
             coarse, parent = _coarsen(levels[-1], partner)
             if coarse.n == levels[-1].n:
                 break  # matching stalled; _pack takes it from here
             levels.append(coarse)
             parents.append(parent)
+            if dem0 is not None:
+                d = np.zeros((coarse.n, dem0.shape[1]))
+                np.add.at(d, parent, dems[-1])
+                dems.append(d)
+            else:
+                dems.append(None)
 
         # -- group the top level into <= P clusters -----------------------
         # When the coarsening loop reached <= P nodes, packing is the
@@ -293,7 +449,9 @@ def multilevel_assignment(
         if top.n <= n_procs:
             pack = np.arange(top.n, dtype=np.intp)
         else:
-            pack = _pack(top, n_procs, bound)
+            pack = _pack(top, n_procs, bound, dems[-1], capv)
+            if capv is not None:
+                _capacity_spread(top, pack, bound, dems[-1], capv)
         stats["map.coarsen_levels"] = len(levels) - 1
         perf.count("map.coarsen_levels", len(levels) - 1)
 
@@ -308,7 +466,7 @@ def multilevel_assignment(
             members[g].append(csr.tasks[i])
         from repro.mapper.embedding.nn_embed import nn_embed
 
-        placement = nn_embed(tg, members, topology)
+        placement = nn_embed(tg, members, topology, capacity=capacity)
         pidx = topology.proc_indices
         group_proc = np.fromiter(
             (pidx[placement[g]] for g in range(n_groups)),
@@ -325,10 +483,11 @@ def multilevel_assignment(
             level = levels[lev]
             # Feasibility first (packing may have overflowed the bound;
             # level 0 is guaranteed to end feasible), then quality.
-            _rebalance(level, proc, D, bound)
+            _rebalance(level, proc, D, bound, dems[lev], capv)
             moves, gain = _delta_gain_arrays(
                 level.indptr, level.indices, level.weights,
                 level.sizes, proc, D, bound,
+                dem=dems[lev], capv=capv,
                 max_passes=refine_passes,
             )
             stats["map.refine_moves"] += moves

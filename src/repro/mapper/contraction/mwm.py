@@ -38,6 +38,14 @@ the order ``static_graph().edges`` iterates and carries the same
 declaration-order accumulated weights, so contractions are bit-identical
 to the previous nx-based scan (pinned by the equivalence goldens) while
 candidate generation no longer materialises a dict-of-dicts graph.
+
+Capacity awareness (PR 9): on a machine with per-processor resource
+vectors, every merge additionally passes an *exists-fit* test -- the
+merged cluster's summed demand vector must fit on at least one processor
+(:meth:`repro.arch.capacity.CapacityContext.fits_somewhere`); a cluster
+no processor could hold can never be embedded, whatever NN-Embed later
+chooses.  With no capacities the test short-circuits to ``True`` and the
+algorithm is bit-identical to the scalar-bound version.
 """
 
 from __future__ import annotations
@@ -177,16 +185,21 @@ class _ClusterState:
         ]
 
 
+def _always_fits(*_clusters) -> bool:
+    return True
+
+
 def _greedy_premerge_state(
-    state: _ClusterState, target: int, size_cap: float
+    state: _ClusterState, target: int, size_cap: float, cap_ok=_always_fits
 ) -> None:
     """Stage 1: merge along heavy edges until at most *target* clusters.
 
     Runs repeated passes (each pass snapshots the incrementally maintained
     cluster weights) until the target is met or no merge is possible under
-    the size cap; a final fallback merges the smallest clusters pairwise
-    regardless of adjacency, still respecting the cap -- needed for
-    disconnected task graphs.
+    the size cap (and, on capacity machines, the *cap_ok* exists-fit test);
+    a final fallback merges the smallest clusters pairwise regardless of
+    adjacency, still respecting the cap -- needed for disconnected task
+    graphs.
     """
     clusters = state.clusters
     while len(clusters) > target:
@@ -206,7 +219,8 @@ def _greedy_premerge_state(
             ri, rj = find(i), find(j)
             if ri == rj:
                 continue
-            if len(clusters[ri]) + len(clusters[rj]) <= size_cap:
+            if (len(clusters[ri]) + len(clusters[rj]) <= size_cap
+                    and cap_ok(clusters[ri], clusters[rj])):
                 state.merge(ri, rj)
                 merged_into[rj] = ri
                 n_clusters -= 1
@@ -223,14 +237,15 @@ def _greedy_premerge_state(
         state.reorder(
             sorted(range(len(state.clusters)), key=lambda i: len(state.clusters[i]))
         )
-        if len(state.clusters[0]) + len(state.clusters[1]) > size_cap:
+        if (len(state.clusters[0]) + len(state.clusters[1]) > size_cap
+                or not cap_ok(state.clusters[0], state.clusters[1])):
             break
         state.merge(0, 1)
         state.compact()
 
 
 def _match_round(
-    state: _ClusterState, n_procs: int, bound: int
+    state: _ClusterState, n_procs: int, bound: int, cap_ok=_always_fits
 ) -> set[tuple[int, int]] | None:
     """One stage-2 matching round; returns the pairs to merge (or None to stop).
 
@@ -254,6 +269,7 @@ def _match_round(
             for i in range(len(clusters))
             for j in range(i + 1, len(clusters))
             if len(clusters[i]) + len(clusters[j]) <= bound
+            and cap_ok(clusters[i], clusters[j])
         }
         if not candidate:
             return None
@@ -263,6 +279,7 @@ def _match_round(
             pair: w
             for pair, w in state.weights().items()
             if len(clusters[pair[0]]) + len(clusters[pair[1]]) <= bound
+            and cap_ok(clusters[pair[0]], clusters[pair[1]])
         }
         if not candidate:
             return None
@@ -277,6 +294,7 @@ def mwm_contract(
     n_procs: int,
     *,
     load_bound: int | None = None,
+    capacity=None,
 ) -> list[list[Task]]:
     """Contract *tg* into at most *n_procs* clusters of at most *load_bound* tasks.
 
@@ -289,6 +307,14 @@ def mwm_contract(
     load_bound:
         The balance constraint ``B``; defaults to ``ceil(n / P)`` (perfect
         balance).  Must satisfy ``B * P >= n``.
+    capacity:
+        Optional :class:`repro.arch.capacity.CapacityContext` binding the
+        graph to a capacity-constrained machine; every merge then also
+        requires the merged cluster's demand vector to fit on at least
+        one processor.  Raises
+        :class:`~repro.mapper.mapping.NotApplicableError` when even a
+        single task fits nowhere, or when the clusters cannot be packed
+        down to ``P`` under the capacity vectors.
 
     Returns
     -------
@@ -306,6 +332,23 @@ def mwm_contract(
         raise ValueError(
             f"load bound B={bound} cannot hold {n} tasks on {n_procs} processors"
         )
+    if capacity is None:
+        cap_ok = _always_fits
+    else:
+        from repro.mapper.mapping import NotApplicableError
+
+        def cap_ok(*cluster_sets):
+            return capacity.fits_somewhere(capacity.cluster_demand(
+                t for c in cluster_sets for t in c
+            ))
+
+        for t in tasks:
+            if not capacity.fits_somewhere(capacity.demand_of(t)):
+                raise NotApplicableError(
+                    f"task {t!r} (demand "
+                    f"{capacity.demand_of(t).tolist()}) fits on no "
+                    f"processor of the capacity-constrained machine"
+                )
 
     with perf.span("mapper.mwm_contract"):
         csr = tg.csr()
@@ -313,14 +356,14 @@ def mwm_contract(
 
         # Stage 1: greedy pre-merge down to 2P clusters of size <= B/2.
         if len(state.clusters) > 2 * n_procs:
-            _greedy_premerge_state(state, 2 * n_procs, bound / 2)
+            _greedy_premerge_state(state, 2 * n_procs, bound / 2, cap_ok)
 
         # Stage 2: maximum weight matching pairs clusters, internalising the
         # matched communication.  One matching round at most halves the
         # cluster count, so the round repeats until the processor count is
         # reached (a single round suffices for the paper's n <= 2P setting).
         while True:
-            mate = _match_round(state, n_procs, bound)
+            mate = _match_round(state, n_procs, bound, cap_ok)
             if not mate:
                 break
             for i, j in mate:
@@ -368,16 +411,37 @@ def mwm_contract(
             attach = state.nbr[0]
             merged = False
             for j in sorted(range(1, len(clusters)), key=lambda j: -attach.get(j, 0.0)):
-                if len(clusters[j]) + len(smallest) <= bound:
+                if (len(clusters[j]) + len(smallest) <= bound
+                        and cap_ok(clusters[j], smallest)):
                     state.merge(j, 0)
                     state.compact()
                     merged = True
                     break
             if not merged:
                 rest = [set(c) for c in clusters[1:]]
-                for t in sorted(smallest, key=repr):
+                disperse_order = sorted(smallest, key=repr)
+                if capacity is not None:
+                    # First-fit-decreasing: placing the demand-heaviest
+                    # tasks while clusters still have headroom succeeds on
+                    # instances the label order would dead-end on.
+                    disperse_order.sort(
+                        key=lambda t: -float(capacity.demand_of(t).sum())
+                    )
+                for t in disperse_order:
+                    feasible = [
+                        j for j in range(len(rest))
+                        if len(rest[j]) < bound and cap_ok(rest[j], {t})
+                    ]
+                    if not feasible:
+                        from repro.mapper.mapping import NotApplicableError
+
+                        raise NotApplicableError(
+                            f"MWM-Contract cannot disperse task {t!r} into "
+                            f"any cluster under the machine's capacity "
+                            f"vectors"
+                        )
                     target = max(
-                        (j for j in range(len(rest)) if len(rest[j]) < bound),
+                        feasible,
                         key=lambda j: sum(
                             w
                             for u in rest[j]

@@ -45,16 +45,22 @@ __all__ = ["map_computation"]
 # ----------------------------------------------------------------------
 
 def _canned(
-    tg: TaskGraph, topology: Topology, load_bound: int | None
+    tg: TaskGraph, topology: Topology, load_bound: int | None, capacity=None
 ) -> Contraction:
-    # Canned mappings place directly -- no separate embedding step.
-    return Contraction(
-        provenance="canned", assignment=canned_assignment(tg, topology)
-    )
+    # Canned mappings place directly -- no separate embedding step.  Their
+    # assignment is fixed by structure, so on a capacity-constrained
+    # machine the only option is to check it and fall through when it
+    # overflows any resource budget.
+    assignment = canned_assignment(tg, topology)
+    if capacity is not None and capacity.overflows(assignment):
+        raise NotApplicableError(
+            "the canned mapping overflows the machine's capacity vectors"
+        )
+    return Contraction(provenance="canned", assignment=assignment)
 
 
 def _group(
-    tg: TaskGraph, topology: Topology, load_bound: int | None
+    tg: TaskGraph, topology: Topology, load_bound: int | None, capacity=None
 ) -> Contraction:
     # allow_residual: "almost node symmetric" graphs (a few non-bijective
     # phases, e.g. a synthesised aggregation) still take the group path,
@@ -68,6 +74,13 @@ def _group(
         raise NotApplicableError(
             "group contraction's coset size exceeds the requested load bound"
         )
+    if capacity is not None and not all(
+        capacity.fits_somewhere(capacity.cluster_demand(c))
+        for c in contraction.clusters
+    ):
+        raise NotApplicableError(
+            "a group-contraction coset's demand vector fits no processor"
+        )
     return Contraction(
         provenance="group",
         clusters=contraction.clusters,
@@ -76,21 +89,23 @@ def _group(
 
 
 def _mwm(
-    tg: TaskGraph, topology: Topology, load_bound: int | None
+    tg: TaskGraph, topology: Topology, load_bound: int | None, capacity=None
 ) -> Contraction:
-    clusters = mwm_contract(tg, topology.n_processors, load_bound=load_bound)
+    clusters = mwm_contract(
+        tg, topology.n_processors, load_bound=load_bound, capacity=capacity
+    )
     return Contraction(provenance="mwm", clusters=clusters)
 
 
 def _multilevel(
-    tg: TaskGraph, topology: Topology, load_bound: int | None
+    tg: TaskGraph, topology: Topology, load_bound: int | None, capacity=None
 ) -> Contraction:
     # Lazy import: the multilevel module pulls in the refinement kernel,
     # which most runs never touch.
     from repro.mapper.contraction.multilevel import multilevel_assignment
 
     assignment, stats = multilevel_assignment(
-        tg, topology, load_bound=load_bound
+        tg, topology, load_bound=load_bound, capacity=capacity
     )
     return Contraction(
         provenance="multilevel", assignment=assignment, stats=stats

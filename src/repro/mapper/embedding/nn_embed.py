@@ -24,6 +24,15 @@ Two kernels implement the same algorithm:
 Both kernels accumulate the same floating-point terms in the same order
 (placement order), break every tie by cluster / processor index, and are
 pinned bit-identical by ``tests/test_vectorized_kernels.py``.
+
+Capacity awareness (PR 9): on a capacity-constrained machine
+(*capacity* a :class:`repro.arch.capacity.CapacityContext`), the
+candidate processors for each cluster are restricted to those whose
+remaining capacity vectors hold the cluster's summed demand; the greedy
+order and all tie-breaks are otherwise unchanged, so a machine whose
+capacities never bind (including every capacity-free machine) places
+bit-identically.  A cluster with no feasible free processor raises
+:class:`~repro.mapper.mapping.NotApplicableError`.
 """
 
 from __future__ import annotations
@@ -85,19 +94,36 @@ def cluster_weights(
     }
 
 
+def _feasibility(capacity, clusters) -> np.ndarray | None:
+    """Per-(cluster, processor) feasibility mask under a capacity context.
+
+    ``None`` without capacities; otherwise a boolean ``(C, P)`` array where
+    entry ``[c, p]`` says cluster *c*'s summed demand fits processor *p*.
+    """
+    if capacity is None:
+        return None
+    return np.stack([
+        capacity.feasible_mask(capacity.cluster_demand(cluster))
+        for cluster in clusters
+    ])
+
+
 def nn_embed(
     tg: TaskGraph,
     clusters: Sequence[Sequence[Task]],
     topology: Topology,
     *,
     kernel: str = "vector",
+    capacity=None,
 ) -> dict[int, Proc]:
     """Place each cluster on a distinct processor, greedily by communication.
 
     Returns cluster-index -> processor.  Deterministic: ties break on
     cluster index then processor order.  *kernel* selects the numpy
     implementation (``"vector"``, the default) or the per-pair Python one
-    (``"reference"``); both produce identical placements.
+    (``"reference"``); both produce identical placements.  *capacity*
+    optionally restricts each cluster's candidate processors to those
+    whose capacity vectors hold its demand (see module docstring).
     """
     if kernel not in _KERNELS:
         raise ValueError(f"unknown kernel {kernel!r}; choose from {_KERNELS}")
@@ -111,17 +137,19 @@ def nn_embed(
         return {}
     with perf.span(f"mapper.nn_embed.{kernel}"):
         if kernel == "reference":
-            return _nn_embed_reference(tg, clusters, topology)
-        return _nn_embed_vector(tg, clusters, topology)
+            return _nn_embed_reference(tg, clusters, topology, capacity)
+        return _nn_embed_vector(tg, clusters, topology, capacity)
 
 
 def _nn_embed_vector(
     tg: TaskGraph,
     clusters: Sequence[Sequence[Task]],
     topology: Topology,
+    capacity=None,
 ) -> dict[int, Proc]:
     """Integer-indexed numpy kernel of NN-Embed."""
     n_clusters = len(clusters)
+    feas = _feasibility(capacity, clusters)
     weights = cluster_weights(tg, clusters)
     # Totals accumulate in dict order, exactly like the reference kernel.
     total = [0.0] * n_clusters
@@ -153,11 +181,24 @@ def _nn_embed_vector(
         S[:, :] += D[:, proc_idx, None] * W[None, cluster, :]
         attach[:] += W[:, cluster]
 
-    # Seed: heaviest cluster on the lowest-index max-degree processor.
+    def allowed(cluster: int) -> np.ndarray:
+        mask = free if feas is None else free & feas[cluster]
+        idx = np.flatnonzero(mask)
+        if not idx.size:
+            raise NotApplicableError(
+                f"cluster {cluster} ({len(clusters[cluster])} tasks) fits "
+                f"on no free processor of {topology.name!r} under its "
+                f"capacity vectors"
+            )
+        return idx
+
+    # Seed: heaviest cluster on the lowest-index max-degree processor
+    # (of the capacity-feasible ones, when the machine has capacities).
     seed_cluster = int(np.flatnonzero(total_arr == total_arr.max()).min())
     degrees = topology.degree_array()
-    seed_proc = int(np.flatnonzero(degrees == degrees.max()).min())
-    place(seed_cluster, seed_proc)
+    seed_idx = allowed(seed_cluster)
+    d = degrees[seed_idx]
+    place(seed_cluster, int(seed_idx[d == d.max()].min()))
 
     for _ in range(n_clusters - 1):
         # Pick the unplaced cluster most attached to the placed set;
@@ -170,8 +211,8 @@ def _nn_embed_vector(
             cand = cand[t == t.max()]
         cluster = int(cand.min())
 
-        # Cost of every free processor for this cluster: one column of S.
-        free_idx = np.flatnonzero(free)
+        # Cost of every feasible free processor: one column of S.
+        free_idx = allowed(cluster)
         c = S[free_idx, cluster]
         best = int(free_idx[c == c.min()].min())
         place(cluster, best)
@@ -182,9 +223,11 @@ def _nn_embed_reference(
     tg: TaskGraph,
     clusters: Sequence[Sequence[Task]],
     topology: Topology,
+    capacity=None,
 ) -> dict[int, Proc]:
     """Direct per-pair implementation (the executable specification)."""
     n_clusters = len(clusters)
+    feas = _feasibility(capacity, clusters)
     weights = cluster_weights(tg, clusters)
     total: list[float] = [0.0] * n_clusters
     for (i, j), w in weights.items():
@@ -196,9 +239,24 @@ def _nn_embed_reference(
     free: set[Proc] = set(procs)
     placement: dict[int, Proc] = {}
 
-    # Seed: heaviest cluster on a max-degree processor.
+    def candidates(cluster: int) -> list[Proc]:
+        if feas is None:
+            return list(free)
+        out = [p for p in free if feas[cluster, proc_order[p]]]
+        if not out:
+            raise NotApplicableError(
+                f"cluster {cluster} ({len(clusters[cluster])} tasks) fits "
+                f"on no free processor of {topology.name!r} under its "
+                f"capacity vectors"
+            )
+        return out
+
+    # Seed: heaviest cluster on a max-degree (capacity-feasible) processor.
     seed_cluster = max(range(n_clusters), key=lambda c: (total[c], -c))
-    seed_proc = max(procs, key=lambda p: (topology.degree(p), -proc_order[p]))
+    seed_proc = max(
+        candidates(seed_cluster),
+        key=lambda p: (topology.degree(p), -proc_order[p]),
+    )
     placement[seed_cluster] = seed_proc
     free.discard(seed_proc)
 
@@ -220,7 +278,7 @@ def _nn_embed_reference(
             )
             return (s, proc_order[p])
 
-        best = min(free, key=cost)
+        best = min(candidates(cluster), key=cost)
         placement[cluster] = best
         free.discard(best)
         unplaced.discard(cluster)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Mapping as AbcMapping
 
+from repro.arch.capacity import _encode_label
 from repro.arch.topology import Topology
 from repro.graph.taskgraph import TaskGraph
 from repro.util.validation import ValidationError
@@ -108,7 +109,9 @@ class Mapping:
     # ------------------------------------------------------------------
     # validation
     # ------------------------------------------------------------------
-    def validate(self, *, require_routes: bool = False) -> None:
+    def validate(
+        self, *, require_routes: bool = False, check_capacities: bool = True
+    ) -> None:
         """Raise :class:`ValueError` when structurally inconsistent.
 
         Checks: every graph task assigned to an existing processor; no
@@ -117,6 +120,15 @@ class Mapping:
         every route connects the assigned endpoints of its edge along
         existing links; with *require_routes*, every inter-processor edge
         has a route.
+
+        On a machine with capacity vectors (``topology.capacities``), also
+        checks every processor's consumed demand against its capacity in
+        every resource, unless *check_capacities* is false (the pipeline's
+        ``capacity_mode: "ignore"`` escape hatch).  A violation raises
+        :class:`~repro.util.validation.ValidationError` whose ``payload``
+        lists each overflowing ``(processor, resource)`` pair with the
+        exact demand and capacity, so callers see *which* budget burst,
+        not just that one did.
         """
         procs = set(self.topology.processors)
         tasks = set(self.task_graph.nodes)
@@ -153,6 +165,24 @@ class Mapping:
                         raise ValueError(
                             f"missing route for edge {idx} of phase {phase_name!r}"
                         )
+        capacities = getattr(self.topology, "capacities", None)
+        if check_capacities and capacities is not None and self.assignment:
+            overflows = capacities.context(
+                self.task_graph, self.topology
+            ).overflows(self.assignment)
+            if overflows:
+                first = overflows[0]
+                raise ValidationError(
+                    f"mapping overflows {len(overflows)} processor capacit"
+                    f"{'y' if len(overflows) == 1 else 'ies'}: e.g. resource "
+                    f"{first['resource']!r} on processor "
+                    f"{first['processor']!r} needs {first['demand']:g} of "
+                    f"{first['capacity']:g}",
+                    payload={"kind": "capacity_overflow", "overflows": [
+                        {**o, "processor": _encode_label(o["processor"])}
+                        for o in overflows
+                    ]},
+                )
 
     def __repr__(self) -> str:
         return (

@@ -73,6 +73,8 @@ def _delta_gain_arrays(
     D: np.ndarray,
     cap: int,
     *,
+    dem: np.ndarray | None = None,
+    capv: np.ndarray | None = None,
     max_passes: int = 4,
     swaps: bool = True,
 ) -> tuple[int, float]:
@@ -81,6 +83,14 @@ def _delta_gain_arrays(
     ``proc[v]`` is the processor index of node ``v`` of a symmetric CSR
     graph; ``sizes[v]`` its load (original-task count) and ``cap`` the
     per-processor load bound.  Returns ``(applied moves, total gain)``.
+
+    On a capacity-constrained machine, *dem* is the ``(n, R)`` per-node
+    demand matrix and *capv* the ``(P, R)`` per-processor capacity matrix;
+    moves and swaps then additionally require the target processors'
+    vector loads to stay within capacity in every resource.  Candidate
+    *generation* is unchanged -- the vector test only gates application,
+    exactly like the scalar bound -- so with ``dem=None`` (or capacities
+    that never bind) the refinement is bit-identical to the scalar run.
 
     Per pass: the cost of every (node, target) pair is the sparse
     attachment matrix times the distance matrix, evaluated in row blocks;
@@ -101,6 +111,23 @@ def _delta_gain_arrays(
     rows = np.repeat(np.arange(n, dtype=np.intp), deg)
     load = np.zeros(n_procs, dtype=np.int64)
     np.add.at(load, proc, sizes)
+    loadv = None
+    if dem is not None:
+        loadv = np.zeros((n_procs, dem.shape[1]), dtype=np.float64)
+        np.add.at(loadv, proc, dem)
+
+    def vec_move_ok(v: int, q: int) -> bool:
+        return dem is None or bool(
+            np.all(loadv[q] + dem[v] <= capv[q] + _GAIN_TOL)
+        )
+
+    def vec_swap_ok(v: int, u: int, p: int, q: int) -> bool:
+        if dem is None:
+            return True
+        return bool(
+            np.all(loadv[p] - dem[v] + dem[u] <= capv[p] + _GAIN_TOL)
+            and np.all(loadv[q] - dem[u] + dem[v] <= capv[q] + _GAIN_TOL)
+        )
 
     def move_delta(v: int, q: int) -> float:
         s, e = indptr[v], indptr[v + 1]
@@ -170,13 +197,16 @@ def _delta_gain_arrays(
             order = np.lexsort((cand, best_delta[cand]))
             for v in cand[order].tolist():
                 p, q = int(proc[v]), int(best_q[v])
-                if q == p or load[q] + sizes[v] > cap:
+                if q == p or load[q] + sizes[v] > cap or not vec_move_ok(v, q):
                     continue
                 d = move_delta(v, q)
                 if d < -_GAIN_TOL:
                     proc[v] = q
                     load[p] -= sizes[v]
                     load[q] += sizes[v]
+                    if loadv is not None:
+                        loadv[p] -= dem[v]
+                        loadv[q] += dem[v]
                     total_gain -= d
                     total_moves += 1
                     improved = True
@@ -219,6 +249,7 @@ def _delta_gain_arrays(
                     if (
                         load[p] - sizes[v] + sizes[u] > cap
                         or load[q] - sizes[u] + sizes[v] > cap
+                        or not vec_swap_ok(v, u, p, q)
                     ):
                         continue
                     d = (
@@ -230,6 +261,9 @@ def _delta_gain_arrays(
                         proc[v], proc[u] = q, p
                         load[p] += sizes[u] - sizes[v]
                         load[q] += sizes[v] - sizes[u]
+                        if loadv is not None:
+                            loadv[p] += dem[u] - dem[v]
+                            loadv[q] += dem[v] - dem[u]
                         total_gain -= d
                         total_moves += 1
                         improved = True
@@ -260,6 +294,7 @@ def _delta_gain_arrays(
                     if (
                         load[p] - sizes[v] + sizes[u] > cap
                         or load[q] - sizes[u] + sizes[v] > cap
+                        or not vec_swap_ok(v, u, p, q)
                     ):
                         continue
                     d = (
@@ -271,6 +306,9 @@ def _delta_gain_arrays(
                         proc[v], proc[u] = q, p
                         load[p] += sizes[u] - sizes[v]
                         load[q] += sizes[v] - sizes[u]
+                        if loadv is not None:
+                            loadv[p] += dem[u] - dem[v]
+                            loadv[q] += dem[v] - dem[u]
                         total_gain -= d
                         total_moves += 1
                         improved = True
@@ -287,6 +325,7 @@ def refine(
     load_bound: int | None = None,
     max_passes: int = 4,
     swaps: bool = True,
+    check_capacities: bool = True,
 ) -> Mapping:
     """Vectorized delta-gain refinement of a finished mapping.
 
@@ -310,6 +349,13 @@ def refine(
     swaps:
         Also consider pairwise swaps of adjacent tasks (needed to escape
         move-blocked states where every processor is at the bound).
+
+    On a machine with capacity vectors (``mapping.topology.capacities``)
+    the refinement is automatically capacity-safe: no applied move or
+    swap pushes any processor past any resource budget (and a processor
+    already over budget only sheds demand).  ``check_capacities=False``
+    restores the pure scalar behaviour (the pipeline's
+    ``capacity_mode: "ignore"`` escape hatch).
     """
     if method not in _REFINE_METHODS:
         raise ValueError(
@@ -335,9 +381,17 @@ def refine(
         current_max = int(np.bincount(proc, minlength=topology.n_processors).max())
         default = math.ceil(csr.n / topology.n_processors)
         cap = load_bound if load_bound is not None else max(default, current_max)
+        capacities = getattr(topology, "capacities", None)
+        if not check_capacities:
+            capacities = None
+        dem = capv = None
+        if capacities is not None:
+            cap_ctx = capacities.context(tg, topology)
+            dem, capv = cap_ctx.dem, cap_ctx.cap
         moves, gain = _delta_gain_arrays(
             csr.indptr, csr.indices, csr.weights, sizes, proc,
             topology.distance_matrix(), cap,
+            dem=dem, capv=capv,
             max_passes=max_passes, swaps=swaps,
         )
     perf.count("map.refine_moves", moves)
@@ -357,6 +411,7 @@ def refine_contraction(
     *,
     load_bound: int,
     max_passes: int = 8,
+    capacity=None,
 ) -> list[list[Task]]:
     """Greedy single-task moves reducing total IPC under the load bound.
 
@@ -364,13 +419,21 @@ def refine_contraction(
     with most (counting both directions) when the move strictly reduces the
     cut weight and the target has spare capacity.  Passes repeat until a
     full sweep makes no move or *max_passes* is reached.  The result never
-    has higher IPC than the input.
+    has higher IPC than the input.  With *capacity* (a
+    :class:`repro.arch.capacity.CapacityContext`), a changed cluster must
+    also keep an exists-fit: its demand vector must still fit on at least
+    one processor.
     """
     owner: dict[Task, int] = {}
     sets: list[set[Task]] = [set(c) for c in clusters]
     for ci, cluster in enumerate(sets):
         for t in cluster:
             owner[t] = ci
+
+    def cap_ok(members) -> bool:
+        return capacity is None or capacity.fits_somewhere(
+            capacity.cluster_demand(members)
+        )
 
     # Adjacency with volumes, both directions folded.
     adj: dict[Task, dict[Task, float]] = {t: {} for t in tg.nodes}
@@ -401,7 +464,7 @@ def refine_contraction(
                 if target == home or len(sets[target]) >= load_bound:
                     continue
                 gain = w - home_attach
-                if gain > best_gain + 1e-12:
+                if gain > best_gain + 1e-12 and cap_ok(sets[target] | {t}):
                     best_gain = gain
                     best_target = target
             if best_target is not None:
@@ -427,6 +490,11 @@ def refine_contraction(
                     d_u = au.get(home, 0.0) - au.get(target, 0.0)
                     gain = d_t + d_u - 2.0 * adj[t].get(u, 0.0)
                     if gain > 1e-12 and (best is None or gain > best[0]):
+                        if capacity is not None and not (
+                            cap_ok((sets[home] - {t}) | {u})
+                            and cap_ok((sets[target] - {u}) | {t})
+                        ):
+                            continue
                         best = (gain, u)
                 if best is not None:
                     _, u = best
@@ -449,14 +517,24 @@ def refine_embedding(
     topology: Topology,
     *,
     max_passes: int = 8,
+    capacity=None,
 ) -> dict[int, Proc]:
     """2-opt swaps of cluster placements reducing weighted distance.
 
     Considers every pair of clusters (and every cluster with every free
     processor) and applies the best-improvement swap per pass until no
     swap helps.  Never increases total distance-weighted communication.
+    With *capacity*, a move or swap is only considered when every cluster
+    still fits its (new) processor's capacity vector, so a feasible input
+    placement stays feasible.
     """
-    from repro.mapper.embedding.nn_embed import cluster_weights
+    from repro.mapper.embedding.nn_embed import _feasibility, cluster_weights
+
+    feas = _feasibility(capacity, clusters)
+    proc_order = {p: k for k, p in enumerate(topology.processors)}
+
+    def fits(c: int, proc: Proc) -> bool:
+        return feas is None or bool(feas[c, proc_order[proc]])
 
     weights = cluster_weights(tg, clusters)
     placement = dict(placement)
@@ -482,6 +560,8 @@ def refine_embedding(
             pa = placement[a]
             # Move to a free processor.
             for p in free:
+                if not fits(a, p):
+                    continue
                 delta = cost_of(a, p) - cost_of(a, pa)
                 if delta < best_delta - 1e-12:
                     best_delta = delta
@@ -489,6 +569,8 @@ def refine_embedding(
             # Swap with another cluster.
             for b in range(a + 1, n):
                 pb = placement[b]
+                if not (fits(a, pb) and fits(b, pa)):
+                    continue
                 before = cost_of(a, pa) + cost_of(b, pb)
                 placement[a], placement[b] = pb, pa
                 after = cost_of(a, pb) + cost_of(b, pa)

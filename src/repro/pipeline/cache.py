@@ -62,8 +62,9 @@ __all__ = [
 
 #: Bump when the pickled result layout changes incompatibly; envelopes
 #: with another schema are misses, so stale caches degrade to cold, never
-#: to wrong answers.
-CACHE_SCHEMA = 1
+#: to wrong answers.  2: Topology grew the ``capacities``/``hierarchy``/
+#: ``_structural_key`` attributes (PR 9), which pre-PR 9 pickles lack.
+CACHE_SCHEMA = 2
 
 #: Bump when the disk-tier index layout changes; an unknown schema is
 #: simply rebuilt from the directory listing.

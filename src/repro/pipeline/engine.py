@@ -214,7 +214,10 @@ def run_pipeline(
                 f"stage list {config.stages!r} never built a mapping "
                 f"(include 'contract' and 'embed')"
             )
-        ctx.mapping.validate(require_routes="route" in executed)
+        ctx.mapping.validate(
+            require_routes="route" in executed,
+            check_capacities=config.map.capacity_mode != "ignore",
+        )
 
     result = PipelineResult(
         mapping=ctx.mapping,

@@ -188,9 +188,11 @@ class MappingStrategy:
     name:
         Registry key (``"canned"`` / ``"group"`` / ``"mwm"``).
     run:
-        ``(tg, topology, load_bound) -> Contraction``; raises
+        ``(tg, topology, load_bound, capacity) -> Contraction``; raises
         :class:`~repro.mapper.NotApplicableError` when the strategy does
-        not fit the input.
+        not fit the input.  *capacity* is the machine's bound
+        :class:`~repro.arch.capacity.CapacityContext`, or ``None`` on a
+        capacity-free machine (and under ``capacity_mode: "ignore"``).
     rank:
         Total order over strategies: the ``auto`` fall-through tries
         ascending rank, and the portfolio breaks completion-time ties by
@@ -210,7 +212,7 @@ class MappingStrategy:
     """
 
     name: str
-    run: Callable[[TaskGraph, Topology, int | None], Contraction]
+    run: Callable[[TaskGraph, Topology, int | None, Any], Contraction]
     rank: int
     auto: bool = True
     refinable: bool = False
@@ -222,7 +224,7 @@ _STRATEGY_REGISTRY: dict[str, MappingStrategy] = {}
 
 def register_strategy(
     name: str,
-    run: Callable[[TaskGraph, Topology, int | None], Contraction],
+    run: Callable[[TaskGraph, Topology, int | None, Any], Contraction],
     *,
     rank: int,
     auto: bool = True,
@@ -287,6 +289,24 @@ def default_portfolio() -> tuple[str, ...]:
 # the built-in stages
 # ----------------------------------------------------------------------
 
+def _resolve_capacity(ctx: PipelineContext):
+    """The run's bound capacity context, or ``None``.
+
+    ``None`` on a capacity-free machine, for an empty graph, and under
+    ``MapConfig.capacity_mode == "ignore"`` -- every consumer treats
+    ``None`` as "run the legacy scalar paths", which keeps homogeneous
+    machines bit-identical to the pre-capacity pipeline.
+    """
+    capacities = getattr(ctx.topology, "capacities", None)
+    if (
+        capacities is None
+        or ctx.config.map.capacity_mode == "ignore"
+        or ctx.tg.n_tasks == 0
+    ):
+        return None
+    return capacities.context(ctx.tg, ctx.topology)
+
+
 def _run_contract(ctx: PipelineContext) -> None:
     """Pick and run a mapping strategy (MAPPER's Fig 3 dispatch).
 
@@ -296,6 +316,7 @@ def _run_contract(ctx: PipelineContext) -> None:
     directly, preserving the legacy forced-strategy semantics.
     """
     cfg = ctx.config.map
+    capacity = _resolve_capacity(ctx)
     with perf.span("mapper.strategy"):
         if cfg.strategy == "auto":
             candidates = [s for s in _ranked() if s.auto]
@@ -304,15 +325,19 @@ def _run_contract(ctx: PipelineContext) -> None:
             result = None
             for strategy in candidates[:-1]:
                 try:
-                    result = strategy.run(ctx.tg, ctx.topology, cfg.load_bound)
+                    result = strategy.run(
+                        ctx.tg, ctx.topology, cfg.load_bound, capacity
+                    )
                     break
                 except NotApplicableError:
                     continue
             if result is None:
-                result = candidates[-1].run(ctx.tg, ctx.topology, cfg.load_bound)
+                result = candidates[-1].run(
+                    ctx.tg, ctx.topology, cfg.load_bound, capacity
+                )
         else:
             result = get_strategy(cfg.strategy).run(
-                ctx.tg, ctx.topology, cfg.load_bound
+                ctx.tg, ctx.topology, cfg.load_bound, capacity
             )
     perf.count(f"mapper.strategy.{result.provenance}")
     ctx.provenance = result.provenance
@@ -334,7 +359,10 @@ def _run_embed(ctx: PipelineContext) -> None:
             nn_embed,
         )
 
-        placement = nn_embed(ctx.tg, ctx.clusters, ctx.topology)
+        placement = nn_embed(
+            ctx.tg, ctx.clusters, ctx.topology,
+            capacity=_resolve_capacity(ctx),
+        )
         ctx.assignment = assignment_from_clusters(ctx.clusters, placement)
     mapping = Mapping(
         ctx.tg, ctx.topology, ctx.assignment, provenance=ctx.provenance
@@ -365,7 +393,8 @@ def _run_refine(ctx: PipelineContext) -> None:
         from repro.mapper.refine import refine
 
         refined = refine(
-            mapping, "delta_gain", load_bound=ctx.config.map.load_bound
+            mapping, "delta_gain", load_bound=ctx.config.map.load_bound,
+            check_capacities=ctx.config.map.capacity_mode != "ignore",
         )
         ctx.assignment = refined.assignment
         ctx.mapping = refined
@@ -395,9 +424,14 @@ def _run_refine(ctx: PipelineContext) -> None:
             sorted(ts, key=index.__getitem__)
             for ts in mapping.clusters().values()
         ]
-        clusters = refine_contraction(tg, clusters, load_bound=bound)
-        placement = nn_embed(tg, clusters, topology)
-        placement = refine_embedding(tg, clusters, placement, topology)
+        capacity = _resolve_capacity(ctx)
+        clusters = refine_contraction(
+            tg, clusters, load_bound=bound, capacity=capacity
+        )
+        placement = nn_embed(tg, clusters, topology, capacity=capacity)
+        placement = refine_embedding(
+            tg, clusters, placement, topology, capacity=capacity
+        )
         ctx.assignment = assignment_from_clusters(clusters, placement)
         refined = Mapping(
             tg,

@@ -113,7 +113,13 @@ def _relocate(
     degraded: Topology,
     faults: FaultSet,
 ) -> tuple[dict[Task, Proc], dict[Task, tuple[Proc, Proc]]]:
-    """Move tasks off failed processors onto nearest surviving spares."""
+    """Move tasks off failed processors onto nearest surviving spares.
+
+    On a machine with capacity vectors, candidates are restricted to
+    survivors with vector headroom for the relocated task's demand; when
+    none has it, the relocation raises -- ``mode="auto"`` then falls back
+    to a full capacity-aware remap of the degraded machine.
+    """
     failed = set(faults.failed_procs)
     assignment = dict(mapping.assignment)
     load: dict[Proc, int] = {p: 0 for p in degraded.processors}
@@ -125,19 +131,47 @@ def _relocate(
     survivors = degraded.processors  # stable degraded-index order
     survivor_idx = [topology.index_of(p) for p in survivors]
 
+    capacities = getattr(degraded, "capacities", None)
+    cap_ctx = loadv = None
+    if capacities is not None:
+        import numpy as np
+
+        from repro.arch.capacity import _TOL
+
+        cap_ctx = capacities.context(tg, degraded)
+        # Survivors' consumed demand before relocation (degraded order).
+        loadv = np.zeros_like(cap_ctx.cap)
+        for task, proc in assignment.items():
+            if proc in load:
+                loadv[degraded.index_of(proc)] += cap_ctx.demand_of(task)
+
     moved: dict[Task, tuple[Proc, Proc]] = {}
     for task in tg.nodes:  # task order: deterministic relocation sequence
         old = assignment.get(task)
         if old not in failed:
             continue
         oi = topology.index_of(old)
+        candidates = range(len(survivors))
+        if cap_ctx is not None:
+            d = cap_ctx.demand_of(task)
+            candidates = [
+                k for k in candidates
+                if bool((loadv[k] + d <= cap_ctx.cap[k] + _TOL).all())
+            ]
+            if not candidates:
+                raise ValueError(
+                    f"no surviving processor has capacity headroom for "
+                    f"task {task!r}"
+                )
         best = min(
-            range(len(survivors)),
+            candidates,
             key=lambda k: (dist[oi, survivor_idx[k]], load[survivors[k]], k),
         )
         new = survivors[best]
         assignment[task] = new
         load[new] += 1
+        if cap_ctx is not None:
+            loadv[best] += cap_ctx.demand_of(task)
         moved[task] = (old, new)
     return assignment, moved
 

@@ -29,9 +29,14 @@ is 504 (the supervised runtime's :class:`~repro.errors.TaskTimeout`), and
 worker crashes / exhausted retries are 500 -- each carrying the error
 type, message, CLI-equivalent exit code, and the full attempt history.
 
+Instead of ``topology``, a request may name a hierarchical ``machine``
+(PR 9): either a generator spec string (``"fat_tree:4x8"``) or an inline
+``oregami-machine-v1`` object -- exactly one of the two keys.
+
 Security note: the server never touches the filesystem on behalf of a
-request -- ``program`` must be a stdlib name (no paths), and arbitrary
-graphs arrive inline as ``task_graph``.
+request -- ``program`` must be a stdlib name (no paths), arbitrary
+graphs arrive inline as ``task_graph``, and machine files' JSON contents
+arrive inline as ``machine``.
 """
 
 from __future__ import annotations
@@ -79,8 +84,8 @@ STATS_FORMAT = "oregami-serve-stats-v1"
 MAX_BODY_BYTES = 32 * 1024 * 1024
 
 _ALLOWED_KEYS = frozenset(
-    {"program", "bind", "task_graph", "topology", "config", "faults",
-     "deadline_s"}
+    {"program", "bind", "task_graph", "topology", "machine", "config",
+     "faults", "deadline_s"}
 )
 
 
@@ -181,6 +186,32 @@ def _parse_topology(raw: Any) -> Topology:
         raise ProtocolError(str(exc)) from exc
 
 
+def _parse_machine(raw: Any) -> Topology:
+    """The ``machine`` member: a generator spec string or an inline
+    ``oregami-machine-v1`` object.
+
+    Like ``program``, the server never reads files on a request's behalf
+    -- machine *files* are a CLI affordance; their JSON contents travel
+    inline here.
+    """
+    from repro.arch.hierarchy import MachineSpec, machine_from_dict
+
+    if isinstance(raw, str):
+        try:
+            return MachineSpec.parse(raw).build()
+        except ValueError as exc:
+            raise ProtocolError(str(exc)) from exc
+    if isinstance(raw, dict):
+        try:
+            return machine_from_dict(raw)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ProtocolError(f"bad 'machine': {exc}") from exc
+    raise ProtocolError(
+        "'machine' must be a spec string like 'fat_tree:4x8' or an "
+        "inline oregami-machine-v1 object (the server never reads files)"
+    )
+
+
 def parse_map_request(raw: bytes) -> MapRequest:
     """Parse and validate one ``POST /v1/map`` body.
 
@@ -209,9 +240,16 @@ def parse_map_request(raw: bytes) -> MapRequest:
             f"choose from {sorted(_ALLOWED_KEYS)!r}"
         )
     tg = _parse_graph(body)
-    if "topology" not in body:
-        raise ProtocolError("'topology' is required")
-    topology = _parse_topology(body["topology"])
+    if ("topology" in body) == ("machine" in body):
+        raise ProtocolError(
+            "exactly one of 'topology' or 'machine' is required: a flat "
+            "topology spec, or a hierarchical machine spec / inline "
+            "machine object"
+        )
+    if "topology" in body:
+        topology = _parse_topology(body["topology"])
+    else:
+        topology = _parse_machine(body["machine"])
 
     config = RunConfig()
     if body.get("config") is not None:

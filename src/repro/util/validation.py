@@ -16,7 +16,17 @@ class ValidationError(ValueError):
     Subclasses :class:`ValueError` so every existing ``except ValueError``
     (and every test matching it) keeps working; the distinct type lets
     callers tell artefact corruption from bad call arguments.
+
+    ``payload`` optionally carries a structured, JSON-compatible account
+    of what failed -- e.g. :meth:`repro.mapper.Mapping.validate` attaches
+    the exact ``(processor, resource, demand, capacity)`` overflows when
+    a mapping violates a machine's capacity vectors -- so programmatic
+    callers don't have to parse the message.
     """
+
+    def __init__(self, message: str, *, payload=None):
+        super().__init__(message)
+        self.payload = payload
 
 
 def require(condition: bool, message: str) -> None:

@@ -1,0 +1,203 @@
+"""Unit tests for the multi-resource capacity model (repro.arch.capacity)."""
+
+import numpy as np
+import pytest
+
+from repro.arch import networks
+from repro.arch.capacity import DEMAND_RULES, Capacities
+from repro.graph import families
+
+
+def _ring_tg(n=6):
+    return families.ring(n)
+
+
+class TestCapacitiesConstruction:
+    def test_bare_names_default_to_unit_rule(self):
+        caps = Capacities(["slots"], {0: (4,), 1: (4,)})
+        assert caps.names == ("slots",)
+        assert caps.rules == ("unit",)
+        assert caps.n_resources == 1
+
+    def test_name_rule_pairs(self):
+        caps = Capacities(
+            [("slots", "unit"), ("memory", "weight")],
+            {0: (4, 16.0), 1: (2, 8.0)},
+        )
+        assert caps.names == ("slots", "memory")
+        assert caps.rules == ("unit", "weight")
+        assert caps.cap_for(1) == (2.0, 8.0)
+
+    def test_scalar_cap_accepted_for_single_resource(self):
+        caps = Capacities(["memory"], {0: 16, 1: 8})
+        assert caps.cap_for(0) == (16.0,)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown demand rule"):
+            Capacities([("memory", "bytes")], {0: (1,)})
+        assert "bytes" not in DEMAND_RULES
+
+    def test_duplicate_resource_rejected(self):
+        with pytest.raises(ValueError, match="duplicate resource"):
+            Capacities(["m", "m"], {0: (1, 1)})
+
+    def test_wrong_vector_length_rejected(self):
+        with pytest.raises(ValueError, match="capacity entries"):
+            Capacities(["a", "b"], {0: (1,)})
+
+    def test_negative_or_nonfinite_cap_rejected(self):
+        with pytest.raises(ValueError, match="finite and"):
+            Capacities(["m"], {0: (-1,)})
+        with pytest.raises(ValueError, match="finite and"):
+            Capacities(["m"], {0: (float("inf"),)})
+
+    def test_empty_resources_or_procs_rejected(self):
+        with pytest.raises(ValueError, match="at least one resource"):
+            Capacities([], {0: ()})
+        with pytest.raises(ValueError, match="at least one processor"):
+            Capacities(["m"], {})
+
+    def test_uniform_builder(self):
+        caps = Capacities.uniform(["m"], range(4), 8.0)
+        assert caps.procs == [0, 1, 2, 3]
+        assert all(caps.cap_for(p) == (8.0,) for p in range(4))
+
+
+class TestFromSpec:
+    def test_bare_number_is_uniform_unit_resource(self):
+        caps = Capacities.from_spec({"slots": 4}, [0, 1, 2])
+        assert caps.rules == ("unit",)
+        assert caps.cap_for(2) == (4.0,)
+
+    def test_object_form_with_demand_rule(self):
+        caps = Capacities.from_spec(
+            {"memory": {"demand": "weight", "cap": 16.0}}, [0, 1]
+        )
+        assert caps.rules == ("weight",)
+        assert caps.cap_for(0) == (16.0,)
+
+    def test_per_proc_overrides(self):
+        caps = Capacities.from_spec(
+            {"memory": {"cap": 8.0, "per_proc": [[1, 2.0]]}}, [0, 1]
+        )
+        assert caps.cap_for(0) == (8.0,)
+        assert caps.cap_for(1) == (2.0,)
+
+    def test_per_proc_tuple_labels_decode(self):
+        caps = Capacities.from_spec(
+            {"memory": {"cap": 8.0, "per_proc": [[[0, 1], 3.0]]}},
+            [(0, 0), (0, 1)],
+        )
+        assert caps.cap_for((0, 1)) == (3.0,)
+
+    def test_unknown_proc_override_rejected(self):
+        with pytest.raises(ValueError, match="unknown\\s+processor"):
+            Capacities.from_spec(
+                {"memory": {"cap": 8.0, "per_proc": [[9, 1.0]]}}, [0, 1]
+            )
+
+    def test_missing_cap_rejected(self):
+        with pytest.raises(ValueError, match="needs a 'cap'"):
+            Capacities.from_spec({"memory": {"demand": "unit"}}, [0])
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown keys"):
+            Capacities.from_spec({"memory": {"cap": 1, "color": "red"}}, [0])
+
+
+class TestSerializationAndRestriction:
+    def _caps(self):
+        return Capacities(
+            [("slots", "unit"), ("memory", "weight")],
+            {0: (4, 16.0), 1: (2, 8.0), 2: (4, 16.0)},
+        )
+
+    def test_dict_round_trip(self):
+        caps = self._caps()
+        again = Capacities.from_dict(caps.to_dict())
+        assert again == caps
+
+    def test_restrict_keeps_survivors_only(self):
+        caps = self._caps().restrict([0, 2])
+        assert caps.procs == [0, 2]
+        with pytest.raises(KeyError):
+            caps.cap_for(1)
+
+    def test_validate_against_flags_missing_and_extra(self):
+        caps = self._caps()
+        with pytest.raises(ValueError, match="missing"):
+            caps.validate_against([0, 1, 2, 3])
+        with pytest.raises(ValueError, match="unknown processors"):
+            caps.validate_against([0, 1])
+
+    def test_fingerprint_payload_is_label_sorted(self):
+        payload = self._caps().fingerprint_payload()
+        labels = [item[0] for item in payload["caps"]]
+        assert labels == sorted(labels, key=str)
+
+
+class TestCapacityContext:
+    def _ctx(self, cap_vec=(3, 12.0)):
+        topo = networks.ring(4)
+        caps = Capacities.uniform(
+            [("slots", "unit"), ("memory", "weight")],
+            topo.processors,
+            cap_vec,
+        )
+        tg = _ring_tg(6)
+        return caps.context(tg, topo), tg, topo
+
+    def test_matrix_shapes_and_rules(self):
+        ctx, tg, topo = self._ctx()
+        assert ctx.cap.shape == (4, 2)
+        assert ctx.dem.shape == (6, 2)
+        # unit column is all ones; weight column follows node weights
+        assert np.all(ctx.dem[:, 0] == 1.0)
+        assert np.allclose(
+            ctx.dem[:, 1], [tg.node_weight(t) for t in tg.nodes]
+        )
+
+    def test_cluster_demand_sums_members(self):
+        ctx, tg, _ = self._ctx()
+        tasks = list(tg.nodes)[:3]
+        vec = ctx.cluster_demand(tasks)
+        assert vec[0] == 3.0
+
+    def test_fits_somewhere_and_feasible_mask(self):
+        ctx, _, _ = self._ctx(cap_vec=(2, 12.0))
+        assert ctx.fits_somewhere(np.array([2.0, 2.0]))
+        assert not ctx.fits_somewhere(np.array([3.0, 2.0]))
+        mask = ctx.feasible_mask(np.array([2.0, 2.0]))
+        assert mask.shape == (4,) and mask.all()
+
+    def test_proc_load_and_overflow_report(self):
+        ctx, tg, topo = self._ctx(cap_vec=(2, 12.0))
+        tasks = list(tg.nodes)
+        # all six tasks on processor 0: slots 6 > 2
+        assignment = {t: topo.processors[0] for t in tasks}
+        load = ctx.proc_load(assignment)
+        assert load[0, 0] == 6.0 and load[1, 0] == 0.0
+        report = ctx.overflows(assignment)
+        assert report and report[0]["resource"] == "slots"
+        assert report[0]["processor"] == topo.processors[0]
+        assert report[0]["demand"] == 6.0 and report[0]["capacity"] == 2.0
+
+    def test_overflow_report_empty_when_feasible(self):
+        ctx, tg, topo = self._ctx()
+        tasks = list(tg.nodes)
+        assignment = {
+            t: topo.processors[i % 4] for i, t in enumerate(tasks)
+        }
+        assert ctx.overflows(assignment) == []
+
+    def test_overflow_report_ordered_by_proc_then_resource(self):
+        ctx, tg, topo = self._ctx(cap_vec=(1, 1.0))
+        assignment = {t: topo.processors[0] for t in list(tg.nodes)[:4]}
+        assignment.update(
+            {t: topo.processors[2] for t in list(tg.nodes)[4:]}
+        )
+        report = ctx.overflows(assignment)
+        keys = [(topo.index_of(r["processor"]), r["resource"]) for r in report]
+        assert keys == sorted(
+            keys, key=lambda k: (k[0], ctx.capacities.names.index(k[1]))
+        )

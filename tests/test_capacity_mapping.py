@@ -1,0 +1,213 @@
+"""Capacity-aware mapping end to end: every layer honours the vectors.
+
+The property at the heart of PR 9: whatever strategy produces a mapping
+on a capacity-constrained machine, the per-processor consumed demand
+stays within every declared resource vector -- contraction, embedding,
+refinement, and repair all preserve feasibility.  The escape hatch
+(``capacity_mode="ignore"``) reproduces the scalar-bound behaviour and
+is exactly the path ``Mapping.validate()`` catches overflowing.
+"""
+
+import math
+
+from hypothesis import assume, given, settings, strategies as st
+
+import pytest
+
+from repro.arch import networks
+from repro.arch.capacity import Capacities
+from repro.arch.hierarchy import node_core_tree, with_capacities
+from repro.graph.taskgraph import TaskGraph
+from repro.mapper.mapping import NotApplicableError
+from repro.pipeline import MapConfig, RunConfig, run_pipeline
+from repro.util.validation import ValidationError
+
+STAGES = ("contract", "embed", "refine", "route")
+
+
+def _weighted_ring(weights):
+    tg = TaskGraph("capring")
+    for i, w in enumerate(weights):
+        tg.add_node(i, w)
+    phase = tg.add_comm_phase("ring")
+    n = len(weights)
+    for i in range(n):
+        phase.add(i, (i + 1) % n, 1.0)
+    tg.add_exec_phase("work", 1.0)
+    return tg
+
+
+def _memory_machine(base, cap):
+    return with_capacities(
+        base,
+        Capacities.from_spec(
+            {"memory": {"demand": "weight", "cap": float(cap)}},
+            base.processors,
+        ),
+    )
+
+
+def _proc_weight_loads(tg, mapping):
+    loads = {}
+    for task, proc in mapping.assignment.items():
+        loads[proc] = loads.get(proc, 0.0) + tg.node_weight(task)
+    return loads
+
+
+# ----------------------------------------------------------------------
+# the property: produced mappings satisfy every resource vector
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_capacity_constrained_mappings_respect_every_resource(data):
+    n = data.draw(st.integers(min_value=6, max_value=20), label="n")
+    weights = data.draw(
+        st.lists(st.integers(min_value=1, max_value=4),
+                 min_size=n, max_size=n),
+        label="weights",
+    )
+    n_procs = data.draw(st.sampled_from([2, 4]), label="n_procs")
+    strategy = data.draw(
+        st.sampled_from(["mwm", "multilevel", "auto"]), label="strategy"
+    )
+    tg = _weighted_ring(weights)
+    # generous-but-declared caps: 2x the balanced share, so the greedy
+    # heuristics always have room yet the feasibility gates stay active
+    cap = max(2 * math.ceil(sum(weights) / n_procs), max(weights) + 1)
+    topo = _memory_machine(networks.complete(n_procs), cap)
+    try:
+        result = run_pipeline(
+            tg, topo,
+            RunConfig(map=MapConfig(strategy=strategy),
+                      stages=STAGES, cache=False),
+        )
+    except NotApplicableError:
+        assume(False)  # a forced strategy may decline an instance
+        return
+    result.mapping.validate()
+    loads = _proc_weight_loads(tg, result.mapping)
+    assert all(load <= cap + 1e-9 for load in loads.values()), loads
+
+
+# ----------------------------------------------------------------------
+# deterministic end-to-end scenarios
+# ----------------------------------------------------------------------
+def _heavy_ring():
+    """16 tasks, four of weight 5 spread around the ring (total 32)."""
+    return _weighted_ring([5 if i % 4 == 0 else 1 for i in range(16)])
+
+
+class TestStrictMode:
+    def test_mwm_respects_caps_the_scalar_bound_would_break(self):
+        tg = _heavy_ring()
+        topo = _memory_machine(networks.complete(4), 9.0)
+        result = run_pipeline(
+            tg, topo,
+            RunConfig(map=MapConfig(strategy="mwm"), stages=STAGES,
+                      cache=False),
+        )
+        result.mapping.validate()
+        assert max(_proc_weight_loads(tg, result.mapping).values()) <= 9.0
+
+    @pytest.mark.parametrize("refine", ["kl", "delta_gain"])
+    def test_refinement_preserves_feasibility(self, refine):
+        tg = _heavy_ring()
+        topo = _memory_machine(networks.complete(4), 9.0)
+        result = run_pipeline(
+            tg, topo,
+            RunConfig(map=MapConfig(strategy="mwm", refine=refine),
+                      stages=STAGES, cache=False),
+        )
+        result.mapping.validate()
+        assert max(_proc_weight_loads(tg, result.mapping).values()) <= 9.0
+
+    def test_multilevel_on_hierarchical_machine(self):
+        tg = _weighted_ring([3 if i % 8 == 0 else 1 for i in range(64)])
+        topo = node_core_tree(
+            4, 4, capacities={"memory": {"demand": "weight", "cap": 8.0}}
+        )
+        result = run_pipeline(
+            tg, topo,
+            RunConfig(map=MapConfig(strategy="multilevel"), stages=STAGES,
+                      cache=False),
+        )
+        result.mapping.validate()
+        assert max(_proc_weight_loads(tg, result.mapping).values()) <= 8.0
+
+    def test_infeasible_task_is_not_applicable(self):
+        # one task outweighs every processor: no strategy can place it
+        tg = _weighted_ring([50, 1, 1, 1])
+        topo = _memory_machine(networks.complete(2), 10.0)
+        with pytest.raises(NotApplicableError):
+            run_pipeline(
+                tg, topo,
+                RunConfig(map=MapConfig(strategy="mwm"), stages=STAGES,
+                          cache=False),
+            )
+
+
+class TestIgnoreMode:
+    def test_scalar_bound_path_overflows_and_validate_flags_it(self):
+        tg = _heavy_ring()
+        # cap 6: the count-balanced packing (4 tasks incl. one heavy per
+        # processor) weighs 8 -- infeasible, which is the point
+        topo = _memory_machine(networks.complete(4), 6.0)
+        result = run_pipeline(
+            tg, topo,
+            RunConfig(
+                map=MapConfig(strategy="mwm", capacity_mode="ignore"),
+                stages=STAGES, cache=False,
+            ),
+        )
+        with pytest.raises(ValidationError) as info:
+            result.mapping.validate()
+        payload = info.value.payload
+        assert payload["kind"] == "capacity_overflow"
+        entry = payload["overflows"][0]
+        assert entry["resource"] == "memory"
+        assert entry["demand"] > entry["capacity"] == 6.0
+        assert entry["processor"] in topo.processors
+
+    def test_validate_can_skip_the_capacity_check(self):
+        tg = _heavy_ring()
+        topo = _memory_machine(networks.complete(4), 6.0)
+        result = run_pipeline(
+            tg, topo,
+            RunConfig(
+                map=MapConfig(strategy="mwm", capacity_mode="ignore"),
+                stages=STAGES, cache=False,
+            ),
+        )
+        result.mapping.validate(check_capacities=False)  # no raise
+
+    def test_bad_capacity_mode_rejected(self):
+        with pytest.raises(ValueError, match="capacity_mode"):
+            MapConfig(capacity_mode="maybe")
+
+    def test_strict_mode_is_omitted_from_config_dict(self):
+        # fingerprint stability: pre-existing cache keys must not shift
+        assert "capacity_mode" not in MapConfig().to_dict()
+        assert MapConfig(capacity_mode="ignore").to_dict()[
+            "capacity_mode"
+        ] == "ignore"
+
+
+class TestRepairHeadroom:
+    def test_incremental_repair_relocates_onto_headroom(self):
+        from repro.resilience import FaultSet, repair_mapping
+
+        tg = _heavy_ring()
+        base = networks.complete(6)
+        topo = _memory_machine(base, 9.0)
+        mapping = run_pipeline(
+            tg, topo,
+            RunConfig(map=MapConfig(strategy="mwm"), stages=STAGES,
+                      cache=False),
+        ).mapping
+        report = repair_mapping(
+            tg, mapping, topo, FaultSet(failed_procs=[base.processors[0]])
+        )
+        report.mapping.validate()
+        loads = _proc_weight_loads(tg, report.mapping)
+        assert base.processors[0] not in loads
+        assert max(loads.values()) <= 9.0

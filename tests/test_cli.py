@@ -191,6 +191,92 @@ class TestCommands:
         assert data["load_balancing"]["max_tasks"] >= 1
 
 
+class TestMachineOptions:
+    def test_machine_show_generator_spec(self, capsys):
+        import json
+
+        assert main(["machine", "show", "fat_tree:2x4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "fat_tree"
+        assert doc["n_processors"] == 8
+        assert doc["capacities"] is None
+        assert any(
+            c["slowdown"] != 1.0 for c in doc["link_bandwidth_classes"]
+        )
+
+    def test_machine_show_flat_spec(self, capsys):
+        import json
+
+        assert main(["machine", "show", "mesh:2x2"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "flat"
+        assert doc["n_processors"] == 4
+
+    def test_machine_show_file_with_capacities(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "machine.json"
+        path.write_text(json.dumps({
+            "format": "oregami-machine-v1",
+            "kind": "node_core_tree",
+            "params": {"nodes": 2, "cores": 4},
+            "capacities": {"memory": {"demand": "weight", "cap": 8.0}},
+        }))
+        assert main(["machine", "show", str(path)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "node_core_tree"
+        assert doc["capacities"][0]["resource"] == "memory"
+        assert doc["capacities"][0]["total"] == 64.0
+
+    def test_machine_show_bad_spec(self, capsys):
+        assert main(["machine", "show", "fat_tree:axb"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_map_with_machine_flag(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15",
+             "--machine", "node_core_tree:2x4"]
+        ) == 0
+        assert "total IPC" in capsys.readouterr().out
+
+    def test_map_with_machine_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "machine.json"
+        path.write_text(json.dumps({
+            "format": "oregami-machine-v1",
+            "kind": "topology",
+            "params": {"spec": "hypercube:3"},
+            "capacities": {"slots": 2},
+        }))
+        assert main(
+            ["map", "nbody", "--bind", "n=15", "--machine", str(path)]
+        ) == 0
+        assert "total IPC" in capsys.readouterr().out
+
+    def test_topology_and_machine_are_exclusive(self, capsys):
+        assert main(
+            ["map", "nbody", "--bind", "n=15",
+             "--topology", "hypercube:3", "--machine", "fat_tree:2x4"]
+        ) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_neither_topology_nor_machine_is_an_error(self, capsys):
+        assert main(["map", "nbody", "--bind", "n=15"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_run_with_machine_flag(self, capsys):
+        import json
+
+        assert main(
+            ["run", "nbody", "--bind", "n=15",
+             "--machine", "dragonfly:2x4", "--no-cache"]
+        ) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["format"] == "oregami-pipeline-result-v1"
+        assert out["mapping"]["topology"]["hierarchy"]["kind"] == "dragonfly"
+
+
 class TestResilienceCommand:
     _BASE = ["resilience", "jacobi", "--bind", "rows=4", "cols=4",
              "--topology", "hypercube:4"]

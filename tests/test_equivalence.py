@@ -101,6 +101,37 @@ def test_metrics_match_golden(gname, tname):
 
 
 @pytest.mark.parametrize("gname,tname", GRID)
+def test_uniform_capacities_match_golden(gname, tname):
+    """Generous uniform capacities leave every assignment bit-identical.
+
+    The capacity-aware code paths run (the machine declares vectors) but
+    never bind, so contraction, embedding, and refinement must make
+    exactly the choices the scalar-bound implementation made -- the PR 9
+    analogue of the PR 4 shim proof.
+    """
+    from repro.arch.hierarchy import with_capacities
+
+    golden = GOLDEN[f"{gname}/{tname}"]
+    tg = GRAPHS[gname]()
+    base = TOPOLOGIES[tname]()
+    capped = with_capacities(base, {
+        "slots": tg.n_tasks,
+        "memory": {
+            "demand": "weight",
+            "cap": float(sum(tg.node_weight(t) for t in tg.nodes)),
+        },
+    })
+    result = run_pipeline(
+        tg, capped,
+        RunConfig(map=MapConfig(strategy="auto"), cache=False),
+    )
+    got = _mapping_payload(result.mapping)
+    assert got["provenance"] == golden["provenance"]
+    assert got["assignment"] == golden["assignment"]
+    assert got["routes"] == golden["routes"]
+
+
+@pytest.mark.parametrize("gname,tname", GRID)
 def test_pipeline_agrees_with_shim(gname, tname):
     """The engine run directly gives the same artifacts the shims give."""
     m = map_computation(GRAPHS[gname](), TOPOLOGIES[tname]())

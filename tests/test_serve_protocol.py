@@ -90,8 +90,18 @@ class TestParseMapRequest:
 
     def test_missing_topology_rejected(self):
         raw = json.dumps({"program": "dnc", "bind": {"m": 3}}).encode()
-        with pytest.raises(ProtocolError, match="'topology' is required"):
+        with pytest.raises(
+            ProtocolError, match="exactly one of 'topology' or 'machine'"
+        ):
             parse_map_request(raw)
+
+    def test_topology_and_machine_together_rejected(self):
+        with pytest.raises(
+            ProtocolError, match="exactly one of 'topology' or 'machine'"
+        ):
+            parse_map_request(
+                _body(topology="mesh:2x2", machine="fat_tree:2x2")
+            )
 
     def test_bad_topology_spec_rejected(self):
         with pytest.raises(ProtocolError, match="unknown topology"):
