@@ -48,6 +48,10 @@ Measured sections
   under a concurrent ``repro.serve.loadgen`` stream -- cold computes vs.
   warm cache hits (p50/p99/throughput), repeat-burst bit-determinism, a
   thundering herd that must compute exactly once, and a graceful drain.
+* ``online``      -- the PR 10 headline: the continuous-operation
+  mapping session under event churn -- steady-state per-event reaction
+  latency (p50/p99) over a mixed seeded stream, and final quality vs. a
+  from-scratch remap oracle at three churn intensities.
 * ``perf_spans``  -- the repro.util.perf span totals recorded while the
   suite ran, so per-stage attribution lands in the trajectory too.
 
@@ -820,6 +824,76 @@ def bench_serving() -> dict:
     }
 
 
+def bench_online() -> dict:
+    """The PR 10 headline: the continuous-operation session under churn.
+
+    * ``steady_state`` -- a mixed seeded event stream (arrivals,
+      departures, drift, faults, recoveries, bursts, flaps) applied to a
+      live session on the 64-processor hypercube: total wall-clock
+      (gated) plus per-event reaction latency p50/p99 (load-dependent,
+      ``*_ms``, exempt from the gate) and throughput.
+    * ``quality_vs_churn`` -- the same instance at three churn
+      intensities; after the stream, the session's served comm cost is
+      compared against a from-scratch remap of the final graph on the
+      final machine (the oracle a non-incremental toolchain would have
+      to stop the world to compute).
+    """
+    from repro.metrics import comm_cost
+    from repro.online import MappingSession, SessionConfig, generate_scenario
+
+    quick = REPEATS == 1
+    tg = stdlib.load("jacobi", rows=8, cols=8)
+    topo = networks.hypercube(6)
+    out: dict = {}
+
+    n_events = 100 if quick else 400
+    scn = generate_scenario(tg, topo, seed=10, n_events=n_events)
+    session = MappingSession(tg, topo, SessionConfig(checkpoint_every=0))
+    start = time.perf_counter()
+    report = session.run(scn.events)
+    elapsed = time.perf_counter() - start
+    latencies = sorted(r.elapsed_s for r in report.records)
+    out["steady_state"] = {
+        "workload": f"jacobi8x8/hypercube:6, {n_events} mixed events",
+        "steady_state_s": elapsed,
+        "events_per_s": n_events / elapsed,
+        "p50_ms": latencies[len(latencies) // 2] * 1e3,
+        "p99_ms": latencies[min(len(latencies) - 1,
+                                int(len(latencies) * 0.99))] * 1e3,
+        "remaps": report.counters.get("remaps_triggered", 0),
+        "swaps": report.counters.get("swaps", 0),
+    }
+
+    n = 60 if quick else 200
+    rows: dict = {}
+    for label, rates in (
+        ("low", {"drift": 1.0, "fault": 0.5}),
+        ("med", {"drift": 3.0, "fault": 1.5}),
+        ("high", {"drift": 6.0, "fault": 3.0}),
+    ):
+        churn_scn = generate_scenario(tg, topo, seed=20, n_events=n,
+                                      rates=rates)
+        churn_session = MappingSession(
+            tg, topo, SessionConfig(checkpoint_every=0)
+        )
+        churn_report = churn_session.run(churn_scn.events)
+        served = comm_cost(churn_session.mapping)
+        oracle = comm_cost(map_computation(
+            churn_session.mapping.task_graph, churn_session.machine
+        ))
+        rows[label] = {
+            "events": n,
+            "rates": rates,
+            "served_cost": served,
+            "oracle_cost": oracle,
+            "cost_vs_oracle": served / oracle if oracle > 0 else 1.0,
+            "remaps": churn_report.counters.get("remaps_triggered", 0),
+            "swaps": churn_report.counters.get("swaps", 0),
+        }
+    out["quality_vs_churn"] = rows
+    return out
+
+
 def iter_timings(payload: dict, prefix: str = "") -> dict[str, float]:
     """Flatten every ``*_s`` timing in the payload to ``section.key`` paths."""
     out: dict[str, float] = {}
@@ -857,8 +931,8 @@ def main(argv=None) -> int:
     global REPEATS
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "-o", "--output", type=Path, default=Path("BENCH_PR9.json"),
-        help="trajectory file to write (default: BENCH_PR9.json)",
+        "-o", "--output", type=Path, default=Path("BENCH_PR10.json"),
+        help="trajectory file to write (default: BENCH_PR10.json)",
     )
     parser.add_argument(
         "--baseline", type=Path, default=None,
@@ -890,11 +964,12 @@ def main(argv=None) -> int:
     perf.reset()
     payload = {
         "meta": {
-            "pr": 9,
-            "description": "heterogeneous machine model: hierarchical "
-                           "topologies lowered to link slowdowns and "
-                           "multi-resource capacity vectors threaded "
-                           "through every mapping layer",
+            "pr": 10,
+            "description": "continuous-operation remap daemon: "
+                           "event-driven mapping sessions with "
+                           "incremental repair, drift-triggered "
+                           "background remap, and migration-cost-gated "
+                           "hot-swap",
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
@@ -914,6 +989,7 @@ def main(argv=None) -> int:
         "mapping_scale": bench_mapping_scale(),
         "machines": bench_machines(),
         "serving": bench_serving(),
+        "online": bench_online(),
     }
     payload["perf_spans"] = {
         name: {"calls": s.calls, "total_s": s.total}
@@ -1010,6 +1086,16 @@ def main(argv=None) -> int:
           f"{sv['warm']['hit_rate']:.2f}, herd computed once="
           f"{sv['herd_computed_once']}, deterministic={sv['deterministic']}, "
           f"drain rc={sv['drain_rc']}")
+    ol = payload["online"]["steady_state"]
+    print(f"online steady state ({ol['workload']}): "
+          f"{ol['events_per_s']:.0f} events/s, p50 {ol['p50_ms']:.2f}ms, "
+          f"p99 {ol['p99_ms']:.2f}ms, remaps {ol['remaps']}, "
+          f"swaps {ol['swaps']}")
+    for label, row in payload["online"]["quality_vs_churn"].items():
+        print(f"online churn {label}: served {row['served_cost']:.0f} vs "
+              f"oracle {row['oracle_cost']:.0f} "
+              f"({row['cost_vs_oracle']:.2f}x, remaps {row['remaps']}, "
+              f"swaps {row['swaps']})")
     print(f"wrote {args.output}")
 
     if args.check and args.check.exists():

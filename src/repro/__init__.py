@@ -40,7 +40,7 @@ from repro.mapper import Mapping, NotApplicableError, map_computation
 from repro.metrics import MappingSession, analyze, render_report
 from repro.sim import CostModel, simulate
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "TaskGraph",

@@ -473,6 +473,106 @@ def _cmd_resilience(args) -> int:
     return 0
 
 
+def _parse_rates(specs: list[str]) -> dict | None:
+    """``KIND=WEIGHT`` pairs for the scenario generator's rate table."""
+    rates: dict[str, float] = {}
+    for spec in specs:
+        name, sep, value = spec.partition("=")
+        if not sep:
+            raise ValueError(
+                f"bad --rate {spec!r}: expected KIND=WEIGHT "
+                f"(e.g. arrival=4 fault=0.5)"
+            )
+        rates[name] = float(value)
+    return rates or None
+
+
+def _cmd_online(args) -> int:
+    """Run a continuous-operation mapping session over an event stream."""
+    import json
+
+    from repro.online import (
+        MappingSession,
+        Scenario,
+        SessionConfig,
+        generate_scenario,
+    )
+
+    tg, topology = _compile_instance(args)
+    if args.scenario is not None:
+        scenario = Scenario.from_dict(json.loads(Path(args.scenario).read_text()))
+    else:
+        scenario = generate_scenario(
+            tg,
+            topology,
+            seed=args.seed,
+            n_events=args.events,
+            rates=_parse_rates(args.rate),
+        )
+    if args.save_scenario is not None:
+        Path(args.save_scenario).write_text(
+            json.dumps(scenario.to_dict(), indent=1)
+        )
+        print(
+            f"saved scenario ({len(scenario)} events) to {args.save_scenario}",
+            file=sys.stderr,
+        )
+
+    config = SessionConfig(
+        strategy=args.strategy,
+        drift_threshold=args.drift_threshold,
+        clear_threshold=args.clear_threshold,
+        cooldown_events=args.cooldown,
+        amortize_events=args.amortize,
+        state_volume=args.state_volume,
+        remap_deadline_s=args.deadline,
+        retries=args.retries or 0,
+        executor=args.executor,
+        max_workers=args.workers,
+        event_deadline_s=args.event_deadline,
+        checkpoint_every=args.checkpoint_every,
+    )
+    session = MappingSession(tg, topology, config)
+    report = session.run(scenario.events, resume=args.resume)
+
+    if args.json:
+        print(json.dumps({
+            "format": "oregami-online-v1",
+            "scenario": {
+                "name": scenario.name,
+                "seed": scenario.seed,
+                "events": len(scenario),
+                "fingerprint": scenario.fingerprint(),
+            },
+            "report": report.to_dict(include_trace=args.trace),
+        }, indent=1))
+        return 0
+
+    counters = report.counters
+    latencies = sorted(r.elapsed_s for r in report.records) or [0.0]
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    print(f"session over {len(report.records)} events "
+          f"({scenario.name}, seed {scenario.seed})")
+    if report.resumed_at:
+        print(f"  resumed from checkpoint at event {report.resumed_at}")
+    for kind in ("arrival", "departure", "drift", "fault", "recovery"):
+        n = counters.get(f"events_{kind}", 0)
+        if n:
+            print(f"  {kind:<10} {n}")
+    print(f"  remaps triggered {counters.get('remaps_triggered', 0)}, "
+          f"hot-swaps {counters.get('swaps', 0)}, "
+          f"failed {counters.get('remaps_failed', 0)}")
+    print(f"  per-event latency p50 {pct(0.50) * 1e3:.2f}ms, "
+          f"p99 {pct(0.99) * 1e3:.2f}ms")
+    print(f"  final comm cost {report.final_comm_cost:g} "
+          f"(baseline {report.baseline_cost:g})")
+    print(f"  trace fingerprint {report.trace_fingerprint}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Boot the long-lived mapping service (see ``docs/service.md``)."""
     from repro.pipeline.cache import ArtifactCache, cache_dir, default_cache
@@ -681,6 +781,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--save", metavar="FILE", default=None,
                        help="write the repaired mapping to a JSON file")
 
+    p_online = sub.add_parser(
+        "online",
+        help="run a continuous-operation mapping session over an event "
+             "stream (see docs/online.md)",
+    )
+    p_online.add_argument("program", help="stdlib name or .larcs file path")
+    p_online.add_argument("--bind", nargs="*", default=[], metavar="NAME=INT")
+    p_online.add_argument("--topology", default=None, metavar="SPEC",
+                          help="e.g. hypercube:3, mesh:4x4, ring:8")
+    p_online.add_argument("--machine", default=None, metavar="SPEC",
+                          help="hierarchical machine spec or JSON machine "
+                               "file; give this or --topology")
+    p_online.add_argument("--strategy", default="auto",
+                          choices=["auto", *strategy_names()])
+    p_online.add_argument("--scenario", metavar="FILE", default=None,
+                          help="replay a saved oregami-scenario-v1 JSON "
+                               "event stream instead of generating one")
+    p_online.add_argument("--events", type=int, default=50,
+                          help="events to generate (ignored with --scenario)")
+    p_online.add_argument("--seed", type=int, default=0,
+                          help="scenario generator seed")
+    p_online.add_argument("--rate", action="append", default=[],
+                          metavar="KIND=WEIGHT",
+                          help="override a generator rate, e.g. arrival=6 "
+                               "fault=0 (repeatable)")
+    p_online.add_argument("--save-scenario", metavar="FILE", default=None,
+                          help="write the (generated or loaded) scenario "
+                               "to a JSON file")
+    p_online.add_argument("--drift-threshold", type=float, default=0.25,
+                          help="relative comm-cost drift that arms a "
+                               "background full remap")
+    p_online.add_argument("--clear-threshold", type=float, default=0.05,
+                          help="drift level that re-arms the trigger after "
+                               "a decision (hysteresis)")
+    p_online.add_argument("--cooldown", type=int, default=4,
+                          help="events between remap decisions")
+    p_online.add_argument("--amortize", type=int, default=50,
+                          help="events a hot-swap's per-event gain must "
+                               "pay back the migration cost over")
+    p_online.add_argument("--state-volume", type=float, default=1.0,
+                          help="task state bytes moved per migration")
+    p_online.add_argument("--event-deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-event soft budget (overruns are "
+                               "flagged in the trace, never dropped)")
+    p_online.add_argument("--checkpoint-every", type=int, default=1,
+                          help="journal the session state every N events")
+    p_online.add_argument("--executor", default="serial",
+                          choices=["serial", "thread", "process"],
+                          help="background remap portfolio executor")
+    p_online.add_argument("--workers", type=int, default=None,
+                          help="portfolio worker count (trace identical "
+                               "at any)")
+    _add_supervision_flags(p_online, resume_default="off")
+    p_online.add_argument("--trace", action="store_true",
+                          help="include the full per-event trace in JSON "
+                               "output")
+    p_online.add_argument("--json", action="store_true",
+                          help="emit machine-readable JSON")
+
     p_serve = sub.add_parser(
         "serve",
         help="run the mapping pipeline as a long-lived HTTP service",
@@ -770,6 +930,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "analyze": _cmd_analyze,
         "resilience": _cmd_resilience,
+        "online": _cmd_online,
         "serve": _cmd_serve,
         "machine": _cmd_machine,
         "cache": _cmd_cache,

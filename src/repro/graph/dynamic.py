@@ -140,40 +140,105 @@ class IncrementalMapper:
     processor nearest its parent* (ties to lowest processor order), which
     on a hypercube reproduces the classic subcube-doubling behaviour of
     D&C schedulers; the root goes to a highest-degree processor.
+
+    ``capacity`` bounds placement.  A scalar int is the paper's load
+    bound (at most that many tasks per processor); a
+    :class:`~repro.arch.capacity.Capacities` (or a
+    :class:`~repro.arch.capacity.CapacityContext`, from which the
+    capacities are taken) gates every placement on *vector* headroom
+    across all declared resources, exactly like
+    :func:`repro.resilience.repair_mapping` does when relocating.  When
+    ``capacity`` is omitted and the topology carries capacities, those
+    are used -- an online mapper on a capacity-constrained machine should
+    not silently overcommit it.  Per-task demand follows the declared
+    demand rules (``"unit"`` consumes 1, ``"weight"`` consumes the task
+    weight passed to :meth:`place_root` / :meth:`spawn`).
     """
 
-    def __init__(self, topology: Topology, *, capacity: int | None = None):
+    def __init__(self, topology: Topology, *, capacity=None):
         self.topology = topology
-        self.capacity = capacity
+        if capacity is None:
+            capacity = getattr(topology, "capacities", None)
+        self.capacity: int | None = None
+        self._cap = None      # (P, R) capacity matrix, stable index order
+        self._loadv = None    # (P, R) consumed demand
+        self._rules: tuple[str, ...] | None = None
+        if capacity is not None:
+            from repro.arch.capacity import Capacities, CapacityContext
+
+            if isinstance(capacity, CapacityContext):
+                capacity = capacity.capacities
+            if isinstance(capacity, Capacities):
+                import numpy as np
+
+                self._cap = capacity.cap_array(topology)
+                self._loadv = np.zeros_like(self._cap)
+                self._rules = capacity.rules
+            elif isinstance(capacity, int) and not isinstance(capacity, bool):
+                self.capacity = capacity
+            else:
+                raise TypeError(
+                    f"capacity must be an int load bound, a Capacities, or "
+                    f"a CapacityContext, got {type(capacity).__name__}"
+                )
         self.assignment: dict[Task, Proc] = {}
         self.load: dict[Proc, int] = {p: 0 for p in topology.processors}
         self._order = {p: i for i, p in enumerate(topology.processors)}
 
-    def place_root(self, task: Task) -> Proc:
+    def _demand(self, weight: float):
+        """The demand vector one task of *weight* consumes (vector mode)."""
+        import numpy as np
+
+        assert self._rules is not None
+        return np.array(
+            [1.0 if rule == "unit" else float(weight) for rule in self._rules]
+        )
+
+    def _fits(self, proc: Proc, demand) -> bool:
+        """Vector headroom check on one processor."""
+        from repro.arch.capacity import _TOL
+
+        k = self.topology.index_of(proc)
+        return bool((self._loadv[k] + demand <= self._cap[k] + _TOL).all())
+
+    def _candidates(self, weight: float) -> tuple[list[Proc], object]:
+        """Processors with headroom for one task of *weight*."""
+        if self._cap is not None:
+            demand = self._demand(weight)
+            procs = [
+                p for p in self.topology.processors if self._fits(p, demand)
+            ]
+        else:
+            demand = None
+            procs = [
+                p
+                for p in self.topology.processors
+                if self.capacity is None or self.load[p] < self.capacity
+            ]
+        if not procs:
+            raise RuntimeError("no processor has spare capacity")
+        return procs, demand
+
+    def place_root(self, task: Task, *, weight: float = 1.0) -> Proc:
         """Place the initial task."""
         if self.assignment:
             raise RuntimeError("root already placed")
+        candidates, demand = self._candidates(weight)
         proc = max(
-            self.topology.processors,
+            candidates,
             key=lambda p: (self.topology.degree(p), -self._order[p]),
         )
-        self._put(task, proc)
+        self._put(task, proc, demand)
         return proc
 
-    def spawn(self, parent: Task, child: Task) -> Proc:
+    def spawn(self, parent: Task, child: Task, *, weight: float = 1.0) -> Proc:
         """Place a newly spawned child near its (already placed) parent."""
         if parent not in self.assignment:
             raise KeyError(f"parent {parent!r} is not placed")
         if child in self.assignment:
             raise ValueError(f"task {child!r} already placed")
         home = self.assignment[parent]
-        candidates = [
-            p
-            for p in self.topology.processors
-            if self.capacity is None or self.load[p] < self.capacity
-        ]
-        if not candidates:
-            raise RuntimeError("no processor has spare capacity")
+        candidates, demand = self._candidates(weight)
         proc = min(
             candidates,
             key=lambda p: (
@@ -182,12 +247,14 @@ class IncrementalMapper:
                 self._order[p],
             ),
         )
-        self._put(child, proc)
+        self._put(child, proc, demand)
         return proc
 
-    def _put(self, task: Task, proc: Proc) -> None:
+    def _put(self, task: Task, proc: Proc, demand=None) -> None:
         self.assignment[task] = proc
         self.load[proc] += 1
+        if demand is not None:
+            self._loadv[self.topology.index_of(proc)] += demand
 
     def run(self, pattern: SpawnPattern) -> Mapping:
         """Spawn a whole pattern online and return the final routed mapping.

@@ -1,0 +1,939 @@
+"""The continuous-operation mapping session: a state machine over events.
+
+OREGAMI maps once, at compile time.  A :class:`MappingSession` keeps a
+mapping *healthy* while the computation runs: it ingests the typed event
+stream of :mod:`repro.online.events`, applies the cheapest sufficient
+response to each event, and only ever serves a mapping that validates
+(complete routes, no dead hardware, capacity-feasible).
+
+Per event:
+
+* **arrival** -- the task is placed online (least-loaded processor
+  nearest its peers, vector capacity headroom respected -- the
+  :class:`~repro.graph.dynamic.IncrementalMapper` policy) and only the
+  new edges are routed, seeding link loads from the kept routes;
+* **departure** -- the task, its edges, and their routes are dropped;
+  surviving routes are re-keyed to the shifted edge indices;
+* **drift** -- volumes update in place (routes keep their paths);
+* **fault** -- :func:`~repro.resilience.repair_mapping` relocates and
+  re-routes only what broke, then the mapping is re-bound onto the
+  canonical machine ``base.degrade(active_faults)`` so cumulative
+  slowdowns survive stepwise degradation;
+* **recovery** -- the fault lifts (``FaultSet.difference``), the machine
+  re-derives with the recovered hardware back, and every existing route
+  stays valid because recovery only ever *adds* links.
+
+After every event the session measures **quality drift**: current
+communication cost against a baseline the last full portfolio run
+established.  When drift crosses the hysteresis trigger (and the
+cooldown has expired, and the trigger is armed), it launches a
+*supervised background full remap* -- :func:`~repro.mapper.run_portfolio`
+under the PR 5 runtime with per-strategy deadline, deterministic
+retries, and chaos injection -- and **hot-swaps** only when the
+migration-cost model says the amortized gain pays for moving the tasks:
+
+    swap iff (current_cost - candidate_cost) * amortize_events >
+             migration_time(machine, moves, state_volume, model)
+
+Either way the decision is recorded in the trace and the baseline
+refreshes to the portfolio's estimate.  A portfolio in which *no*
+strategy survives (crashes, timeouts) degrades gracefully: the session
+keeps serving the repaired mapping and records the failure.
+
+Determinism: the canonical trace (event fingerprints, actions, costs,
+swap decisions, mapping fingerprints) is bit-identical across executors,
+worker counts, and ``PYTHONHASHSEED``; wall-clock (per-event latency,
+deadline flags) is recorded *outside* the canonical projection.
+Checkpoints chain event fingerprints through the runtime
+:class:`~repro.runtime.Journal`, so a SIGKILLed session resumed with
+``resume="auto"`` replays to an identical trace.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.arch.topology import Topology
+from repro.errors import AllStrategiesFailed
+from repro.graph.taskgraph import CommEdge, TaskGraph
+from repro.mapper.mapping import Mapping, NotApplicableError
+from repro.mapper.migration import migration_time
+from repro.mapper.portfolio import run_portfolio
+from repro.mapper.routing.mm_route import route_edges
+from repro.metrics.analysis import comm_cost
+from repro.online.events import (
+    Arrival,
+    Departure,
+    Drift,
+    Fault,
+    Recovery,
+    event_fingerprint,
+)
+from repro.resilience.faults import FaultSet
+from repro.resilience.repair import repair_mapping
+from repro.sim.model import CostModel
+from repro.util import perf
+from repro.util.fingerprint import encode_label, sort_encoded, stable_digest
+
+__all__ = [
+    "SessionConfig",
+    "EventRecord",
+    "SessionReport",
+    "MappingSession",
+    "mapping_fingerprint",
+]
+
+_RESUME_MODES = ("auto", "off")
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """The session's knobs.
+
+    Quality / hysteresis:
+
+    * ``drift_threshold`` -- relative comm-cost drift above the baseline
+      that arms a background remap (0.25 = 25% worse than the last
+      portfolio estimate).
+    * ``clear_threshold`` -- drift must fall back below this before the
+      trigger re-arms after a remap decision (hysteresis; a session that
+      decided "not worth moving" does not re-decide every event).  A
+      *further* degradation past the trigger threshold relative to the
+      decision point re-arms immediately.
+    * ``cooldown_events`` -- minimum events between background remaps.
+    * ``amortize_events`` -- horizon over which a candidate mapping's
+      per-event gain must amortize the one-time migration cost.
+    * ``state_volume`` -- per-task state volume charged by the
+      migration-cost model on hot-swap and fault relocation.
+
+    Mapping / supervision (the background portfolio):
+
+    * ``strategy`` / ``load_bound`` -- forwarded to incremental repair's
+      full-remap fallback.
+    * ``strategies`` -- portfolio strategy order (``None`` = registry
+      default).
+    * ``remap_deadline_s`` / ``retries`` / ``backoff_s`` -- per-strategy
+      supervision budget for the background portfolio.
+    * ``executor`` / ``max_workers`` -- how the portfolio fans out; never
+      affects the canonical trace.
+    * ``event_deadline_s`` -- per-event latency budget.  In-process
+      repair cannot be deterministically preempted, so this flags
+      overruns in the (non-canonical) timing channel rather than
+      aborting mid-repair.
+
+    ``checkpoint_every`` checkpoints session state through the Journal
+    every N events (1 = every event, 0 = never).
+    """
+
+    strategy: str = "auto"
+    load_bound: int | None = None
+    drift_threshold: float = 0.25
+    clear_threshold: float = 0.05
+    cooldown_events: int = 4
+    amortize_events: int = 50
+    state_volume: float = 1.0
+    strategies: tuple[str, ...] | None = None
+    remap_deadline_s: float | None = None
+    retries: int = 0
+    backoff_s: float = 0.05
+    executor: str = "serial"
+    max_workers: int | None = None
+    event_deadline_s: float | None = None
+    checkpoint_every: int = 1
+
+    def __post_init__(self):
+        if self.drift_threshold <= 0:
+            raise ValueError("drift_threshold must be > 0")
+        if not 0 <= self.clear_threshold < self.drift_threshold:
+            raise ValueError(
+                "clear_threshold must satisfy 0 <= clear < drift_threshold"
+            )
+        if self.cooldown_events < 0 or self.amortize_events < 1:
+            raise ValueError("cooldown_events >= 0 and amortize_events >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0 (0 disables)")
+        if self.strategies is not None:
+            object.__setattr__(self, "strategies", tuple(self.strategies))
+
+    def canonical_dict(self) -> dict:
+        """The trace-affecting knobs -- keys the session checkpoint chain.
+
+        Executor, worker count, and the per-event latency budget are
+        excluded: they never change any decision, and a resumed session
+        must be free to run them differently.
+        """
+        return {
+            "strategy": self.strategy,
+            "load_bound": self.load_bound,
+            "drift_threshold": self.drift_threshold,
+            "clear_threshold": self.clear_threshold,
+            "cooldown_events": self.cooldown_events,
+            "amortize_events": self.amortize_events,
+            "state_volume": self.state_volume,
+            "strategies": list(self.strategies) if self.strategies else None,
+            "remap_deadline_s": self.remap_deadline_s,
+            "retries": self.retries,
+            "backoff_s": self.backoff_s,
+        }
+
+    def to_dict(self) -> dict:
+        """Every knob, JSON-compatible (inverse of :meth:`from_dict`)."""
+        return {
+            **self.canonical_dict(),
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+            "event_deadline_s": self.event_deadline_s,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionConfig":
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown session config keys {sorted(unknown)!r}; "
+                f"choose from {sorted(known)!r}"
+            )
+        kwargs = dict(data)
+        if kwargs.get("strategies") is not None:
+            kwargs["strategies"] = tuple(kwargs["strategies"])
+        return cls(**kwargs)
+
+
+@dataclass
+class EventRecord:
+    """One event's outcome in the session trace.
+
+    ``canonical()`` is the deterministic projection (what the trace
+    fingerprint digests); ``elapsed_s`` / ``deadline_exceeded`` /
+    ``notes`` are wall-clock and diagnostic channels excluded from it.
+    """
+
+    index: int
+    kind: str
+    event_fp: str
+    action: str
+    detail: dict = field(default_factory=dict)
+    comm_cost: float = 0.0
+    drift: float = 0.0
+    remap: dict | None = None
+    mapping_fp: str = ""
+    elapsed_s: float = 0.0
+    deadline_exceeded: bool = False
+    notes: dict = field(default_factory=dict)
+
+    def canonical(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "event": self.event_fp,
+            "action": self.action,
+            "detail": dict(sorted(self.detail.items())),
+            "comm_cost": self.comm_cost,
+            "drift": self.drift,
+            "remap": (
+                dict(sorted(self.remap.items())) if self.remap is not None
+                else None
+            ),
+            "mapping": self.mapping_fp,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            **self.canonical(),
+            "elapsed_ms": self.elapsed_s * 1e3,
+            "deadline_exceeded": self.deadline_exceeded,
+            "notes": dict(sorted(self.notes.items())),
+        }
+
+
+@dataclass
+class SessionReport:
+    """The session's outcome: trace, counters, and final state digests."""
+
+    session_key: str
+    records: list[EventRecord]
+    trace_fingerprint: str
+    final_mapping_fingerprint: str
+    final_comm_cost: float
+    baseline_cost: float
+    counters: dict
+    resumed_at: int | None = None
+
+    def to_dict(self, *, include_trace: bool = False) -> dict:
+        doc = {
+            "format": "oregami-online-report-v1",
+            "session_key": self.session_key,
+            "events": len(self.records),
+            "trace_fingerprint": self.trace_fingerprint,
+            "final_mapping_fingerprint": self.final_mapping_fingerprint,
+            "final_comm_cost": self.final_comm_cost,
+            "baseline_cost": self.baseline_cost,
+            "counters": dict(sorted(self.counters.items())),
+            "resumed_at": self.resumed_at,
+        }
+        if include_trace:
+            doc["trace"] = [r.to_dict() for r in self.records]
+        return doc
+
+
+def mapping_fingerprint(mapping: Mapping) -> str:
+    """A stable digest of (assignment, routes) -- the served state."""
+    return stable_digest({
+        "kind": "online-mapping",
+        "assignment": sort_encoded(
+            [encode_label(t), encode_label(p)]
+            for t, p in mapping.assignment.items()
+        ),
+        "routes": sort_encoded(
+            [phase, idx, [encode_label(p) for p in route]]
+            for (phase, idx), route in mapping.routes.items()
+        ),
+    })
+
+
+class MappingSession:
+    """A long-running mapping maintained against a live event stream.
+
+    Parameters
+    ----------
+    tg:
+        The initial task graph (copied into the session's live model;
+        never mutated).
+    topology:
+        The pristine machine.  The session's *current* machine is always
+        ``topology.degrade(active_faults)`` re-derived from here, which
+        is what makes degrade -> recover round-trips exact.
+    config:
+        A :class:`SessionConfig` (default knobs otherwise).
+    model:
+        Cost model for simulation, migration charges, and repair.
+    cache:
+        Explicit artifact cache for checkpointing (default: the
+        process-wide cache; checkpointing is skipped when caching is
+        off).
+    """
+
+    def __init__(
+        self,
+        tg: TaskGraph,
+        topology: Topology,
+        config: SessionConfig | None = None,
+        *,
+        model: CostModel | None = None,
+        cache=None,
+    ):
+        from repro.pipeline.config import SimConfig
+        from repro.runtime import plan_from_env
+
+        self.config = config or SessionConfig()
+        self.model = model or CostModel()
+        self.base = topology
+        self._cache = cache
+        self._chaos = plan_from_env()
+
+        tg.validate()
+        self._name = tg.name
+        self._weights: dict[Any, float] = {
+            t: tg.node_weight(t) for t in tg.nodes
+        }
+        self._comm: dict[str, list[CommEdge]] = {
+            name: list(phase.edges) for name, phase in tg.comm_phases.items()
+        }
+        self._exec: dict[str, tuple[float, dict]] = {
+            name: (phase.cost, dict(phase.costs))
+            for name, phase in tg.exec_phases.items()
+        }
+        self._phase_expr = tg.phase_expr
+        self._graph_cache: TaskGraph | None = None
+
+        self.faults = FaultSet()
+        self.machine = self._derive_machine()
+
+        self.session_key = stable_digest({
+            "kind": "online-session",
+            "task_graph": tg.fingerprint(),
+            "topology": topology.fingerprint(),
+            "config": self.config.canonical_dict(),
+            "model": SimConfig.from_model(self.model).to_dict(),
+        })
+        self._chain = self.session_key
+
+        self.trace: list[EventRecord] = []
+        self.counters: dict[str, int] = {}
+        self._event_index = 0
+        self._resumed_at: int | None = None
+
+        # Hysteresis state.
+        self._armed = True
+        self._cooldown = 0
+        self._decision_cost: float | None = None
+
+        # Initial mapping: a full portfolio run is both the first served
+        # mapping and the first quality baseline.
+        result = self._run_portfolio()
+        self.mapping = result.mapping.copy()
+        self.mapping.validate(require_routes=True)
+        self.baseline = comm_cost(self.mapping)
+
+    # ------------------------------------------------------------------
+    # live graph / machine derivation
+    # ------------------------------------------------------------------
+    def _graph(self) -> TaskGraph:
+        """The current task graph, rebuilt from the live model on demand."""
+        if self._graph_cache is None:
+            tg = TaskGraph(self._name)
+            for task, weight in self._weights.items():
+                tg.add_node(task, weight)
+            for name, edges in self._comm.items():
+                phase = tg.add_comm_phase(name)
+                for e in edges:
+                    phase.add(e.src, e.dst, e.volume)
+            for name, (cost, costs) in self._exec.items():
+                tg.add_exec_phase(
+                    name,
+                    cost,
+                    {t: c for t, c in costs.items() if t in self._weights},
+                )
+            tg.phase_expr = self._phase_expr
+            tg.validate()
+            self._graph_cache = tg
+        return self._graph_cache
+
+    def _derive_machine(self) -> Topology:
+        """The canonical current machine: pristine minus active faults.
+
+        Always re-derived from the pristine base so stepwise fault
+        accumulation keeps *every* active slowdown (``Topology.degrade``
+        sets slowdowns only from the fault set it is handed) and a
+        recovery restores exactly the pre-fault capacity rows and
+        bandwidths.  The constant name keeps content fingerprints stable
+        across fault states with equal structure.
+        """
+        return self.base.degrade(self.faults, name=f"{self.base.name}@online")
+
+    def _retry(self):
+        from repro.runtime import RetryPolicy
+
+        if self.config.retries <= 0:
+            return None
+        return RetryPolicy(
+            max_attempts=self.config.retries + 1,
+            backoff=self.config.backoff_s,
+        )
+
+    def _run_portfolio(self):
+        cfg = self.config
+        return run_portfolio(
+            self._graph(),
+            self.machine,
+            strategies=cfg.strategies,
+            model=self.model,
+            load_bound=cfg.load_bound,
+            executor=cfg.executor,
+            max_workers=cfg.max_workers,
+            deadline=cfg.remap_deadline_s,
+            retry=self._retry(),
+            chaos=self._chaos,
+        )
+
+    def _rebind(self, assignment, routes, provenance: str) -> None:
+        """Install a mapping onto the canonical machine, validated."""
+        mapping = Mapping(
+            self._graph(),
+            self.machine,
+            dict(assignment),
+            {key: list(route) for key, route in routes.items()},
+            provenance=provenance,
+        )
+        mapping.validate(require_routes=True)
+        self.mapping = mapping
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _on_arrival(self, ev: Arrival) -> tuple[str, dict]:
+        if ev.task in self._weights:
+            raise ValueError(f"arrival of already-live task {ev.task!r}")
+        anchors = []
+        for phase, src, dst, _volume in ev.edges:
+            if phase not in self._comm:
+                raise ValueError(
+                    f"arrival edge names undeclared phase {phase!r}"
+                )
+            peer = dst if src == ev.task else src
+            if peer not in self._weights:
+                raise ValueError(
+                    f"arrival edge references non-live task {peer!r}"
+                )
+            anchors.append(self.mapping.assignment[peer])
+
+        proc = self._place(ev.task, ev.weight, anchors)
+        self._weights[ev.task] = ev.weight
+        new_keys = []
+        for phase, src, dst, volume in ev.edges:
+            edges = self._comm[phase]
+            new_keys.append((phase, len(edges)))
+            edges.append(CommEdge(src, dst, volume))
+        self._graph_cache = None
+
+        assignment = dict(self.mapping.assignment)
+        assignment[ev.task] = proc
+        routes = {k: list(r) for k, r in self.mapping.routes.items()}
+        if new_keys:
+            routed = route_edges(
+                self._graph(), self.machine, assignment, new_keys,
+                kept_routes=routes,
+            )
+            routes.update(routed.routes)
+        self._rebind(assignment, routes, "online+arrival")
+        return "placed", {
+            "proc": str(proc),
+            "new_edges": len(new_keys),
+        }
+
+    def _place(self, task, weight: float, anchors: list) -> Any:
+        """IncrementalMapper's policy on the current machine: least
+        loaded, nearest the peers, vector capacity headroom respected."""
+        machine = self.machine
+        load: dict[Any, int] = {p: 0 for p in machine.processors}
+        for proc in self.mapping.assignment.values():
+            if proc in load:
+                load[proc] += 1
+
+        capacities = getattr(machine, "capacities", None)
+        candidates = machine.processors
+        if capacities is not None:
+            import numpy as np
+
+            from repro.arch.capacity import _TOL
+
+            cap = capacities.cap_array(machine)
+            loadv = np.zeros_like(cap)
+            for t, proc in self.mapping.assignment.items():
+                if proc in load:
+                    loadv[machine.index_of(proc)] += [
+                        1.0 if rule == "unit" else self._weights[t]
+                        for rule in capacities.rules
+                    ]
+            demand = np.array([
+                1.0 if rule == "unit" else float(weight)
+                for rule in capacities.rules
+            ])
+            candidates = [
+                p for p in candidates
+                if bool(
+                    (loadv[machine.index_of(p)] + demand
+                     <= cap[machine.index_of(p)] + _TOL).all()
+                )
+            ]
+        elif self.config.load_bound is not None:
+            candidates = [
+                p for p in candidates if load[p] < self.config.load_bound
+            ]
+        if not candidates:
+            raise ValueError(
+                f"no processor has capacity headroom for arriving task "
+                f"{task!r}"
+            )
+        order = {p: machine.index_of(p) for p in machine.processors}
+        if anchors:
+            return min(
+                candidates,
+                key=lambda p: (
+                    load[p],
+                    min(machine.distance(a, p) for a in anchors),
+                    order[p],
+                ),
+            )
+        return min(candidates, key=lambda p: (load[p], -machine.degree(p), order[p]))
+
+    def _on_departure(self, ev: Departure) -> tuple[str, dict]:
+        if ev.task not in self._weights:
+            raise ValueError(f"departure of non-live task {ev.task!r}")
+        del self._weights[ev.task]
+        routes = {k: list(r) for k, r in self.mapping.routes.items()}
+        dropped = 0
+        for phase, edges in self._comm.items():
+            keep = [
+                (old_idx, edge)
+                for old_idx, edge in enumerate(edges)
+                if ev.task not in (edge.src, edge.dst)
+            ]
+            if len(keep) == len(edges):
+                continue
+            dropped += len(edges) - len(keep)
+            # Edge indices shift left; every kept route re-keys old -> new.
+            rekeyed = {}
+            for new_idx, (old_idx, _edge) in enumerate(keep):
+                if (phase, old_idx) in routes:
+                    rekeyed[(phase, new_idx)] = routes.pop((phase, old_idx))
+            for old_idx in range(len(edges)):
+                routes.pop((phase, old_idx), None)
+            routes.update(rekeyed)
+            self._comm[phase] = [edge for _old, edge in keep]
+        self._graph_cache = None
+
+        assignment = dict(self.mapping.assignment)
+        assignment.pop(ev.task, None)
+        self._rebind(assignment, routes, "online+departure")
+        return "removed", {"dropped_edges": dropped}
+
+    def _on_drift(self, ev: Drift) -> tuple[str, dict]:
+        if ev.phase not in self._comm:
+            raise ValueError(f"drift names undeclared phase {ev.phase!r}")
+        edges = self._comm[ev.phase]
+        touched = 0
+        for src, dst, volume in ev.updates:
+            hits = [
+                i for i, e in enumerate(edges)
+                if e.src == src and e.dst == dst
+            ]
+            if not hits:
+                raise ValueError(
+                    f"drift update for edge ({src!r} -> {dst!r}) not in "
+                    f"phase {ev.phase!r}"
+                )
+            for i in hits:
+                edges[i] = CommEdge(src, dst, volume)
+            touched += len(hits)
+        self._graph_cache = None
+        # Endpoints unchanged: every route stays valid on its path.
+        self._rebind(
+            self.mapping.assignment, self.mapping.routes, "online+drift",
+        )
+        return "reweighted", {"edges": touched}
+
+    def _on_fault(self, ev: Fault) -> tuple[str, dict]:
+        ev.faults.validate_against(self.machine)
+        new_faults = self.faults.union(ev.faults)
+        report = repair_mapping(
+            self._graph(),
+            self.mapping,
+            self.machine,
+            ev.faults,
+            mode="auto",
+            model=self.model,
+            state_volume=self.config.state_volume,
+            strategy=self.config.strategy,
+            load_bound=self.config.load_bound,
+        )
+        self.faults = new_faults
+        self.machine = self._derive_machine()
+        # The repaired mapping lives on repair's own degraded topology,
+        # which drops previously active slowdowns; re-bind assignment and
+        # routes onto the canonical cumulative machine (structurally
+        # identical, so both are valid verbatim).
+        self._rebind(
+            report.mapping.assignment,
+            report.mapping.routes,
+            f"online+repair-{report.strategy}",
+        )
+        return f"repaired-{report.strategy}", {
+            "moved": report.n_moved,
+            "rerouted": report.n_rerouted,
+            "kept_routes": report.kept_routes,
+            "migration_cost": report.migration_cost,
+            "fallback": report.fallback_reason is not None,
+        }
+
+    def _on_recovery(self, ev: Recovery) -> tuple[str, dict]:
+        self.faults = self.faults.difference(ev.faults)
+        self.machine = self._derive_machine()
+        # Recovery only adds hardware: assignment and routes stay valid.
+        self._rebind(
+            self.mapping.assignment,
+            self.mapping.routes,
+            "online+recovery",
+        )
+        return "recovered", {
+            "procs_back": len(ev.faults.failed_procs),
+            "links_back": len(ev.faults.failed_links)
+            + len(ev.faults.degraded_links),
+        }
+
+    _HANDLERS = {
+        Arrival: _on_arrival,
+        Departure: _on_departure,
+        Drift: _on_drift,
+        Fault: _on_fault,
+        Recovery: _on_recovery,
+    }
+
+    # ------------------------------------------------------------------
+    # drift tracking and the background remap
+    # ------------------------------------------------------------------
+    def _consider_remap(self, cost: float) -> tuple[dict | None, dict]:
+        """Maybe launch the background portfolio; returns (canonical
+        decision record or None, non-canonical notes)."""
+        cfg = self.config
+        drift = cost / self.baseline - 1.0 if self.baseline > 0 else 0.0
+        if self._cooldown > 0:
+            self._cooldown -= 1
+        if not self._armed:
+            recovered = drift <= cfg.clear_threshold
+            worsened = (
+                self._decision_cost is not None
+                and self._decision_cost > 0
+                and cost > self._decision_cost * (1.0 + cfg.drift_threshold)
+            )
+            if recovered or worsened:
+                self._armed = True
+        if not (self._armed and drift > cfg.drift_threshold
+                and self._cooldown == 0):
+            return None, {}
+
+        self._armed = False
+        self._decision_cost = cost
+        self._cooldown = cfg.cooldown_events
+        self._bump("remaps_triggered")
+        decision: dict = {"triggered": True}
+        try:
+            with perf.span("online.remap"):
+                result = self._run_portfolio()
+        except (AllStrategiesFailed, NotApplicableError) as exc:
+            # Graceful degradation: the repaired mapping keeps serving.
+            self._bump("remaps_failed")
+            decision.update(outcome="failed", swapped=False)
+            return decision, {"remap_error": f"{type(exc).__name__}: {exc}"}
+
+        candidate = result.mapping
+        candidate_cost = comm_cost(candidate)
+        moves = [
+            (self.mapping.assignment[t], candidate.assignment[t])
+            for t in self._graph().nodes
+            if self.mapping.assignment[t] != candidate.assignment[t]
+        ]
+        cost_to_move = migration_time(
+            self.machine, moves, cfg.state_volume, self.model
+        )
+        gain = (cost - candidate_cost) * cfg.amortize_events
+        swap = candidate_cost < cost and gain > cost_to_move
+        decision.update(
+            outcome="ok",
+            winner=result.winner,
+            candidate_cost=candidate_cost,
+            migration_cost=cost_to_move,
+            amortized_gain=gain,
+            moves=len(moves),
+            swapped=swap,
+        )
+        # The portfolio estimate is the fresh quality baseline either way.
+        self.baseline = candidate_cost if candidate_cost > 0 else cost
+        if swap:
+            self._bump("swaps")
+            self._rebind(
+                candidate.assignment, candidate.routes, "online+hotswap",
+            )
+        return decision, {}
+
+    def _bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def apply(self, event) -> EventRecord:
+        """Apply one event; returns its trace record.
+
+        The served mapping is validated (complete routes, no dead
+        hardware, capacity feasibility) before the method returns -- a
+        session never serves an invalid mapping, whatever the event did.
+        """
+        handler = self._HANDLERS.get(type(event))
+        if handler is None:
+            raise TypeError(f"not an online event: {event!r}")
+        start = time.perf_counter()
+        with perf.span(f"online.event.{event.kind}"):
+            action, detail = handler(self, event)
+        self._bump(f"events_{event.kind}")
+
+        cost = comm_cost(self.mapping)
+        drift = cost / self.baseline - 1.0 if self.baseline > 0 else 0.0
+        decision, notes = self._consider_remap(cost)
+        if decision is not None and decision.get("swapped"):
+            cost = comm_cost(self.mapping)
+            drift = cost / self.baseline - 1.0 if self.baseline > 0 else 0.0
+
+        elapsed = time.perf_counter() - start
+        cfg = self.config
+        record = EventRecord(
+            index=self._event_index,
+            kind=event.kind,
+            event_fp=event_fingerprint(event),
+            action=action,
+            detail=detail,
+            comm_cost=cost,
+            drift=drift,
+            remap=decision,
+            mapping_fp=mapping_fingerprint(self.mapping),
+            elapsed_s=elapsed,
+            deadline_exceeded=(
+                cfg.event_deadline_s is not None
+                and elapsed > cfg.event_deadline_s
+            ),
+            notes=notes,
+        )
+        if record.deadline_exceeded:
+            self._bump("event_deadline_overruns")
+        self.trace.append(record)
+        self._chain = stable_digest({
+            "kind": "online-chain",
+            "prev": self._chain,
+            "event": record.event_fp,
+        })
+        self._event_index += 1
+        if cfg.checkpoint_every and self._event_index % cfg.checkpoint_every == 0:
+            self._checkpoint()
+        return record
+
+    def run(self, events, *, resume: str = "off", on_event=None) -> SessionReport:
+        """Apply an event sequence; optionally resume from a checkpoint.
+
+        ``resume="auto"`` scans the journal for the latest checkpoint
+        whose chained event fingerprints match a prefix of *events* and
+        restores it, replaying only the remainder -- the resumed trace is
+        bit-identical to an uninterrupted run.  ``on_event`` (if given)
+        receives each :class:`EventRecord` as it is produced, including
+        restored ones on resume.
+        """
+        if resume not in _RESUME_MODES:
+            raise ValueError(
+                f"unknown resume mode {resume!r}; choose from {_RESUME_MODES}"
+            )
+        events = list(events)
+        start = 0
+        if resume == "auto":
+            start = self._try_restore(events)
+            if on_event is not None:
+                for record in self.trace:
+                    on_event(record)
+        for event in events[start:]:
+            record = self.apply(event)
+            if on_event is not None:
+                on_event(record)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    # checkpoint / resume through the Journal
+    # ------------------------------------------------------------------
+    def _journal(self):
+        from repro.runtime import journal_for
+
+        return journal_for(self.session_key, self._cache)
+
+    def _checkpoint(self) -> None:
+        from repro.runtime import TaskResult
+
+        journal = self._journal()
+        if journal is None:
+            return
+        index = self._event_index - 1
+        state = self._snapshot()
+        journal.record(
+            f"event:{index}:{self._chain}",
+            TaskResult(
+                index=index,
+                key=f"event:{index}",
+                status="ok",
+                value=state,
+            ),
+        )
+        self._bump("checkpoints")
+
+    def _snapshot(self) -> dict:
+        return {
+            "chain": self._chain,
+            "event_index": self._event_index,
+            "weights": dict(self._weights),
+            "comm": {
+                name: [(e.src, e.dst, e.volume) for e in edges]
+                for name, edges in self._comm.items()
+            },
+            "exec": {
+                name: (cost, dict(costs))
+                for name, (cost, costs) in self._exec.items()
+            },
+            "faults": self.faults,
+            "assignment": dict(self.mapping.assignment),
+            "routes": {k: list(r) for k, r in self.mapping.routes.items()},
+            "provenance": self.mapping.provenance,
+            "baseline": self.baseline,
+            "armed": self._armed,
+            "cooldown": self._cooldown,
+            "decision_cost": self._decision_cost,
+            "trace": list(self.trace),
+            "counters": dict(self.counters),
+        }
+
+    def _restore(self, state: dict) -> None:
+        self._chain = state["chain"]
+        self._event_index = state["event_index"]
+        self._weights = dict(state["weights"])
+        self._comm = {
+            name: [CommEdge(src, dst, volume) for src, dst, volume in edges]
+            for name, edges in state["comm"].items()
+        }
+        self._exec = {
+            name: (cost, dict(costs))
+            for name, (cost, costs) in state["exec"].items()
+        }
+        self._graph_cache = None
+        self.faults = state["faults"]
+        self.machine = self._derive_machine()
+        self.baseline = state["baseline"]
+        self._armed = state["armed"]
+        self._cooldown = state["cooldown"]
+        self._decision_cost = state["decision_cost"]
+        self.trace = list(state["trace"])
+        self.counters = dict(state["counters"])
+        self._rebind(state["assignment"], state["routes"], state["provenance"])
+
+    def _try_restore(self, events) -> int:
+        """Restore the deepest checkpoint matching a prefix of *events*."""
+        journal = self._journal()
+        if journal is None:
+            return 0
+        chains = []
+        chain = self.session_key
+        for event in events:
+            chain = stable_digest({
+                "kind": "online-chain",
+                "prev": chain,
+                "event": event_fingerprint(event),
+            })
+            chains.append(chain)
+        for i in range(len(events), 0, -1):
+            hit = journal.load(f"event:{i - 1}:{chains[i - 1]}")
+            if hit is not None and hit.ok and isinstance(hit.value, dict):
+                self._restore(hit.value)
+                self._resumed_at = i
+                self._bump("resumed_events", i)
+                return i
+        return 0
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def trace_fingerprint(self) -> str:
+        """A stable digest of the canonical trace: the determinism oracle."""
+        return stable_digest({
+            "kind": "online-trace",
+            "session": self.session_key,
+            "records": [r.canonical() for r in self.trace],
+        })
+
+    def report(self) -> SessionReport:
+        return SessionReport(
+            session_key=self.session_key,
+            records=list(self.trace),
+            trace_fingerprint=self.trace_fingerprint(),
+            final_mapping_fingerprint=mapping_fingerprint(self.mapping),
+            final_comm_cost=comm_cost(self.mapping),
+            baseline_cost=self.baseline,
+            counters=dict(self.counters),
+            resumed_at=self._resumed_at,
+        )

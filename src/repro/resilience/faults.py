@@ -204,6 +204,49 @@ class FaultSet:
             degraded_links=list(self.degraded_links) + list(other.degraded_links),
         )
 
+    def difference(self, other: "FaultSet") -> "FaultSet":
+        """The fault set with *other*'s faults lifted -- the recovery path.
+
+        A recovered processor comes back with its capacity row and every
+        incident link it still has faults-free (``Topology.degrade`` on
+        the result restores them from the pristine machine); a recovered
+        degraded link sheds its slowdown factor.  Lifting a fault that is
+        not active raises :class:`ValueError` -- a recovery event for
+        hardware that never failed means the event stream is corrupt, and
+        silently ignoring it would let cumulative state drift.
+        """
+        ghost_procs = other.failed_procs - self.failed_procs
+        if ghost_procs:
+            raise ValueError(
+                f"cannot recover processors that are not failed: "
+                f"{sorted(ghost_procs, key=repr)!r}"
+            )
+        ghost_links = other.failed_links - self.failed_links
+        if ghost_links:
+            raise ValueError(
+                f"cannot recover links that are not failed: "
+                f"{sorted(tuple(sorted(l, key=repr)) for l in ghost_links)!r}"
+            )
+        degraded = dict(self.degraded_links)
+        for link, factor in other.degraded_links:
+            if link not in degraded:
+                raise ValueError(
+                    f"cannot recover link {tuple(sorted(link, key=repr))!r}: "
+                    f"it is not degraded"
+                )
+            if degraded[link] != factor:
+                raise ValueError(
+                    f"recovery factor {factor:g} for link "
+                    f"{tuple(sorted(link, key=repr))!r} does not match the "
+                    f"active degradation x{degraded[link]:g}"
+                )
+            del degraded[link]
+        return FaultSet(
+            failed_procs=self.failed_procs - other.failed_procs,
+            failed_links=self.failed_links - other.failed_links,
+            degraded_links=degraded,
+        )
+
     def describe(self) -> str:
         """A one-line human summary."""
         parts = []

@@ -64,13 +64,17 @@ __all__ = [
     "MAP_FORMAT",
     "HEALTH_FORMAT",
     "STATS_FORMAT",
+    "SESSION_FORMAT",
     "MAX_BODY_BYTES",
     "ProtocolError",
     "MapRequest",
+    "SessionRequest",
     "request_key",
     "parse_map_request",
+    "parse_session_request",
     "render_result",
     "map_response",
+    "session_response",
     "error_response",
 ]
 
@@ -78,6 +82,7 @@ __all__ = [
 MAP_FORMAT = "oregami-serve-map-v1"
 HEALTH_FORMAT = "oregami-serve-health-v1"
 STATS_FORMAT = "oregami-serve-stats-v1"
+SESSION_FORMAT = "oregami-serve-session-v1"
 
 #: Request-body ceiling; a graph bigger than this should arrive through
 #: the batch CLI, not one HTTP request.
@@ -86,6 +91,16 @@ MAX_BODY_BYTES = 32 * 1024 * 1024
 _ALLOWED_KEYS = frozenset(
     {"program", "bind", "task_graph", "topology", "machine", "config",
      "faults", "deadline_s"}
+)
+
+_SESSION_KEYS = frozenset(
+    {"program", "bind", "task_graph", "topology", "machine",
+     "scenario", "generate", "session", "trace"}
+)
+
+_GENERATE_KEYS = frozenset(
+    {"seed", "events", "rates", "burst_len", "flap_after",
+     "max_failed_frac", "name"}
 )
 
 
@@ -156,11 +171,13 @@ def _parse_graph(body: dict) -> TaskGraph:
                 f"{', '.join(sorted(stdlib.PROGRAMS))} (the server never "
                 f"reads files; send an inline 'task_graph' instead)"
             )
+        from repro.larcs.errors import LarcsError
+
         try:
             return stdlib.load(program, **_parse_bind(body.get("bind")))
         except ProtocolError:
             raise
-        except (ValueError, KeyError) as exc:
+        except (ValueError, KeyError, LarcsError) as exc:
             raise ProtocolError(f"compiling {program!r} failed: {exc}") from exc
     if body.get("bind") is not None:
         raise ProtocolError("'bind' only applies to 'program' requests")
@@ -287,6 +304,148 @@ def parse_map_request(raw: bytes) -> MapRequest:
         tg=tg, topology=topology, config=config, faults=faults,
         deadline_s=deadline_s, use_cache=use_cache,
     )
+
+
+@dataclass
+class SessionRequest:
+    """One parsed ``/v1/session`` request, ready for a mapping session."""
+
+    tg: TaskGraph
+    topology: Topology
+    scenario: Any          # repro.online.Scenario
+    config: Any            # repro.online.SessionConfig
+    include_trace: bool
+
+
+def parse_session_request(raw: bytes) -> SessionRequest:
+    """Parse and validate one ``POST /v1/session`` body.
+
+    The instance members (``program``/``bind``/``task_graph`` and
+    ``topology``/``machine``) follow ``/v1/map`` exactly.  The event
+    stream is either an inline ``oregami-scenario-v1`` object under
+    ``scenario`` or a ``generate`` object (``seed``, ``events``,
+    ``rates``, ``burst_len``, ``flap_after``, ``max_failed_frac``,
+    ``name``) the server feeds to the seeded generator -- at most one of
+    the two; neither means a default generated stream.  ``session``
+    carries :class:`~repro.online.SessionConfig` knobs, ``trace``
+    requests the full per-event trace in the response.  As with
+    ``/v1/map``, the server never reads files on a request's behalf.
+    """
+    from repro.online import Scenario, SessionConfig, generate_scenario
+
+    if len(raw) > MAX_BODY_BYTES:
+        raise ProtocolError(
+            f"request body of {len(raw)} bytes exceeds the "
+            f"{MAX_BODY_BYTES}-byte limit",
+            status=413, kind="PayloadTooLarge",
+        )
+    try:
+        body = json.loads(raw)
+    except ValueError as exc:
+        raise ProtocolError(f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError(
+            f"request body must be a JSON object, got {type(body).__name__}"
+        )
+    unknown = set(body) - _SESSION_KEYS
+    if unknown:
+        raise ProtocolError(
+            f"unknown request keys {sorted(unknown)!r}; "
+            f"choose from {sorted(_SESSION_KEYS)!r}"
+        )
+    tg = _parse_graph(body)
+    if ("topology" in body) == ("machine" in body):
+        raise ProtocolError(
+            "exactly one of 'topology' or 'machine' is required: a flat "
+            "topology spec, or a hierarchical machine spec / inline "
+            "machine object"
+        )
+    if "topology" in body:
+        topology = _parse_topology(body["topology"])
+    else:
+        topology = _parse_machine(body["machine"])
+
+    if "scenario" in body and "generate" in body:
+        raise ProtocolError(
+            "give at most one of 'scenario' (an inline event stream) or "
+            "'generate' (seeded generator parameters)"
+        )
+    if body.get("scenario") is not None:
+        if not isinstance(body["scenario"], dict):
+            raise ProtocolError(
+                "'scenario' must be an inline oregami-scenario-v1 object "
+                "(the server never reads files)"
+            )
+        try:
+            scenario = Scenario.from_dict(body["scenario"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ProtocolError(f"bad 'scenario': {exc}") from exc
+    else:
+        gen = body.get("generate") or {}
+        if not isinstance(gen, dict):
+            raise ProtocolError("'generate' must be an object")
+        unknown = set(gen) - _GENERATE_KEYS
+        if unknown:
+            raise ProtocolError(
+                f"unknown 'generate' keys {sorted(unknown)!r}; "
+                f"choose from {sorted(_GENERATE_KEYS)!r}"
+            )
+        try:
+            scenario = generate_scenario(
+                tg,
+                topology,
+                seed=int(gen.get("seed", 0)),
+                n_events=int(gen.get("events", 50)),
+                rates=gen.get("rates"),
+                burst_len=int(gen.get("burst_len", 4)),
+                flap_after=int(gen.get("flap_after", 3)),
+                max_failed_frac=float(gen.get("max_failed_frac", 0.25)),
+                name=gen.get("name"),
+            )
+        except (ValueError, TypeError) as exc:
+            raise ProtocolError(f"bad 'generate': {exc}") from exc
+
+    session = body.get("session") or {}
+    if not isinstance(session, dict):
+        raise ProtocolError("'session' must be an object")
+    if session.get("executor") == "process":
+        # Worker processes forked per request do not mix with a threaded
+        # HTTP server; the in-request portfolio stays in-process.
+        raise ProtocolError(
+            "'session.executor' must be 'serial' or 'thread' over HTTP"
+        )
+    try:
+        config = SessionConfig.from_dict(session)
+    except (ValueError, TypeError) as exc:
+        raise ProtocolError(f"bad 'session': {exc}") from exc
+
+    include_trace = body.get("trace", False)
+    if not isinstance(include_trace, bool):
+        raise ProtocolError(f"'trace' must be a boolean, got {include_trace!r}")
+
+    return SessionRequest(
+        tg=tg, topology=topology, scenario=scenario, config=config,
+        include_trace=include_trace,
+    )
+
+
+def session_response(scenario, report, *, include_trace: bool,
+                     elapsed_s: float) -> bytes:
+    """The full ``/v1/session`` success body."""
+    return json.dumps({
+        "format": SESSION_FORMAT,
+        "scenario": {
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "events": len(scenario),
+            "fingerprint": scenario.fingerprint(),
+        },
+        "report": report.to_dict(include_trace=include_trace),
+        "serving": {
+            "elapsed_ms": elapsed_s * 1e3,
+            "version": __version__,
+        },
+    }).encode()
 
 
 def render_result(

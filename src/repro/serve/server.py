@@ -189,7 +189,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         self.server.stats.bump("requests")
-        if self.path != "/v1/map":
+        if self.path not in ("/v1/map", "/v1/session"):
             self._send_json(404, {
                 "format": protocol.MAP_FORMAT,
                 "error": {"type": "NotFound",
@@ -205,10 +205,11 @@ class _Handler(BaseHTTPRequestHandler):
                           "exit_code": 4},
             })
             return
-        self.server.stats.bump("map_requests")
+        kind = "map" if self.path == "/v1/map" else "session"
+        self.server.stats.bump(f"{kind}_requests")
         start = time.perf_counter()
         try:
-            with perf.span("serve.request"):
+            with perf.span(f"serve.{kind}"):
                 length = int(self.headers.get("Content-Length") or 0)
                 if length > protocol.MAX_BODY_BYTES:
                     raise protocol.ProtocolError(
@@ -216,15 +217,49 @@ class _Handler(BaseHTTPRequestHandler):
                         f"{protocol.MAX_BODY_BYTES}-byte limit",
                         status=413, kind="PayloadTooLarge",
                     )
-                payload = self._serve_map(self.rfile.read(length), start)
+                raw = self.rfile.read(length)
+                if kind == "map":
+                    payload = self._serve_map(raw, start)
+                else:
+                    payload = self._serve_session(raw, start)
         except BaseException as exc:  # every failure becomes a typed body
             if isinstance(exc, (SystemExit, KeyboardInterrupt)):
                 raise
             status, body = protocol.error_response(exc)
-            self.server.stats.bump("map_errors")
+            self.server.stats.bump(f"{kind}_errors")
             self._send_json(status, body)
             return
         self._send_body(200, payload)
+
+    def _serve_session(self, raw: bytes, start: float) -> bytes:
+        """One whole mapping session per request: parse the instance and
+        event stream, drive the session in-process (checkpointing through
+        the server's shared cache), and return its report.  Deliberately
+        synchronous and un-batched -- a session is one long computation,
+        not a cacheable pure lookup."""
+        from dataclasses import replace
+
+        from repro.online import MappingSession
+
+        request = protocol.parse_session_request(raw)
+        config = request.config
+        if self.server.cache is None:
+            # A cacheless server must not leak journal checkpoints into
+            # the process-default cache.
+            config = replace(config, checkpoint_every=0)
+        session = MappingSession(
+            request.tg, request.topology, config, cache=self.server.cache,
+        )
+        report = session.run(
+            request.scenario.events,
+            resume="auto" if self.server.cache is not None else "off",
+        )
+        return protocol.session_response(
+            request.scenario,
+            report,
+            include_trace=request.include_trace,
+            elapsed_s=time.perf_counter() - start,
+        )
 
     def _serve_map(self, raw: bytes, start: float) -> dict:
         cache = self.server.cache

@@ -558,3 +558,56 @@ class TestVersionAndCacheCLI:
     def test_serve_rejects_bad_window(self, capsys):
         assert main(["serve", "--batch-window-ms", "-1"]) == 2
         assert "error" in capsys.readouterr().err.lower()
+
+
+class TestOnlineCommand:
+    ARGS = ["online", "jacobi", "--bind", "rows=3", "cols=3",
+            "--topology", "mesh:2x3", "--events", "8", "--seed", "3",
+            "--checkpoint-every", "0"]
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["format"] == "oregami-online-v1"
+        assert doc["scenario"]["events"] == 8
+        assert doc["report"]["events"] == 8
+        assert doc["report"]["final_comm_cost"] > 0
+        assert "trace" not in doc["report"]
+
+    def test_human_output_mentions_counters(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "events" in out
+        assert "final comm cost" in out
+
+    def test_save_then_replay_is_bit_identical(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "scn.json"
+        assert main(self.ARGS + ["--save-scenario", str(path), "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        replay_args = [a for a in self.ARGS if a not in ("--events", "8",
+                                                         "--seed", "3")]
+        assert main(replay_args + ["--scenario", str(path), "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["scenario"]["fingerprint"] == \
+            first["scenario"]["fingerprint"]
+        assert second["report"]["trace_fingerprint"] == \
+            first["report"]["trace_fingerprint"]
+
+    def test_trace_flag_includes_records(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--trace", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert len(doc["report"]["trace"]) == 8
+
+    def test_bad_rate_spec_exits_2(self, capsys):
+        assert main(self.ARGS + ["--rate", "drift"]) == 2
+        assert "rate" in capsys.readouterr().err.lower()
+
+    def test_unknown_rate_kind_exits_2(self, capsys):
+        assert main(self.ARGS + ["--rate", "meteor=2"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()

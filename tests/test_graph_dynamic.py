@@ -127,3 +127,103 @@ class TestIncrementalMapper:
             return total_ipc(tg, clusters)
 
         assert ipc(online) <= 4 * max(ipc(offline), 1.0)
+
+
+class TestIncrementalMapperCapacities:
+    """Vector-capacity gating of online placement (PR 10)."""
+
+    @staticmethod
+    def _machine(base, spec):
+        from repro.arch.capacity import Capacities
+        from repro.arch.hierarchy import with_capacities
+
+        return with_capacities(
+            base, Capacities.from_spec(spec, base.processors)
+        )
+
+    def test_unit_resource_bounds_tasks_per_proc(self):
+        topo = self._machine(
+            networks.hypercube(2),
+            {"slots": {"demand": "unit", "cap": 4.0}},
+        )
+        mapper = IncrementalMapper(topo)  # topology capacities picked up
+        mapping = mapper.run(full_binary_spawner(3))  # 15 tasks on 4 procs
+        assert all(len(ts) <= 4 for ts in mapping.clusters().values())
+
+    def test_weight_resource_bounds_consumed_demand(self):
+        topo = self._machine(
+            networks.ring(4),
+            {"mem": {"demand": "weight", "cap": 3.0}},
+        )
+        mapper = IncrementalMapper(topo)
+        mapper.place_root(0, weight=2.0)
+        for child in (1, 2, 3):
+            mapper.spawn(0, child, weight=2.0)
+        loads = {}
+        for task, proc in mapper.assignment.items():
+            loads[proc] = loads.get(proc, 0.0) + 2.0
+        assert max(loads.values()) <= 3.0  # one weight-2 task per proc
+        with pytest.raises(RuntimeError, match="spare capacity"):
+            mapper.spawn(0, 4, weight=2.0)
+
+    def test_partial_headroom_blocks_placement(self):
+        # slots would admit 4 tasks per proc, but mem admits only one
+        # weight-2 task: the tighter resource governs.
+        topo = self._machine(
+            networks.ring(2),
+            {"slots": {"demand": "unit", "cap": 4.0},
+             "mem": {"demand": "weight", "cap": 2.5}},
+        )
+        mapper = IncrementalMapper(topo)
+        mapper.place_root(0, weight=2.0)
+        mapper.spawn(0, 1, weight=2.0)   # lands on the other proc
+        procs = set(mapper.assignment.values())
+        assert len(procs) == 2
+        with pytest.raises(RuntimeError, match="spare capacity"):
+            mapper.spawn(0, 2, weight=2.0)
+        # A light task still fits on either processor's remaining mem.
+        mapper.spawn(0, 3, weight=0.5)
+
+    def test_capacity_context_unwrapped(self):
+        from repro.arch.capacity import Capacities
+
+        base = networks.ring(4)
+        caps = Capacities.from_spec(
+            {"slots": {"demand": "unit", "cap": 2.0}}, base.processors
+        )
+        tg = full_binary_spawner(2).unfold()
+        mapper = IncrementalMapper(base, capacity=caps.context(tg, base))
+        mapping = mapper.run(full_binary_spawner(2))  # 7 tasks, 4 procs
+        assert all(len(ts) <= 2 for ts in mapping.clusters().values())
+
+    def test_explicit_capacities_override_topology(self):
+        topo = self._machine(
+            networks.ring(2),
+            {"slots": {"demand": "unit", "cap": 1.0}},
+        )
+        from repro.arch.capacity import Capacities
+
+        looser = Capacities.from_spec(
+            {"slots": {"demand": "unit", "cap": 8.0}}, topo.processors
+        )
+        mapper = IncrementalMapper(topo, capacity=looser)
+        mapper.place_root(0)
+        for child in range(1, 4):
+            mapper.spawn(0, child)  # would exhaust the attached cap of 1
+
+    def test_bad_capacity_type_rejected(self):
+        with pytest.raises(TypeError, match="capacity"):
+            IncrementalMapper(networks.ring(4), capacity="lots")
+
+    def test_scalar_bound_still_works_on_capacity_machine(self):
+        topo = self._machine(
+            networks.ring(4),
+            {"slots": {"demand": "unit", "cap": 16.0}},
+        )
+        mapper = IncrementalMapper(topo, capacity=1)
+        mapper.place_root(0)
+        mapper.spawn(0, 1)
+        mapper.spawn(0, 2)
+        mapper.spawn(0, 3)
+        with pytest.raises(RuntimeError, match="spare capacity"):
+            mapper.spawn(0, 4)

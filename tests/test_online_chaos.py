@@ -1,0 +1,164 @@
+"""Chaos soaks for the online session: injected remap failures and a
+SIGKILLed daemon resuming bit-identically from its journal checkpoints."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.arch import networks
+from repro.larcs import stdlib
+from repro.online import (
+    MappingSession,
+    SessionConfig,
+    generate_scenario,
+)
+from repro.pipeline.cache import ArtifactCache
+from repro.runtime.chaos import ChaosPlan
+
+SEED = 33
+N_EVENTS = 20
+
+
+def _instance():
+    return stdlib.load("jacobi", rows=3, cols=3), networks.mesh(2, 3)
+
+
+def _config(**kw):
+    base = dict(drift_threshold=0.15, clear_threshold=0.02,
+                cooldown_events=2)
+    base.update(kw)
+    return SessionConfig(**base)
+
+
+class TestChaosSoak:
+    def test_chaos_crash_with_retry_is_trace_identical(self, monkeypatch):
+        # Strategy 0 of every portfolio crashes on its first attempt; with
+        # one retry the supervised runtime recovers and the winner -- and
+        # therefore the whole session trace -- is bit-identical to a
+        # chaos-free run.
+        tg, topo = _instance()
+        scn = generate_scenario(tg, topo, seed=SEED, n_events=N_EVENTS)
+        cfg = _config(retries=1, checkpoint_every=0)
+
+        clean = MappingSession(tg, topo, cfg).run(scn.events)
+
+        monkeypatch.setenv("REPRO_CHAOS", json.dumps({"crash": [[0, 1]]}))
+        chaotic = MappingSession(tg, topo, cfg).run(scn.events)
+        assert chaotic.trace_fingerprint == clean.trace_fingerprint
+        assert (chaotic.final_mapping_fingerprint
+                == clean.final_mapping_fingerprint)
+
+    def test_all_strategies_dead_degrades_gracefully(self):
+        # When every remap attempt dies, the session must keep serving
+        # the (still valid) incumbent mapping and record the failure --
+        # never raise out of apply(), never serve garbage.
+        tg, topo = _instance()
+        scn = generate_scenario(tg, topo, seed=SEED, n_events=N_EVENTS)
+        cfg = _config(drift_threshold=0.01, clear_threshold=0.0,
+                      cooldown_events=0, checkpoint_every=0)
+        session = MappingSession(tg, topo, cfg)
+        # Inject after construction so the initial portfolio succeeds;
+        # every subsequent background remap crashes on every strategy.
+        session._chaos = ChaosPlan.from_dict(
+            {"crash": [[i, 1] for i in range(16)]}
+        )
+
+        def always_valid(record):
+            session.mapping.validate(require_routes=True)
+
+        report = session.run(scn.events, on_event=always_valid)
+        assert report.counters.get("remaps_triggered", 0) >= 1
+        assert report.counters.get("remaps_failed", 0) >= 1
+        assert report.counters.get("swaps", 0) == 0
+        failed = [r for r in report.records
+                  if (r.remap or {}).get("outcome") == "failed"]
+        assert failed
+        session.mapping.validate(require_routes=True)
+
+    def test_chaos_env_soak_serves_valid_mappings_throughout(self, monkeypatch):
+        # The CI soak: a full seeded scenario under an injected
+        # crash-then-recover plan; every intermediate mapping validates.
+        tg, topo = _instance()
+        scn = generate_scenario(
+            tg, topo, seed=7, n_events=30, rates={"fault": 2.0, "flap": 1.0}
+        )
+        monkeypatch.setenv(
+            "REPRO_CHAOS", json.dumps({"crash": [[0, 1], [1, 1]]})
+        )
+        session = MappingSession(tg, topo, _config(retries=1,
+                                                   checkpoint_every=0))
+        session.run(scn.events,
+                    on_event=lambda r: session.mapping.validate(
+                        require_routes=True))
+
+
+_KILL_SCRIPT = """
+import os, signal, sys
+from repro.arch import networks
+from repro.larcs import stdlib
+from repro.online import MappingSession, SessionConfig, generate_scenario
+from repro.pipeline.cache import ArtifactCache
+
+cache_dir, kill_after = sys.argv[1], int(sys.argv[2])
+tg = stdlib.load("jacobi", rows=3, cols=3)
+topo = networks.mesh(2, 3)
+scn = generate_scenario(tg, topo, seed={seed}, n_events={n_events})
+cfg = SessionConfig(drift_threshold=0.15, clear_threshold=0.02,
+                    cooldown_events=2)
+session = MappingSession(tg, topo, cfg, cache=ArtifactCache(cache_dir))
+
+count = 0
+def cb(record):
+    global count
+    count += 1
+    if count == kill_after:
+        os.kill(os.getpid(), signal.SIGKILL)  # no cleanup, no atexit
+
+session.run(scn.events, on_event=cb)
+print("survived", count)
+""".format(seed=SEED, n_events=N_EVENTS)
+
+
+class TestKillResume:
+    @pytest.mark.parametrize("kill_after", [5, 13])
+    def test_sigkilled_session_resumes_bit_identically(
+        self, tmp_path, kill_after
+    ):
+        tg, topo = _instance()
+        scn = generate_scenario(tg, topo, seed=SEED, n_events=N_EVENTS)
+        cfg = _config()
+
+        want = MappingSession(
+            tg, topo, cfg, cache=ArtifactCache(str(tmp_path / "full"))
+        ).run(scn.events)
+
+        script = tmp_path / "daemon.py"
+        script.write_text(_KILL_SCRIPT)
+        kill_cache = tmp_path / "killed"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, str(script), str(kill_cache), str(kill_after)],
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            env=env, capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        assert "survived" not in proc.stdout
+
+        resumed = MappingSession(
+            tg, topo, cfg, cache=ArtifactCache(str(kill_cache))
+        )
+        got = resumed.run(scn.events, resume="auto")
+        # The kill landed in the callback AFTER event kill_after-1 was
+        # applied and checkpointed, so exactly that many events restore.
+        assert got.resumed_at == kill_after
+        assert got.trace_fingerprint == want.trace_fingerprint
+        assert got.final_mapping_fingerprint == want.final_mapping_fingerprint
+        assert got.final_comm_cost == want.final_comm_cost
+        assert got.counters["resumed_events"] == kill_after

@@ -1,0 +1,177 @@
+"""Online events and seeded scenario generation (repro.online)."""
+
+import json
+
+import pytest
+
+from repro.arch import networks
+from repro.larcs import stdlib
+from repro.online import (
+    DEFAULT_RATES,
+    Arrival,
+    Departure,
+    Drift,
+    Fault,
+    Recovery,
+    Scenario,
+    event_fingerprint,
+    event_from_dict,
+    event_to_dict,
+    generate_scenario,
+)
+from repro.resilience import FaultSet
+
+
+def _instance():
+    return stdlib.load("jacobi", rows=4, cols=4), networks.mesh(3, 3)
+
+
+class TestEvents:
+    def test_arrival_round_trip(self):
+        ev = Arrival(
+            task=("dyn", 0),
+            weight=2.0,
+            edges=(("ring", 3, ("dyn", 0), 1.5),),
+        )
+        back = event_from_dict(event_to_dict(ev))
+        assert back == ev
+        assert event_fingerprint(back) == event_fingerprint(ev)
+
+    def test_arrival_edge_must_touch_task(self):
+        with pytest.raises(ValueError, match="arriving task"):
+            Arrival(task="x", edges=(("p", "a", "b", 1.0),))
+
+    def test_arrival_negative_volume_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            Arrival(task="x", edges=(("p", "a", "x", -1.0),))
+
+    def test_drift_round_trip(self):
+        ev = Drift(phase="ring", updates=((0, 1, 4.0), (1, 2, 0.5)))
+        assert event_from_dict(event_to_dict(ev)) == ev
+
+    def test_fault_recovery_round_trip(self):
+        fs = FaultSet(failed_procs=[1], degraded_links=[((2, 5), 2.0)])
+        for cls in (Fault, Recovery):
+            ev = cls(faults=fs)
+            back = event_from_dict(event_to_dict(ev))
+            assert back == ev
+            assert back.faults == fs
+
+    def test_departure_round_trip_tuple_label(self):
+        ev = Departure(task=("dyn", 7))
+        assert event_from_dict(event_to_dict(ev)) == ev
+
+    def test_json_serializable(self):
+        ev = Arrival(task=("dyn", 1), edges=(("ring", 0, ("dyn", 1), 1.0),))
+        text = json.dumps(event_to_dict(ev))
+        assert event_from_dict(json.loads(text)) == ev
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            event_from_dict({"kind": "meteor"})
+        with pytest.raises(ValueError, match="kind"):
+            event_from_dict({"task": "x"})
+
+    def test_fingerprints_distinguish_fault_from_recovery(self):
+        fs = FaultSet(failed_procs=[1])
+        assert event_fingerprint(Fault(faults=fs)) != event_fingerprint(
+            Recovery(faults=fs)
+        )
+
+
+class TestScenario:
+    def test_round_trip(self):
+        tg, topo = _instance()
+        scn = generate_scenario(tg, topo, seed=5, n_events=30)
+        back = Scenario.from_dict(json.loads(json.dumps(scn.to_dict())))
+        assert back.fingerprint() == scn.fingerprint()
+        assert len(back) == 30
+
+    def test_seed_determinism(self):
+        tg, topo = _instance()
+        a = generate_scenario(tg, topo, seed=9, n_events=40)
+        b = generate_scenario(tg, topo, seed=9, n_events=40)
+        assert a.fingerprint() == b.fingerprint()
+        assert a.events == b.events
+
+    def test_seeds_differ(self):
+        tg, topo = _instance()
+        a = generate_scenario(tg, topo, seed=1, n_events=40)
+        b = generate_scenario(tg, topo, seed=2, n_events=40)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_exact_event_count(self):
+        tg, topo = _instance()
+        for n in (0, 1, 7, 33):
+            assert len(generate_scenario(tg, topo, seed=0, n_events=n)) == n
+
+    def test_unknown_rate_key_rejected(self):
+        tg, topo = _instance()
+        with pytest.raises(ValueError, match="unknown rate keys"):
+            generate_scenario(tg, topo, rates={"earthquake": 1.0})
+
+    def test_all_zero_rates_rejected(self):
+        tg, topo = _instance()
+        with pytest.raises(ValueError, match="positive"):
+            generate_scenario(
+                tg, topo, rates={k: 0.0 for k in DEFAULT_RATES}
+            )
+
+    def test_zero_rate_disables_kind(self):
+        tg, topo = _instance()
+        scn = generate_scenario(
+            tg, topo, seed=3, n_events=60,
+            rates={"fault": 0.0, "flap": 0.0, "recovery": 0.0},
+        )
+        assert not any(isinstance(e, (Fault, Recovery)) for e in scn.events)
+
+    def test_departures_only_name_spawned_tasks(self):
+        tg, topo = _instance()
+        scn = generate_scenario(tg, topo, seed=4, n_events=80)
+        spawned = set()
+        for ev in scn.events:
+            if isinstance(ev, Arrival):
+                spawned.add(ev.task)
+            elif isinstance(ev, Departure):
+                assert ev.task in spawned
+                spawned.discard(ev.task)
+
+    def test_faults_keep_machine_connected(self):
+        tg, topo = _instance()
+        scn = generate_scenario(
+            tg, topo, seed=6, n_events=80, rates={"fault": 5.0, "flap": 3.0}
+        )
+        active = FaultSet()
+        for ev in scn.events:
+            if isinstance(ev, Fault):
+                active = active.union(ev.faults)
+                topo.degrade(active)  # raises if disconnected/infeasible
+            elif isinstance(ev, Recovery):
+                active = active.difference(ev.faults)
+
+    def test_flap_recovers(self):
+        # With flaps enabled, every degrade that a flap starts is lifted
+        # by a matching recovery within the stream (when room remains).
+        tg, topo = _instance()
+        scn = generate_scenario(
+            tg, topo, seed=2, n_events=60,
+            rates={"flap": 4.0, "fault": 0.0, "recovery": 0.0,
+                   "departure": 0.0, "drift": 0.0, "burst": 0.0},
+        )
+        degrades = [
+            e for e in scn.events
+            if isinstance(e, Fault) and e.faults.degraded_links
+        ]
+        recoveries = [e for e in scn.events if isinstance(e, Recovery)]
+        assert degrades, "flap rate 4.0 produced no degrades"
+        # All but the tail few (cut off by n_events) recover.
+        assert len(recoveries) >= len(degrades) - 3
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(ValueError, match="not a scenario"):
+            Scenario.from_dict({"format": "nope"})
+
+    def test_negative_n_events_rejected(self):
+        tg, topo = _instance()
+        with pytest.raises(ValueError, match="n_events"):
+            generate_scenario(tg, topo, n_events=-1)

@@ -166,3 +166,110 @@ class TestFaultSetIO:
     def test_unknown_format_rejected(self):
         with pytest.raises(ValueError, match="unknown faultset format"):
             faultset_from_dict({"format": "nope"})
+
+
+class TestRecovery:
+    """FaultSet.difference: the recovery path (PR 10)."""
+
+    def test_difference_inverts_union(self):
+        a = FaultSet(failed_procs=[1], degraded_links=[((2, 3), 2.0)])
+        b = FaultSet(failed_procs=[4], failed_links=[(5, 6)])
+        merged = a.union(b)
+        assert merged.difference(b) == a
+        assert merged.difference(a) == b
+        assert merged.difference(merged) == FaultSet()
+
+    def test_recover_unfailed_proc_rejected(self):
+        active = FaultSet(failed_procs=[1])
+        with pytest.raises(ValueError, match="not failed"):
+            active.difference(FaultSet(failed_procs=[2]))
+
+    def test_recover_unfailed_link_rejected(self):
+        active = FaultSet(failed_links=[(0, 1)])
+        with pytest.raises(ValueError, match="not failed"):
+            active.difference(FaultSet(failed_links=[(2, 3)]))
+
+    def test_recover_undegraded_link_rejected(self):
+        active = FaultSet(degraded_links=[((0, 1), 2.0)])
+        with pytest.raises(ValueError, match="not degraded"):
+            active.difference(FaultSet(degraded_links=[((2, 3), 2.0)]))
+
+    def test_recovery_factor_must_match(self):
+        active = FaultSet(degraded_links=[((0, 1), 2.0)])
+        with pytest.raises(ValueError, match="factor"):
+            active.difference(FaultSet(degraded_links=[((0, 1), 3.0)]))
+
+    def test_partial_degradation_recovery(self):
+        active = FaultSet(
+            degraded_links=[((0, 1), 2.0), ((1, 2), 4.0)]
+        )
+        left = active.difference(FaultSet(degraded_links=[((1, 2), 4.0)]))
+        assert left == FaultSet(degraded_links=[((0, 1), 2.0)])
+
+
+class TestDegradeRecoverRoundTrip:
+    """base.degrade(faults) re-derivation makes recovery exact."""
+
+    def test_full_round_trip_restores_pristine_machine(self):
+        base = networks.mesh(3, 3)
+        faults = FaultSet(
+            failed_procs=[0],
+            failed_links=[(4, 5)],
+            degraded_links=[((7, 8), 2.5)],
+        )
+        degraded = base.degrade(faults, name=base.name)
+        assert 0 not in degraded.processors
+        active = FaultSet().union(faults).difference(faults)
+        restored = base.degrade(active, name=base.name)
+        # The family tag is (rightly) dropped by any degrade, so compare
+        # against the session's own pristine derivation: an empty degrade.
+        pristine = base.degrade(FaultSet(), name=base.name)
+        assert restored.fingerprint() == pristine.fingerprint()
+        assert restored.structural_key() == base.structural_key()
+        assert restored.processors == base.processors
+        assert list(restored.links) == list(base.links)
+        assert not restored.link_slowdowns
+
+    def test_partial_recovery_matches_direct_degrade(self):
+        base = networks.hypercube(3)
+        a = FaultSet(failed_procs=[0])
+        b = FaultSet(degraded_links=[((3, 7), 2.0)])
+        # degrade(a+b) then recover b must equal degrade(a) exactly.
+        roundabout = base.degrade(a.union(b).difference(b), name="after")
+        direct = base.degrade(a, name="after")
+        assert roundabout.fingerprint() == direct.fingerprint()
+        assert roundabout.processors == direct.processors
+        assert roundabout.link_slowdowns == direct.link_slowdowns
+
+    def test_distance_cache_shared_across_round_trip(self):
+        # Structure (not slowdowns) keys the all-pairs distance cache: a
+        # degrade -> recover round-trip lands back on the same structural
+        # key, so the matrices are literally shared.
+        base = networks.mesh(4, 4)
+        flap = FaultSet(degraded_links=[((0, 1), 3.0)])
+        degraded = base.degrade(flap)
+        recovered = base.degrade(FaultSet().union(flap).difference(flap))
+        assert degraded.structural_key() == base.structural_key()
+        mat_base = base.distance_matrix()
+        assert recovered.distance_matrix() is mat_base
+
+    def test_capacity_rows_restored_on_recovery(self):
+        from repro.arch.capacity import Capacities
+        from repro.arch.hierarchy import with_capacities
+
+        base = with_capacities(
+            networks.ring(4),
+            Capacities.from_spec(
+                {"mem": {"demand": "weight", "cap": 8.0}},
+                networks.ring(4).processors,
+            ),
+        )
+        fault = FaultSet(failed_procs=[2])
+        degraded = base.degrade(fault)
+        assert 2 not in degraded.capacities.procs
+        recovered = base.degrade(FaultSet().union(fault).difference(fault))
+        assert recovered.capacities.procs == base.capacities.procs
+        assert (
+            recovered.capacities.cap_array(recovered)
+            == base.capacities.cap_array(base)
+        ).all()

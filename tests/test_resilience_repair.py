@@ -175,3 +175,159 @@ class TestModesAndFallback:
         check_repair(report, faults)
         assert report.strategy == "full"
         assert "exploded" in report.fallback_reason
+
+
+class TestCombinedFaultsWithCapacities:
+    """PR 10 satellite: simultaneous proc+link faults on machines with
+    partial per-resource headroom, and the structured capacity_overflow
+    payload end to end."""
+
+    @staticmethod
+    def _machine(base, spec):
+        from repro.arch.capacity import Capacities
+        from repro.arch.hierarchy import with_capacities
+
+        return with_capacities(
+            base, Capacities.from_spec(spec, base.processors)
+        )
+
+    @staticmethod
+    def _weighted_ring(weights):
+        from repro.graph.taskgraph import TaskGraph
+
+        tg = TaskGraph("combo-ring")
+        for i, w in enumerate(weights):
+            tg.add_node(i, w)
+        phase = tg.add_comm_phase("ring")
+        for i in range(len(weights)):
+            phase.add(i, (i + 1) % len(weights), 1.0)
+        tg.add_exec_phase("work", 1.0)
+        return tg
+
+    def test_combined_proc_and_link_fault_repair_is_feasible(self):
+        # Survivors have slots headroom everywhere but mem headroom only
+        # on some; the repaired mapping must respect both vectors while
+        # also rerouting around the dead link.
+        tg = self._weighted_ring([2.0, 2.0, 1.0, 1.0, 1.0, 1.0])
+        topo = self._machine(
+            networks.mesh(2, 3),
+            {"slots": {"demand": "unit", "cap": 3.0},
+             "mem": {"demand": "weight", "cap": 3.0}},
+        )
+        mapping = map_computation(tg, topo, strategy="mwm")
+        faults = FaultSet(failed_procs=[0], failed_links=[(4, 5)])
+        report = repair_mapping(tg, mapping, topo, faults)
+        report.mapping.validate(require_routes=True)
+        loads = {}
+        for task, proc in report.mapping.assignment.items():
+            loads.setdefault(proc, [0.0, 0.0])
+            loads[proc][0] += 1.0                  # slots
+            loads[proc][1] += tg.node_weight(task)  # mem
+        assert 0 not in loads
+        assert all(s <= 3.0 and m <= 3.0 for s, m in loads.values())
+        # The dead link never appears in any route of the repaired mapping.
+        for route in report.mapping.routes.values():
+            for u, v in zip(route, route[1:]):
+                assert {u, v} != {4, 5}
+
+    def test_incremental_relocation_respects_tight_resource(self):
+        # One survivor has slots room but no mem room; the other has mem
+        # room.  The relocated heavy task must land on the mem-roomy one
+        # even though it is farther away.
+        from repro.graph.taskgraph import TaskGraph
+        from repro.mapper.mapping import Mapping
+        from repro.mapper.routing.mm_route import mm_route
+
+        tg = TaskGraph("tight")
+        for label, w in (("a", 2.0), ("b", 2.5), ("c", 0.5)):
+            tg.add_node(label, w)
+        phase = tg.add_comm_phase("talk")
+        phase.add("a", "b", 1.0)
+        phase.add("b", "c", 1.0)
+        tg.add_exec_phase("work", 1.0)
+        topo = self._machine(
+            networks.path(3) if hasattr(networks, "path") else networks.ring(3),
+            {"slots": {"demand": "unit", "cap": 2.0},
+             "mem": {"demand": "weight", "cap": 3.0}},
+        )
+        assignment = {"a": 0, "b": 1, "c": 2}
+        mapping = Mapping(tg, topo, assignment, provenance="handmade")
+        mapping.routes = mm_route(tg, topo, assignment).routes
+        report = repair_mapping(
+            tg, mapping, topo, FaultSet(failed_procs=[0]), mode="incremental"
+        )
+        report.mapping.validate()
+        new_home = report.mapping.assignment["a"]
+        # proc 1 holds b (mem 2.5 of 3.0): a (mem 2.0) cannot fit there.
+        assert new_home == 2
+
+    def test_incremental_raises_when_no_headroom_anywhere(self):
+        from repro.mapper.mapping import Mapping
+        from repro.mapper.routing.mm_route import mm_route
+
+        tg = self._weighted_ring([2.0, 2.0, 2.0])
+        topo = self._machine(
+            networks.ring(3),
+            {"mem": {"demand": "weight", "cap": 2.0}},
+        )
+        assignment = {0: 0, 1: 1, 2: 2}
+        mapping = Mapping(tg, topo, assignment, provenance="handmade")
+        mapping.routes = mm_route(tg, topo, assignment).routes
+        with pytest.raises(ValueError, match="capacity headroom"):
+            repair_mapping(
+                tg, mapping, topo, FaultSet(failed_procs=[0]),
+                mode="incremental",
+            )
+
+    def test_auto_mode_degrades_gracefully_or_reports(self):
+        # Same instance through auto mode: either the full remap finds a
+        # feasible mapping or the whole repair raises NotApplicableError;
+        # auto must not return an overflowing mapping.
+        from repro.mapper.mapping import Mapping, NotApplicableError
+        from repro.mapper.routing.mm_route import mm_route
+
+        tg = self._weighted_ring([2.0, 2.0, 2.0])
+        topo = self._machine(
+            networks.ring(3),
+            {"mem": {"demand": "weight", "cap": 2.0}},
+        )
+        assignment = {0: 0, 1: 1, 2: 2}
+        mapping = Mapping(tg, topo, assignment, provenance="handmade")
+        mapping.routes = mm_route(tg, topo, assignment).routes
+        try:
+            report = repair_mapping(
+                tg, mapping, topo, FaultSet(failed_procs=[0]), mode="auto"
+            )
+        except NotApplicableError:
+            return  # graceful: no feasible mapping exists and repair says so
+        assert report.fallback_reason is not None
+        report.mapping.validate()
+
+    def test_capacity_overflow_payload_end_to_end(self):
+        # Force an overflowing assignment on the degraded machine and
+        # check the structured ValidationError payload that the online
+        # session and serve layers surface.
+        from repro.mapper.mapping import Mapping
+        from repro.util.validation import ValidationError
+
+        tg = self._weighted_ring([2.0, 2.0, 1.0])
+        topo = self._machine(
+            networks.ring(3),
+            {"slots": {"demand": "unit", "cap": 2.0},
+             "mem": {"demand": "weight", "cap": 3.0}},
+        )
+        degraded = topo.degrade(FaultSet(failed_procs=[0]))
+        bad = Mapping(
+            tg, degraded, {0: 1, 1: 1, 2: 1}, provenance="overflow"
+        )
+        with pytest.raises(ValidationError) as err:
+            bad.validate(require_routes=False)
+        payload = err.value.payload
+        assert payload["kind"] == "capacity_overflow"
+        overflow = payload["overflows"][0]
+        assert {"resource", "processor", "demand", "capacity"} <= set(overflow)
+        # slots: 3 tasks of cap 2; mem: 5.0 of cap 3.0 -- both overflow,
+        # every reported row names processor 1.
+        assert {o["processor"] for o in payload["overflows"]} == {1}
+        resources = {o["resource"] for o in payload["overflows"]}
+        assert resources == {"slots", "mem"}

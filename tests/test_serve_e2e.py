@@ -217,3 +217,53 @@ class TestGracefulDrain:
             os.environ.clear()
             os.environ.update(old)
         assert rc == 0
+
+
+class TestSession:
+    BODY = {
+        "program": "dnc",
+        "bind": {"m": 3},
+        "topology": "mesh:2x2",
+        "generate": {"seed": 11, "events": 10},
+    }
+
+    def test_cold_session_runs_scenario(self, server):
+        host, port = server
+        status, doc = loadgen.request_once(
+            host, port, "POST", "/v1/session", self.BODY, timeout=120
+        )
+        assert status == 200
+        assert doc["format"] == "oregami-serve-session-v1"
+        assert doc["scenario"]["events"] == 10
+        assert doc["report"]["events"] == 10
+        assert doc["report"]["final_comm_cost"] > 0
+
+    def test_repeat_resumes_from_journal_bit_identically(self, server):
+        host, port = server
+        body = dict(self.BODY, generate={"seed": 12, "events": 10})
+        s1, cold = loadgen.request_once(host, port, "POST", "/v1/session",
+                                        body, timeout=120)
+        s2, warm = loadgen.request_once(host, port, "POST", "/v1/session",
+                                        body, timeout=120)
+        assert (s1, s2) == (200, 200)
+        assert cold["report"]["resumed_at"] is None
+        assert warm["report"]["resumed_at"] == 10
+        assert (warm["report"]["trace_fingerprint"]
+                == cold["report"]["trace_fingerprint"])
+        assert (warm["report"]["final_comm_cost"]
+                == cold["report"]["final_comm_cost"])
+
+    def test_bad_session_request_is_400(self, server):
+        host, port = server
+        status, doc = loadgen.request_once(
+            host, port, "POST", "/v1/session",
+            dict(self.BODY, session={"executor": "process"}),
+        )
+        assert status == 400
+        assert "'serial' or 'thread'" in doc["error"]["message"]
+
+    def test_session_stats_counted(self, server):
+        host, port = server
+        _, stats = loadgen.request_once(host, port, "GET", "/v1/stats")
+        assert stats["server"]["session_requests"] >= 2
+        assert stats["server"]["session_errors"] >= 1

@@ -241,3 +241,130 @@ class TestErrorResponse:
         status, body = error_response(RuntimeError("???"))
         assert status == 500
         assert body["error"]["type"] == "RuntimeError"
+
+
+class TestParseSessionRequest:
+    def _body(self, **overrides) -> bytes:
+        body = {"program": "dnc", "bind": {"m": 3}, "topology": "mesh:2x2"}
+        body.update(overrides)
+        return json.dumps(body).encode()
+
+    def test_default_generated_stream(self):
+        request = protocol.parse_session_request(self._body())
+        assert request.tg.n_tasks == 8
+        assert len(request.scenario) == 50  # generator default
+        assert request.include_trace is False
+
+    def test_generate_parameters_respected(self):
+        request = protocol.parse_session_request(self._body(
+            generate={"seed": 9, "events": 12, "rates": {"drift": 5.0}},
+        ))
+        assert request.scenario.seed == 9
+        assert len(request.scenario) == 12
+
+    def test_generate_is_deterministic(self):
+        body = self._body(generate={"seed": 3, "events": 20})
+        a = protocol.parse_session_request(body)
+        b = protocol.parse_session_request(body)
+        assert a.scenario.fingerprint() == b.scenario.fingerprint()
+
+    def test_inline_scenario_accepted(self):
+        from repro.online import generate_scenario
+
+        seed_req = protocol.parse_session_request(
+            self._body(generate={"seed": 5, "events": 8})
+        )
+        inline = protocol.parse_session_request(self._body(
+            scenario=json.loads(json.dumps(seed_req.scenario.to_dict()))
+        ))
+        assert inline.scenario.fingerprint() == seed_req.scenario.fingerprint()
+
+    def test_scenario_and_generate_together_rejected(self):
+        with pytest.raises(ProtocolError, match="at most one"):
+            protocol.parse_session_request(self._body(
+                scenario={"format": "oregami-scenario-v1"},
+                generate={"seed": 1},
+            ))
+
+    def test_scenario_must_be_inline_object(self):
+        with pytest.raises(ProtocolError, match="never reads files"):
+            protocol.parse_session_request(
+                self._body(scenario="/tmp/scenario.json")
+            )
+
+    def test_bad_scenario_rejected(self):
+        with pytest.raises(ProtocolError, match="bad 'scenario'"):
+            protocol.parse_session_request(
+                self._body(scenario={"format": "nope"})
+            )
+
+    def test_unknown_generate_key_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown 'generate' keys"):
+            protocol.parse_session_request(
+                self._body(generate={"meteors": 2})
+            )
+
+    def test_session_config_knobs_applied(self):
+        request = protocol.parse_session_request(self._body(
+            session={"drift_threshold": 0.5, "cooldown_events": 7},
+        ))
+        assert request.config.drift_threshold == 0.5
+        assert request.config.cooldown_events == 7
+
+    def test_bad_session_knob_rejected(self):
+        with pytest.raises(ProtocolError, match="bad 'session'"):
+            protocol.parse_session_request(
+                self._body(session={"warp_speed": 9})
+            )
+
+    def test_process_executor_rejected_over_http(self):
+        with pytest.raises(ProtocolError, match="'serial' or 'thread'"):
+            protocol.parse_session_request(
+                self._body(session={"executor": "process"})
+            )
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request keys"):
+            protocol.parse_session_request(self._body(shellcode="x"))
+
+    def test_topology_required(self):
+        raw = json.dumps({"program": "dnc", "bind": {"m": 3}}).encode()
+        with pytest.raises(ProtocolError, match="'topology' or 'machine'"):
+            protocol.parse_session_request(raw)
+
+    def test_non_boolean_trace_rejected(self):
+        with pytest.raises(ProtocolError, match="'trace' must be a boolean"):
+            protocol.parse_session_request(self._body(trace=1))
+
+    def test_bad_bindings_are_400_not_500(self):
+        # An unknown stdlib parameter raises a LarcsError deep in the
+        # evaluator; the protocol layer must surface it as a 400.
+        with pytest.raises(ProtocolError) as info:
+            protocol.parse_session_request(self._body(
+                program="jacobi", bind={"N": 4},
+            ))
+        assert info.value.status == 400
+
+
+class TestSessionResponse:
+    def test_envelope_shape(self):
+        from repro.arch import networks
+        from repro.larcs import stdlib
+        from repro.online import MappingSession, SessionConfig, generate_scenario
+
+        tg = stdlib.load("dnc", m=3)
+        topo = networks.mesh(2, 2)
+        scn = generate_scenario(tg, topo, seed=1, n_events=5)
+        report = MappingSession(
+            tg, topo, SessionConfig(checkpoint_every=0)
+        ).run(scn.events)
+        body = json.loads(protocol.session_response(
+            scn, report, include_trace=False, elapsed_s=0.25,
+        ))
+        assert body["format"] == protocol.SESSION_FORMAT
+        assert body["scenario"]["events"] == 5
+        assert body["scenario"]["fingerprint"] == scn.fingerprint()
+        assert body["report"]["counters"]
+        assert "records" not in body["report"].get("trace", {})
+        assert body["serving"]["version"] == __version__
+        assert body["serving"]["elapsed_ms"] == 250.0
